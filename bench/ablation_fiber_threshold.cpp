@@ -1,0 +1,37 @@
+// Ablation (§VI-B): the fiber-split threshold.  "We empirically find that
+// a fiber threshold of 128 provides the best performance."  Sweeps the
+// threshold over the two fiber-heavy tensors (darpa, nell2) and reports
+// B-CSF GFLOPs; too small a threshold floods the device with segments
+// (overhead), too large leaves warps imbalanced.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bcsf;
+  using namespace bcsf::bench;
+  print_header("Ablation -- fbr-split threshold sweep (mode 1, B-CSF)",
+               "paper's empirical optimum: 128");
+
+  const DeviceModel device = DeviceModel::p100();
+  Table table({"tensor", "threshold", "fiber segments", "GFLOPs", "occ %",
+               "sm_eff %"});
+
+  for (const std::string& name :
+       {std::string("darpa"), std::string("nell2"), std::string("nell1")}) {
+    const SparseTensor& x = twin(name);
+    const auto& factors = factors_for(name);
+    const CsfTensor csf = build_csf(x, 0);
+    for (offset_t threshold : {8u, 32u, 128u, 512u, 2048u, 8192u}) {
+      BcsfOptions opts;
+      opts.fiber_threshold = threshold;
+      const BcsfTensor b = build_bcsf_from_csf(csf, opts);
+      const SimReport rep = mttkrp_bcsf_gpu(b, factors, device).report;
+      table.row(name, std::to_string(threshold),
+                std::to_string(b.num_fiber_segments()), rep.gflops,
+                rep.achieved_occupancy_pct, rep.sm_efficiency_pct);
+    }
+  }
+  table.print();
+  std::cout << "\nExpected shape: an interior optimum near the paper's 128 "
+               "(hump-shaped curves).\n";
+  return 0;
+}

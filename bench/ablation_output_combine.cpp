@@ -1,0 +1,38 @@
+// Ablation: per-fiber vs per-slice output combining in the B-CSF kernel
+// (a design choice Algorithm 3 leaves open: its lines 12-13 update Y per
+// fiber, SPLATT's CPU code accumulates per slice).  Per-slice combining
+// trades one output-row touch per *fiber* for one per *block* plus a
+// shared reduction -- a win when fibers vastly outnumber slices.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bcsf;
+  using namespace bcsf::bench;
+  print_header("Ablation -- B-CSF output combining (mode 1)",
+               "per-fiber Y updates (Alg. 3) vs per-slice shared "
+               "accumulation");
+
+  const DeviceModel device = DeviceModel::p100();
+  Table table({"tensor", "fibers/slice", "per-fiber GF", "per-slice GF",
+               "per-slice/per-fiber"});
+
+  for (const std::string& name : three_order_dataset_names()) {
+    const SparseTensor& x = twin(name);
+    const auto& factors = factors_for(name);
+    const BcsfTensor b = build_bcsf(x, 0);
+    const double fps = static_cast<double>(b.num_fiber_segments()) /
+                       static_cast<double>(b.csf().num_slices());
+    const double per_fiber =
+        mttkrp_bcsf_gpu(b, factors, device, OutputCombine::kPerFiber)
+            .report.gflops;
+    const double per_slice =
+        mttkrp_bcsf_gpu(b, factors, device, OutputCombine::kPerSliceShared)
+            .report.gflops;
+    table.row(name, fps, per_fiber, per_slice, per_slice / per_fiber);
+  }
+  table.print();
+  std::cout << "\nExpected shape: per-slice combining helps most where "
+               "fibers/slice is large (many Y touches saved), and is "
+               "neutral on singleton-fiber tensors.\n";
+  return 0;
+}

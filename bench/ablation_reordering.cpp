@@ -1,0 +1,47 @@
+// Ablation (the paper's future work, §VIII): index reordering.  Compares
+// the original labeling, a random relabeling, and a heavy-first
+// (degree-sorted) relabeling of the root mode, for the plain GPU-CSF and
+// B-CSF kernels.  Heavy-first helps the *unsplit* kernel (the giant
+// blocks enter the grid first and drain while small blocks fill in), and
+// matters much less once B-CSF has already balanced the work -- i.e.
+// reordering and splitting are partially redundant remedies.
+#include "bench_util.hpp"
+#include "tensor/reorder.hpp"
+
+int main() {
+  using namespace bcsf;
+  using namespace bcsf::bench;
+  print_header("Ablation -- root-mode reordering (mode 1)",
+               "original vs random vs heavy-first labeling; GPU-CSF and "
+               "B-CSF kernels");
+
+  const DeviceModel device = DeviceModel::p100();
+  Table table({"tensor", "labeling", "GPU-CSF GF", "B-CSF GF",
+               "csf sm_eff %"});
+
+  for (const std::string& name :
+       {std::string("nell2"), std::string("darpa"), std::string("deli")}) {
+    for (const std::string& labeling :
+         {std::string("original"), std::string("random"),
+          std::string("heavy-first")}) {
+      SparseTensor x = twin(name);  // copy; relabelings mutate
+      if (labeling == "random") {
+        apply_relabeling(x, 0, random_relabeling(x.dim(0), 777));
+      } else if (labeling == "heavy-first") {
+        apply_relabeling(x, 0, degree_sorted_relabeling(x, 0));
+      }
+      const auto factors = make_random_factors(x.dims(), kPaperRank, 4242);
+      const CsfTensor csf = build_csf(x, 0);
+      const SimReport plain = mttkrp_csf_gpu(csf, factors, device).report;
+      const BcsfTensor b = build_bcsf_from_csf(csf, BcsfOptions{});
+      const SimReport split = mttkrp_bcsf_gpu(b, factors, device).report;
+      table.row(name, labeling, plain.gflops, split.gflops,
+                plain.sm_efficiency_pct);
+    }
+  }
+  table.print();
+  std::cout << "\nExpected shape: labeling shifts GPU-CSF noticeably "
+               "(heavy-first drains giant slices early) but barely moves "
+               "B-CSF, whose splitting already removed the imbalance.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Shared helpers for the paper-reproduction benchmark binaries: a
+// process-wide cache of generated dataset twins, random factors, and
+// fixed-width table printing so every binary emits paper-style rows.
+#pragma once
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bcsf/bcsf.hpp"
+
+namespace bcsf::bench {
+
+/// Generates (once per process) and returns the scaled twin of a dataset.
+inline const SparseTensor& twin(const std::string& name) {
+  static std::map<std::string, SparseTensor> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, generate_dataset(name)).first;
+  }
+  return it->second;
+}
+
+/// Random factors for a dataset twin (cached per dataset+rank).
+inline const std::vector<DenseMatrix>& factors_for(const std::string& name,
+                                                   rank_t rank = 32) {
+  static std::map<std::string, std::vector<DenseMatrix>> cache;
+  const std::string key = name + "/" + std::to_string(rank);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, make_random_factors(twin(name).dims(), rank, 4242))
+             .first;
+  }
+  return it->second;
+}
+
+/// The paper uses R = 32 for all experiments (§VI-A).
+inline constexpr rank_t kPaperRank = 32;
+
+// ---------------------------------------------------------------------------
+// Table printing
+// ---------------------------------------------------------------------------
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    std::vector<std::string> r;
+    (r.push_back(fmt(cells)), ...);
+    rows_.push_back(std::move(r));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      os << "| ";
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        os << std::setw(static_cast<int>(width[c])) << std::left
+           << (c < cells.size() ? cells[c] : "") << " | ";
+      }
+      os << "\n";
+    };
+    line(headers_);
+    std::vector<std::string> dashes;
+    for (std::size_t w : width) dashes.push_back(std::string(w, '-'));
+    line(dashes);
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  template <typename T>
+  static std::string fmt(const T& v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream os;
+      if (v != 0.0 && (std::abs(v) < 0.01 || std::abs(v) >= 1e6)) {
+        os << std::scientific << std::setprecision(2) << v;
+      } else {
+        os << std::fixed << std::setprecision(2) << v;
+      }
+      return os.str();
+    } else if constexpr (std::is_same_v<T, std::string> ||
+                         std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += std::log(std::max(x, 1e-30));
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+inline void print_header(const std::string& title, const std::string& note) {
+  std::cout << "==========================================================\n"
+            << title << "\n"
+            << note << "\n"
+            << "==========================================================\n";
+}
+
+}  // namespace bcsf::bench

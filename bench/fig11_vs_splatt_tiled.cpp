@@ -1,0 +1,10 @@
+// Figure 11: HB-CSF speedup over SPLATT-CPU with tiling enabled, all
+// datasets, all modes (paper average ~35x; tiling often *hurts* SPLATT on
+// these tensors, which is why this gap exceeds Fig. 12's).
+#include "speedup_common.hpp"
+
+int main() {
+  return bcsf::bench::run_speedup_figure(
+      "Figure 11 -- HB-CSF vs SPLATT-CPU-tiled",
+      bcsf::bench::Baseline::kSplattTiled, 35.0);
+}

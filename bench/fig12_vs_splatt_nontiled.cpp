@@ -1,0 +1,9 @@
+// Figure 12: HB-CSF speedup over SPLATT-CPU without tiling (paper average
+// ~9x -- the honest CPU baseline).
+#include "speedup_common.hpp"
+
+int main() {
+  return bcsf::bench::run_speedup_figure(
+      "Figure 12 -- HB-CSF vs SPLATT-CPU-nontiled",
+      bcsf::bench::Baseline::kSplattNontiled, 9.0);
+}

@@ -1,0 +1,7 @@
+// Figure 13: HB-CSF speedup over HiCOO on the CPU (paper average ~17x).
+#include "speedup_common.hpp"
+
+int main() {
+  return bcsf::bench::run_speedup_figure("Figure 13 -- HB-CSF vs HiCOO-CPU",
+                                         bcsf::bench::Baseline::kHicoo, 17.0);
+}

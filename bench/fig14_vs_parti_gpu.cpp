@@ -1,0 +1,9 @@
+// Figure 14: HB-CSF speedup over ParTI's COO GPU kernel (paper average
+// ~3x; 4-D rows are n/a because ParTI-GPU does not support order > 3).
+#include "speedup_common.hpp"
+
+int main() {
+  return bcsf::bench::run_speedup_figure("Figure 14 -- HB-CSF vs ParTI-GPU",
+                                         bcsf::bench::Baseline::kPartiGpu,
+                                         3.0);
+}

@@ -1,0 +1,9 @@
+// Figure 15: HB-CSF speedup over F-COO (paper average ~4x; 4-D rows are
+// n/a because F-COO does not support order > 3).
+#include "speedup_common.hpp"
+
+int main() {
+  return bcsf::bench::run_speedup_figure("Figure 15 -- HB-CSF vs FCOO-GPU",
+                                         bcsf::bench::Baseline::kFcooGpu,
+                                         4.0);
+}

@@ -1,0 +1,47 @@
+// Figure 5: mode-1 GFLOPs of the CSF-family kernel with (a) no splitting,
+// (b) fbr-split only, (c) fbr-split + slc-split (= full B-CSF), on the
+// seven 3-order tensors.  The paper's headline: darpa gains 22x because it
+// has the worst per-slice imbalance.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bcsf;
+  using namespace bcsf::bench;
+  print_header("Figure 5 -- B-CSF node splitting (mode 1, simulated P100)",
+               "fiber threshold 128, block capacity 512 (the paper's "
+               "empirical best)");
+
+  Table table({"tensor", "none GF", "fbr-split GF", "fbr+slc GF",
+               "speedup fbr", "speedup fbr+slc", "split fibers",
+               "split slices"});
+  const DeviceModel device = DeviceModel::p100();
+
+  for (const std::string& name : three_order_dataset_names()) {
+    const SparseTensor& x = twin(name);
+    const auto& factors = factors_for(name);
+    const CsfTensor csf = build_csf(x, 0);
+
+    auto run_with = [&](bool fbr, bool slc) {
+      BcsfOptions opts;
+      opts.fiber_split = fbr;
+      opts.slice_split = slc;
+      const BcsfTensor b = build_bcsf_from_csf(csf, opts);
+      return std::make_pair(mttkrp_bcsf_gpu(b, factors, device).report,
+                            std::make_pair(b.split_fiber_count(),
+                                           b.split_slice_count()));
+    };
+    const auto [none, none_info] = run_with(false, false);
+    const auto [fbr, fbr_info] = run_with(true, false);
+    const auto [both, both_info] = run_with(true, true);
+
+    table.row(name, none.gflops, fbr.gflops, both.gflops,
+              fbr.gflops / none.gflops, both.gflops / none.gflops,
+              std::to_string(both_info.first),
+              std::to_string(both_info.second));
+  }
+  table.print();
+  std::cout << "\nExpected shape: darpa benefits the most (paper: 22x); "
+               "tensors with singleton fibers (flick, fr_m, fr_s)\ngain "
+               "little from fbr-split alone.\n";
+  return 0;
+}

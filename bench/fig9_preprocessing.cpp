@@ -1,0 +1,40 @@
+// Figure 9: pre-processing time of B-CSF, HB-CSF and SPLATT-tiled,
+// normalized to SPLATT-nontiled.  All four are real wall-clock format
+// constructions over all modes (ALLMODE keeps one representation per
+// mode).  B-CSF's extra pass over the CSF arrays is nearly free; HB-CSF's
+// slice classification costs more; SPLATT's tiling adds a reorder pass.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bcsf;
+  using namespace bcsf::bench;
+  print_header("Figure 9 -- pre-processing time relative to SPLATT-nontiled",
+               "wall-clock construction of all-mode representations");
+
+  Table table({"tensor", "splatt-nt (s)", "splatt-tiled x", "B-CSF x",
+               "HB-CSF x"});
+
+  for (const std::string& name : three_order_dataset_names()) {
+    const SparseTensor& x = twin(name);
+
+    const SplattAllmode splatt_nt(x, SplattOptions{.tiling = false});
+    const SplattAllmode splatt_t(x, SplattOptions{.tiling = true});
+
+    Timer t_b;
+    for (index_t m = 0; m < x.order(); ++m) (void)build_bcsf(x, m);
+    const double bcsf_s = t_b.seconds();
+
+    Timer t_h;
+    for (index_t m = 0; m < x.order(); ++m) (void)build_hbcsf(x, m);
+    const double hbcsf_s = t_h.seconds();
+
+    const double base = splatt_nt.preprocessing_seconds();
+    table.row(name, base, splatt_t.preprocessing_seconds() / base,
+              bcsf_s / base, hbcsf_s / base);
+  }
+  table.print();
+  std::cout << "\nExpected shape: B-CSF within ~2x of SPLATT-nontiled "
+               "(\"negligible preprocessing\"); HB-CSF somewhat above B-CSF "
+               "(slice classification + three builds).\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// google-benchmark microbenchmarks of the host-side building blocks:
+// format construction and the real CPU kernels.  These measure actual
+// wall time on this machine (unlike the simulated-GPU figures) and are
+// the numbers a downstream user cares about for preprocessing budgets.
+#include <benchmark/benchmark.h>
+
+#include "bcsf/bcsf.hpp"
+
+namespace {
+
+using namespace bcsf;
+
+const SparseTensor& bench_tensor() {
+  static const SparseTensor x = [] {
+    PowerLawConfig cfg;
+    cfg.dims = {4000, 8000, 6000};
+    cfg.target_nnz = 400'000;
+    cfg.slice_alpha = 0.7;
+    cfg.fiber_alpha = 0.9;
+    cfg.max_fiber_len = 1024;
+    cfg.seed = 777;
+    return generate_power_law(cfg);
+  }();
+  return x;
+}
+
+const std::vector<DenseMatrix>& bench_factors() {
+  static const std::vector<DenseMatrix> f =
+      make_random_factors(bench_tensor().dims(), 32, 123);
+  return f;
+}
+
+void BM_BuildCsf(benchmark::State& state) {
+  const SparseTensor& x = bench_tensor();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_csf(x, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz());
+}
+BENCHMARK(BM_BuildCsf)->Unit(benchmark::kMillisecond);
+
+void BM_BuildBcsf(benchmark::State& state) {
+  const SparseTensor& x = bench_tensor();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_bcsf(x, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz());
+}
+BENCHMARK(BM_BuildBcsf)->Unit(benchmark::kMillisecond);
+
+void BM_BuildHbcsf(benchmark::State& state) {
+  const SparseTensor& x = bench_tensor();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_hbcsf(x, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz());
+}
+BENCHMARK(BM_BuildHbcsf)->Unit(benchmark::kMillisecond);
+
+void BM_BuildFcoo(benchmark::State& state) {
+  const SparseTensor& x = bench_tensor();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_fcoo(x, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz());
+}
+BENCHMARK(BM_BuildFcoo)->Unit(benchmark::kMillisecond);
+
+void BM_BuildHicoo(benchmark::State& state) {
+  const SparseTensor& x = bench_tensor();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_hicoo(x));
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz());
+}
+BENCHMARK(BM_BuildHicoo)->Unit(benchmark::kMillisecond);
+
+void BM_MttkrpCsfCpu(benchmark::State& state) {
+  const CsfTensor csf = build_csf(bench_tensor(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mttkrp_csf_cpu(csf, bench_factors()));
+  }
+  state.SetItemsProcessed(state.iterations() * csf.nnz());
+}
+BENCHMARK(BM_MttkrpCsfCpu)->Unit(benchmark::kMillisecond);
+
+void BM_MttkrpCooCpu(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mttkrp_coo_cpu(bench_tensor(), 0, bench_factors()));
+  }
+  state.SetItemsProcessed(state.iterations() * bench_tensor().nnz());
+}
+BENCHMARK(BM_MttkrpCooCpu)->Unit(benchmark::kMillisecond);
+
+void BM_MttkrpHicooCpu(benchmark::State& state) {
+  const HicooTensor h = build_hicoo(bench_tensor());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mttkrp_hicoo_cpu(h, 0, bench_factors()));
+  }
+  state.SetItemsProcessed(state.iterations() * h.nnz());
+}
+BENCHMARK(BM_MttkrpHicooCpu)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateBcsfKernel(benchmark::State& state) {
+  const BcsfTensor b = build_bcsf(bench_tensor(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mttkrp_bcsf_gpu(b, bench_factors(), DeviceModel::p100()));
+  }
+  state.SetItemsProcessed(state.iterations() * b.nnz());
+}
+BENCHMARK(BM_SimulateBcsfKernel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Shared driver for the speedup figures (11-15): HB-CSF on the simulated
+// P100 versus one baseline, per dataset and per mode, with the geometric
+// mean the paper quotes ("HB-CSF outperforms SPLATT by 35x on average").
+//
+// CPU baselines (SPLATT tiled/nontiled, HiCOO) are priced with the
+// 28-core Broadwell model; GPU baselines (ParTI-COO, F-COO) run through
+// the same simulator as HB-CSF.  ParTI and F-COO do not support
+// order > 3 tensors ("None of the existing GPU based frameworks ...
+// support four or higher dimensional tensors"), so 4-D rows print n/a --
+// the paper's missing bars.
+#pragma once
+
+#include "bench_util.hpp"
+
+namespace bcsf::bench {
+
+enum class Baseline {
+  kSplattTiled,
+  kSplattNontiled,
+  kHicoo,
+  kPartiGpu,
+  kFcooGpu,
+};
+
+inline const char* baseline_name(Baseline b) {
+  switch (b) {
+    case Baseline::kSplattTiled: return "SPLATT-CPU-tiled";
+    case Baseline::kSplattNontiled: return "SPLATT-CPU-nontiled";
+    case Baseline::kHicoo: return "HiCOO-CPU";
+    case Baseline::kPartiGpu: return "ParTI-GPU";
+    case Baseline::kFcooGpu: return "FCOO-GPU";
+  }
+  return "?";
+}
+
+/// Seconds for the baseline on (tensor, mode); negative = unsupported.
+inline double baseline_seconds(Baseline b, const SparseTensor& x, index_t mode,
+                               const std::vector<DenseMatrix>& factors,
+                               const DeviceModel& device,
+                               const CpuModel& cpu) {
+  switch (b) {
+    case Baseline::kSplattTiled:
+      return estimate_splatt(build_csf(x, mode), kPaperRank, cpu, true).seconds;
+    case Baseline::kSplattNontiled:
+      return estimate_splatt(build_csf(x, mode), kPaperRank, cpu, false)
+          .seconds;
+    case Baseline::kHicoo:
+      return estimate_hicoo(build_hicoo(x), mode, kPaperRank, cpu).seconds;
+    case Baseline::kPartiGpu:
+      if (x.order() > 3) return -1.0;
+      return mttkrp_coo_gpu(x, mode, factors, device).report.seconds;
+    case Baseline::kFcooGpu: {
+      if (x.order() > 3) return -1.0;
+      const FcooTensor f = build_fcoo(x, mode);
+      return mttkrp_fcoo_gpu(f, factors, device).report.seconds;
+    }
+  }
+  return -1.0;
+}
+
+inline int run_speedup_figure(const std::string& figure, Baseline b,
+                              double paper_average) {
+  const DeviceModel device = DeviceModel::p100();
+  const CpuModel cpu = CpuModel::broadwell();
+  std::ostringstream note;
+  note << "speedup = " << baseline_name(b)
+       << " time / HB-CSF simulated time; paper average ~" << paper_average
+       << "x";
+  print_header(figure, note.str());
+
+  Table table({"tensor", "mode", "baseline (ms)", "HB-CSF (ms)", "speedup"});
+  std::vector<double> speedups;
+
+  for (const DatasetSpec& spec : paper_datasets()) {
+    const SparseTensor& x = twin(spec.name);
+    const auto& factors = factors_for(spec.name);
+    for (index_t mode = 0; mode < x.order(); ++mode) {
+      const double base_s =
+          baseline_seconds(b, x, mode, factors, device, cpu);
+      if (base_s < 0.0) {
+        table.row(spec.name, static_cast<int>(mode), std::string("n/a"),
+                  std::string("n/a"),
+                  std::string("n/a (no 4-D support)"));
+        continue;
+      }
+      const HbcsfTensor h = build_hbcsf(x, mode);
+      const double hb_s =
+          mttkrp_hbcsf_gpu(h, factors, device).report.seconds;
+      const double speedup = base_s / hb_s;
+      speedups.push_back(speedup);
+      table.row(spec.name, static_cast<int>(mode), base_s * 1e3, hb_s * 1e3,
+                speedup);
+    }
+  }
+  table.print();
+  std::cout << "\ngeometric-mean speedup: " << std::fixed
+            << std::setprecision(2) << geomean(speedups) << "x  (paper: ~"
+            << paper_average << "x)\n";
+  return 0;
+}
+
+}  // namespace bcsf::bench

@@ -1,0 +1,46 @@
+// Table III: the dataset inventory.  For each tensor: the paper's
+// published order/dimensions/nonzeros/density next to the generated
+// scaled twin's actual numbers, plus the twin's structural signature
+// (so the match with Table II's stddev columns can be audited).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bcsf;
+  using namespace bcsf::bench;
+  print_header("Table III -- sparse tensor datasets",
+               "paper tensors vs generated ~1/100-scale synthetic twins");
+
+  Table table({"tensor", "order", "paper dims", "paper nnz", "paper density",
+               "twin dims", "twin nnz", "twin density"});
+  for (const DatasetSpec& spec : paper_datasets()) {
+    const SparseTensor& x = twin(spec.name);
+    std::ostringstream pd;
+    for (std::size_t m = 0; m < spec.paper_dims.size(); ++m) {
+      if (m) pd << " x ";
+      pd << spec.paper_dims[m];
+    }
+    table.row(spec.name, static_cast<int>(spec.order), pd.str(),
+              std::to_string(spec.paper_nnz), spec.paper_density,
+              x.shape_string(), std::to_string(x.nnz()), x.density());
+  }
+  table.print();
+
+  std::cout << "\nPer-mode structure of the twins (drives every experiment):\n";
+  Table detail({"tensor", "mode", "slices", "fibers", "avg nnz/slc",
+                "stdev nnz/slc", "avg nnz/fbr", "stdev nnz/fbr",
+                "coo-slice %", "csl-slice %"});
+  for (const DatasetSpec& spec : paper_datasets()) {
+    const SparseTensor& x = twin(spec.name);
+    for (index_t mode = 0; mode < x.order(); ++mode) {
+      const ModeStats s = compute_mode_stats(x, mode);
+      detail.row(spec.name, static_cast<int>(mode),
+                 std::to_string(s.num_slices), std::to_string(s.num_fibers),
+                 s.nnz_per_slice.mean, s.nnz_per_slice.stddev,
+                 s.nnz_per_fiber.mean, s.nnz_per_fiber.stddev,
+                 100.0 * s.singleton_slice_fraction,
+                 100.0 * s.csl_slice_fraction);
+    }
+  }
+  detail.print();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Domain scenario: discussion tracking in an email corpus.
+//
+// The paper's introduction motivates tensors with exactly this workload:
+// "the attributes of an email conversation (subject, author and time) can
+// be represented by the use of a tensor" (and [6] tracks discussions in
+// the Enron corpus with PARAFAC).  This example builds a synthetic
+// sender x recipient x week tensor with a few implanted communication
+// "topics" (dense sender/recipient cliques active in certain weeks), runs
+// CPD-ALS with the HB-CSF GPU backend, and prints the dominant
+// senders/recipients/weeks of each recovered component.
+//
+// Usage: cpd_email [--rank=8] [--iters=20] [--seed=3]
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "bcsf/bcsf.hpp"
+
+namespace {
+
+using namespace bcsf;
+
+/// Builds the email tensor: background noise plus `topics` implanted
+/// cliques, each with its own week-activity window.
+SparseTensor build_email_tensor(index_t senders, index_t recipients,
+                                index_t weeks, unsigned topics,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  SparseTensor t({senders, recipients, weeks});
+  std::vector<index_t> c(3);
+
+  // Background chatter (uniform random, low weight).
+  for (int z = 0; z < 20000; ++z) {
+    c = {rng.uniform_index(senders), rng.uniform_index(recipients),
+         rng.uniform_index(weeks)};
+    t.push_back(c, static_cast<value_t>(rng.uniform_real(0.1, 0.4)));
+  }
+
+  // Topics: clique of ~12 senders x ~15 recipients, active ~8 weeks.
+  for (unsigned topic = 0; topic < topics; ++topic) {
+    const index_t s0 = rng.uniform_index(senders - 12);
+    const index_t r0 = rng.uniform_index(recipients - 15);
+    const index_t w0 = rng.uniform_index(weeks - 8);
+    for (int z = 0; z < 4000; ++z) {
+      c = {static_cast<index_t>(s0 + rng.uniform_index(12)),
+           static_cast<index_t>(r0 + rng.uniform_index(15)),
+           static_cast<index_t>(w0 + rng.uniform_index(8))};
+      t.push_back(c, static_cast<value_t>(rng.uniform_real(2.0, 5.0)));
+    }
+  }
+  t.coalesce();
+  return t;
+}
+
+void print_top(const DenseMatrix& factor, rank_t component, const char* label,
+               int k = 3) {
+  std::vector<index_t> idx(factor.rows());
+  std::iota(idx.begin(), idx.end(), index_t{0});
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](index_t a, index_t b) {
+                      return factor(a, component) > factor(b, component);
+                    });
+  std::cout << "    top " << label << ":";
+  for (int i = 0; i < k; ++i) std::cout << " " << idx[i];
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bcsf;
+  const CliParser cli(argc, argv);
+  CpdOptions opts;
+  opts.rank = static_cast<rank_t>(cli.get_int("rank", 8));
+  opts.max_iterations = static_cast<unsigned>(cli.get_int("iters", 20));
+  opts.backend = CpdBackend::kGpuHbcsf;
+  opts.seed = 11;
+
+  const SparseTensor x =
+      build_email_tensor(400, 500, 52, 4, cli.get_int("seed", 3));
+  std::cout << "email tensor (sender x recipient x week): "
+            << x.shape_string() << ", nnz=" << x.nnz() << "\n";
+
+  const CpdResult r = cpd_als(x, opts);
+  std::cout << "CPD-ALS: " << r.iterations << " iterations, final fit "
+            << r.final_fit << "\n"
+            << "preprocessing " << r.preprocessing_seconds * 1e3
+            << " ms (host), simulated GPU MTTKRP time "
+            << r.simulated_mttkrp_seconds * 1e3 << " ms\n\n";
+
+  // Rank components sorted by weight = strongest conversations.
+  std::vector<rank_t> comp(opts.rank);
+  std::iota(comp.begin(), comp.end(), rank_t{0});
+  std::sort(comp.begin(), comp.end(),
+            [&](rank_t a, rank_t b) { return r.lambda[a] > r.lambda[b]; });
+  const unsigned show = std::min<unsigned>(4, opts.rank);
+  for (unsigned i = 0; i < show; ++i) {
+    std::cout << "component " << comp[i] << " (weight " << r.lambda[comp[i]]
+              << "):\n";
+    print_top(r.factors[0], comp[i], "senders");
+    print_top(r.factors[1], comp[i], "recipients");
+    print_top(r.factors[2], comp[i], "weeks");
+  }
+  std::cout << "\n(each strong component should align with one implanted "
+               "sender/recipient clique and its active weeks)\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Domain scenario: pick the right format for *your* tensor.
+//
+// Loads a FROSTT `.tns` file (or one of the paper's dataset twins) and,
+// per mode, prints the structural statistics the paper's analysis is
+// built on, the index storage of every format, and the simulated-P100
+// GFLOPs for each kernel -- ending with a recommendation, i.e. the
+// decision HB-CSF automates per slice.
+//
+// Usage: format_explorer [--tns=path] [--dataset=deli] [--rank=32]
+#include <iostream>
+
+#include "bcsf/bcsf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bcsf;
+  const CliParser cli(argc, argv);
+  const auto rank = static_cast<rank_t>(cli.get_int("rank", 32));
+
+  SparseTensor x = [&] {
+    const std::string path = cli.get_string("tns", "");
+    if (!path.empty()) return read_tns_file(path);
+    return generate_dataset(cli.get_string("dataset", "darpa"));
+  }();
+  std::cout << "tensor: " << x.shape_string() << ", nnz=" << x.nnz()
+            << ", density=" << x.density() << "\n\n";
+
+  const auto factors = make_random_factors(x.dims(), rank, 1);
+  const DeviceModel device = DeviceModel::p100();
+
+  for (index_t mode = 0; mode < x.order(); ++mode) {
+    const ModeStats s = compute_mode_stats(x, mode);
+    std::cout << "--- mode " << mode + 1 << " (dim " << x.dim(mode) << ")\n"
+              << "  slices " << s.num_slices << ", fibers " << s.num_fibers
+              << ", nnz/slice mean " << s.nnz_per_slice.mean << " stddev "
+              << s.nnz_per_slice.stddev << ", nnz/fiber mean "
+              << s.nnz_per_fiber.mean << " stddev " << s.nnz_per_fiber.stddev
+              << "\n  slice mix: " << 100.0 * s.singleton_slice_fraction
+              << "% singleton (COO), " << 100.0 * s.csl_slice_fraction
+              << "% all-singleton-fiber (CSL)\n";
+
+    std::cout << "  storage (index MB): COO "
+              << coo_storage(x).bytes / 1e6 << ", CSF "
+              << csf_storage(x, mode).bytes / 1e6 << ", HB-CSF "
+              << hbcsf_storage(x, mode).bytes / 1e6 << ", F-COO "
+              << fcoo_storage(x, mode).bytes / 1e6 << "\n";
+
+    double best_gf = 0.0;
+    const char* best = "?";
+    for (GpuKernelKind kind :
+         {GpuKernelKind::kCsf, GpuKernelKind::kBcsf, GpuKernelKind::kHbcsf,
+          GpuKernelKind::kCoo, GpuKernelKind::kFcoo}) {
+      GpuRunOptions opts;
+      opts.device = device;
+      const TimedGpuResult r = build_and_run(kind, x, mode, factors, opts);
+      std::cout << "  " << kind_name(kind) << ": " << r.run.report.gflops
+                << " GFLOPs (occ " << r.run.report.achieved_occupancy_pct
+                << "%, sm_eff " << r.run.report.sm_efficiency_pct
+                << "%), build " << r.build_seconds * 1e3 << " ms\n";
+      if (r.run.report.gflops > best_gf) {
+        best_gf = r.run.report.gflops;
+        best = kind_name(kind);
+      }
+    }
+    std::cout << "  => best for mode " << mode + 1 << ": " << best << "\n\n";
+  }
+  return 0;
+}

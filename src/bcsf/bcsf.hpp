@@ -1,0 +1,42 @@
+// Umbrella header: the full public API of the B-CSF / HB-CSF MTTKRP
+// library (reproduction of Nisa et al., "Load-Balanced Sparse MTTKRP on
+// GPUs", IPDPS 2019).
+//
+// Typical use:
+//   #include "bcsf/bcsf.hpp"
+//   bcsf::SparseTensor x = bcsf::read_tns_file("data.tns");
+//   auto factors = bcsf::make_random_factors(x.dims(), 32, 42);
+//   auto hb = bcsf::build_hbcsf(x, /*mode=*/0);
+//   auto res = bcsf::mttkrp_hbcsf_gpu(hb, factors, bcsf::DeviceModel::p100());
+//   // res.output is the MTTKRP result, res.report the simulated metrics.
+#pragma once
+
+#include "cpd/cpd_als.hpp"
+#include "formats/bcsf.hpp"
+#include "formats/csf.hpp"
+#include "formats/csl.hpp"
+#include "formats/fcoo.hpp"
+#include "formats/hbcsf.hpp"
+#include "formats/hicoo.hpp"
+#include "formats/storage.hpp"
+#include "gpusim/cache.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/metrics.hpp"
+#include "gpusim/scheduler.hpp"
+#include "kernels/cpu_model.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/registry.hpp"
+#include "kernels/splatt.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/spd_solve.hpp"
+#include "tensor/datasets.hpp"
+#include "tensor/frostt_io.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/tensor_stats.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"

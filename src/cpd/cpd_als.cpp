@@ -1,0 +1,78 @@
+#include "cpd/cpd_als.hpp"
+
+#include <memory>
+
+#include "formats/csf.hpp"
+#include "formats/hbcsf.hpp"
+#include "kernels/mttkrp.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/spd_solve.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace bcsf {
+
+CpdResult cpd_als(const SparseTensor& tensor, const CpdOptions& options) {
+  BCSF_CHECK(tensor.nnz() > 0, "cpd_als: tensor has no nonzeros");
+  BCSF_CHECK(options.rank > 0, "cpd_als: rank must be positive");
+  const index_t order = tensor.order();
+
+  CpdResult result;
+  result.factors.reserve(order);
+  for (index_t m = 0; m < order; ++m) {
+    DenseMatrix f(tensor.dim(m), options.rank);
+    f.randomize(options.seed + 31 * m, 0.05F, 1.0F);
+    result.factors.push_back(std::move(f));
+  }
+  result.lambda.assign(options.rank, 1.0F);
+
+  // Pre-build one representation per mode (ALLMODE strategy, §VI-A).
+  Timer prep;
+  std::vector<CsfTensor> csfs;
+  std::vector<HbcsfTensor> hbcsfs;
+  if (options.backend == CpdBackend::kCpuCsf) {
+    for (index_t m = 0; m < order; ++m) csfs.push_back(build_csf(tensor, m));
+  } else if (options.backend == CpdBackend::kGpuHbcsf) {
+    for (index_t m = 0; m < order; ++m) {
+      hbcsfs.push_back(build_hbcsf(tensor, m));
+    }
+  }
+  result.preprocessing_seconds = prep.seconds();
+
+  auto run_mttkrp = [&](index_t mode) -> DenseMatrix {
+    switch (options.backend) {
+      case CpdBackend::kReference:
+        return mttkrp_reference(tensor, mode, result.factors);
+      case CpdBackend::kCpuCsf:
+        return mttkrp_csf_cpu(csfs[mode], result.factors);
+      case CpdBackend::kGpuHbcsf: {
+        GpuMttkrpResult r =
+            mttkrp_hbcsf_gpu(hbcsfs[mode], result.factors, options.device);
+        result.simulated_mttkrp_seconds += r.report.seconds;
+        return std::move(r.output);
+      }
+    }
+    BCSF_CHECK(false, "cpd_als: unknown backend");
+    return DenseMatrix{};
+  };
+
+  double prev_fit = 0.0;
+  for (unsigned iter = 0; iter < options.max_iterations; ++iter) {
+    for (index_t mode = 0; mode < order; ++mode) {
+      const DenseMatrix mk = run_mttkrp(mode);
+      const DenseMatrix v = gram_hadamard_except(result.factors, mode);
+      result.factors[mode] = solve_spd_right(v, mk);
+      result.lambda = normalize_columns(result.factors[mode]);
+    }
+    const double fit = cp_fit(tensor, result.factors, result.lambda);
+    result.fit_history.push_back(fit);
+    result.iterations = iter + 1;
+    if (iter > 0 && fit - prev_fit < options.fit_tolerance) break;
+    prev_fit = fit;
+  }
+  result.final_fit =
+      result.fit_history.empty() ? 0.0 : result.fit_history.back();
+  return result;
+}
+
+}  // namespace bcsf

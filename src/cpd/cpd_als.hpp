@@ -1,0 +1,53 @@
+// CPD-ALS (Algorithm 1): alternating least squares CP decomposition with
+// a pluggable MTTKRP backend.
+//
+// Each iteration updates every factor via
+//   A_n <- MTTKRP_n(X, {A_m}) * (*_{m != n} A_m^T A_m)^dagger
+// then normalizes columns into lambda and evaluates the model fit.  The
+// MTTKRP is the bottleneck the whole paper is about; everything else here
+// is R x R dense work (linalg/).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/metrics.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "tensor/sparse_tensor.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+enum class CpdBackend {
+  kReference,  ///< sequential double-precision COO (ground truth)
+  kCpuCsf,     ///< SPLATT-style OpenMP CSF, one representation per mode
+  kGpuHbcsf,   ///< simulated HB-CSF GPU kernel (the paper's system)
+};
+
+struct CpdOptions {
+  rank_t rank = 16;
+  unsigned max_iterations = 25;
+  /// Stop when the fit improves by less than this between iterations.
+  double fit_tolerance = 1e-5;
+  std::uint64_t seed = 7;
+  CpdBackend backend = CpdBackend::kCpuCsf;
+  DeviceModel device = DeviceModel::p100();
+};
+
+struct CpdResult {
+  std::vector<DenseMatrix> factors;
+  std::vector<value_t> lambda;
+  std::vector<double> fit_history;  ///< fit after each iteration
+  unsigned iterations = 0;
+  double final_fit = 0.0;
+  /// Format-construction wall time (all modes).
+  double preprocessing_seconds = 0.0;
+  /// Simulated GPU seconds spent in MTTKRP (kGpuHbcsf backend only).
+  double simulated_mttkrp_seconds = 0.0;
+};
+
+CpdResult cpd_als(const SparseTensor& tensor, const CpdOptions& options);
+
+}  // namespace bcsf

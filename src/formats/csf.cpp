@@ -1,0 +1,136 @@
+#include "formats/csf.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+CsfTensor build_csf_from_sorted(const SparseTensor& sorted,
+                                const ModeOrder& order) {
+  BCSF_CHECK(order.size() == sorted.order(), "build_csf: bad mode order");
+  BCSF_CHECK(sorted.order() >= 2, "build_csf: order must be >= 2");
+  BCSF_CHECK(sorted.is_sorted(order), "build_csf: tensor not sorted by mode order");
+
+  CsfTensor t;
+  t.mode_order_ = order;
+  t.dims_ = sorted.dims();
+  const index_t n_levels = sorted.order() - 1;
+  t.idx_.resize(n_levels);
+  t.ptr_.resize(n_levels);
+
+  const offset_t m = sorted.nnz();
+  t.leaf_inds_.resize(m);
+  t.vals_.resize(m);
+  const index_t leaf_mode = order.back();
+  for (offset_t z = 0; z < m; ++z) {
+    t.leaf_inds_[z] = sorted.coord(leaf_mode, z);
+    t.vals_[z] = sorted.value(z);
+  }
+  if (m == 0) {
+    for (index_t level = 0; level < n_levels; ++level) {
+      t.ptr_[level].push_back(0);
+    }
+    return t;
+  }
+
+  // One pass: at every nonzero boundary decide, per level, whether a new
+  // node starts (a change in any ancestor-or-self coordinate).
+  for (index_t level = 0; level < n_levels; ++level) {
+    t.idx_[level].push_back(sorted.coord(order[level], 0));
+  }
+  // child counters: nodes at level L point into level L+1's node list
+  // (or the leaf array when L == n_levels-1).
+  for (index_t level = 0; level < n_levels; ++level) {
+    t.ptr_[level].push_back(0);
+  }
+
+  for (offset_t z = 1; z < m; ++z) {
+    // Find the shallowest level whose coordinate changed.
+    index_t changed = n_levels;  // n_levels = only the leaf changed
+    for (index_t level = 0; level < n_levels; ++level) {
+      if (sorted.coord(order[level], z) != sorted.coord(order[level], z - 1)) {
+        changed = level;
+        break;
+      }
+    }
+    // A change at level L starts a new node at levels L..n_levels-1.
+    for (index_t level = changed; level < n_levels; ++level) {
+      // Close the current node at `level`: record where its children end.
+      const offset_t child_count =
+          (level + 1 < n_levels) ? t.idx_[level + 1].size() : z;
+      t.ptr_[level].push_back(child_count);
+      t.idx_[level].push_back(sorted.coord(order[level], z));
+    }
+  }
+  for (index_t level = 0; level < n_levels; ++level) {
+    const offset_t child_count =
+        (level + 1 < n_levels) ? t.idx_[level + 1].size() : m;
+    t.ptr_[level].push_back(child_count);
+  }
+  return t;
+}
+
+CsfTensor build_csf(const SparseTensor& tensor, index_t mode) {
+  SparseTensor copy = tensor;
+  const ModeOrder order = mode_order_for(mode, tensor.order());
+  copy.sort(order);
+  return build_csf_from_sorted(copy, order);
+}
+
+offset_t CsfTensor::subtree_nnz(index_t level, offset_t n) const {
+  offset_t begin = child_begin(level, n);
+  offset_t end = child_end(level, n);
+  for (index_t l = level + 1; l < node_levels(); ++l) {
+    begin = ptr_[l][begin];
+    end = ptr_[l][end];
+  }
+  return end - begin;
+}
+
+void CsfTensor::validate() const {
+  const index_t n_levels = node_levels();
+  for (index_t level = 0; level < n_levels; ++level) {
+    const auto& idx = idx_[level];
+    const auto& ptr = ptr_[level];
+    BCSF_CHECK(ptr.size() == idx.size() + 1,
+               "csf validate: pointer array length at level " << level);
+    BCSF_CHECK(ptr.front() == 0, "csf validate: first pointer not 0");
+    const offset_t child_total =
+        (level + 1 < n_levels) ? idx_[level + 1].size() : nnz();
+    BCSF_CHECK(ptr.back() == child_total,
+               "csf validate: last pointer at level " << level);
+    for (offset_t n = 0; n < idx.size(); ++n) {
+      BCSF_CHECK(ptr[n] < ptr[n + 1],
+                 "csf validate: empty node at level " << level << " pos " << n);
+      BCSF_CHECK(idx[n] < dims_[mode_order_[level]],
+                 "csf validate: node index out of bounds");
+    }
+  }
+  for (index_t leaf : leaf_inds_) {
+    BCSF_CHECK(leaf < dims_[mode_order_.back()],
+               "csf validate: leaf index out of bounds");
+  }
+}
+
+std::size_t CsfTensor::index_storage_bytes() const {
+  // Per §III-B: each node level stores an index array and a pointer array
+  // (counted at 4 bytes per entry, the paper's convention), the leaf level
+  // stores one index per nonzero.  For order 3: 4 * (2S + 2F + M).
+  std::size_t words = 0;
+  for (index_t level = 0; level < node_levels(); ++level) {
+    words += 2 * idx_[level].size();
+  }
+  words += leaf_inds_.size();
+  return words * kIndexBytes;
+}
+
+std::string CsfTensor::summary() const {
+  std::ostringstream os;
+  os << "CSF(root mode " << root_mode() << "): nnz=" << nnz()
+     << " S=" << num_slices() << " F=" << num_fibers()
+     << " index_bytes=" << index_storage_bytes();
+  return os.str();
+}
+
+}  // namespace bcsf

@@ -1,0 +1,69 @@
+#include "formats/csl.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+CslTensor build_csl_from_sorted(const SparseTensor& sorted,
+                                const ModeOrder& order) {
+  BCSF_CHECK(order.size() == sorted.order(), "build_csl: bad mode order");
+  BCSF_CHECK(sorted.is_sorted(order), "build_csl: tensor not sorted");
+
+  CslTensor t;
+  t.mode_order_ = order;
+  t.dims_ = sorted.dims();
+  const index_t n_other = sorted.order() - 1;
+  t.nz_inds_.resize(n_other);
+
+  const offset_t m = sorted.nnz();
+  const index_t root = order.front();
+  for (index_t p = 0; p < n_other; ++p) t.nz_inds_[p].reserve(m);
+  t.vals_.reserve(m);
+
+  for (offset_t z = 0; z < m; ++z) {
+    if (z == 0 || sorted.coord(root, z) != sorted.coord(root, z - 1)) {
+      t.slice_inds_.push_back(sorted.coord(root, z));
+      t.slice_ptr_.push_back(z);
+    }
+    for (index_t p = 0; p < n_other; ++p) {
+      t.nz_inds_[p].push_back(sorted.coord(order[p + 1], z));
+    }
+    t.vals_.push_back(sorted.value(z));
+  }
+  t.slice_ptr_.push_back(m);
+  return t;
+}
+
+CslTensor build_csl(const SparseTensor& tensor, index_t mode) {
+  SparseTensor copy = tensor;
+  const ModeOrder order = mode_order_for(mode, tensor.order());
+  copy.sort(order);
+  return build_csl_from_sorted(copy, order);
+}
+
+void CslTensor::validate() const {
+  BCSF_CHECK(slice_ptr_.size() == slice_inds_.size() + 1,
+             "csl validate: slice pointer length");
+  if (!slice_ptr_.empty()) {
+    BCSF_CHECK(slice_ptr_.front() == 0, "csl validate: first pointer not 0");
+    BCSF_CHECK(slice_ptr_.back() == nnz(), "csl validate: last pointer");
+  }
+  for (offset_t s = 0; s + 1 < slice_ptr_.size(); ++s) {
+    BCSF_CHECK(slice_ptr_[s] < slice_ptr_[s + 1], "csl validate: empty slice");
+  }
+  for (index_t p = 0; p + 1 < mode_order_.size(); ++p) {
+    BCSF_CHECK(nz_inds_[p].size() == vals_.size(),
+               "csl validate: nonzero index array length");
+  }
+}
+
+std::string CslTensor::summary() const {
+  std::ostringstream os;
+  os << "CSL(root mode " << root_mode() << "): nnz=" << nnz()
+     << " S=" << num_slices() << " index_bytes=" << index_storage_bytes();
+  return os.str();
+}
+
+}  // namespace bcsf

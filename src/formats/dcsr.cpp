@@ -1,0 +1,122 @@
+#include "formats/dcsr.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+CsrMatrix build_csr(const SparseTensor& matrix) {
+  BCSF_CHECK(matrix.order() == 2, "build_csr: input must be order-2");
+  SparseTensor sorted = matrix;
+  sorted.sort(mode_order_for(0, 2));
+
+  CsrMatrix m;
+  m.rows_ = matrix.dim(0);
+  m.cols_ = matrix.dim(1);
+  m.row_ptr_.assign(m.rows_ + 1, 0);
+  const offset_t nnz = sorted.nnz();
+  m.cols_idx_.resize(nnz);
+  m.vals_.resize(nnz);
+  for (offset_t z = 0; z < nnz; ++z) {
+    ++m.row_ptr_[sorted.coord(0, z) + 1];
+    m.cols_idx_[z] = sorted.coord(1, z);
+    m.vals_[z] = sorted.value(z);
+  }
+  for (index_t r = 0; r < m.rows_; ++r) {
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  }
+  return m;
+}
+
+DcsrMatrix build_dcsr(const SparseTensor& matrix) {
+  BCSF_CHECK(matrix.order() == 2, "build_dcsr: input must be order-2");
+  SparseTensor sorted = matrix;
+  sorted.sort(mode_order_for(0, 2));
+
+  DcsrMatrix m;
+  m.rows_ = matrix.dim(0);
+  m.cols_ = matrix.dim(1);
+  const offset_t nnz = sorted.nnz();
+  m.cols_idx_.resize(nnz);
+  m.vals_.resize(nnz);
+  for (offset_t z = 0; z < nnz; ++z) {
+    if (z == 0 || sorted.coord(0, z) != sorted.coord(0, z - 1)) {
+      m.row_idx_.push_back(sorted.coord(0, z));
+      m.row_ptr_.push_back(z);
+    }
+    m.cols_idx_[z] = sorted.coord(1, z);
+    m.vals_[z] = sorted.value(z);
+  }
+  m.row_ptr_.push_back(nnz);
+  return m;
+}
+
+void CsrMatrix::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+  BCSF_CHECK(x.size() == cols_ && y.size() == rows_, "csr spmv: shape");
+  for (index_t r = 0; r < rows_; ++r) {
+    value_t acc = 0.0F;
+    for (offset_t z = row_ptr_[r]; z < row_ptr_[r + 1]; ++z) {
+      acc += vals_[z] * x[cols_idx_[z]];
+    }
+    y[r] = acc;
+  }
+}
+
+void DcsrMatrix::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+  BCSF_CHECK(x.size() == cols_ && y.size() == rows_, "dcsr spmv: shape");
+  std::fill(y.begin(), y.end(), 0.0F);
+  for (offset_t r = 0; r < row_idx_.size(); ++r) {
+    value_t acc = 0.0F;
+    for (offset_t z = row_ptr_[r]; z < row_ptr_[r + 1]; ++z) {
+      acc += vals_[z] * x[cols_idx_[z]];
+    }
+    y[row_idx_[r]] = acc;
+  }
+}
+
+void CsrMatrix::validate() const {
+  BCSF_CHECK(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1,
+             "csr validate: pointer length");
+  BCSF_CHECK(row_ptr_.front() == 0 && row_ptr_.back() == nnz(),
+             "csr validate: pointer bounds");
+  for (index_t r = 0; r < rows_; ++r) {
+    BCSF_CHECK(row_ptr_[r] <= row_ptr_[r + 1], "csr validate: monotonicity");
+  }
+  for (index_t c : cols_idx_) {
+    BCSF_CHECK(c < cols_, "csr validate: column bound");
+  }
+}
+
+void DcsrMatrix::validate() const {
+  BCSF_CHECK(row_ptr_.size() == row_idx_.size() + 1,
+             "dcsr validate: pointer length");
+  if (!row_ptr_.empty()) {
+    BCSF_CHECK(row_ptr_.front() == 0 && row_ptr_.back() == nnz(),
+               "dcsr validate: pointer bounds");
+  }
+  for (offset_t r = 0; r < row_idx_.size(); ++r) {
+    BCSF_CHECK(row_ptr_[r] < row_ptr_[r + 1], "dcsr validate: empty row stored");
+    BCSF_CHECK(row_idx_[r] < rows_, "dcsr validate: row bound");
+    if (r > 0) {
+      BCSF_CHECK(row_idx_[r - 1] < row_idx_[r], "dcsr validate: row order");
+    }
+  }
+}
+
+std::string CsrMatrix::summary() const {
+  std::ostringstream os;
+  os << "CSR " << rows_ << "x" << cols_ << " nnz=" << nnz()
+     << " index_bytes=" << index_storage_bytes();
+  return os.str();
+}
+
+std::string DcsrMatrix::summary() const {
+  std::ostringstream os;
+  os << "DCSR " << rows_ << "x" << cols_ << " nnz=" << nnz()
+     << " nonempty_rows=" << num_nonempty_rows()
+     << " index_bytes=" << index_storage_bytes();
+  return os.str();
+}
+
+}  // namespace bcsf

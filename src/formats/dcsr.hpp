@@ -1,0 +1,96 @@
+// CSR and DCSR sparse matrices -- the ancestry of CSF (§III-B):
+// "CSF for tensors is similar to CSR for matrices.  To avoid repetitive
+// row entries, CSR stores a pointer to the start of a row.  However, for
+// hyper-sparse matrices, where a significant number of rows could be
+// empty, DCSR is a more efficient choice" (Buluc & Gilbert [24]).
+//
+// Included both as the background substrate the paper builds its storage
+// argument on and as a working SpMV layer (DFacTo-style MTTKRP is "an
+// algorithm to perform an MTTKRP by computing multiple SpMVs").
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "tensor/sparse_tensor.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+/// Classic CSR: row pointers over *all* rows (empty rows cost one word).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  offset_t nnz() const { return vals_.size(); }
+
+  offset_t row_begin(index_t r) const { return row_ptr_[r]; }
+  offset_t row_end(index_t r) const { return row_ptr_[r + 1]; }
+  index_t col(offset_t z) const { return cols_idx_[z]; }
+  value_t value(offset_t z) const { return vals_[z]; }
+
+  /// Index storage: (rows+1) pointer words + nnz column words.
+  std::size_t index_storage_bytes() const {
+    return (row_ptr_.size() + cols_idx_.size()) * kIndexBytes;
+  }
+
+  /// y = A x  (y sized rows()).
+  void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+  void validate() const;
+  std::string summary() const;
+
+ private:
+  friend CsrMatrix build_csr(const SparseTensor& matrix);
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  offset_vec row_ptr_;
+  index_vec cols_idx_;
+  value_vec vals_;
+};
+
+/// Doubly-compressed CSR: pointers and indices only for non-empty rows.
+class DcsrMatrix {
+ public:
+  DcsrMatrix() = default;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  offset_t nnz() const { return vals_.size(); }
+  offset_t num_nonempty_rows() const { return row_idx_.size(); }
+
+  index_t row_index(offset_t r) const { return row_idx_[r]; }
+  offset_t row_begin(offset_t r) const { return row_ptr_[r]; }
+  offset_t row_end(offset_t r) const { return row_ptr_[r + 1]; }
+  index_t col(offset_t z) const { return cols_idx_[z]; }
+  value_t value(offset_t z) const { return vals_[z]; }
+
+  /// Index storage: 2 words per non-empty row + nnz column words --
+  /// exactly the order-2 case of the CSF formula 4(2S + 2F + M) with
+  /// S = F = non-empty rows.
+  std::size_t index_storage_bytes() const {
+    return (2 * row_idx_.size() + cols_idx_.size()) * kIndexBytes;
+  }
+
+  void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+  void validate() const;
+  std::string summary() const;
+
+ private:
+  friend DcsrMatrix build_dcsr(const SparseTensor& matrix);
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_vec row_idx_;   // non-empty row ids
+  offset_vec row_ptr_;  // size num_nonempty_rows + 1
+  index_vec cols_idx_;
+  value_vec vals_;
+};
+
+/// Builders from an order-2 SparseTensor (sorted copies made internally).
+CsrMatrix build_csr(const SparseTensor& matrix);
+DcsrMatrix build_dcsr(const SparseTensor& matrix);
+
+}  // namespace bcsf

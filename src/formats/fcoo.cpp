@@ -1,0 +1,88 @@
+#include "formats/fcoo.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+FcooTensor build_fcoo(const SparseTensor& tensor, index_t mode,
+                      const FcooOptions& opts) {
+  BCSF_CHECK(opts.partition_size > 0, "fcoo: partition_size must be positive");
+  const ModeOrder order = mode_order_for(mode, tensor.order());
+  SparseTensor sorted = tensor;
+  sorted.sort(order);
+
+  FcooTensor t;
+  t.mode_order_ = order;
+  t.dims_ = tensor.dims();
+  t.opts_ = opts;
+  const index_t n_other = tensor.order() - 1;
+  t.nz_inds_.resize(n_other);
+
+  const offset_t m = sorted.nnz();
+  const index_t root = order.front();
+  for (index_t p = 0; p < n_other; ++p) t.nz_inds_[p].reserve(m);
+  t.vals_.reserve(m);
+  t.slice_flag_.resize(m);
+  t.fiber_flag_.resize(m);
+
+  for (offset_t z = 0; z < m; ++z) {
+    for (index_t p = 0; p < n_other; ++p) {
+      t.nz_inds_[p].push_back(sorted.coord(order[p + 1], z));
+    }
+    t.vals_.push_back(sorted.value(z));
+
+    bool new_slice = (z == 0);
+    bool new_fiber = (z == 0);
+    if (z > 0) {
+      new_slice = sorted.coord(root, z) != sorted.coord(root, z - 1);
+      new_fiber = new_slice;
+      for (index_t level = 1; !new_fiber && level + 1 < tensor.order();
+           ++level) {
+        new_fiber =
+            sorted.coord(order[level], z) != sorted.coord(order[level], z - 1);
+      }
+    }
+    t.slice_flag_[z] = new_slice ? 1 : 0;
+    t.fiber_flag_[z] = new_fiber ? 1 : 0;
+    if (new_slice) t.slice_index_list_.push_back(sorted.coord(root, z));
+
+    if (z % opts.partition_size == 0) {
+      t.partition_slice_ordinal_.push_back(t.slice_index_list_.size() - 1);
+    }
+  }
+  return t;
+}
+
+void FcooTensor::validate() const {
+  const offset_t m = nnz();
+  BCSF_CHECK(slice_flag_.size() == m && fiber_flag_.size() == m,
+             "fcoo validate: flag array length");
+  if (m > 0) {
+    BCSF_CHECK(slice_flag_[0] == 1 && fiber_flag_[0] == 1,
+               "fcoo validate: first nonzero must start slice and fiber");
+    BCSF_CHECK(partition_slice_ordinal_.size() ==
+                   ceil_div<offset_t>(m, opts_.partition_size),
+               "fcoo validate: partition count");
+    offset_t flagged = 0;
+    for (offset_t z = 0; z < m; ++z) flagged += slice_flag_[z];
+    BCSF_CHECK(flagged == slice_index_list_.size(),
+               "fcoo validate: slice flag count vs compacted list");
+  }
+  for (offset_t z = 0; z < m; ++z) {
+    // A slice boundary is always a fiber boundary.
+    BCSF_CHECK(!starts_slice(z) || starts_fiber(z),
+               "fcoo validate: slice start without fiber start at " << z);
+  }
+}
+
+std::string FcooTensor::summary() const {
+  std::ostringstream os;
+  os << "F-COO(root mode " << root_mode() << "): nnz=" << nnz()
+     << " partitions=" << num_partitions()
+     << " index_bytes=" << index_storage_bytes();
+  return os.str();
+}
+
+}  // namespace bcsf

@@ -1,0 +1,104 @@
+#include "formats/hbcsf.hpp"
+
+#include <sstream>
+
+#include "tensor/tensor_stats.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+
+HbcsfTensor build_hbcsf(const SparseTensor& tensor, index_t mode,
+                        const BcsfOptions& opts) {
+  const ModeOrder order = mode_order_for(mode, tensor.order());
+  SparseTensor sorted = tensor;
+  sorted.sort(order);
+
+  HbcsfTensor out;
+  out.mode_order_ = order;
+  out.dims_ = tensor.dims();
+  out.coo_inds_.resize(tensor.order());
+
+  // Classify each slice (Alg. 5 lines 1-16) using the slice/fiber scan.
+  const SliceFiberCounts counts = count_slices_and_fibers(sorted, order);
+  const offset_t n_slices = counts.slice_nnz.size();
+
+  // Partition the sorted nonzeros into the three groups.  Groups keep the
+  // sorted order, so the CSL/B-CSF builders can run without re-sorting.
+  SparseTensor csl_part(tensor.dims());
+  SparseTensor csf_part(tensor.dims());
+
+  std::vector<index_t> coord(tensor.order());
+  offset_t z = 0;        // cursor over sorted nonzeros
+  offset_t fiber = 0;    // cursor over fibers
+  for (offset_t slc = 0; slc < n_slices; ++slc) {
+    const offset_t slice_nnz = counts.slice_nnz[slc];
+    const offset_t fiber_end = counts.slice_fiber_begin[slc + 1];
+    bool all_singleton = true;
+    for (offset_t f = fiber; f < fiber_end; ++f) {
+      if (counts.fiber_nnz[f] != 1) {
+        all_singleton = false;
+        break;
+      }
+    }
+    fiber = fiber_end;
+
+    if (slice_nnz == 1) {
+      for (index_t p = 0; p < tensor.order(); ++p) {
+        out.coo_inds_[p].push_back(sorted.coord(order[p], z));
+      }
+      out.coo_vals_.push_back(sorted.value(z));
+      ++z;
+      continue;
+    }
+    SparseTensor& dest = all_singleton ? csl_part : csf_part;
+    for (offset_t i = 0; i < slice_nnz; ++i, ++z) {
+      for (index_t p = 0; p < tensor.order(); ++p) {
+        coord[order[p]] = sorted.coord(order[p], z);
+      }
+      dest.push_back(coord, sorted.value(z));
+    }
+  }
+  BCSF_ASSERT(z == sorted.nnz(), "hbcsf: partition did not cover all nonzeros");
+
+  out.csl_ = build_csl_from_sorted(csl_part, order);
+  out.bcsf_ = build_bcsf_from_csf(build_csf_from_sorted(csf_part, order), opts);
+  return out;
+}
+
+void HbcsfTensor::validate() const {
+  csl_.validate();
+  bcsf_.validate();
+  for (index_t p = 0; p < order(); ++p) {
+    BCSF_CHECK(coo_inds_[p].size() == coo_vals_.size(),
+               "hbcsf validate: COO group array length");
+    for (index_t idx : coo_inds_[p]) {
+      BCSF_CHECK(idx < dims_[mode_order_[p]],
+                 "hbcsf validate: COO index out of bounds");
+    }
+  }
+  // Every CSL slice must consist of singleton fibers, i.e. no two nonzeros
+  // in a CSL slice may share all non-leaf coordinates.
+  for (offset_t s = 0; s < csl_.num_slices(); ++s) {
+    for (offset_t a = csl_.slice_begin(s) + 1; a < csl_.slice_end(s); ++a) {
+      bool same_fiber = true;
+      for (index_t p = 0; p + 2 < order(); ++p) {  // non-root, non-leaf coords
+        if (csl_.nz_index(p, a) != csl_.nz_index(p, a - 1)) {
+          same_fiber = false;
+          break;
+        }
+      }
+      BCSF_CHECK(!same_fiber || order() == 2,
+                 "hbcsf validate: CSL slice " << s << " has a multi-nonzero fiber");
+    }
+  }
+}
+
+std::string HbcsfTensor::summary() const {
+  std::ostringstream os;
+  os << "HB-CSF(root mode " << root_mode() << "): nnz=" << nnz() << " [coo="
+     << coo_nnz() << " csl=" << csl_nnz() << " csf=" << csf_nnz()
+     << "] index_bytes=" << index_storage_bytes();
+  return os.str();
+}
+
+}  // namespace bcsf

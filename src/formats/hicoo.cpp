@@ -1,0 +1,99 @@
+#include "formats/hicoo.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+HicooTensor build_hicoo(const SparseTensor& tensor, const HicooOptions& opts) {
+  BCSF_CHECK(opts.block_bits >= 1 && opts.block_bits <= 8,
+             "hicoo: block_bits must be in [1,8] (byte-wide element offsets)");
+  HicooTensor t;
+  t.dims_ = tensor.dims();
+  t.opts_ = opts;
+  const index_t order = tensor.order();
+  const offset_t m = tensor.nnz();
+  const index_t bits = opts.block_bits;
+
+  // Sort nonzeros by block coordinate tuple, then by local offsets, so each
+  // block is a contiguous run (mode-0-major ordering as in HiCOO's LEXI
+  // scheme).
+  std::vector<offset_t> perm(m);
+  std::iota(perm.begin(), perm.end(), offset_t{0});
+  std::sort(perm.begin(), perm.end(), [&](offset_t a, offset_t b) {
+    for (index_t mo = 0; mo < order; ++mo) {
+      const index_t ba = tensor.coord(mo, a) >> bits;
+      const index_t bb = tensor.coord(mo, b) >> bits;
+      if (ba != bb) return ba < bb;
+    }
+    for (index_t mo = 0; mo < order; ++mo) {
+      const index_t ea = tensor.coord(mo, a);
+      const index_t eb = tensor.coord(mo, b);
+      if (ea != eb) return ea < eb;
+    }
+    return false;
+  });
+
+  t.binds_.resize(order);
+  t.einds_.resize(order);
+  for (index_t mo = 0; mo < order; ++mo) t.einds_[mo].resize(m);
+  t.vals_.resize(m);
+
+  const std::uint8_t mask = static_cast<std::uint8_t>((1U << bits) - 1);
+  for (offset_t zi = 0; zi < m; ++zi) {
+    const offset_t z = perm[zi];
+    bool new_block = (zi == 0);
+    if (!new_block) {
+      const offset_t prev = perm[zi - 1];
+      for (index_t mo = 0; mo < order; ++mo) {
+        if ((tensor.coord(mo, z) >> bits) != (tensor.coord(mo, prev) >> bits)) {
+          new_block = true;
+          break;
+        }
+      }
+    }
+    if (new_block) {
+      t.bptr_.push_back(zi);
+      for (index_t mo = 0; mo < order; ++mo) {
+        t.binds_[mo].push_back(tensor.coord(mo, z) >> bits);
+      }
+    }
+    for (index_t mo = 0; mo < order; ++mo) {
+      t.einds_[mo][zi] =
+          static_cast<std::uint8_t>(tensor.coord(mo, z) & mask);
+    }
+    t.vals_[zi] = tensor.value(z);
+  }
+  t.bptr_.push_back(m);
+  return t;
+}
+
+void HicooTensor::validate() const {
+  const offset_t nb = num_blocks();
+  for (index_t mo = 0; mo < order(); ++mo) {
+    BCSF_CHECK(binds_[mo].size() == nb, "hicoo validate: block index length");
+    BCSF_CHECK(einds_[mo].size() == nnz(), "hicoo validate: offset length");
+  }
+  for (offset_t b = 0; b < nb; ++b) {
+    BCSF_CHECK(bptr_[b] < bptr_[b + 1], "hicoo validate: empty block " << b);
+    for (offset_t z = bptr_[b]; z < bptr_[b + 1]; ++z) {
+      for (index_t mo = 0; mo < order(); ++mo) {
+        BCSF_CHECK(coord(mo, b, z) < dims_[mo],
+                   "hicoo validate: reconstructed coordinate out of bounds");
+      }
+    }
+  }
+}
+
+std::string HicooTensor::summary() const {
+  std::ostringstream os;
+  os << "HiCOO(b=" << opts_.block_bits << "): nnz=" << nnz()
+     << " blocks=" << num_blocks()
+     << " index_bytes=" << index_storage_bytes();
+  return os.str();
+}
+
+}  // namespace bcsf

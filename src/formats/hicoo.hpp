@@ -1,0 +1,76 @@
+// HiCOO: Hierarchical COOrdinate format of Li et al. [13] -- a CPU
+// baseline the paper compares against (Fig. 13).
+//
+// HiCOO groups nonzeros into multi-dimensional superblocks of edge 2^b.
+// Each block stores its block coordinates once (full-width integers) plus
+// per-nonzero byte-wide local offsets, compressing index storage and
+// improving locality.  MTTKRP iterates block-by-block; blocks sharing a
+// root-mode block row conflict on output, which HiCOO schedules around
+// with privatization on CPUs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/sparse_tensor.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+struct HicooOptions {
+  /// Block edge = 2^block_bits per mode; HiCOO's paper default is 2^7=128.
+  index_t block_bits = 7;
+};
+
+class HicooTensor {
+ public:
+  index_t order() const { return static_cast<index_t>(dims_.size()); }
+  const std::vector<index_t>& dims() const { return dims_; }
+  index_t block_bits() const { return opts_.block_bits; }
+  offset_t nnz() const { return vals_.size(); }
+  offset_t num_blocks() const { return bptr_.empty() ? 0 : bptr_.size() - 1; }
+
+  offset_t block_begin(offset_t b) const { return bptr_[b]; }
+  offset_t block_end(offset_t b) const { return bptr_[b + 1]; }
+  /// Block coordinate of block b along mode m (upper index bits).
+  index_t block_coord(index_t m, offset_t b) const { return binds_[m][b]; }
+  /// Local offset of nonzero z along mode m (lower `block_bits` bits).
+  std::uint8_t elem_offset(index_t m, offset_t z) const {
+    return einds_[m][z];
+  }
+  /// Full coordinate reconstruction for nonzero z inside block b.
+  index_t coord(index_t m, offset_t b, offset_t z) const {
+    return (binds_[m][b] << opts_.block_bits) | einds_[m][z];
+  }
+  value_t value(offset_t z) const { return vals_[z]; }
+
+  /// Index storage per the HiCOO accounting: one pointer word + order
+  /// block-index words per block, order bytes per nonzero.
+  std::size_t index_storage_bytes() const {
+    return num_blocks() * (1 + order()) * kIndexBytes +
+           static_cast<std::size_t>(order()) * nnz();
+  }
+
+  void validate() const;
+  std::string summary() const;
+
+ private:
+  friend HicooTensor build_hicoo(const SparseTensor& tensor,
+                                 const HicooOptions& opts);
+
+  std::vector<index_t> dims_;
+  HicooOptions opts_;
+  offset_vec bptr_;
+  std::vector<index_vec> binds_;                 // per mode, per block
+  std::vector<std::vector<std::uint8_t>> einds_; // per mode, per nonzero
+  value_vec vals_;
+};
+
+/// Builds HiCOO: sorts nonzeros by block coordinates (mode-0 major) and
+/// emits one block per distinct block-coordinate tuple.
+HicooTensor build_hicoo(const SparseTensor& tensor,
+                        const HicooOptions& opts = {});
+
+}  // namespace bcsf

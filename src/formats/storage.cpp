@@ -1,0 +1,87 @@
+#include "formats/storage.hpp"
+
+#include "formats/bcsf.hpp"
+#include "formats/csf.hpp"
+#include "formats/fcoo.hpp"
+#include "formats/hbcsf.hpp"
+#include "formats/hicoo.hpp"
+
+namespace bcsf {
+
+namespace {
+StorageReport make_report(std::string format, std::size_t bytes,
+                          offset_t nnz) {
+  StorageReport r;
+  r.format = std::move(format);
+  r.bytes = bytes;
+  r.words_per_nnz =
+      nnz == 0 ? 0.0
+               : static_cast<double>(bytes) /
+                     (static_cast<double>(nnz) * kIndexBytes);
+  return r;
+}
+}  // namespace
+
+StorageReport coo_storage(const SparseTensor& tensor) {
+  return make_report("COO", tensor.index_storage_bytes(), tensor.nnz());
+}
+
+StorageReport csf_storage(const SparseTensor& tensor, index_t mode) {
+  const CsfTensor csf = build_csf(tensor, mode);
+  return make_report("CSF", csf.index_storage_bytes(), tensor.nnz());
+}
+
+StorageReport bcsf_storage(const SparseTensor& tensor, index_t mode) {
+  const BcsfTensor b = build_bcsf(tensor, mode);
+  return make_report("B-CSF", b.index_storage_bytes(), tensor.nnz());
+}
+
+StorageReport hbcsf_storage(const SparseTensor& tensor, index_t mode) {
+  const HbcsfTensor h = build_hbcsf(tensor, mode);
+  return make_report("HB-CSF", h.index_storage_bytes(), tensor.nnz());
+}
+
+StorageReport fcoo_storage(const SparseTensor& tensor, index_t mode) {
+  const FcooTensor f = build_fcoo(tensor, mode);
+  return make_report("F-COO", f.index_storage_bytes(), tensor.nnz());
+}
+
+StorageReport hicoo_storage(const SparseTensor& tensor) {
+  const HicooTensor h = build_hicoo(tensor);
+  return make_report("HiCOO", h.index_storage_bytes(), tensor.nnz());
+}
+
+std::size_t coo_storage_formula(index_t order, offset_t nnz) {
+  return static_cast<std::size_t>(order) * nnz * kIndexBytes;
+}
+
+std::size_t csf_storage_formula(offset_t slices, offset_t fibers,
+                                offset_t nnz) {
+  return (2 * slices + 2 * fibers + nnz) * kIndexBytes;
+}
+
+std::size_t csf_storage_all_modes(const SparseTensor& tensor) {
+  std::size_t total = 0;
+  for (index_t mode = 0; mode < tensor.order(); ++mode) {
+    total += csf_storage(tensor, mode).bytes;
+  }
+  return total;
+}
+
+std::size_t hbcsf_storage_all_modes(const SparseTensor& tensor) {
+  std::size_t total = 0;
+  for (index_t mode = 0; mode < tensor.order(); ++mode) {
+    total += hbcsf_storage(tensor, mode).bytes;
+  }
+  return total;
+}
+
+std::size_t fcoo_storage_all_modes(const SparseTensor& tensor) {
+  std::size_t total = 0;
+  for (index_t mode = 0; mode < tensor.order(); ++mode) {
+    total += fcoo_storage(tensor, mode).bytes;
+  }
+  return total;
+}
+
+}  // namespace bcsf

@@ -1,0 +1,44 @@
+// Index-storage accounting across formats (§III closed forms, Fig. 16).
+// Numerical values are excluded everywhere, matching the paper: "We
+// account only for the indices, since the numerical values always have the
+// same storage needs in all storage methods."
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tensor/sparse_tensor.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+struct StorageReport {
+  std::string format;
+  std::size_t bytes = 0;
+  /// bytes / (4 * nnz): storage in units of "words per nonzero", the
+  /// paper's normalization (COO = order words/nnz, CSF in [1M, 5M], ...).
+  double words_per_nnz = 0.0;
+};
+
+/// Measured index storage for one mode orientation of `tensor`.
+StorageReport coo_storage(const SparseTensor& tensor);
+StorageReport csf_storage(const SparseTensor& tensor, index_t mode);
+StorageReport bcsf_storage(const SparseTensor& tensor, index_t mode);
+StorageReport hbcsf_storage(const SparseTensor& tensor, index_t mode);
+StorageReport fcoo_storage(const SparseTensor& tensor, index_t mode);
+StorageReport hicoo_storage(const SparseTensor& tensor);
+
+/// Closed-form predictions from §III for a third-order tensor, used to
+/// cross-check the measured numbers in tests:
+///   COO: 4 * 3M;  CSF: 4 * (2S + 2F + M).
+std::size_t coo_storage_formula(index_t order, offset_t nnz);
+std::size_t csf_storage_formula(offset_t slices, offset_t fibers, offset_t nnz);
+
+/// All-mode sum, as plotted in Fig. 16 for the mode-oriented formats
+/// ("N representations for an N-order tensor").
+std::size_t csf_storage_all_modes(const SparseTensor& tensor);
+std::size_t hbcsf_storage_all_modes(const SparseTensor& tensor);
+std::size_t fcoo_storage_all_modes(const SparseTensor& tensor);
+
+}  // namespace bcsf

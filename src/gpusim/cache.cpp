@@ -1,0 +1,53 @@
+#include "gpusim/cache.hpp"
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+CacheSim::CacheSim(std::size_t capacity_bytes, unsigned line_bytes,
+                   unsigned assoc)
+    : line_bytes_(line_bytes), assoc_(assoc) {
+  BCSF_CHECK(line_bytes > 0 && assoc > 0, "CacheSim: bad geometry");
+  num_sets_ = capacity_bytes / line_bytes / assoc;
+  BCSF_CHECK(num_sets_ > 0, "CacheSim: capacity too small for geometry");
+  tags_.assign(num_sets_ * assoc_, 0);
+}
+
+bool CacheSim::access(std::uint64_t addr) {
+  const std::uint64_t line = addr / line_bytes_;
+  const std::size_t set = static_cast<std::size_t>(line % num_sets_);
+  // Tags are stored +1 so 0 can mean "empty".
+  const std::uint64_t tag = line + 1;
+  std::uint64_t* ways = &tags_[set * assoc_];
+  for (unsigned w = 0; w < assoc_; ++w) {
+    if (ways[w] == tag) {
+      // Move to front (LRU).
+      for (unsigned k = w; k > 0; --k) ways[k] = ways[k - 1];
+      ways[0] = tag;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: evict LRU (last way).
+  for (unsigned k = assoc_ - 1; k > 0; --k) ways[k] = ways[k - 1];
+  ways[0] = tag;
+  ++misses_;
+  return false;
+}
+
+unsigned CacheSim::access_range(std::uint64_t addr, unsigned bytes) {
+  unsigned missed = 0;
+  const std::uint64_t first = addr / line_bytes_;
+  const std::uint64_t last = (addr + bytes - 1) / line_bytes_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    if (!access(line * line_bytes_)) ++missed;
+  }
+  return missed;
+}
+
+unsigned AddressSpace::add_region(const std::string& name) {
+  names_.push_back(name);
+  return static_cast<unsigned>(names_.size() - 1);
+}
+
+}  // namespace bcsf

@@ -1,0 +1,68 @@
+// Set-associative LRU cache simulator used to model the P100's 4 MB L2.
+//
+// Kernels feed it the factor-matrix rows, output rows, and index/value
+// stream lines they actually touch, in execution order; the hit rate is
+// reported as Table II's "L2 hit rate" and misses feed the warp cost
+// model.  Addresses are synthetic: each named region (a factor matrix, an
+// index array) lives in its own disjoint address range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bcsf {
+
+class CacheSim {
+ public:
+  CacheSim(std::size_t capacity_bytes, unsigned line_bytes, unsigned assoc);
+
+  /// Touches one line; returns true on hit.  `addr` is a byte address.
+  bool access(std::uint64_t addr);
+
+  /// Touches `bytes` consecutive bytes starting at addr; returns the
+  /// number of missed lines.
+  unsigned access_range(std::uint64_t addr, unsigned bytes);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double hit_rate_pct() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(hits_) /
+                            static_cast<double>(total);
+  }
+  void reset_counters() { hits_ = misses_ = 0; }
+
+ private:
+  unsigned line_bytes_;
+  unsigned assoc_;
+  std::size_t num_sets_;
+  // Per set: `assoc` tag slots in LRU order (front = most recent).
+  std::vector<std::uint64_t> tags_;   // num_sets * assoc, 0 = empty
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Address-space helper: gives each logical region (factor matrix, index
+/// array, ...) a disjoint 1-TB-aligned base so region accesses never alias.
+class AddressSpace {
+ public:
+  /// Registers a region and returns its id.
+  unsigned add_region(const std::string& name);
+  std::uint64_t base(unsigned region) const {
+    return (static_cast<std::uint64_t>(region) + 1) << 40;
+  }
+  /// Byte address of `offset` within `region`.
+  std::uint64_t addr(unsigned region, std::uint64_t offset) const {
+    return base(region) + offset;
+  }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace bcsf

@@ -1,0 +1,29 @@
+#include "gpusim/device.hpp"
+
+namespace bcsf {
+
+DeviceModel DeviceModel::p100() { return DeviceModel{}; }
+
+DeviceModel DeviceModel::v100() {
+  DeviceModel d;
+  d.name = "sim-V100";
+  d.num_sms = 80;
+  d.clock_ghz = 1.53;
+  d.l2_bytes = 6144 * 1024;
+  d.block_dispatch_per_cycle = 0.15;  // Volta's faster work distributor
+  return d;
+}
+
+DeviceModel DeviceModel::tiny(unsigned sms, unsigned warps_per_sm) {
+  DeviceModel d;
+  d.name = "sim-tiny";
+  d.num_sms = sms;
+  d.max_warps_per_sm = warps_per_sm;
+  d.max_blocks_per_sm = 4;
+  d.sm_issue_width = 2.0;
+  d.l2_bytes = 64 * 1024;
+  d.threads_per_block = 128;
+  return d;
+}
+
+}  // namespace bcsf

@@ -1,0 +1,80 @@
+// Device model for the GPU execution simulator.
+//
+// The simulator substitutes for the paper's NVIDIA Tesla P100 (no GPU is
+// available in this environment; see DESIGN.md §1).  A kernel is costed in
+// *warp-issue cycles*: one unit is one warp-wide instruction slot, so a
+// warp touching R = 32 factor columns spends a handful of units per
+// nonzero.  Costs below are calibrated so that the plain GPU-CSF kernel
+// reproduces the qualitative Table II picture (deli fast; nell2/darpa
+// crawling with single-digit occupancy).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace bcsf {
+
+struct DeviceModel {
+  std::string name = "sim-P100";
+
+  // --- machine geometry (P100, §VI-A) ---
+  unsigned num_sms = 56;
+  unsigned warp_size = 32;
+  unsigned max_warps_per_sm = 64;   ///< occupancy ceiling per SM
+  unsigned max_blocks_per_sm = 32;
+  double clock_ghz = 1.3;
+
+  /// Aggregate warp-instruction issue bandwidth per SM, in warp-cycles per
+  /// cycle.  With fewer resident warps than this, execution is
+  /// latency-bound (each warp progresses at rate 1); with more, warps
+  /// share the SM's issue throughput.
+  double sm_issue_width = 4.0;
+
+  /// Global thread-block dispatch throughput (blocks per cycle across the
+  /// whole device).  Kernels with huge grids of tiny blocks -- the
+  /// freebase tensors' one-block-per-4-nonzero-slice pattern -- become
+  /// dispatch-starved: SMs idle between blocks, which is exactly Table
+  /// II's "high occupancy, 27% sm_efficiency" signature for fr_m/fr_s.
+  double block_dispatch_per_cycle = 0.10;
+
+  // --- L2 cache (4096 KB on the P100) ---
+  std::size_t l2_bytes = 4096 * 1024;
+  unsigned l2_line_bytes = 128;
+  unsigned l2_assoc = 16;
+
+  // --- kernel cost model (warp-issue cycles) ---
+  // Constants fold in the average latency a warp cannot hide on this
+  // irregular access pattern; they are calibrated against Table II's
+  // absolute GFLOPs range (deli ~90, darpa ~2 on the real P100).
+  double cycles_per_nnz_csf = 28.0;   ///< CSF inner loop: load C row, FMA
+  double cycles_per_fiber = 40.0;     ///< load B row, scale tmp, update Y
+  double cycles_per_ancestor = 20.0;  ///< extra factor row per level, order>3
+  double cycles_per_slice = 30.0;     ///< slice bookkeeping / output write
+  double cycles_per_nnz_coo = 135.0;  ///< COO: 2 row loads, muls, atomic RMW
+  double cycles_per_nnz_csl = 40.0;   ///< CSL: 2 row loads, muls, no atomic
+  double cycles_per_nnz_fcoo = 130.0; ///< F-COO: products + scan shuffles
+  /// Max nonzeros a CSL warp takes per segment; larger compressed slices
+  /// are split across warps (atomic combine), mirroring slc-split.
+  double csl_segment_nnz = 256.0;
+  double cycles_scan_per_chunk = 200.0;///< segmented-scan overhead per chunk
+  double cycles_atomic_shared = 16.0; ///< intra-block combine (shared memory)
+  double cycles_atomic_global = 80.0; ///< inter-block combine (global atomics)
+  double cycles_l2_miss = 40.0;       ///< added per L2-missed line access
+  double cycles_block_overhead = 100.0;///< block dispatch / prologue
+  double kernel_launch_us = 5.0;      ///< fixed host-side launch latency
+
+  /// Thread block size used by the CSF-family kernels (the paper's
+  /// examples use 512 threads = 16 warps).
+  unsigned threads_per_block = 512;
+  unsigned warps_per_block() const { return threads_per_block / warp_size; }
+
+  /// Tesla P100 preset (the paper's evaluation device).
+  static DeviceModel p100();
+  /// Tesla V100 preset (80 SMs, 6 MB L2, higher clock): used to check
+  /// that the paper's conclusions are not P100-specific.
+  static DeviceModel v100();
+  /// Tiny 2-SM device for deterministic unit tests of the scheduler.
+  static DeviceModel tiny(unsigned sms = 2, unsigned warps_per_sm = 8);
+};
+
+}  // namespace bcsf

@@ -1,0 +1,37 @@
+// Simulator output: the metrics the paper reports.
+//
+//  * GFLOPs          -- Table II col. 2, Figs. 5-8 y-axes
+//  * achieved occupancy -- "ratio of the average active warps per active
+//    cycle to the maximum number of warps supported on an SM" (§IV)
+//  * sm_efficiency   -- "percentage of time when at least one warp is
+//    active on a streaming multiprocessor" (§IV)
+//  * L2 hit rate     -- Table II col. 5
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace bcsf {
+
+struct SimReport {
+  std::string kernel;
+  double cycles = 0.0;            ///< makespan in device cycles
+  double seconds = 0.0;           ///< cycles / clock + launch latency
+  double gflops = 0.0;
+  double achieved_occupancy_pct = 0.0;
+  double sm_efficiency_pct = 0.0;
+  double l2_hit_rate_pct = 0.0;
+  offset_t num_blocks = 0;
+  offset_t num_warps = 0;
+  offset_t atomic_ops = 0;
+  double total_flops = 0.0;
+
+  /// Combines two sequential launches (used by HB-CSF's three-group
+  /// execution): times add; occupancy/efficiency/L2 are time-weighted.
+  SimReport& operator+=(const SimReport& other);
+
+  std::string to_string() const;
+};
+
+}  // namespace bcsf

@@ -1,0 +1,245 @@
+#include "gpusim/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+struct ResidentBlock {
+  std::vector<double> remaining;  // per-warp cycles left
+  unsigned slots = 0;             // warp slots held until the block ends
+  unsigned live = 0;              // warps with remaining > 0
+};
+
+struct Sm {
+  double clock = 0.0;           // local time (device cycles)
+  std::vector<ResidentBlock> blocks;
+  unsigned used_warp_slots = 0;
+  unsigned active_warps = 0;
+
+  double busy_time = 0.0;       // time with >= 1 active warp
+  double warp_time = 0.0;       // integral of active warps over time
+
+  double rate(double issue_width) const {
+    if (active_warps == 0) return 0.0;
+    return std::min(1.0, issue_width / active_warps);
+  }
+  double min_remaining() const {
+    double m = std::numeric_limits<double>::infinity();
+    for (const auto& b : blocks) {
+      for (double r : b.remaining) {
+        if (r > kEps) m = std::min(m, r);
+      }
+    }
+    return m;
+  }
+};
+
+}  // namespace
+
+SimReport simulate_launch(const DeviceModel& device,
+                          const KernelLaunch& launch) {
+  SimReport report;
+  report.kernel = launch.name;
+  report.l2_hit_rate_pct = launch.l2_hit_rate_pct;
+  report.total_flops = launch.total_flops;
+  report.atomic_ops = launch.atomic_ops;
+  report.num_blocks = launch.blocks.size();
+
+  const unsigned wpb =
+      std::min<unsigned>(std::max<unsigned>(launch.warps_per_block, 1),
+                         device.max_warps_per_sm);
+  for (const auto& b : launch.blocks) {
+    BCSF_CHECK(b.warp_cycles.size() <= wpb,
+               "simulate_launch: block has more warps ("
+                   << b.warp_cycles.size() << ") than warps_per_block ("
+                   << wpb << ")");
+    report.num_warps += b.warp_cycles.size();
+  }
+
+  const double launch_seconds = device.kernel_launch_us * 1e-6;
+  if (launch.blocks.empty()) {
+    report.seconds = launch_seconds;
+    return report;
+  }
+
+  std::vector<Sm> sms(device.num_sms);
+  offset_t next_block = 0;
+  const double dispatch_rate = launch.blocks.size() > 1
+                                   ? device.block_dispatch_per_cycle
+                                   : std::numeric_limits<double>::infinity();
+
+  // Time at which the GigaThread engine can hand out the next block.
+  auto dispatch_gate = [&]() {
+    return static_cast<double>(next_block) / dispatch_rate;
+  };
+  auto has_capacity = [&](const Sm& sm) {
+    return sm.blocks.size() < device.max_blocks_per_sm &&
+           sm.used_warp_slots + wpb <= device.max_warps_per_sm;
+  };
+  auto try_dispatch = [&](Sm& sm) {
+    while (next_block < launch.blocks.size() && has_capacity(sm) &&
+           dispatch_gate() <= sm.clock + kEps) {
+      const BlockWork& src = launch.blocks[next_block++];
+      ResidentBlock rb;
+      rb.slots = wpb;
+      rb.remaining = src.warp_cycles;
+      for (auto& r : rb.remaining) {
+        r += device.cycles_block_overhead;  // block prologue, warp-wide
+        if (r > kEps) ++rb.live;
+      }
+      sm.used_warp_slots += rb.slots;
+      sm.active_warps += rb.live;
+      sm.blocks.push_back(std::move(rb));
+    }
+  };
+
+  // The next time anything can happen on an SM: its earliest warp
+  // completion, or the moment a queued block becomes dispatchable to it.
+  // Dispatch eligibility carries a load-proportional epsilon so that when
+  // several SMs compete for the same block, the least-loaded one wins --
+  // the GigaThread engine's round-robin/least-loaded placement.  Without
+  // it, priority-queue ties would funnel consecutive blocks onto one SM.
+  auto next_event_time = [&](const Sm& sm) {
+    double t = std::numeric_limits<double>::infinity();
+    if (sm.active_warps > 0) {
+      t = sm.clock + sm.min_remaining() / sm.rate(device.sm_issue_width);
+    }
+    if (next_block < launch.blocks.size() && has_capacity(sm)) {
+      t = std::min(t, std::max(sm.clock, dispatch_gate()) +
+                          sm.used_warp_slots * 1e-6);
+    }
+    return t;
+  };
+
+  using Event = std::pair<double, unsigned>;  // (time, sm index)
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  auto schedule_event = [&](unsigned s) {
+    const double t = next_event_time(sms[s]);
+    if (t < std::numeric_limits<double>::infinity()) events.emplace(t, s);
+  };
+  for (unsigned s = 0; s < sms.size(); ++s) schedule_event(s);
+
+  double makespan = 0.0;
+  while (!events.empty()) {
+    const auto [te, s] = events.top();
+    events.pop();
+    Sm& sm = sms[s];
+    const double tmin = next_event_time(sm);
+    if (tmin == std::numeric_limits<double>::infinity()) continue;  // stale
+    if (te + kEps < tmin) {
+      events.emplace(tmin, s);  // stale: state changed since scheduling
+      continue;
+    }
+    // Advance the SM to tmin (never past a completion: tmin is at most the
+    // earliest completion by construction).
+    const double rate = sm.rate(device.sm_issue_width);
+    const double dt = tmin - sm.clock;
+    if (dt > 0.0) {
+      sm.warp_time += sm.active_warps * dt;
+      if (sm.active_warps > 0) sm.busy_time += dt;
+      sm.clock = tmin;
+      const double progress = dt * rate;
+      for (auto it = sm.blocks.begin(); it != sm.blocks.end();) {
+        for (auto& r : it->remaining) {
+          if (r > kEps) {
+            r -= progress;
+            if (r <= kEps) {
+              r = 0.0;
+              --it->live;
+              --sm.active_warps;
+            }
+          }
+        }
+        if (it->live == 0) {
+          sm.used_warp_slots -= it->slots;
+          it = sm.blocks.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    } else {
+      sm.clock = std::max(sm.clock, tmin);
+    }
+    try_dispatch(sm);
+    if (sm.active_warps > 0 || sm.clock > makespan) {
+      makespan = std::max(makespan, sm.clock);
+    }
+    schedule_event(s);
+  }
+  BCSF_ASSERT(next_block == launch.blocks.size(),
+              "simulate_launch: undispatched blocks remain");
+
+  report.cycles = makespan;
+  report.seconds = makespan / (device.clock_ghz * 1e9) + launch_seconds;
+  report.gflops =
+      report.seconds > 0.0 ? launch.total_flops / report.seconds / 1e9 : 0.0;
+
+  double busy_sum = 0.0;
+  double warp_sum = 0.0;
+  for (const auto& sm : sms) {
+    busy_sum += sm.busy_time;
+    warp_sum += sm.warp_time;
+  }
+  report.sm_efficiency_pct = std::min(
+      100.0,
+      makespan > 0.0 ? 100.0 * busy_sum / (makespan * device.num_sms) : 0.0);
+  report.achieved_occupancy_pct = std::min(
+      100.0, busy_sum > 0.0
+                 ? 100.0 * (warp_sum / busy_sum) / device.max_warps_per_sm
+                 : 0.0);
+  return report;
+}
+
+SimReport& SimReport::operator+=(const SimReport& other) {
+  const double t0 = seconds;
+  const double t1 = other.seconds;
+  const double total = t0 + t1;
+  if (total > 0.0) {
+    achieved_occupancy_pct = std::min(
+        100.0,
+        (achieved_occupancy_pct * t0 + other.achieved_occupancy_pct * t1) /
+            total);
+    sm_efficiency_pct = std::min(
+        100.0, (sm_efficiency_pct * t0 + other.sm_efficiency_pct * t1) / total);
+  }
+  const double acc0 = total_flops;
+  const double acc1 = other.total_flops;
+  if (acc0 + acc1 > 0.0) {
+    l2_hit_rate_pct =
+        (l2_hit_rate_pct * acc0 + other.l2_hit_rate_pct * acc1) /
+        (acc0 + acc1);
+  }
+  cycles += other.cycles;
+  seconds = total;
+  total_flops += other.total_flops;
+  gflops = seconds > 0.0 ? total_flops / seconds / 1e9 : 0.0;
+  num_blocks += other.num_blocks;
+  num_warps += other.num_warps;
+  atomic_ops += other.atomic_ops;
+  if (!other.kernel.empty() && kernel != other.kernel) {
+    kernel += "+" + other.kernel;
+  }
+  return *this;
+}
+
+std::string SimReport::to_string() const {
+  std::ostringstream os;
+  os << kernel << ": " << gflops << " GFLOPs, occ=" << achieved_occupancy_pct
+     << "%, sm_eff=" << sm_efficiency_pct << "%, L2=" << l2_hit_rate_pct
+     << "%, cycles=" << cycles << ", blocks=" << num_blocks
+     << ", atomics=" << atomic_ops;
+  return os.str();
+}
+
+}  // namespace bcsf

@@ -1,0 +1,29 @@
+// Event-driven block/warp scheduler.
+//
+// Semantics (mirrors how a GigaThread engine feeds SMs):
+//  * Blocks are dispatched in grid order to the SM whose resources free up
+//    first; an SM holds a block's warp slots until the whole block ends.
+//  * Resident warps with remaining work progress under processor sharing:
+//    with `a` active warps on an SM, each runs at rate
+//    min(1, sm_issue_width / a) cycles of progress per device cycle --
+//    latency-bound when the SM is underpopulated, issue-bound when full.
+//  * A block finishes when its last warp finishes; its slots are then
+//    reused, possibly admitting queued blocks (slc-split relies on this).
+//
+// The paper's two imbalance pathologies fall out directly: a heavy fiber
+// makes one warp's cost dominate its block (inter-warp imbalance), and a
+// heavy slice makes one block outlive the grid while other SMs idle
+// (inter-thread-block imbalance, the darpa/nell2 signature of Table II).
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "gpusim/metrics.hpp"
+#include "gpusim/work.hpp"
+
+namespace bcsf {
+
+/// Runs the launch to completion and returns the metrics.
+SimReport simulate_launch(const DeviceModel& device,
+                          const KernelLaunch& launch);
+
+}  // namespace bcsf

@@ -1,0 +1,36 @@
+// Work descriptors handed from a kernel to the scheduler.
+//
+// A kernel's launch is a grid of thread blocks; each block carries the
+// issue-cycle cost of every warp it contains.  The costs are produced by
+// the kernel's execution pass, which walks the *same* (block, warp, work
+// item) decomposition while computing the real MTTKRP arithmetic -- the
+// schedule that is costed is exactly the schedule that produced the
+// numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bcsf {
+
+struct BlockWork {
+  /// Issue-cycle cost of each warp in the block (length = warps launched,
+  /// at most device.warps_per_block()).
+  std::vector<double> warp_cycles;
+};
+
+struct KernelLaunch {
+  std::string name;
+  std::vector<BlockWork> blocks;
+  /// Warps that occupancy accounting charges per block (a block reserves
+  /// its full warp allotment even if some warps run out of work early).
+  unsigned warps_per_block = 16;
+
+  double total_flops = 0.0;    ///< floating point ops actually executed
+  double l2_hit_rate_pct = 0.0;///< from the kernel's cache pass
+  offset_t atomic_ops = 0;     ///< global atomic row-updates issued
+};
+
+}  // namespace bcsf

@@ -1,0 +1,160 @@
+#include "kernels/cpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+CpuModel CpuModel::broadwell() { return CpuModel{}; }
+
+namespace {
+
+/// Fraction of factor-row accesses expected to miss the L3, from the
+/// distinct-row working set of that factor.
+double miss_fraction(double distinct_rows, rank_t rank, const CpuModel& cpu) {
+  const double row_bytes = static_cast<double>(rank) * sizeof(value_t);
+  const double working_set = distinct_rows * row_bytes;
+  // Smooth ramp: fully cached when the set fits in a third of the L3
+  // (other streams compete), fully missing at 8x the L3.
+  const double lo = cpu.l3_bytes / 3.0;
+  const double hi = cpu.l3_bytes * 8.0;
+  if (working_set <= lo) return 0.02;
+  if (working_set >= hi) return 0.95;
+  return 0.02 + 0.93 * (working_set - lo) / (hi - lo);
+}
+
+/// Imbalance of a static contiguous partition of per-slice work.
+double static_imbalance(const offset_vec& slice_work, unsigned threads) {
+  if (slice_work.empty()) return 1.0;
+  offset_t total = 0;
+  for (offset_t w : slice_work) total += w;
+  if (total == 0) return 1.0;
+  const std::size_t per_thread =
+      ceil_div<std::size_t>(slice_work.size(), threads);
+  offset_t max_chunk = 0;
+  for (std::size_t t0 = 0; t0 < slice_work.size(); t0 += per_thread) {
+    const std::size_t t1 = std::min(t0 + per_thread, slice_work.size());
+    offset_t chunk = 0;
+    for (std::size_t s = t0; s < t1; ++s) chunk += slice_work[s];
+    max_chunk = std::max(max_chunk, chunk);
+  }
+  const double mean =
+      static_cast<double>(total) / std::min<double>(threads, slice_work.size());
+  return std::max(1.0, static_cast<double>(max_chunk) / mean);
+}
+
+CpuEstimate finish(double flops, double traffic, double imbalance,
+                   const CpuModel& cpu, double extra_seconds) {
+  CpuEstimate e;
+  e.flops = flops;
+  e.traffic_bytes = traffic;
+  e.imbalance = imbalance;
+  const double compute_s =
+      flops / (cpu.cores * cpu.freq_ghz * 1e9 * cpu.flops_per_cycle);
+  const double memory_s = traffic / (cpu.mem_bw_gbps * 1e9);
+  e.seconds = std::max(compute_s, memory_s) * imbalance +
+              cpu.parallel_overhead_s + extra_seconds;
+  e.gflops = e.seconds > 0.0 ? flops / e.seconds / 1e9 : 0.0;
+  return e;
+}
+
+}  // namespace
+
+CpuEstimate estimate_splatt(const CsfTensor& csf, rank_t rank,
+                            const CpuModel& cpu, bool tiled,
+                            index_t leaf_tiles) {
+  const double m = static_cast<double>(csf.nnz());
+  const double f = static_cast<double>(csf.num_fibers());
+  const double s = static_cast<double>(csf.num_slices());
+  const double row_bytes = static_cast<double>(rank) * sizeof(value_t);
+
+  // Flops: Eq. (8) factoring -- 2R per nonzero, 2R per fiber, R per slice.
+  const double flops = rank * (2.0 * m + 2.0 * f + s);
+
+  // Distinct leaf rows bounds the leaf factor's working set.
+  const index_t leaf_mode = csf.mode_order().back();
+  const double leaf_rows = std::min<double>(csf.dims()[leaf_mode], m);
+  double leaf_miss = miss_fraction(leaf_rows, rank, cpu);
+  double structure_passes = 1.0;
+  if (tiled) {
+    // Tiling caps the leaf working set per pass but walks the fiber
+    // structure once per tile; on tensors where F ~ M that pointer
+    // traffic dwarfs the locality gain (the paper's tiling pathology).
+    leaf_miss =
+        miss_fraction(leaf_rows / std::max<index_t>(1, leaf_tiles), rank, cpu);
+    structure_passes = static_cast<double>(leaf_tiles);
+  }
+
+  // Traffic: index/pointer arrays per structure pass, leaf value+index
+  // once, factor rows by miss fraction, fiber-level rows similarly.
+  const double fiber_mode_rows =
+      std::min<double>(csf.order() >= 2
+                           ? csf.dims()[csf.mode_order()[csf.node_levels() - 1]]
+                           : 1.0,
+                       f);
+  const double fiber_miss = miss_fraction(fiber_mode_rows, rank, cpu);
+  const double structure_bytes = (2.0 * s + 2.0 * f) * kIndexBytes;
+  double traffic = structure_passes * structure_bytes +
+                   m * (kIndexBytes + sizeof(value_t)) * structure_passes +
+                   m * row_bytes * leaf_miss +
+                   f * row_bytes * fiber_miss * structure_passes +
+                   s * row_bytes;  // output rows
+
+  // Imbalance from the real static slice partition.
+  offset_vec slice_work(csf.num_slices());
+  for (offset_t slc = 0; slc < csf.num_slices(); ++slc) {
+    slice_work[slc] = csf.subtree_nnz(0, slc);
+  }
+  const double imbalance = static_imbalance(slice_work, cpu.cores);
+  const double extra =
+      tiled ? structure_passes * cpu.parallel_overhead_s : 0.0;
+  return finish(flops, traffic, imbalance, cpu, extra);
+}
+
+CpuEstimate estimate_hicoo(const HicooTensor& hicoo, index_t mode,
+                           rank_t rank, const CpuModel& cpu) {
+  const double m = static_cast<double>(hicoo.nnz());
+  const double nb = static_cast<double>(hicoo.num_blocks());
+  const double row_bytes = static_cast<double>(rank) * sizeof(value_t);
+  const double order = hicoo.order();
+
+  // COO-style compute (no factoring): order ops per nonzero per column,
+  // plus per-nonzero coordinate unpacking charged as extra "flops".
+  const double flops = rank * order * m;
+  const double unpack_equiv = 2.0 * order * m;  // shifts/ors per nonzero
+
+  // Traffic: compressed indices (order bytes/nnz + block headers), values,
+  // factor rows with blockwise locality (a 128^N block reuses rows well,
+  // so miss fractions are scaled down), output rows per block.
+  double factor_traffic = 0.0;
+  for (index_t f = 0; f < hicoo.order(); ++f) {
+    if (f == mode) continue;
+    const double rows = std::min<double>(hicoo.dims()[f], m);
+    factor_traffic +=
+        m * row_bytes * miss_fraction(rows, rank, cpu) * 0.5;
+  }
+  const double traffic = m * (order + sizeof(value_t)) +
+                         nb * (1 + order) * kIndexBytes +
+                         factor_traffic + nb * row_bytes;
+
+  // Imbalance across output-block groups (the conflict-free schedule).
+  std::vector<offset_t> group_work;
+  index_t prev = kInvalidIndex;
+  for (offset_t b = 0; b < hicoo.num_blocks(); ++b) {
+    const index_t g = hicoo.block_coord(mode, b);
+    if (g != prev) {
+      group_work.push_back(0);
+      prev = g;
+    }
+    group_work.back() += hicoo.block_end(b) - hicoo.block_begin(b);
+  }
+  const double imbalance = static_imbalance(group_work, cpu.cores);
+  return finish(flops + unpack_equiv, traffic, imbalance, cpu,
+                nb * 40e-9 / cpu.cores);  // per-block scheduling overhead
+}
+
+}  // namespace bcsf

@@ -1,0 +1,62 @@
+// Analytic performance model of the paper's CPU platform (a two-socket
+// Intel Xeon E5-2680 v4 "Broadwell" server, 28 cores, 2.4 GHz, 35 MB L3 --
+// §VI-A) used for the cross-platform speedup figures (11, 12, 13).
+//
+// This environment has one core, so 28-thread wall-clock cannot be
+// measured; instead, kernels are costed with a roofline-style model:
+//   time = max(compute, memory traffic / bandwidth) * imbalance + overhead
+// where the imbalance factor comes from the *actual* static partition of
+// slices over threads (SPLATT's scheduling), and the factor-row miss
+// fraction from the measured working set versus the L3.  The CPU kernels
+// themselves remain real runnable OpenMP code (mttkrp_cpu.cpp); this file
+// only prices them at 28-core scale.
+#pragma once
+
+#include <string>
+
+#include "formats/csf.hpp"
+#include "formats/hicoo.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+struct CpuModel {
+  std::string name = "2x E5-2680v4 (Broadwell)";
+  unsigned cores = 28;
+  double freq_ghz = 2.4;
+  /// Effective fp32 FLOP/cycle/core on irregular gather-heavy code
+  /// (far below the 32 FLOP/cycle AVX2 peak: strided row gathers,
+  /// short dependent chains, branchy tree walks).
+  double flops_per_cycle = 1.0;
+  /// Sustained bandwidth for irregular access (well below the two-socket
+  /// STREAM number; random 128-byte rows waste most of each DRAM burst).
+  double mem_bw_gbps = 45.0;
+  double l3_bytes = 35.0 * 1024 * 1024 * 2;  ///< both sockets
+  /// Per-parallel-region overhead (fork/join, barriers), seconds.
+  double parallel_overhead_s = 15e-6;
+
+  static CpuModel broadwell();
+};
+
+struct CpuEstimate {
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double imbalance = 1.0;       ///< max-thread work over mean-thread work
+  double traffic_bytes = 0.0;
+  double flops = 0.0;
+};
+
+/// SPLATT CSF-MTTKRP at 28 cores.  `tiled` prices the cache-blocking
+/// variant: lower leaf-factor miss traffic but one extra structure pass
+/// per leaf tile -- which is why tiling *hurts* on fiber-dominated tensors
+/// (the paper's Fig. 11 vs Fig. 12 gap).
+CpuEstimate estimate_splatt(const CsfTensor& csf, rank_t rank,
+                            const CpuModel& cpu, bool tiled,
+                            index_t leaf_tiles = 16);
+
+/// HiCOO MTTKRP at 28 cores: compressed index traffic, blockwise locality,
+/// but per-block overhead and coordinate unpacking on every nonzero.
+CpuEstimate estimate_hicoo(const HicooTensor& hicoo, index_t mode,
+                           rank_t rank, const CpuModel& cpu);
+
+}  // namespace bcsf

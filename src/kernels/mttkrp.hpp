@@ -1,0 +1,116 @@
+// Public MTTKRP API: every kernel in the paper, over every format.
+//
+// GPU kernels execute the real fp32 arithmetic while walking the exact
+// (block, warp, work item) decomposition that the simulator costs, so the
+// returned matrix comes from the same schedule the SimReport describes.
+// CPU kernels are real OpenMP code timed with wall clocks; the cross-
+// platform figures additionally use the analytic Broadwell model in
+// cpu_model.hpp (see DESIGN.md §1).
+//
+// Convention: `factors` holds one matrix per tensor mode (factors[m] has
+// dims[m] rows, all with equal rank).  Mode-n MTTKRP reads every factor
+// except n and returns a dims[n] x R matrix.
+#pragma once
+
+#include <vector>
+
+#include "formats/bcsf.hpp"
+#include "formats/csf.hpp"
+#include "formats/csl.hpp"
+#include "formats/fcoo.hpp"
+#include "formats/hbcsf.hpp"
+#include "formats/hicoo.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/metrics.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace bcsf {
+
+/// Validates factor shapes against the tensor dims; throws bcsf::Error.
+void check_factors(const std::vector<index_t>& dims,
+                   const std::vector<DenseMatrix>& factors);
+
+// ---------------------------------------------------------------------------
+// Reference (sequential, double accumulation; Algorithm 2)
+// ---------------------------------------------------------------------------
+
+DenseMatrix mttkrp_reference(const SparseTensor& tensor, index_t mode,
+                             const std::vector<DenseMatrix>& factors);
+
+// ---------------------------------------------------------------------------
+// Simulated GPU kernels
+// ---------------------------------------------------------------------------
+
+struct GpuMttkrpResult {
+  DenseMatrix output;
+  SimReport report;
+};
+
+/// Plain GPU-CSF (§IV's starting point, Table II): one thread block per
+/// slice, fibers round-robin across warps -- no splitting, the kernel
+/// whose imbalance motivates B-CSF.
+GpuMttkrpResult mttkrp_csf_gpu(const CsfTensor& csf,
+                               const std::vector<DenseMatrix>& factors,
+                               const DeviceModel& device);
+
+/// How a B-CSF block combines fiber results into the output row -- a
+/// design choice Alg. 3 leaves open (its lines 12-13 update Y per fiber;
+/// SPLATT's CPU code accumulates per slice):
+///  * kPerFiber: each fiber's scaled partial is combined into Y
+///    immediately (shared-memory atomic within the block, global atomic
+///    across slc-split blocks);
+///  * kPerSliceShared: warps accumulate into a block-shared buffer and
+///    the block writes Y once at the end (fewer output touches, one
+///    block-wide reduction).
+enum class OutputCombine { kPerFiber, kPerSliceShared };
+
+/// B-CSF kernel (§IV): one thread block per B-CSF block, fiber segments
+/// round-robin across warps, global atomics only for split slices.
+GpuMttkrpResult mttkrp_bcsf_gpu(const BcsfTensor& bcsf,
+                                const std::vector<DenseMatrix>& factors,
+                                const DeviceModel& device,
+                                OutputCombine combine = OutputCombine::kPerFiber);
+
+/// CSL kernel (Alg. 4): one warp per compressed slice.
+GpuMttkrpResult mttkrp_csl_gpu(const CslTensor& csl,
+                               const std::vector<DenseMatrix>& factors,
+                               const DeviceModel& device);
+
+/// ParTI-style COO kernel [18]: thread per nonzero, global atomics.
+GpuMttkrpResult mttkrp_coo_gpu(const SparseTensor& tensor, index_t mode,
+                               const std::vector<DenseMatrix>& factors,
+                               const DeviceModel& device);
+
+/// F-COO kernel [17]: per-partition products + segmented scan.
+GpuMttkrpResult mttkrp_fcoo_gpu(const FcooTensor& fcoo,
+                                const std::vector<DenseMatrix>& factors,
+                                const DeviceModel& device);
+
+/// HB-CSF kernel (Alg. 5 lines 18-20): COO, CSL and B-CSF group kernels
+/// launched back-to-back into one output.
+GpuMttkrpResult mttkrp_hbcsf_gpu(const HbcsfTensor& hbcsf,
+                                 const std::vector<DenseMatrix>& factors,
+                                 const DeviceModel& device);
+
+// ---------------------------------------------------------------------------
+// CPU kernels (real OpenMP implementations)
+// ---------------------------------------------------------------------------
+
+/// Parallel COO MTTKRP (Algorithm 2) with per-thread output privatization.
+DenseMatrix mttkrp_coo_cpu(const SparseTensor& tensor, index_t mode,
+                           const std::vector<DenseMatrix>& factors);
+
+/// SPLATT-style CSF MTTKRP (Algorithm 3), parallel over slices.
+DenseMatrix mttkrp_csf_cpu(const CsfTensor& csf,
+                           const std::vector<DenseMatrix>& factors);
+
+/// CSL MTTKRP (Algorithm 4), parallel over slices.
+DenseMatrix mttkrp_csl_cpu(const CslTensor& csl,
+                           const std::vector<DenseMatrix>& factors);
+
+/// HiCOO MTTKRP [13]: block-by-block with privatized accumulators.
+DenseMatrix mttkrp_hicoo_cpu(const HicooTensor& hicoo, index_t mode,
+                             const std::vector<DenseMatrix>& factors);
+
+}  // namespace bcsf

@@ -1,0 +1,21 @@
+// Plain GPU-CSF kernel: the direct CPU-to-GPU port of SPLATT's CSF
+// MTTKRP that §IV uses as the starting point.  One thread block per
+// slice, whole fibers per warp, no splitting -- so a heavy fiber pins a
+// warp and a heavy slice pins a block, producing exactly the Table II
+// imbalance signatures (nell2 and darpa in particular).
+#include "kernels/bcsf_engine.hpp"
+#include "kernels/mttkrp.hpp"
+
+namespace bcsf {
+
+GpuMttkrpResult mttkrp_csf_gpu(const CsfTensor& csf,
+                               const std::vector<DenseMatrix>& factors,
+                               const DeviceModel& device) {
+  BcsfOptions opts;
+  opts.fiber_split = false;
+  opts.slice_split = false;
+  const BcsfTensor unsplit = build_bcsf_from_csf(csf, opts);
+  return detail::run_bcsf_engine(unsplit, factors, device, "csf-gpu");
+}
+
+}  // namespace bcsf

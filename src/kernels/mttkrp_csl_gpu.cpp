@@ -1,0 +1,98 @@
+// CSL GPU kernel (Alg. 4): compressed slices are processed in warp-sized
+// *segments* -- a slice with more than `csl_segment_nnz` nonzeros is split
+// across several warps (the same balancing insight as slc-split: HB-CSF's
+// CSL population can still contain big slices, e.g. flickr slices with
+// hundreds of singleton fibers).  Each nonzero multiplies every non-root
+// factor row directly -- no fiber indirection, no fiber-local reduction.
+// Single-segment slices write their output row without atomics; split
+// slices combine with global atomics.
+#include <algorithm>
+#include <vector>
+
+#include "gpusim/scheduler.hpp"
+#include "kernels/gpu_common.hpp"
+#include "kernels/mttkrp.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+
+GpuMttkrpResult mttkrp_csl_gpu(const CslTensor& csl,
+                               const std::vector<DenseMatrix>& factors,
+                               const DeviceModel& device) {
+  check_factors(csl.dims(), factors);
+  const rank_t rank = factors.front().cols();
+  const index_t root = csl.root_mode();
+  const ModeOrder& order = csl.mode_order();
+  const index_t n_other = csl.order() - 1;
+
+  GpuKernelContext ctx(device);
+  const std::vector<unsigned> regions = register_factor_regions(ctx, csl.order());
+  const unsigned out_region = regions.back();
+
+  DenseMatrix out(csl.dims()[root], rank);
+  KernelLaunch launch;
+  launch.name = "csl-gpu";
+  launch.warps_per_block = device.warps_per_block();
+
+  // Segment table: (slice, z_begin, z_end, atomic).
+  struct Segment {
+    offset_t slice, z_begin, z_end;
+    bool atomic;
+  };
+  const auto seg_nnz = static_cast<offset_t>(device.csl_segment_nnz);
+  std::vector<Segment> segments;
+  for (offset_t s = 0; s < csl.num_slices(); ++s) {
+    const offset_t begin = csl.slice_begin(s);
+    const offset_t end = csl.slice_end(s);
+    const bool split = (end - begin) > seg_nnz;
+    for (offset_t z = begin; z < end; z += seg_nnz) {
+      segments.push_back({s, z, std::min(z + seg_nnz, end), split});
+    }
+  }
+
+  const offset_t wpb = launch.warps_per_block;
+  std::vector<value_t> acc(rank);
+  std::vector<value_t> prod(rank);
+
+  for (offset_t g0 = 0; g0 < segments.size(); g0 += wpb) {
+    const offset_t g1 = std::min<offset_t>(g0 + wpb, segments.size());
+    BlockWork bw;
+    bw.warp_cycles.assign(static_cast<std::size_t>(g1 - g0), 0.0);
+
+    for (offset_t g = g0; g < g1; ++g) {
+      const Segment& seg = segments[g];
+      double& cost = bw.warp_cycles[g - g0];
+      const index_t out_row = csl.slice_index(seg.slice);
+      std::fill(acc.begin(), acc.end(), 0.0F);
+      for (offset_t z = seg.z_begin; z < seg.z_end; ++z) {
+        const value_t v = csl.value(z);
+        for (rank_t r = 0; r < rank; ++r) prod[r] = v;
+        unsigned misses = 0;
+        for (index_t p = 0; p < n_other; ++p) {
+          const index_t mode = order[p + 1];
+          const index_t coord = csl.nz_index(p, z);
+          misses += ctx.touch_row(regions[mode], coord, rank);
+          const auto row = factors[mode].row(coord);
+          for (rank_t r = 0; r < rank; ++r) prod[r] *= row[r];
+        }
+        for (rank_t r = 0; r < rank; ++r) acc[r] += prod[r];
+        cost += device.cycles_per_nnz_csl + misses * device.cycles_l2_miss;
+        launch.total_flops += static_cast<double>(n_other + 1) * rank;
+      }
+      const unsigned out_misses = ctx.touch_row(out_region, out_row, rank);
+      cost += device.cycles_per_slice + out_misses * device.cycles_l2_miss;
+      if (seg.atomic) {
+        cost += device.cycles_atomic_global;
+        ++launch.atomic_ops;
+      }
+      auto yrow = out.row(out_row);
+      for (rank_t r = 0; r < rank; ++r) yrow[r] += acc[r];
+    }
+    launch.blocks.push_back(std::move(bw));
+  }
+
+  launch.l2_hit_rate_pct = ctx.l2_hit_rate_pct();
+  return {std::move(out), simulate_launch(device, launch)};
+}
+
+}  // namespace bcsf

@@ -1,0 +1,118 @@
+// HB-CSF GPU kernel (Alg. 5 lines 18-20): the three slice populations are
+// processed by three back-to-back launches into one output matrix.
+//
+//  * COO group: singleton slices -- one nonzero per output row, so lanes
+//    process nonzeros directly and no atomics are needed at all.
+//  * CSL group: Alg. 4 warp-per-slice kernel.
+//  * B-CSF group: the balanced CSF kernel of §IV.
+// The groups partition the slices, so their output rows are disjoint and
+// the three launches compose by simple accumulation.
+#include <algorithm>
+#include <vector>
+
+#include "gpusim/scheduler.hpp"
+#include "kernels/gpu_common.hpp"
+#include "kernels/mttkrp.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+
+namespace {
+
+/// The COO-group launch: perfectly uniform nonzero-per-lane work with
+/// plain stores (each slice has exactly one nonzero).
+GpuMttkrpResult run_singleton_coo(const HbcsfTensor& h,
+                                  const std::vector<DenseMatrix>& factors,
+                                  const DeviceModel& device) {
+  const rank_t rank = factors.front().cols();
+  const ModeOrder& order = h.mode_order();
+  const index_t root = h.root_mode();
+
+  GpuKernelContext ctx(device);
+  const std::vector<unsigned> regions = register_factor_regions(ctx, h.order());
+  const unsigned out_region = regions.back();
+
+  DenseMatrix out(h.dims()[root], rank);
+  KernelLaunch launch;
+  launch.name = "hbcsf-coo";
+  launch.warps_per_block = device.warps_per_block();
+
+  const offset_t chunk = device.warp_size;
+  const offset_t block_nnz = chunk * launch.warps_per_block;
+  std::vector<value_t> prod(rank);
+
+  const offset_t m = h.coo_nnz();
+  for (offset_t b0 = 0; b0 < m; b0 += block_nnz) {
+    const offset_t b1 = std::min(b0 + block_nnz, m);
+    BlockWork bw;
+    bw.warp_cycles.assign(
+        static_cast<std::size_t>(ceil_div(b1 - b0, chunk)), 0.0);
+    for (offset_t z = b0; z < b1; ++z) {
+      double& cost = bw.warp_cycles[(z - b0) / chunk];
+      const value_t v = h.coo_value(z);
+      for (rank_t r = 0; r < rank; ++r) prod[r] = v;
+      unsigned misses = 0;
+      for (index_t p = 1; p < h.order(); ++p) {  // p=0 is the root
+        const index_t mode = order[p];
+        const index_t coord = h.coo_index(p, z);
+        misses += ctx.touch_row(regions[mode], coord, rank);
+        const auto row = factors[mode].row(coord);
+        for (rank_t r = 0; r < rank; ++r) prod[r] *= row[r];
+      }
+      const index_t out_row = h.coo_index(0, z);
+      misses += ctx.touch_row(out_region, out_row, rank);
+      auto yrow = out.row(out_row);
+      for (rank_t r = 0; r < rank; ++r) yrow[r] += prod[r];
+      cost += device.cycles_per_nnz_csl + misses * device.cycles_l2_miss;
+      launch.total_flops += static_cast<double>(h.order()) * rank;
+    }
+    launch.blocks.push_back(std::move(bw));
+  }
+  launch.l2_hit_rate_pct = ctx.l2_hit_rate_pct();
+  return {std::move(out), simulate_launch(device, launch)};
+}
+
+void add_into(DenseMatrix& acc, const DenseMatrix& part) {
+  BCSF_ASSERT(acc.size() == part.size(), "hbcsf: output shape mismatch");
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    acc.data()[i] += part.data()[i];
+  }
+}
+
+}  // namespace
+
+GpuMttkrpResult mttkrp_hbcsf_gpu(const HbcsfTensor& hbcsf,
+                                 const std::vector<DenseMatrix>& factors,
+                                 const DeviceModel& device) {
+  check_factors(hbcsf.dims(), factors);
+  const rank_t rank = factors.front().cols();
+  DenseMatrix out(hbcsf.dims()[hbcsf.root_mode()], rank);
+  SimReport report;
+  report.kernel = "hbcsf-gpu";
+  bool first = true;
+  auto absorb = [&](GpuMttkrpResult&& part) {
+    add_into(out, part.output);
+    if (first) {
+      const std::string name = report.kernel;
+      report = part.report;
+      report.kernel = name;
+      first = false;
+    } else {
+      part.report.kernel.clear();  // keep the combined name stable
+      report += part.report;
+    }
+  };
+
+  if (hbcsf.coo_nnz() > 0) {
+    absorb(run_singleton_coo(hbcsf, factors, device));
+  }
+  if (hbcsf.csl_nnz() > 0) {
+    absorb(mttkrp_csl_gpu(hbcsf.csl(), factors, device));
+  }
+  if (hbcsf.csf_nnz() > 0) {
+    absorb(mttkrp_bcsf_gpu(hbcsf.bcsf(), factors, device));
+  }
+  return {std::move(out), report};
+}
+
+}  // namespace bcsf

@@ -1,0 +1,56 @@
+#include <vector>
+
+#include "kernels/mttkrp.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+
+void check_factors(const std::vector<index_t>& dims,
+                   const std::vector<DenseMatrix>& factors) {
+  BCSF_CHECK(factors.size() == dims.size(),
+             "mttkrp: expected " << dims.size() << " factor matrices, got "
+                                 << factors.size());
+  const rank_t rank = factors.empty() ? 0 : factors.front().cols();
+  BCSF_CHECK(rank > 0, "mttkrp: rank must be positive");
+  for (std::size_t m = 0; m < factors.size(); ++m) {
+    BCSF_CHECK(factors[m].rows() == dims[m],
+               "mttkrp: factor " << m << " has " << factors[m].rows()
+                                 << " rows, tensor mode has " << dims[m]);
+    BCSF_CHECK(factors[m].cols() == rank, "mttkrp: factor rank mismatch");
+  }
+}
+
+DenseMatrix mttkrp_reference(const SparseTensor& tensor, index_t mode,
+                             const std::vector<DenseMatrix>& factors) {
+  check_factors(tensor.dims(), factors);
+  BCSF_CHECK(mode < tensor.order(), "mttkrp_reference: bad mode");
+  const rank_t rank = factors.front().cols();
+  const index_t rows = tensor.dim(mode);
+
+  // Double accumulation: the reference is the ground truth that every
+  // fp32 kernel is compared against, so it should not share their
+  // round-off.
+  std::vector<double> acc(static_cast<std::size_t>(rows) * rank, 0.0);
+  std::vector<double> prod(rank);
+  for (offset_t z = 0; z < tensor.nnz(); ++z) {
+    for (rank_t r = 0; r < rank; ++r) {
+      prod[r] = static_cast<double>(tensor.value(z));
+    }
+    for (index_t m = 0; m < tensor.order(); ++m) {
+      if (m == mode) continue;
+      const auto row = factors[m].row(tensor.coord(m, z));
+      for (rank_t r = 0; r < rank; ++r) prod[r] *= row[r];
+    }
+    const std::size_t base =
+        static_cast<std::size_t>(tensor.coord(mode, z)) * rank;
+    for (rank_t r = 0; r < rank; ++r) acc[base + r] += prod[r];
+  }
+
+  DenseMatrix out(rows, rank);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    out.data()[i] = static_cast<value_t>(acc[i]);
+  }
+  return out;
+}
+
+}  // namespace bcsf

@@ -1,0 +1,75 @@
+#include "kernels/registry.hpp"
+
+#include "formats/csf.hpp"
+#include "formats/hbcsf.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace bcsf {
+
+const char* kind_name(GpuKernelKind kind) {
+  switch (kind) {
+    case GpuKernelKind::kCsf: return "GPU-CSF";
+    case GpuKernelKind::kBcsf: return "B-CSF";
+    case GpuKernelKind::kHbcsf: return "HB-CSF";
+    case GpuKernelKind::kCoo: return "ParTI-COO";
+    case GpuKernelKind::kFcoo: return "F-COO";
+  }
+  return "?";
+}
+
+TimedGpuResult build_and_run(GpuKernelKind kind, const SparseTensor& tensor,
+                             index_t mode,
+                             const std::vector<DenseMatrix>& factors,
+                             const GpuRunOptions& opts) {
+  TimedGpuResult out;
+  Timer timer;
+  switch (kind) {
+    case GpuKernelKind::kCsf: {
+      const CsfTensor csf = build_csf(tensor, mode);
+      out.build_seconds = timer.seconds();
+      out.run = mttkrp_csf_gpu(csf, factors, opts.device);
+      return out;
+    }
+    case GpuKernelKind::kBcsf: {
+      const BcsfTensor b = build_bcsf(tensor, mode, opts.bcsf);
+      out.build_seconds = timer.seconds();
+      out.run = mttkrp_bcsf_gpu(b, factors, opts.device);
+      return out;
+    }
+    case GpuKernelKind::kHbcsf: {
+      const HbcsfTensor h = build_hbcsf(tensor, mode, opts.bcsf);
+      out.build_seconds = timer.seconds();
+      out.run = mttkrp_hbcsf_gpu(h, factors, opts.device);
+      return out;
+    }
+    case GpuKernelKind::kCoo: {
+      // COO needs no construction beyond the tensor itself.
+      out.build_seconds = timer.seconds();
+      out.run = mttkrp_coo_gpu(tensor, mode, factors, opts.device);
+      return out;
+    }
+    case GpuKernelKind::kFcoo: {
+      const FcooTensor f = build_fcoo(tensor, mode, opts.fcoo);
+      out.build_seconds = timer.seconds();
+      out.run = mttkrp_fcoo_gpu(f, factors, opts.device);
+      return out;
+    }
+  }
+  BCSF_CHECK(false, "build_and_run: unknown kernel kind");
+  return out;
+}
+
+std::vector<DenseMatrix> make_random_factors(const std::vector<index_t>& dims,
+                                             rank_t rank, std::uint64_t seed) {
+  std::vector<DenseMatrix> factors;
+  factors.reserve(dims.size());
+  for (std::size_t m = 0; m < dims.size(); ++m) {
+    DenseMatrix f(dims[m], rank);
+    f.randomize(seed + m, 0.0F, 1.0F);
+    factors.push_back(std::move(f));
+  }
+  return factors;
+}
+
+}  // namespace bcsf

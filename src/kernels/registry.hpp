@@ -1,0 +1,48 @@
+// Convenience layer for benches, examples and tests: build a format and
+// run its GPU kernel in one call, with the construction wall time
+// (the paper's pre-processing cost, Figs. 9/10) captured.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "formats/bcsf.hpp"
+#include "formats/fcoo.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/mttkrp.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace bcsf {
+
+enum class GpuKernelKind {
+  kCsf,    ///< plain GPU-CSF (no splitting)
+  kBcsf,   ///< B-CSF (§IV)
+  kHbcsf,  ///< HB-CSF (§V)
+  kCoo,    ///< ParTI-style COO
+  kFcoo,   ///< F-COO
+};
+
+const char* kind_name(GpuKernelKind kind);
+
+struct GpuRunOptions {
+  DeviceModel device = DeviceModel::p100();
+  BcsfOptions bcsf;
+  FcooOptions fcoo;
+};
+
+struct TimedGpuResult {
+  GpuMttkrpResult run;
+  double build_seconds = 0.0;  ///< format construction wall time
+};
+
+/// Builds the format for (kind, mode) and runs its kernel.
+TimedGpuResult build_and_run(GpuKernelKind kind, const SparseTensor& tensor,
+                             index_t mode,
+                             const std::vector<DenseMatrix>& factors,
+                             const GpuRunOptions& opts = {});
+
+/// Random fp32 factor matrices, one per mode (rows = dims[m]).
+std::vector<DenseMatrix> make_random_factors(const std::vector<index_t>& dims,
+                                             rank_t rank, std::uint64_t seed);
+
+}  // namespace bcsf

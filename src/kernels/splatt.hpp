@@ -1,0 +1,55 @@
+// SPLATT baseline [12] as configured in the paper's evaluation (§VI-A):
+// the ALLMODE setting ("store N CSF formats to achieve maximum
+// performance") with the `tiling` locality flag either on or off.
+//
+// The MTTKRP itself is real, runnable OpenMP code (mttkrp_csf_cpu); the
+// tiled variant performs cache blocking over the leaf mode by processing
+// the CSF tree once per leaf-index tile.  Projected 28-core Broadwell
+// times for the cross-platform figures come from cpu_model.hpp.
+#pragma once
+
+#include <vector>
+
+#include "formats/csf.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "tensor/sparse_tensor.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+struct SplattOptions {
+  bool tiling = false;
+  /// Number of leaf-mode tiles when tiling is enabled.
+  index_t leaf_tiles = 8;
+};
+
+class SplattAllmode {
+ public:
+  SplattAllmode(const SparseTensor& tensor, SplattOptions opts = {});
+
+  /// Runs mode-`mode` MTTKRP using the CSF representation rooted at that
+  /// mode (the ALLMODE strategy: no recursion through foreign roots).
+  DenseMatrix mttkrp(index_t mode,
+                     const std::vector<DenseMatrix>& factors) const;
+
+  const CsfTensor& csf(index_t mode) const { return csfs_.at(mode); }
+  index_t order() const { return static_cast<index_t>(csfs_.size()); }
+  const SplattOptions& options() const { return opts_; }
+
+  /// Wall-clock seconds spent building the N CSF representations
+  /// (Fig. 9's pre-processing baseline).
+  double preprocessing_seconds() const { return preprocessing_seconds_; }
+
+ private:
+  SplattOptions opts_;
+  std::vector<CsfTensor> csfs_;  // one representation per mode
+  double preprocessing_seconds_ = 0.0;
+};
+
+/// Tiled CSF MTTKRP: processes leaves in `tiles` leaf-index bands to bound
+/// the leaf-factor working set (SPLATT's cache-blocking flag).
+DenseMatrix mttkrp_csf_cpu_tiled(const CsfTensor& csf,
+                                 const std::vector<DenseMatrix>& factors,
+                                 index_t tiles);
+
+}  // namespace bcsf

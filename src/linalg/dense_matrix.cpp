@@ -1,0 +1,50 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace bcsf {
+
+void DenseMatrix::randomize(std::uint64_t seed, value_t lo, value_t hi) {
+  Rng rng(seed);
+  for (auto& v : data_) {
+    v = static_cast<value_t>(rng.uniform_real(lo, hi));
+  }
+}
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
+  BCSF_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(data_[i]) - other.data_[i]));
+  }
+  return m;
+}
+
+double DenseMatrix::frob_norm() const {
+  double acc = 0.0;
+  for (value_t v : data_) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+std::string DenseMatrix::to_string(index_t max_rows) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " matrix\n";
+  const index_t n = std::min(rows_, max_rows);
+  for (index_t r = 0; r < n; ++r) {
+    os << "  [";
+    for (rank_t c = 0; c < cols_; ++c) {
+      if (c) os << ", ";
+      os << (*this)(r, c);
+    }
+    os << "]\n";
+  }
+  if (n < rows_) os << "  ... (" << (rows_ - n) << " more rows)\n";
+  return os.str();
+}
+
+}  // namespace bcsf

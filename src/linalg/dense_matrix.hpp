@@ -1,0 +1,68 @@
+// Row-major dense matrix used for CP factor matrices.
+//
+// MTTKRP streams rows of the factor matrices (B(j,:), C(k,:)); row-major
+// layout makes one factor row one contiguous cache line run of R floats
+// (R = 32 -> 128 bytes, exactly one P100 L2 line pair), which the GPU
+// cache model in gpusim relies on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t rows, rank_t cols, value_t fill = 0.0F)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, fill) {}
+
+  index_t rows() const { return rows_; }
+  rank_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  value_t operator()(index_t r, rank_t c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  value_t& operator()(index_t r, rank_t c) {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  std::span<const value_t> row(index_t r) const {
+    BCSF_ASSERT(r < rows_, "row out of range");
+    return {data_.data() + static_cast<std::size_t>(r) * cols_, cols_};
+  }
+  std::span<value_t> row(index_t r) {
+    BCSF_ASSERT(r < rows_, "row out of range");
+    return {data_.data() + static_cast<std::size_t>(r) * cols_, cols_};
+  }
+
+  std::span<const value_t> data() const { return data_; }
+  std::span<value_t> data() { return data_; }
+
+  void fill(value_t v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Fills with uniform random values in [lo, hi) (for ALS initialization).
+  void randomize(std::uint64_t seed, value_t lo = 0.0F, value_t hi = 1.0F);
+
+  /// Max absolute elementwise difference against another matrix.
+  double max_abs_diff(const DenseMatrix& other) const;
+
+  /// Frobenius norm.
+  double frob_norm() const;
+
+  std::string to_string(index_t max_rows = 8) const;
+
+ private:
+  index_t rows_ = 0;
+  rank_t cols_ = 0;
+  value_vec data_;
+};
+
+}  // namespace bcsf

@@ -1,0 +1,150 @@
+#include "linalg/ops.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+DenseMatrix gram(const DenseMatrix& a) {
+  const rank_t r = a.cols();
+  DenseMatrix g(r, r);
+  // Accumulate in double: Gram entries sum over potentially millions of
+  // rows and feed a linear solve, where fp32 accumulation error would leak
+  // into every factor update.
+  std::vector<double> acc(static_cast<std::size_t>(r) * r, 0.0);
+  for (index_t row = 0; row < a.rows(); ++row) {
+    const auto ar = a.row(row);
+    for (rank_t i = 0; i < r; ++i) {
+      const double ai = ar[i];
+      for (rank_t j = i; j < r; ++j) {
+        acc[static_cast<std::size_t>(i) * r + j] += ai * ar[j];
+      }
+    }
+  }
+  for (rank_t i = 0; i < r; ++i) {
+    for (rank_t j = i; j < r; ++j) {
+      const auto v = static_cast<value_t>(acc[static_cast<std::size_t>(i) * r + j]);
+      g(i, j) = v;
+      g(j, i) = v;
+    }
+  }
+  return g;
+}
+
+DenseMatrix hadamard(const DenseMatrix& a, const DenseMatrix& b) {
+  BCSF_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "hadamard: shape mismatch");
+  DenseMatrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = a.data()[i] * b.data()[i];
+  }
+  return out;
+}
+
+DenseMatrix gram_hadamard_except(const std::vector<DenseMatrix>& factors,
+                                 index_t skip) {
+  BCSF_CHECK(!factors.empty(), "gram_hadamard_except: no factors");
+  BCSF_CHECK(skip < factors.size(), "gram_hadamard_except: bad skip mode");
+  const rank_t r = factors.front().cols();
+  DenseMatrix v(r, r, 1.0F);
+  for (index_t m = 0; m < factors.size(); ++m) {
+    if (m == skip) continue;
+    v = hadamard(v, gram(factors[m]));
+  }
+  return v;
+}
+
+DenseMatrix khatri_rao(const DenseMatrix& a, const DenseMatrix& b) {
+  BCSF_CHECK(a.cols() == b.cols(), "khatri_rao: rank mismatch");
+  const rank_t r = a.cols();
+  DenseMatrix out(a.rows() * b.rows(), r);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < b.rows(); ++j) {
+      const index_t row = i * b.rows() + j;
+      for (rank_t c = 0; c < r; ++c) {
+        out(row, c) = a(i, c) * b(j, c);
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b) {
+  BCSF_CHECK(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  DenseMatrix c(a.rows(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (rank_t k = 0; k < a.cols(); ++k) {
+      const value_t aik = a(i, k);
+      if (aik == 0.0F) continue;
+      for (rank_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<value_t> normalize_columns(DenseMatrix& a) {
+  const rank_t r = a.cols();
+  std::vector<double> norms(r, 0.0);
+  for (index_t row = 0; row < a.rows(); ++row) {
+    const auto ar = a.row(row);
+    for (rank_t c = 0; c < r; ++c) {
+      norms[c] += static_cast<double>(ar[c]) * ar[c];
+    }
+  }
+  std::vector<value_t> lambda(r);
+  for (rank_t c = 0; c < r; ++c) {
+    lambda[c] = static_cast<value_t>(std::sqrt(norms[c]));
+  }
+  for (index_t row = 0; row < a.rows(); ++row) {
+    auto ar = a.row(row);
+    for (rank_t c = 0; c < r; ++c) {
+      if (lambda[c] > 0.0F) ar[c] /= lambda[c];
+    }
+  }
+  return lambda;
+}
+
+double cp_inner_product(const SparseTensor& x,
+                        const std::vector<DenseMatrix>& factors,
+                        const std::vector<value_t>& lambda) {
+  BCSF_CHECK(factors.size() == x.order(), "cp_inner_product: factor count");
+  const rank_t r = factors.front().cols();
+  double inner = 0.0;
+  for (offset_t z = 0; z < x.nnz(); ++z) {
+    for (rank_t c = 0; c < r; ++c) {
+      double prod = lambda.empty() ? 1.0 : static_cast<double>(lambda[c]);
+      for (index_t m = 0; m < x.order(); ++m) {
+        prod *= factors[m](x.coord(m, z), c);
+      }
+      inner += prod * x.value(z);
+    }
+  }
+  return inner;
+}
+
+double cp_fit(const SparseTensor& x, const std::vector<DenseMatrix>& factors,
+              const std::vector<value_t>& lambda) {
+  const rank_t r = factors.front().cols();
+  // ||Xhat||^2 = lambda^T (*_m A_m^T A_m) lambda.
+  DenseMatrix v(r, r, 1.0F);
+  for (const auto& f : factors) v = hadamard(v, gram(f));
+  double model_sq = 0.0;
+  for (rank_t i = 0; i < r; ++i) {
+    const double li = lambda.empty() ? 1.0 : lambda[i];
+    for (rank_t j = 0; j < r; ++j) {
+      const double lj = lambda.empty() ? 1.0 : lambda[j];
+      model_sq += li * lj * static_cast<double>(v(i, j));
+    }
+  }
+  const double x_norm = x.norm();
+  const double x_sq = x_norm * x_norm;
+  const double inner = cp_inner_product(x, factors, lambda);
+  const double resid_sq = std::max(0.0, x_sq - 2.0 * inner + model_sq);
+  if (x_sq == 0.0) return 1.0;
+  return 1.0 - std::sqrt(resid_sq) / x_norm;
+}
+
+}  // namespace bcsf

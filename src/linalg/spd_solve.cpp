@@ -1,0 +1,101 @@
+#include "linalg/spd_solve.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+bool cholesky(const DenseMatrix& v, DenseMatrix& lower) {
+  BCSF_CHECK(v.rows() == v.cols(), "cholesky: matrix not square");
+  const rank_t n = v.cols();
+  lower = DenseMatrix(n, n);
+  for (rank_t j = 0; j < n; ++j) {
+    double diag = v(j, j);
+    for (rank_t k = 0; k < j; ++k) {
+      diag -= static_cast<double>(lower(j, k)) * lower(j, k);
+    }
+    if (diag <= 0.0) return false;
+    const double ljj = std::sqrt(diag);
+    lower(j, j) = static_cast<value_t>(ljj);
+    for (rank_t i = j + 1; i < n; ++i) {
+      double sum = v(i, j);
+      for (rank_t k = 0; k < j; ++k) {
+        sum -= static_cast<double>(lower(i, k)) * lower(j, k);
+      }
+      lower(i, j) = static_cast<value_t>(sum / ljj);
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Solves L L^T x = b in place for one right-hand side (b as double).
+void cholesky_solve_vec(const DenseMatrix& lower, std::vector<double>& b) {
+  const rank_t n = lower.cols();
+  // forward: L y = b
+  for (rank_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (rank_t k = 0; k < i; ++k) {
+      sum -= static_cast<double>(lower(i, k)) * b[k];
+    }
+    b[i] = sum / lower(i, i);
+  }
+  // backward: L^T x = y
+  for (rank_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (rank_t k = ii + 1; k < n; ++k) {
+      sum -= static_cast<double>(lower(k, ii)) * b[k];
+    }
+    b[ii] = sum / lower(ii, ii);
+  }
+}
+
+/// Cholesky with growing diagonal jitter until it succeeds.
+DenseMatrix robust_cholesky(const DenseMatrix& v) {
+  DenseMatrix lower;
+  if (cholesky(v, lower)) return lower;
+  double scale = 0.0;
+  for (rank_t i = 0; i < v.cols(); ++i) {
+    scale = std::max(scale, std::abs(static_cast<double>(v(i, i))));
+  }
+  if (scale == 0.0) scale = 1.0;
+  for (double eps = 1e-8; eps <= 1e2; eps *= 10.0) {
+    DenseMatrix jittered = v;
+    for (rank_t i = 0; i < v.cols(); ++i) {
+      jittered(i, i) += static_cast<value_t>(eps * scale);
+    }
+    if (cholesky(jittered, lower)) return lower;
+  }
+  BCSF_CHECK(false, "robust_cholesky: matrix could not be regularized");
+  return lower;
+}
+
+}  // namespace
+
+DenseMatrix solve_spd_right(const DenseMatrix& v, const DenseMatrix& b) {
+  BCSF_CHECK(v.rows() == v.cols(), "solve_spd_right: V not square");
+  BCSF_CHECK(b.cols() == v.rows(), "solve_spd_right: shape mismatch");
+  const DenseMatrix lower = robust_cholesky(v);
+  const rank_t n = v.cols();
+  DenseMatrix x(b.rows(), n);
+  std::vector<double> rhs(n);
+  for (index_t row = 0; row < b.rows(); ++row) {
+    // X V = B with V symmetric  =>  V X^T = B^T, solve per row.
+    for (rank_t c = 0; c < n; ++c) rhs[c] = b(row, c);
+    cholesky_solve_vec(lower, rhs);
+    for (rank_t c = 0; c < n; ++c) x(row, c) = static_cast<value_t>(rhs[c]);
+  }
+  return x;
+}
+
+DenseMatrix spd_inverse(const DenseMatrix& v) {
+  const rank_t n = v.cols();
+  DenseMatrix identity(n, n);
+  for (rank_t i = 0; i < n; ++i) identity(i, i) = 1.0F;
+  return solve_spd_right(v, identity);
+}
+
+}  // namespace bcsf

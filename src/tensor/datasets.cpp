@@ -1,0 +1,264 @@
+#include "tensor/datasets.hpp"
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+namespace {
+
+DatasetSpec make_spec(std::string name, std::string full_name,
+                      std::vector<std::uint64_t> paper_dims,
+                      std::uint64_t paper_nnz, double paper_density,
+                      PowerLawConfig twin,
+                      std::optional<TableIIRef> table2 = std::nullopt) {
+  DatasetSpec s;
+  s.name = std::move(name);
+  s.full_name = std::move(full_name);
+  s.order = static_cast<index_t>(paper_dims.size());
+  s.paper_dims = std::move(paper_dims);
+  s.paper_nnz = paper_nnz;
+  s.paper_density = paper_density;
+  s.twin = std::move(twin);
+  s.table2 = table2;
+  return s;
+}
+
+std::vector<DatasetSpec> build_registry() {
+  std::vector<DatasetSpec> reg;
+
+  // ---- 3-order tensors (Table III top half; Table II signatures). ----
+
+  // deli: many moderate slices, short fibers -> the best-behaved tensor.
+  {
+    PowerLawConfig c;
+    c.dims = {16600, 531000, 62500};
+    c.target_nnz = 1'400'000;
+    c.slice_alpha = 1.0;
+    c.max_slice_frac = 0.002;
+    c.fiber_alpha = 1.6;
+    c.max_fiber_len = 64;
+    c.seed = 101;
+    reg.push_back(make_spec(
+        "deli", "delicious-3d (FROSTT)", {533'000, 17'000'000, 2'000'000},
+        140'000'000, 6.14e-12, c,
+        TableIIRef{90, 60, 70, 62, 1011, 4}));
+  }
+
+  // nell1: hyper-sparse, longer fibers, moderate slice imbalance.
+  {
+    PowerLawConfig c;
+    c.dims = {93750, 62500, 781250};
+    c.target_nnz = 1'440'000;
+    c.slice_alpha = 0.45;
+    c.max_slice_frac = 0.05;
+    c.fiber_alpha = 0.7;
+    c.max_fiber_len = 2048;
+    c.seed = 102;
+    reg.push_back(make_spec(
+        "nell1", "NELL-1 (FROSTT)", {3'000'000, 2'000'000, 25'000'000},
+        144'000'000, 9.05e-13, c,
+        TableIIRef{33, 32, 44, 20, 1314, 61}));
+  }
+
+  // nell2: small dims, a few *huge* slices (stddev nnz/slc 28K in the
+  // paper) -> severe inter-thread-block imbalance.
+  {
+    PowerLawConfig c;
+    c.dims = {375, 281, 906};
+    c.target_nnz = 770'000;
+    c.slice_alpha = 0.30;
+    c.max_slice_frac = 0.25;
+    c.fiber_alpha = 0.55;
+    c.max_fiber_len = 800;
+    c.seed = 103;
+    reg.push_back(make_spec(
+        "nell2", "NELL-2 (FROSTT)", {12'000, 9'000, 29'000}, 77'000'000,
+        2.4e-05, c, TableIIRef{13, 10, 26, 83, 27983, 203}));
+  }
+
+  // flick-3d: every fiber is a singleton ("each fiber has only one
+  // nonzero", SS V-C) and slices are tiny on average.
+  {
+    PowerLawConfig c;
+    c.dims = {200000, 875000, 62500};
+    c.target_nnz = 1'130'000;
+    c.slice_alpha = 1.3;
+    c.max_slice_frac = 0.001;
+    c.fixed_fiber_len = 1;
+    c.singleton_slice_frac = 0.02;
+    c.seed = 104;
+    reg.push_back(make_spec(
+        "flick-3d", "flickr-3d (FROSTT)", {320'000, 28'000'000, 2'000'000},
+        113'000'000, 7.80e-12, c,
+        TableIIRef{46, 53, 37, 67, 1851, 4}));
+  }
+
+  // fr_m (freebase-music): huge first two modes, mode-3 dimension only 166;
+  // stddev(nnz/fbr) = 0 -> all fibers singletons, slices small.
+  {
+    PowerLawConfig c;
+    c.dims = {718750, 718750, 166};
+    c.target_nnz = 990'000;
+    c.slice_alpha = 1.4;
+    c.max_slice_frac = 0.0004;
+    c.fixed_fiber_len = 1;
+    c.singleton_slice_frac = 0.25;
+    c.seed = 105;
+    reg.push_back(make_spec(
+        "fr_m", "freebase-music (HaTen2)", {23'000'000, 23'000'000, 166},
+        99'000'000, 1.10e-09, c,
+        TableIIRef{18, 65, 27, 28, 105, 0}));
+  }
+
+  // fr_s (freebase-sampled): same family, slightly longer mode 3.
+  {
+    PowerLawConfig c;
+    c.dims = {1218750, 1218750, 532};
+    c.target_nnz = 1'400'000;
+    c.slice_alpha = 1.4;
+    c.max_slice_frac = 0.0003;
+    c.fixed_fiber_len = 1;
+    c.singleton_slice_frac = 0.25;
+    c.seed = 106;
+    reg.push_back(make_spec(
+        "fr_s", "freebase-sampled (HaTen2)", {39'000'000, 39'000'000, 532},
+        140'000'000, 1.73e-10, c,
+        TableIIRef{24, 67, 34, 28, 90, 0}));
+  }
+
+  // darpa: pathological in both dimensions -- enormous slices AND
+  // enormous fibers (stddev 25849 / 8588); the paper's worst performer
+  // (2 GFLOPs, 4% occupancy) and the biggest splitting win (22x, Fig 5).
+  {
+    PowerLawConfig c;
+    c.dims = {687, 687, 718750};
+    c.target_nnz = 280'000;
+    c.slice_alpha = 0.22;
+    c.max_slice_frac = 0.60;
+    c.fiber_alpha = 0.30;
+    c.max_fiber_len = 120'000;
+    c.seed = 107;
+    reg.push_back(make_spec(
+        "darpa", "DARPA-1998 (HaTen2)", {22'000, 22'000, 23'000'000},
+        28'000'000, 2.37e-09, c,
+        TableIIRef{2, 4, 12, 4, 25849, 8588}));
+  }
+
+  // ---- 4-order tensors (Table III bottom half). ----
+
+  // nips: small and fairly regular.
+  {
+    PowerLawConfig c;
+    c.dims = {2482, 2862, 14036, 17};
+    c.target_nnz = 310'000;
+    c.slice_alpha = 0.9;
+    c.max_slice_frac = 0.01;
+    c.fiber_alpha = 1.2;
+    c.max_fiber_len = 17;
+    c.seed = 108;
+    reg.push_back(make_spec("nips", "NIPS publications (FROSTT)",
+                            {2'482, 2'862, 14'036, 17}, 3'100'000, 3.85e-04,
+                            c));
+  }
+
+  // enron: email (sender, receiver, word, date); moderate tail.
+  {
+    PowerLawConfig c;
+    c.dims = {6066, 5699, 244268, 1176};
+    c.target_nnz = 540'000;
+    c.slice_alpha = 0.7;
+    c.max_slice_frac = 0.02;
+    c.fiber_alpha = 1.0;
+    c.max_fiber_len = 256;
+    c.seed = 109;
+    reg.push_back(make_spec("enron", "Enron emails (FROSTT)",
+                            {6'066, 5'699, 244'268, 1'176}, 5'400'000,
+                            1.83e-06, c));
+  }
+
+  // ch-cr (chicago-crime): tiny middle modes, very high density, so the
+  // mode-0 dimension (6K) forces heavy slices.
+  {
+    PowerLawConfig c;
+    c.dims = {6186, 24, 77, 32};
+    c.target_nnz = 540'000;
+    c.slice_alpha = 1.2;
+    c.max_slice_frac = 0.002;
+    c.fiber_alpha = 1.5;
+    c.max_fiber_len = 32;
+    c.seed = 110;
+    reg.push_back(make_spec("ch-cr", "chicago-crime (FROSTT)",
+                            {6'186, 24, 77, 32}, 54'000'000, 1.48e-01, c));
+  }
+
+  // flick-4d: flickr-3d plus a 731-day date mode; singleton fibers again.
+  {
+    PowerLawConfig c;
+    c.dims = {200000, 875000, 62500, 731};
+    c.target_nnz = 1'130'000;
+    c.slice_alpha = 1.3;
+    c.max_slice_frac = 0.001;
+    c.fixed_fiber_len = 1;
+    c.singleton_slice_frac = 0.02;
+    c.seed = 111;
+    reg.push_back(make_spec("flick-4d", "flickr-4d (FROSTT)",
+                            {320'000, 28'000'000, 2'000'000, 731},
+                            113'000'000, 1.07e-14, c));
+  }
+
+  // uber: small and dense-ish (pickups: day, hour, lat, lon).
+  {
+    PowerLawConfig c;
+    c.dims = {183, 24, 1140, 1717};
+    c.target_nnz = 330'000;
+    c.slice_alpha = 1.5;
+    c.max_slice_frac = 0.02;
+    c.fiber_alpha = 1.2;
+    c.max_fiber_len = 64;
+    c.seed = 112;
+    reg.push_back(make_spec("uber", "Uber pickups (FROSTT)",
+                            {183, 24, 1'140, 1'717}, 3'300'000, 5.37e-10, c));
+  }
+
+  return reg;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& paper_datasets() {
+  static const std::vector<DatasetSpec> registry = build_registry();
+  return registry;
+}
+
+std::vector<std::string> three_order_dataset_names() {
+  std::vector<std::string> names;
+  for (const auto& s : paper_datasets()) {
+    if (s.order == 3) names.push_back(s.name);
+  }
+  return names;
+}
+
+std::vector<std::string> all_dataset_names() {
+  std::vector<std::string> names;
+  for (const auto& s : paper_datasets()) names.push_back(s.name);
+  return names;
+}
+
+const DatasetSpec& dataset_spec(const std::string& name) {
+  for (const auto& s : paper_datasets()) {
+    if (s.name == name) return s;
+  }
+  BCSF_CHECK(false, "unknown dataset: " << name);
+  // unreachable
+  return paper_datasets().front();
+}
+
+SparseTensor generate_dataset(const DatasetSpec& spec) {
+  return generate_power_law(spec.twin);
+}
+
+SparseTensor generate_dataset(const std::string& name) {
+  return generate_dataset(dataset_spec(name));
+}
+
+}  // namespace bcsf

@@ -1,0 +1,68 @@
+// Registry of the paper's evaluation datasets (Table III) as scaled-down
+// synthetic twins.
+//
+// The real FROSTT / HaTen2 tensors hold 3M-144M nonzeros and are not
+// available offline, so each entry pairs the paper's published metadata
+// (order, dimensions, nonzeros, density, and the Table II load-imbalance
+// signature) with a PowerLawConfig whose generated twin reproduces the
+// *qualitative* signature at roughly 1/100 scale: heavy slices for nell2
+// and darpa, singleton fibers for flick and freebase, short mode-3 for
+// freebase, and so on.  Real `.tns` downloads can replace the twins via
+// read_tns_file without touching any benchmark.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/generator.hpp"
+#include "tensor/sparse_tensor.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+/// Published per-tensor numbers from Table II (plain GPU-CSF on a P100,
+/// mode 1, R = 32).  Only the seven 3-order tensors have an entry.
+struct TableIIRef {
+  double gflops = 0.0;
+  double achieved_occupancy_pct = 0.0;
+  double sm_efficiency_pct = 0.0;
+  double l2_hit_rate_pct = 0.0;
+  double stdev_nnz_per_slice = 0.0;
+  double stdev_nnz_per_fiber = 0.0;
+};
+
+struct DatasetSpec {
+  std::string name;        ///< short key used on bench command lines
+  std::string full_name;   ///< e.g. "delicious-3d (FROSTT)"
+  index_t order = 3;
+
+  std::vector<std::uint64_t> paper_dims;  ///< Table III dimensions
+  std::uint64_t paper_nnz = 0;            ///< Table III #Nonzeros
+  double paper_density = 0.0;             ///< Table III density
+
+  PowerLawConfig twin;  ///< scaled synthetic twin generator config
+
+  std::optional<TableIIRef> table2;  ///< present for the 3-order tensors
+};
+
+/// All twelve datasets in Table III order:
+/// deli, nell1, nell2, flick-3d, fr_m, fr_s, darpa,
+/// nips, enron, ch-cr, flick-4d, uber.
+const std::vector<DatasetSpec>& paper_datasets();
+
+/// The seven 3-order tensors (the GPU-format studies of Figs 5-10, 14, 15).
+std::vector<std::string> three_order_dataset_names();
+
+/// All twelve names in Table III order.
+std::vector<std::string> all_dataset_names();
+
+/// Lookup by short name; throws bcsf::Error if unknown.
+const DatasetSpec& dataset_spec(const std::string& name);
+
+/// Generates the scaled twin for a spec (deterministic per spec seed).
+SparseTensor generate_dataset(const DatasetSpec& spec);
+SparseTensor generate_dataset(const std::string& name);
+
+}  // namespace bcsf

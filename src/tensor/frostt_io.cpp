@@ -1,0 +1,99 @@
+#include "tensor/frostt_io.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+SparseTensor read_tns(std::istream& in, const std::vector<index_t>& dims_hint) {
+  std::string line;
+  std::size_t order = dims_hint.size();  // 0 = infer from first line
+  std::vector<index_vec> inds(order);
+  value_vec vals;
+  std::vector<index_t> max_coord(order, 0);
+  std::size_t line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::vector<double> fields;
+    double x = 0.0;
+    while (ls >> x) fields.push_back(x);
+    if (!ls.eof()) {
+      BCSF_CHECK(false, "tns line " << line_no << ": non-numeric token");
+    }
+    if (fields.empty()) continue;  // blank or comment-only line
+    BCSF_CHECK(fields.size() >= 2,
+               "tns line " << line_no << ": need at least one index and a value");
+    if (order == 0) {
+      order = fields.size() - 1;
+      inds.resize(order);
+      max_coord.assign(order, 0);
+    }
+    BCSF_CHECK(fields.size() == order + 1,
+               "tns line " << line_no << ": expected " << order
+                           << " coordinates + value, got " << fields.size() - 1
+                           << " coordinates");
+    for (std::size_t m = 0; m < order; ++m) {
+      const double c = fields[m];
+      BCSF_CHECK(c >= 1.0 && c == static_cast<double>(static_cast<index_t>(c)),
+                 "tns line " << line_no << ": coordinate " << c
+                             << " is not a positive integer");
+      const auto idx = static_cast<index_t>(c) - 1;  // to 0-based
+      if (!dims_hint.empty()) {
+        BCSF_CHECK(idx < dims_hint[m], "tns line " << line_no << ": coordinate "
+                                                   << c << " exceeds dim hint "
+                                                   << dims_hint[m]);
+      }
+      if (max_coord.size() <= m) max_coord.resize(m + 1, 0);
+      if (idx + 1 > max_coord[m]) max_coord[m] = idx + 1;
+      inds[m].push_back(idx);
+    }
+    vals.push_back(static_cast<value_t>(fields[order]));
+  }
+  BCSF_CHECK(order > 0, "tns input contained no data lines");
+
+  std::vector<index_t> dims =
+      dims_hint.empty() ? max_coord : dims_hint;
+  SparseTensor t(dims);
+  t.reserve(vals.size());
+  std::vector<index_t> coord(order);
+  for (offset_t z = 0; z < vals.size(); ++z) {
+    for (std::size_t m = 0; m < order; ++m) coord[m] = inds[m][z];
+    t.push_back(coord, vals[z]);
+  }
+  return t;
+}
+
+SparseTensor read_tns_file(const std::string& path,
+                           const std::vector<index_t>& dims_hint) {
+  std::ifstream in(path);
+  BCSF_CHECK(in.good(), "cannot open tns file: " << path);
+  return read_tns(in, dims_hint);
+}
+
+void write_tns(std::ostream& out, const SparseTensor& tensor) {
+  const index_t order = tensor.order();
+  for (offset_t z = 0; z < tensor.nnz(); ++z) {
+    for (index_t m = 0; m < order; ++m) {
+      out << (tensor.coord(m, z) + 1) << ' ';
+    }
+    out << tensor.value(z) << '\n';
+  }
+}
+
+void write_tns_file(const std::string& path, const SparseTensor& tensor) {
+  std::ofstream out(path);
+  BCSF_CHECK(out.good(), "cannot open tns file for writing: " << path);
+  write_tns(out, tensor);
+  BCSF_CHECK(out.good(), "write failed for tns file: " << path);
+}
+
+}  // namespace bcsf

@@ -1,0 +1,30 @@
+// Reader/writer for the FROSTT `.tns` text format [27]:
+//   one nonzero per line, 1-based coordinates followed by the value,
+//   '#' starts a comment.  The paper's datasets (deli, nell1, ...) ship in
+//   this format, so real downloads can be dropped into the benchmarks.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/sparse_tensor.hpp"
+
+namespace bcsf {
+
+/// Parses a `.tns` stream.  The tensor order is inferred from the first
+/// data line; dimensions are the maximum coordinate seen per mode unless
+/// `dims_hint` is non-empty (then coordinates are validated against it).
+/// Throws bcsf::Error on malformed lines, inconsistent arity, zero or
+/// negative coordinates.
+SparseTensor read_tns(std::istream& in,
+                      const std::vector<index_t>& dims_hint = {});
+
+/// Reads a `.tns` file from disk.
+SparseTensor read_tns_file(const std::string& path,
+                           const std::vector<index_t>& dims_hint = {});
+
+/// Writes a tensor as `.tns` (1-based coordinates).
+void write_tns(std::ostream& out, const SparseTensor& tensor);
+void write_tns_file(const std::string& path, const SparseTensor& tensor);
+
+}  // namespace bcsf

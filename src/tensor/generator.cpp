@@ -1,0 +1,232 @@
+#include "tensor/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+namespace {
+
+/// Samples `count` distinct indices from [0, n) (count <= n).
+/// For small count relative to n uses rejection; otherwise a partial
+/// Fisher-Yates over the full range.
+index_vec sample_distinct(index_t n, offset_t count, Rng& rng) {
+  BCSF_ASSERT(count <= n, "sample_distinct: count exceeds domain");
+  index_vec out;
+  out.reserve(count);
+  if (count * 3 < n) {
+    std::unordered_set<index_t> used;
+    used.reserve(count * 2);
+    while (out.size() < count) {
+      const index_t v = rng.uniform_index(n);
+      if (used.insert(v).second) out.push_back(v);
+    }
+  } else {
+    index_vec all(n);
+    std::iota(all.begin(), all.end(), index_t{0});
+    for (offset_t i = 0; i < count; ++i) {
+      const auto j = static_cast<index_t>(rng.uniform(i, n - 1));
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+  }
+  return out;
+}
+
+value_t sample_value(Rng& rng) {
+  return static_cast<value_t>(rng.uniform_real(0.5, 1.5));
+}
+
+}  // namespace
+
+SparseTensor generate_power_law(const PowerLawConfig& config) {
+  BCSF_CHECK(config.dims.size() >= 2, "generate_power_law: order must be >= 2");
+  BCSF_CHECK(config.target_nnz > 0, "generate_power_law: target_nnz must be > 0");
+  const index_t order = static_cast<index_t>(config.dims.size());
+  const index_t slice_dim = config.dims.front();
+  const index_t leaf_dim = config.dims.back();
+  Rng rng(config.seed);
+
+  SparseTensor t(config.dims);
+  t.reserve(config.target_nnz);
+
+  // --- 1. draw slice budgets from a bounded Pareto until target reached.
+  const double max_slice =
+      std::max(1.0, config.max_slice_frac * static_cast<double>(config.target_nnz));
+  offset_vec slice_budget;
+  offset_t singleton_budget = static_cast<offset_t>(
+      config.singleton_slice_frac * static_cast<double>(config.target_nnz));
+  // Each singleton slice consumes one mode-0 index; clamp so structured
+  // slices still have room (small mode-0 dimensions would otherwise make
+  // the request unsatisfiable).
+  singleton_budget = std::min<offset_t>(singleton_budget, slice_dim / 2);
+  offset_t structured_target = config.target_nnz - singleton_budget;
+  offset_t total = 0;
+  while (total < structured_target &&
+         slice_budget.size() + singleton_budget < slice_dim) {
+    auto w = static_cast<offset_t>(
+        std::llround(rng.pareto(config.slice_alpha, 1.0, max_slice)));
+    w = std::max<offset_t>(1, std::min<offset_t>(w, structured_target - total));
+    slice_budget.push_back(w);
+    total += w;
+  }
+  // If the slice dimension was exhausted before reaching the target (small
+  // mode-0 dimension, e.g. chicago-crime's 6K), scale every budget
+  // proportionally: this preserves the drawn power-law *shape* (a uniform
+  // top-up would flatten the tail and erase the Table II stddev
+  // signatures) while landing near target_nnz.
+  if (!slice_budget.empty() && total < structured_target) {
+    const double scale = static_cast<double>(structured_target) /
+                         static_cast<double>(total);
+    total = 0;
+    for (auto& w : slice_budget) {
+      w = std::max<offset_t>(
+          1, static_cast<offset_t>(std::llround(static_cast<double>(w) * scale)));
+      total += w;
+    }
+  }
+
+  const offset_t n_structured = slice_budget.size();
+  const offset_t n_slices = n_structured + singleton_budget;
+  BCSF_CHECK(n_slices <= slice_dim,
+             "generate_power_law: mode-0 dimension " << slice_dim
+                 << " too small for " << n_slices << " active slices");
+  index_vec slice_ids = sample_distinct(slice_dim, n_slices, rng);
+
+  // --- 2. fill each structured slice with power-law fibers.
+  const offset_t fiber_cap =
+      std::min<offset_t>(std::max<offset_t>(config.max_fiber_len, 1), leaf_dim);
+  std::vector<index_t> coord(order);
+  std::unordered_set<std::uint64_t> fiber_keys;  // dedupe fibers within slice
+
+  // Number of distinct middle-coordinate tuples available per slice; once a
+  // slice has used them all, no more fibers fit and its remaining budget is
+  // dropped (prevents an infinite rejection loop on tiny middle modes).
+  double middle_space = 1.0;
+  for (index_t m = 1; m + 1 < order; ++m) {
+    middle_space *= static_cast<double>(config.dims[m]);
+  }
+
+  for (offset_t s = 0; s < n_structured; ++s) {
+    coord[0] = slice_ids[s];
+    offset_t remaining = slice_budget[s];
+    fiber_keys.clear();
+    if (order == 2) {
+      // A matrix row is both the slice and the fiber: emit one run of
+      // distinct column indices.
+      const offset_t len = std::min<offset_t>(remaining, leaf_dim);
+      for (index_t k : sample_distinct(leaf_dim, len, rng)) {
+        coord[1] = k;
+        t.push_back(coord, sample_value(rng));
+      }
+      continue;
+    }
+    while (remaining > 0) {
+      if (static_cast<double>(fiber_keys.size()) >= middle_space) {
+        break;  // slice is structurally full
+      }
+      // fiber length
+      offset_t len;
+      if (config.fixed_fiber_len > 0) {
+        len = std::min<offset_t>(config.fixed_fiber_len, remaining);
+      } else {
+        len = static_cast<offset_t>(
+            std::llround(rng.pareto(config.fiber_alpha, 1.0,
+                                    static_cast<double>(fiber_cap))));
+        // A heavy slice with few remaining fiber slots must draw longer
+        // fibers or its budget cannot fit (e.g. nell2: 281 possible fibers
+        // per slice but thousands of nonzeros).
+        const double slots_left =
+            middle_space - static_cast<double>(fiber_keys.size());
+        const auto need = static_cast<offset_t>(
+            std::ceil(static_cast<double>(remaining) / slots_left));
+        len = std::max(len, need);
+        len = std::min<offset_t>(len, leaf_dim);
+        len = std::max<offset_t>(1, std::min(len, remaining));
+      }
+      // middle coordinates identify the fiber; retry on collision.
+      std::uint64_t key = 0;
+      for (index_t m = 1; m + 1 < order; ++m) {
+        coord[m] = rng.uniform_index(config.dims[m]);
+        key = key * 0x9e3779b97f4a7c15ULL + coord[m] + 1;
+      }
+      if (order > 2 && !fiber_keys.insert(key).second) continue;
+
+      for (index_t k : sample_distinct(leaf_dim, len, rng)) {
+        coord[order - 1] = k;
+        t.push_back(coord, sample_value(rng));
+      }
+      remaining -= len;
+    }
+  }
+
+  // --- 3. singleton slices (one nonzero each) for the ultra-sparse tail.
+  for (offset_t s = n_structured; s < n_slices; ++s) {
+    coord[0] = slice_ids[s];
+    for (index_t m = 1; m < order; ++m) {
+      coord[m] = rng.uniform_index(config.dims[m]);
+    }
+    t.push_back(coord, sample_value(rng));
+  }
+
+  return t;
+}
+
+SparseTensor generate_uniform(const std::vector<index_t>& dims, offset_t nnz,
+                              std::uint64_t seed) {
+  BCSF_CHECK(!dims.empty(), "generate_uniform: dims empty");
+  double cells = 1.0;
+  for (index_t d : dims) cells *= static_cast<double>(d);
+  BCSF_CHECK(static_cast<double>(nnz) <= cells,
+             "generate_uniform: nnz exceeds tensor size");
+  Rng rng(seed);
+  SparseTensor t(dims);
+  t.reserve(nnz);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(nnz * 2);
+  std::vector<index_t> coord(dims.size());
+  while (t.nnz() < nnz) {
+    std::uint64_t key = 0;
+    for (std::size_t m = 0; m < dims.size(); ++m) {
+      coord[m] = rng.uniform_index(dims[m]);
+      key = key * 0x9e3779b97f4a7c15ULL + coord[m] + 1;
+    }
+    if (!used.insert(key).second) continue;
+    t.push_back(coord, sample_value(rng));
+  }
+  return t;
+}
+
+SparseTensor generate_low_rank(const std::vector<index_t>& dims, rank_t rank,
+                               offset_t nnz, value_t noise,
+                               std::uint64_t seed) {
+  BCSF_CHECK(rank > 0, "generate_low_rank: rank must be positive");
+  Rng rng(seed);
+  // Random nonnegative factors keep the sampled values away from zero.
+  std::vector<std::vector<value_t>> factors(dims.size());
+  for (std::size_t m = 0; m < dims.size(); ++m) {
+    factors[m].resize(static_cast<std::size_t>(dims[m]) * rank);
+    for (auto& v : factors[m]) {
+      v = static_cast<value_t>(rng.uniform_real(0.1, 1.0));
+    }
+  }
+  SparseTensor t = generate_uniform(dims, nnz, seed ^ 0xabcdef12ULL);
+  for (offset_t z = 0; z < t.nnz(); ++z) {
+    value_t acc = 0.0F;
+    for (rank_t r = 0; r < rank; ++r) {
+      value_t prod = 1.0F;
+      for (index_t m = 0; m < t.order(); ++m) {
+        prod *= factors[m][static_cast<std::size_t>(t.coord(m, z)) * rank + r];
+      }
+      acc += prod;
+    }
+    t.value(z) = acc + (noise > 0.0F ? rng.normal(0.0F, noise) : 0.0F);
+  }
+  return t;
+}
+
+}  // namespace bcsf

@@ -1,0 +1,65 @@
+// Synthetic sparse tensor generators.
+//
+// Real tensors "tend to follow a power-law distribution" (§IV); the load
+// imbalance the paper attacks comes from heavy-tailed distributions of
+// nonzeros per slice and per fiber.  `generate_power_law` gives direct,
+// independent control over both tails, so each dataset in Table III can be
+// given a scaled-down twin with the same qualitative signature (Table II's
+// stddev columns).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/sparse_tensor.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+/// Configuration for the structural power-law generator.
+struct PowerLawConfig {
+  std::vector<index_t> dims;  ///< tensor dimensions (order = dims.size() >= 2)
+  offset_t target_nnz = 0;    ///< approximate nonzero count to produce
+
+  /// Bounded-Pareto tail exponent for nonzeros per slice; smaller values
+  /// concentrate more of the tensor into a few heavy slices.
+  double slice_alpha = 1.2;
+  /// Cap on a single slice's nonzeros, as a fraction of target_nnz.
+  double max_slice_frac = 0.05;
+
+  /// Bounded-Pareto tail exponent for nonzeros per fiber.
+  double fiber_alpha = 1.5;
+  /// Cap on a single fiber's length (also clamped to the leaf dimension).
+  offset_t max_fiber_len = 1024;
+  /// If nonzero, every fiber has exactly this many nonzeros (e.g. 1 models
+  /// flick-3d, whose fibers are all singletons, and freebase, whose
+  /// stddev(nnz/fiber) is 0 in Table II).
+  offset_t fixed_fiber_len = 0;
+
+  /// Fraction of target nonzeros emitted as isolated singleton slices
+  /// (one nonzero in its own slice) -- the ultra-sparse COO population of
+  /// HB-CSF (§V).
+  double singleton_slice_frac = 0.0;
+
+  std::uint64_t seed = 42;
+};
+
+/// Generates a tensor whose mode-0 (slice, fiber) structure follows the
+/// configured power laws.  Coordinates are unique by construction; values
+/// are uniform in [0.5, 1.5] to keep accumulations well-conditioned.
+SparseTensor generate_power_law(const PowerLawConfig& config);
+
+/// Uniformly random tensor with `nnz` distinct coordinates.
+SparseTensor generate_uniform(const std::vector<index_t>& dims, offset_t nnz,
+                              std::uint64_t seed);
+
+/// Noisy low-rank tensor: values are entries of a random rank-`rank` CP
+/// model sampled at `nnz` random coordinates plus Gaussian noise.  Used to
+/// validate that CPD-ALS recovers structure (fit rises well above the
+/// noise floor).
+SparseTensor generate_low_rank(const std::vector<index_t>& dims, rank_t rank,
+                               offset_t nnz, value_t noise,
+                               std::uint64_t seed);
+
+}  // namespace bcsf

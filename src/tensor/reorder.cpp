@@ -1,0 +1,105 @@
+#include "tensor/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bcsf {
+
+Relabeling random_relabeling(index_t dim, std::uint64_t seed) {
+  Relabeling perm(dim);
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  Rng rng(seed);
+  std::shuffle(perm.begin(), perm.end(), rng.engine());
+  return perm;
+}
+
+Relabeling degree_sorted_relabeling(const SparseTensor& tensor, index_t mode) {
+  BCSF_CHECK(mode < tensor.order(), "degree_sorted_relabeling: bad mode");
+  const index_t dim = tensor.dim(mode);
+  offset_vec degree(dim, 0);
+  for (offset_t z = 0; z < tensor.nnz(); ++z) {
+    ++degree[tensor.coord(mode, z)];
+  }
+  index_vec by_degree(dim);
+  std::iota(by_degree.begin(), by_degree.end(), index_t{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](index_t a, index_t b) { return degree[a] > degree[b]; });
+  // by_degree[rank] = old index; we need perm[old] = rank.
+  Relabeling perm(dim);
+  for (index_t rank = 0; rank < dim; ++rank) {
+    perm[by_degree[rank]] = rank;
+  }
+  return perm;
+}
+
+void apply_relabeling(SparseTensor& tensor, index_t mode,
+                      const Relabeling& perm) {
+  BCSF_CHECK(mode < tensor.order(), "apply_relabeling: bad mode");
+  BCSF_CHECK(perm.size() == tensor.dim(mode),
+             "apply_relabeling: permutation size " << perm.size()
+                 << " != dim " << tensor.dim(mode));
+  // Validate bijectivity once (cheap relative to the relabeling's users).
+  std::vector<bool> seen(perm.size(), false);
+  for (index_t p : perm) {
+    BCSF_CHECK(p < perm.size() && !seen[p],
+               "apply_relabeling: not a bijection");
+    seen[p] = true;
+  }
+  // Rebuild the tensor with relabeled coordinates on this mode.
+  SparseTensor out(tensor.dims());
+  out.reserve(tensor.nnz());
+  std::vector<index_t> coord(tensor.order());
+  for (offset_t z = 0; z < tensor.nnz(); ++z) {
+    for (index_t m = 0; m < tensor.order(); ++m) {
+      coord[m] = m == mode ? perm[tensor.coord(m, z)] : tensor.coord(m, z);
+    }
+    out.push_back(coord, tensor.value(z));
+  }
+  tensor = std::move(out);
+}
+
+Relabeling invert_relabeling(const Relabeling& perm) {
+  Relabeling inv(perm.size());
+  for (index_t i = 0; i < perm.size(); ++i) {
+    BCSF_CHECK(perm[i] < perm.size(), "invert_relabeling: out of range");
+    inv[perm[i]] = i;
+  }
+  return inv;
+}
+
+void zorder_sort(SparseTensor& tensor, index_t bits) {
+  BCSF_CHECK(bits >= 1 && bits <= 16, "zorder_sort: bits must be in [1,16]");
+  const index_t order = tensor.order();
+  const offset_t m = tensor.nnz();
+  // Morton code: interleave the low `bits` bits of each coordinate,
+  // mode-major within each bit position.
+  std::vector<std::uint64_t> code(m, 0);
+  for (offset_t z = 0; z < m; ++z) {
+    std::uint64_t c = 0;
+    for (index_t b = bits; b-- > 0;) {
+      for (index_t mo = 0; mo < order; ++mo) {
+        c = (c << 1) | ((tensor.coord(mo, z) >> b) & 1U);
+      }
+    }
+    code[z] = c;
+  }
+  std::vector<offset_t> perm(m);
+  std::iota(perm.begin(), perm.end(), offset_t{0});
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](offset_t a, offset_t b) { return code[a] < code[b]; });
+
+  SparseTensor out(tensor.dims());
+  out.reserve(m);
+  std::vector<index_t> coord(order);
+  for (offset_t zi = 0; zi < m; ++zi) {
+    const offset_t z = perm[zi];
+    for (index_t mo = 0; mo < order; ++mo) coord[mo] = tensor.coord(mo, z);
+    out.push_back(coord, tensor.value(z));
+  }
+  tensor = std::move(out);
+}
+
+}  // namespace bcsf

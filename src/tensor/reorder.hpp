@@ -1,0 +1,48 @@
+// Index reordering -- the paper's named future work: "Future work will
+// explore integration of some of these complementary strategies (...
+// various reordering methods (Z-order sorting, graph and hypergraph
+// partitioning))".
+//
+// Implemented strategies:
+//  * random relabeling of a mode (a control: destroys any locality the
+//    input labeling had);
+//  * degree-sorted relabeling (heavy slices first -- packs heavy work at
+//    the front of the grid so the block scheduler drains it early);
+//  * Z-order (Morton) sorting of the nonzeros across all modes, the
+//    HiCOO-style locality layout.
+// All relabelings are pure bijections on mode indices: MTTKRP results are
+// identical up to the same permutation of output rows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/sparse_tensor.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+/// A bijective relabeling of one mode: new_index = perm[old_index].
+using Relabeling = index_vec;
+
+/// Random bijection over [0, dims[mode]).
+Relabeling random_relabeling(index_t dim, std::uint64_t seed);
+
+/// Heavy-first: slices (along `mode`) sorted by descending nonzero count;
+/// ties keep original order.  Index i of the busiest slice maps to 0.
+Relabeling degree_sorted_relabeling(const SparseTensor& tensor, index_t mode);
+
+/// Applies a relabeling to one mode (in place).
+void apply_relabeling(SparseTensor& tensor, index_t mode,
+                      const Relabeling& perm);
+
+/// Inverse permutation (for mapping results back).
+Relabeling invert_relabeling(const Relabeling& perm);
+
+/// Reorders the nonzeros (storage order only -- coordinates unchanged) by
+/// the Morton / Z-order code of their coordinates, interleaving the low
+/// `bits` bits of every mode.  Improves block locality for COO-family
+/// kernels; a no-op for CSF-family formats, which re-sort anyway.
+void zorder_sort(SparseTensor& tensor, index_t bits = 10);
+
+}  // namespace bcsf

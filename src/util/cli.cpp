@@ -1,0 +1,66 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+CliParser::CliParser(int argc, const char* const* argv) {
+  BCSF_CHECK(argc >= 1, "CliParser: argc must be >= 1");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "";
+    }
+  }
+}
+
+bool CliParser::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string CliParser::get_string(const std::string& name,
+                                  const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  BCSF_CHECK(!it->second.empty(), "flag --" << name << " needs a value");
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  BCSF_CHECK(!it->second.empty(), "flag --" << name << " needs a value");
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliParser::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0") return false;
+  BCSF_CHECK(false, "flag --" << name << " expects true/false");
+  return fallback;
+}
+
+}  // namespace bcsf

@@ -1,0 +1,39 @@
+// A tiny flag parser for the examples and bench drivers:
+//   --name=value  or  --name value  or boolean --flag
+// Unknown flags raise bcsf::Error so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bcsf {
+
+class CliParser {
+ public:
+  CliParser(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;  // name -> value ("" if none)
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bcsf

@@ -1,0 +1,48 @@
+// Checked error handling: all user-facing validation throws bcsf::Error
+// with a formatted message; internal invariants use BCSF_ASSERT which is
+// active in all build types (the cost is negligible next to the kernels).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bcsf {
+
+/// Exception type for every recoverable error raised by the library
+/// (malformed input files, inconsistent shapes, out-of-range indices).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " (" << file << ":" << line << ")";
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace bcsf
+
+/// Validate a user-visible precondition; throws bcsf::Error on failure.
+#define BCSF_CHECK(cond, msg)                                       \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      std::ostringstream bcsf_os_;                                  \
+      bcsf_os_ << "check failed: " #cond " -- " << msg;             \
+      ::bcsf::detail::throw_error(__FILE__, __LINE__, bcsf_os_.str()); \
+    }                                                               \
+  } while (0)
+
+/// Internal invariant; identical behaviour but signals a library bug.
+#define BCSF_ASSERT(cond, msg)                                      \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      std::ostringstream bcsf_os_;                                  \
+      bcsf_os_ << "internal invariant violated: " #cond " -- " << msg; \
+      ::bcsf::detail::throw_error(__FILE__, __LINE__, bcsf_os_.str()); \
+    }                                                               \
+  } while (0)

@@ -1,0 +1,38 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+
+namespace bcsf {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::ostream& os =
+      (level == LogLevel::kError || level == LogLevel::kWarn) ? std::cerr
+                                                              : std::clog;
+  os << "[bcsf:" << level_tag(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace bcsf

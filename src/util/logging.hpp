@@ -1,0 +1,49 @@
+// Minimal leveled logger.  Benchmarks and examples print their tables via
+// std::cout; the logger is for diagnostics (format construction summaries,
+// simulator traces) and can be silenced globally.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace bcsf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace bcsf
+
+#define BCSF_LOG(level)                              \
+  if (static_cast<int>(level) >= static_cast<int>(::bcsf::log_level())) \
+  ::bcsf::detail::LogLine(level)
+
+#define BCSF_DEBUG BCSF_LOG(::bcsf::LogLevel::kDebug)
+#define BCSF_INFO BCSF_LOG(::bcsf::LogLevel::kInfo)
+#define BCSF_WARN BCSF_LOG(::bcsf::LogLevel::kWarn)
+#define BCSF_ERROR BCSF_LOG(::bcsf::LogLevel::kError)

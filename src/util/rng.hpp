@@ -1,0 +1,95 @@
+// Deterministic pseudo-random generation for synthetic tensors.
+//
+// Real-world sparse tensors "tend to follow a power-law distribution"
+// (§IV), so the generators need heavy-tailed samplers: Zipf over a finite
+// index range (slice/fiber popularity) and a bounded Pareto for
+// fiber-length targets.  Everything is seeded, so every dataset twin and
+// every test is reproducible bit-for-bit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+/// Library-wide PRNG (mt19937_64 wrapper with convenience samplers).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    BCSF_CHECK(lo <= hi, "uniform: empty range");
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  index_t uniform_index(index_t n) {
+    BCSF_CHECK(n > 0, "uniform_index: n must be positive");
+    return static_cast<index_t>(uniform(0, n - 1));
+  }
+
+  double uniform_real(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  value_t normal(value_t mean = 0.0F, value_t sd = 1.0F) {
+    return std::normal_distribution<value_t>(mean, sd)(engine_);
+  }
+
+  /// Bounded Pareto sample in [lo, hi] with tail exponent `alpha`
+  /// (smaller alpha = heavier tail).  Used for fiber/slice size targets.
+  double pareto(double alpha, double lo, double hi) {
+    BCSF_CHECK(alpha > 0.0 && lo > 0.0 && hi > lo, "pareto: bad parameters");
+    const double u = uniform_real(std::nextafter(0.0, 1.0), 1.0);
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf sampler over {0, ..., n-1} with exponent s, using precomputed
+/// cumulative weights and binary search (O(log n) per sample).
+class ZipfSampler {
+ public:
+  ZipfSampler(index_t n, double s, Rng& rng);
+
+  index_t sample();
+  index_t domain() const { return n_; }
+
+ private:
+  index_t n_;
+  Rng& rng_;
+  std::vector<double> cdf_;  // normalized cumulative weights
+};
+
+inline ZipfSampler::ZipfSampler(index_t n, double s, Rng& rng)
+    : n_(n), rng_(rng), cdf_(n) {
+  BCSF_CHECK(n > 0, "ZipfSampler: empty domain");
+  double acc = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (index_t i = 0; i < n; ++i) cdf_[i] /= acc;
+}
+
+inline index_t ZipfSampler::sample() {
+  const double u = rng_.uniform_real();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto pos = static_cast<index_t>(it - cdf_.begin());
+  return pos < n_ ? pos : n_ - 1;
+}
+
+}  // namespace bcsf

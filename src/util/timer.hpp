@@ -1,0 +1,28 @@
+// Wall-clock timing for the pre-processing experiments (Figs. 9 and 10):
+// format construction cost is measured as real elapsed time, because it is
+// genuine host-side work in both the paper and this reproduction.
+#pragma once
+
+#include <chrono>
+
+namespace bcsf {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace bcsf

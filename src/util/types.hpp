@@ -1,0 +1,44 @@
+// Common scalar types and small helpers shared by every module.
+//
+// The paper stores indices as 32-bit unsigned integers and values as
+// 32-bit floats ("We use 32 bit unsigned integers to store the indices and
+// 32 bit floats to store the values", §VI-A).  Offsets into nonzero arrays
+// use 64 bits so tensors larger than 4G nonzeros do not overflow pointer
+// arrays.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace bcsf {
+
+using index_t = std::uint32_t;  ///< one coordinate along a tensor mode
+using offset_t = std::uint64_t; ///< position into the nonzero arrays
+using value_t = float;          ///< numerical value of a nonzero
+using rank_t = std::uint32_t;   ///< CP rank (number of factor columns)
+
+inline constexpr index_t kInvalidIndex = std::numeric_limits<index_t>::max();
+
+/// Bytes occupied by one stored index (paper assumes 4-byte indices in all
+/// storage-cost formulas of §III).
+inline constexpr std::size_t kIndexBytes = sizeof(index_t);
+
+/// Integer ceiling division for work partitioning.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Round `a` up to the next multiple of `b`.
+template <typename T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+using index_vec = std::vector<index_t>;
+using offset_vec = std::vector<offset_t>;
+using value_vec = std::vector<value_t>;
+
+}  // namespace bcsf

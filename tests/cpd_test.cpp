@@ -1,0 +1,120 @@
+// Tests for CPD-ALS (Algorithm 1): convergence on low-rank data,
+// backend agreement, and option handling.
+#include <gtest/gtest.h>
+
+#include "cpd/cpd_als.hpp"
+#include "tensor/generator.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+namespace {
+
+SparseTensor low_rank_tensor(value_t noise = 0.0F) {
+  // Fully-dense sampling: a *sparse* sample of a CP model is not low-rank
+  // (the implicit zeros off the support break the structure), so ALS can
+  // only be validated for near-exact fit on a dense low-rank tensor.
+  return generate_low_rank({12, 10, 8}, 4, 12 * 10 * 8, noise, 81);
+}
+
+TEST(CpdAls, FitIncreasesAndConverges) {
+  CpdOptions opts;
+  opts.rank = 4;
+  opts.max_iterations = 30;
+  opts.backend = CpdBackend::kCpuCsf;
+  const CpdResult r = cpd_als(low_rank_tensor(), opts);
+  ASSERT_GE(r.fit_history.size(), 2u);
+  // Fit is non-decreasing up to fp noise after the first iterations.
+  for (std::size_t i = 1; i < r.fit_history.size(); ++i) {
+    EXPECT_GT(r.fit_history[i], r.fit_history[i - 1] - 1e-3);
+  }
+  // Exact-rank noiseless data: ALS should model it well.
+  EXPECT_GT(r.final_fit, 0.85);
+}
+
+TEST(CpdAls, NoisyDataStillFitsReasonably) {
+  CpdOptions opts;
+  opts.rank = 4;
+  opts.max_iterations = 25;
+  const CpdResult r = cpd_als(low_rank_tensor(0.05F), opts);
+  EXPECT_GT(r.final_fit, 0.7);
+}
+
+TEST(CpdAls, BackendsAgreeOnFit) {
+  CpdOptions base;
+  base.rank = 3;
+  base.max_iterations = 8;
+  base.fit_tolerance = 0.0;  // fixed iteration count for comparability
+  base.seed = 5;
+  const SparseTensor x = low_rank_tensor();
+
+  base.backend = CpdBackend::kReference;
+  const double ref_fit = cpd_als(x, base).final_fit;
+  base.backend = CpdBackend::kCpuCsf;
+  const double cpu_fit = cpd_als(x, base).final_fit;
+  base.backend = CpdBackend::kGpuHbcsf;
+  base.device = DeviceModel::tiny();
+  const CpdResult gpu = cpd_als(x, base);
+
+  EXPECT_NEAR(cpu_fit, ref_fit, 0.02);
+  EXPECT_NEAR(gpu.final_fit, ref_fit, 0.02);
+  EXPECT_GT(gpu.simulated_mttkrp_seconds, 0.0);
+}
+
+TEST(CpdAls, FactorsHaveUnitColumns) {
+  CpdOptions opts;
+  opts.rank = 3;
+  opts.max_iterations = 5;
+  const CpdResult r = cpd_als(low_rank_tensor(), opts);
+  ASSERT_EQ(r.factors.size(), 3u);
+  ASSERT_EQ(r.lambda.size(), 3u);
+  // The last-normalized factor has unit columns.
+  const DenseMatrix& last = r.factors.back();
+  for (rank_t c = 0; c < last.cols(); ++c) {
+    double norm = 0.0;
+    for (index_t row = 0; row < last.rows(); ++row) {
+      norm += static_cast<double>(last(row, c)) * last(row, c);
+    }
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-3);
+  }
+}
+
+TEST(CpdAls, StopsEarlyOnTolerance) {
+  CpdOptions opts;
+  opts.rank = 4;
+  opts.max_iterations = 50;
+  opts.fit_tolerance = 1e-3;
+  const CpdResult r = cpd_als(low_rank_tensor(), opts);
+  EXPECT_LT(r.iterations, 50u);
+  EXPECT_EQ(r.fit_history.size(), r.iterations);
+}
+
+TEST(CpdAls, RespectsIterationCap) {
+  CpdOptions opts;
+  opts.rank = 2;
+  opts.max_iterations = 3;
+  opts.fit_tolerance = 0.0;
+  const CpdResult r = cpd_als(low_rank_tensor(), opts);
+  EXPECT_EQ(r.iterations, 3u);
+}
+
+TEST(CpdAls, RejectsEmptyTensorAndZeroRank) {
+  const SparseTensor empty({3, 3, 3});
+  EXPECT_THROW(cpd_als(empty, CpdOptions{}), Error);
+  CpdOptions zero;
+  zero.rank = 0;
+  EXPECT_THROW(cpd_als(low_rank_tensor(), zero), Error);
+}
+
+TEST(CpdAls, Order4Decomposition) {
+  const SparseTensor x =
+      generate_low_rank({8, 7, 6, 5}, 3, 8 * 7 * 6 * 5, 0.0F, 82);
+  CpdOptions opts;
+  opts.rank = 3;
+  opts.max_iterations = 20;
+  const CpdResult r = cpd_als(x, opts);
+  ASSERT_EQ(r.factors.size(), 4u);
+  EXPECT_GT(r.final_fit, 0.8);
+}
+
+}  // namespace
+}  // namespace bcsf

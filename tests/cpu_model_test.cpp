@@ -1,0 +1,126 @@
+// Tests for the 28-core Broadwell cost model used in the cross-platform
+// figures: sanity bounds and the qualitative behaviors the paper relies
+// on (tiling hurting fiber-dominated tensors, imbalance from skewed
+// slices, short modes starving thread-level parallelism).
+#include <gtest/gtest.h>
+
+#include "formats/csf.hpp"
+#include "formats/hicoo.hpp"
+#include "kernels/cpu_model.hpp"
+#include "tensor/generator.hpp"
+
+namespace bcsf {
+namespace {
+
+SparseTensor fiber_dominated() {
+  // F ~ M: every fiber a singleton, the structure SPLATT's tiling walks
+  // once per tile.
+  PowerLawConfig cfg;
+  cfg.dims = {2000, 3000, 500};
+  cfg.target_nnz = 40000;
+  cfg.fixed_fiber_len = 1;
+  cfg.seed = 71;
+  return generate_power_law(cfg);
+}
+
+SparseTensor skewed_slices() {
+  PowerLawConfig cfg;
+  cfg.dims = {600, 300, 400};
+  cfg.target_nnz = 40000;
+  cfg.slice_alpha = 0.25;
+  cfg.max_slice_frac = 0.5;
+  cfg.seed = 72;
+  return generate_power_law(cfg);
+}
+
+SparseTensor balanced() {
+  PowerLawConfig cfg;
+  cfg.dims = {600, 300, 400};
+  cfg.target_nnz = 40000;
+  cfg.slice_alpha = 3.0;
+  cfg.max_slice_frac = 0.002;
+  cfg.fiber_alpha = 3.0;
+  cfg.seed = 73;
+  return generate_power_law(cfg);
+}
+
+TEST(CpuModel, EstimatesArePositiveAndFinite) {
+  const CpuModel cpu = CpuModel::broadwell();
+  const CsfTensor csf = build_csf(balanced(), 0);
+  for (bool tiled : {false, true}) {
+    const CpuEstimate e = estimate_splatt(csf, 32, cpu, tiled);
+    EXPECT_GT(e.seconds, 0.0);
+    EXPECT_GT(e.gflops, 0.0);
+    EXPECT_GE(e.imbalance, 1.0);
+    EXPECT_GT(e.traffic_bytes, 0.0);
+  }
+}
+
+TEST(CpuModel, TilingHurtsFiberDominatedTensors) {
+  // The paper's Fig. 11 vs 12 gap: tiling re-walks the fiber structure
+  // once per tile, which dominates when F ~ M.
+  const CpuModel cpu = CpuModel::broadwell();
+  const CsfTensor csf = build_csf(fiber_dominated(), 0);
+  const CpuEstimate nt = estimate_splatt(csf, 32, cpu, false);
+  const CpuEstimate t = estimate_splatt(csf, 32, cpu, true, 8);
+  EXPECT_GT(t.seconds, nt.seconds);
+}
+
+TEST(CpuModel, SkewedSlicesRaiseImbalance) {
+  const CpuModel cpu = CpuModel::broadwell();
+  const CpuEstimate skew =
+      estimate_splatt(build_csf(skewed_slices(), 0), 32, cpu, false);
+  const CpuEstimate flat =
+      estimate_splatt(build_csf(balanced(), 0), 32, cpu, false);
+  EXPECT_GT(skew.imbalance, flat.imbalance);
+  EXPECT_GT(skew.imbalance, 1.5);
+}
+
+TEST(CpuModel, ShortModeLimitsParallelism) {
+  // A mode with fewer slices than cores cannot use all 28 threads.
+  PowerLawConfig cfg;
+  cfg.dims = {10, 3000, 500};  // mode 0 has at most 10 slices
+  cfg.target_nnz = 30000;
+  cfg.seed = 74;
+  const SparseTensor x = generate_power_law(cfg);
+  const CpuModel cpu = CpuModel::broadwell();
+  const CpuEstimate short_mode = estimate_splatt(build_csf(x, 0), 32, cpu, false);
+  // With <= 10 chunks for 28 cores, imbalance >= 28/10.
+  EXPECT_GE(short_mode.imbalance, 2.0);
+}
+
+TEST(CpuModel, MoreWorkMoreTime) {
+  const CpuModel cpu = CpuModel::broadwell();
+  PowerLawConfig small;
+  small.dims = {600, 300, 400};
+  small.target_nnz = 10000;
+  small.seed = 75;
+  PowerLawConfig big = small;
+  big.target_nnz = 80000;
+  const CpuEstimate se =
+      estimate_splatt(build_csf(generate_power_law(small), 0), 32, cpu, false);
+  const CpuEstimate be =
+      estimate_splatt(build_csf(generate_power_law(big), 0), 32, cpu, false);
+  EXPECT_GT(be.seconds, se.seconds);
+}
+
+TEST(CpuModel, HicooEstimateSane) {
+  const CpuModel cpu = CpuModel::broadwell();
+  const HicooTensor h = build_hicoo(balanced());
+  for (index_t mode = 0; mode < 3; ++mode) {
+    const CpuEstimate e = estimate_hicoo(h, mode, 32, cpu);
+    EXPECT_GT(e.seconds, 0.0);
+    EXPECT_GE(e.imbalance, 1.0);
+  }
+}
+
+TEST(CpuModel, RankScalesWork) {
+  const CpuModel cpu = CpuModel::broadwell();
+  const CsfTensor csf = build_csf(balanced(), 0);
+  const CpuEstimate r8 = estimate_splatt(csf, 8, cpu, false);
+  const CpuEstimate r64 = estimate_splatt(csf, 64, cpu, false);
+  EXPECT_GT(r64.flops, 7.0 * r8.flops);
+}
+
+}  // namespace
+}  // namespace bcsf

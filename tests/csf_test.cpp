@@ -1,0 +1,147 @@
+// Tests for the CSF tree builder: structure on hand-checked examples
+// (including the paper's Fig. 4 tensor), invariants, storage accounting
+// against the closed forms of SS III-B, and order-2/-4 generality.
+#include <gtest/gtest.h>
+
+#include "formats/csf.hpp"
+#include "formats/storage.hpp"
+#include "tensor/generator.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+namespace {
+
+SparseTensor fig4_tensor() {
+  SparseTensor t({3, 5, 6});
+  const index_t coords[][3] = {
+      {0, 1, 2},
+      {1, 0, 0}, {1, 2, 3}, {1, 4, 1},
+      {2, 1, 0}, {2, 1, 2}, {2, 1, 4}, {2, 1, 5},
+  };
+  value_t v = 1.0F;
+  for (const auto& c : coords) t.push_back({c, 3}, v++);
+  return t;
+}
+
+TEST(Csf, Fig4Structure) {
+  const CsfTensor csf = build_csf(fig4_tensor(), 0);
+  EXPECT_EQ(csf.order(), 3u);
+  EXPECT_EQ(csf.num_slices(), 3u);
+  EXPECT_EQ(csf.num_fibers(), 5u);
+  EXPECT_EQ(csf.nnz(), 8u);
+  EXPECT_NO_THROW(csf.validate());
+
+  // Slice indices 0,1,2; slice 2 owns one fiber with 4 leaves.
+  EXPECT_EQ(csf.node_index(0, 2), 2u);
+  EXPECT_EQ(csf.child_end(0, 2) - csf.child_begin(0, 2), 1u);
+  const offset_t fiber = csf.child_begin(0, 2);
+  EXPECT_EQ(csf.node_index(1, fiber), 1u);  // j = 1
+  EXPECT_EQ(csf.child_end(1, fiber) - csf.child_begin(1, fiber), 4u);
+}
+
+TEST(Csf, Fig4StorageIs24Words) {
+  // The paper: "A CSF format will need the same number of words for the
+  // indices (2*S + 2*F + M)" = 2*3 + 2*5 + 8 = 24 words for Fig. 4.
+  const CsfTensor csf = build_csf(fig4_tensor(), 0);
+  EXPECT_EQ(csf.index_storage_bytes(), 24u * kIndexBytes);
+  EXPECT_EQ(csf.index_storage_bytes(),
+            csf_storage_formula(csf.num_slices(), csf.num_fibers(),
+                                csf.nnz()));
+}
+
+TEST(Csf, SubtreeNnz) {
+  const CsfTensor csf = build_csf(fig4_tensor(), 0);
+  EXPECT_EQ(csf.subtree_nnz(0, 0), 1u);
+  EXPECT_EQ(csf.subtree_nnz(0, 1), 3u);
+  EXPECT_EQ(csf.subtree_nnz(0, 2), 4u);
+  offset_t total = 0;
+  for (offset_t f = 0; f < csf.num_fibers(); ++f) {
+    total += csf.subtree_nnz(1, f);
+  }
+  EXPECT_EQ(total, csf.nnz());
+}
+
+TEST(Csf, LeavesPreserveSortedOrderAndValues) {
+  const CsfTensor csf = build_csf(fig4_tensor(), 0);
+  // Slice 2's fiber leaves are k = 0,2,4,5 with values 5..8.
+  const offset_t fiber = csf.child_begin(0, 2);
+  const offset_t z0 = csf.child_begin(1, fiber);
+  EXPECT_EQ(csf.leaf_index(z0), 0u);
+  EXPECT_EQ(csf.leaf_index(z0 + 3), 5u);
+  EXPECT_FLOAT_EQ(csf.value(z0), 5.0F);
+  EXPECT_FLOAT_EQ(csf.value(z0 + 3), 8.0F);
+}
+
+TEST(Csf, NonRootModeOrdering) {
+  const CsfTensor csf = build_csf(fig4_tensor(), 1);
+  EXPECT_EQ(csf.root_mode(), 1u);
+  EXPECT_EQ(csf.mode_order(), (ModeOrder{1, 0, 2}));
+  EXPECT_EQ(csf.num_slices(), 4u);  // j in {0,1,2,4}
+  EXPECT_NO_THROW(csf.validate());
+}
+
+TEST(Csf, EmptyTensor) {
+  const SparseTensor t({3, 3, 3});
+  const CsfTensor csf = build_csf(t, 0);
+  EXPECT_EQ(csf.num_slices(), 0u);
+  EXPECT_EQ(csf.nnz(), 0u);
+  EXPECT_NO_THROW(csf.validate());
+}
+
+TEST(Csf, Order2IsDcsr) {
+  SparseTensor t({4, 6});
+  const index_t coords[][2] = {{0, 1}, {0, 3}, {3, 2}};
+  for (const auto& c : coords) t.push_back({c, 2}, 1.0F);
+  const CsfTensor csf = build_csf(t, 0);
+  EXPECT_EQ(csf.node_levels(), 1u);
+  EXPECT_EQ(csf.num_slices(), 2u);  // only non-empty rows (DCSR)
+  EXPECT_EQ(csf.num_fibers(), 2u);
+  EXPECT_NO_THROW(csf.validate());
+}
+
+TEST(Csf, Order4Levels) {
+  SparseTensor t({3, 3, 3, 3});
+  const index_t coords[][4] = {
+      {0, 0, 0, 0}, {0, 0, 0, 2}, {0, 0, 1, 1}, {0, 1, 0, 0}, {2, 2, 2, 2}};
+  for (const auto& c : coords) t.push_back({c, 4}, 1.0F);
+  const CsfTensor csf = build_csf(t, 0);
+  EXPECT_EQ(csf.node_levels(), 3u);
+  EXPECT_EQ(csf.num_slices(), 2u);
+  EXPECT_EQ(csf.num_nodes(1), 3u);  // (i,j) pairs: (0,0), (0,1), (2,2)
+  EXPECT_EQ(csf.num_fibers(), 4u);  // (i,j,k) triples
+  EXPECT_NO_THROW(csf.validate());
+}
+
+TEST(Csf, BuildFromSortedRequiresSorted) {
+  SparseTensor t = fig4_tensor();
+  // Scramble: push an out-of-order nonzero.
+  const index_t c[] = {0, 4, 4};
+  t.push_back({c, 3}, 1.0F);
+  EXPECT_THROW(build_csf_from_sorted(t, mode_order_for(0, 3)), Error);
+}
+
+TEST(Csf, BuildSortsACopy) {
+  const SparseTensor t = fig4_tensor();
+  const offset_t before = t.nnz();
+  (void)build_csf(t, 2);
+  EXPECT_EQ(t.nnz(), before);  // input untouched
+}
+
+TEST(Csf, RandomTensorInvariants) {
+  PowerLawConfig cfg;
+  cfg.dims = {60, 70, 80};
+  cfg.target_nnz = 4000;
+  cfg.seed = 21;
+  const SparseTensor t = generate_power_law(cfg);
+  for (index_t mode = 0; mode < 3; ++mode) {
+    const CsfTensor csf = build_csf(t, mode);
+    EXPECT_EQ(csf.nnz(), t.nnz());
+    EXPECT_NO_THROW(csf.validate());
+    // Node counts shrink monotonically up the tree.
+    EXPECT_LE(csf.num_slices(), csf.num_fibers());
+    EXPECT_LE(csf.num_fibers(), csf.nnz());
+  }
+}
+
+}  // namespace
+}  // namespace bcsf

@@ -1,0 +1,104 @@
+// Tests for the Table III dataset registry and the structural signatures
+// the twins must reproduce (they drive every evaluation experiment).
+#include <gtest/gtest.h>
+
+#include "tensor/datasets.hpp"
+#include "tensor/tensor_stats.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+namespace {
+
+TEST(Datasets, RegistryHasAllTwelve) {
+  const auto& all = paper_datasets();
+  ASSERT_EQ(all.size(), 12u);
+  const std::vector<std::string> expected = {
+      "deli",  "nell1", "nell2", "flick-3d", "fr_m",     "fr_s",
+      "darpa", "nips",  "enron", "ch-cr",    "flick-4d", "uber"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(all[i].name, expected[i]);
+  }
+}
+
+TEST(Datasets, OrdersMatchTableIII) {
+  for (const auto& spec : paper_datasets()) {
+    EXPECT_EQ(spec.order, spec.paper_dims.size());
+    EXPECT_EQ(spec.order, spec.twin.dims.size());
+    if (spec.order == 3) {
+      EXPECT_TRUE(spec.table2.has_value()) << spec.name;
+    } else {
+      EXPECT_FALSE(spec.table2.has_value()) << spec.name;
+    }
+  }
+}
+
+TEST(Datasets, ThreeOrderNamesAreSeven) {
+  EXPECT_EQ(three_order_dataset_names().size(), 7u);
+  EXPECT_EQ(all_dataset_names().size(), 12u);
+}
+
+TEST(Datasets, LookupWorksAndRejectsUnknown) {
+  EXPECT_EQ(dataset_spec("darpa").name, "darpa");
+  EXPECT_THROW(dataset_spec("not-a-tensor"), Error);
+}
+
+TEST(Datasets, TwinScalesAreSane) {
+  for (const auto& spec : paper_datasets()) {
+    // Twins are scaled *down*: fewer nonzeros than the paper's tensor.
+    EXPECT_LT(spec.twin.target_nnz, spec.paper_nnz) << spec.name;
+    EXPECT_GE(spec.twin.target_nnz, 100'000u) << spec.name;
+  }
+}
+
+TEST(Datasets, FreebaseTwinsHaveShortMode3AndSingletonFibers) {
+  const DatasetSpec& fr = dataset_spec("fr_m");
+  EXPECT_EQ(fr.twin.dims[2], 166u);  // the paper's mode-3 dimension, unscaled
+  EXPECT_EQ(fr.twin.fixed_fiber_len, 1u);
+  EXPECT_EQ(dataset_spec("fr_s").twin.dims[2], 532u);
+}
+
+TEST(Datasets, DarpaTwinSignature) {
+  const SparseTensor x = generate_dataset("darpa");
+  const ModeStats s = compute_mode_stats(x, 0);
+  // Table II's darpa row: extreme stddev in BOTH distributions.
+  EXPECT_GT(s.nnz_per_slice.stddev, 3.0 * s.nnz_per_slice.mean);
+  EXPECT_GT(s.nnz_per_fiber.stddev, 3.0 * s.nnz_per_fiber.mean);
+}
+
+TEST(Datasets, FlickTwinSignature) {
+  const SparseTensor x = generate_dataset("flick-3d");
+  const ModeStats s = compute_mode_stats(x, 0);
+  // "in flick-3d, each fiber has only one nonzero" (SS V-C).
+  EXPECT_DOUBLE_EQ(s.nnz_per_fiber.max, 1.0);
+  // Tiny average slices -> large COO + CSL populations for HB-CSF.
+  EXPECT_LT(s.nnz_per_slice.mean, 16.0);
+  EXPECT_GT(s.singleton_slice_fraction + s.csl_slice_fraction, 0.9);
+}
+
+TEST(Datasets, Nell2TwinHasHeavySlices) {
+  const SparseTensor x = generate_dataset("nell2");
+  const ModeStats s = compute_mode_stats(x, 0);
+  EXPECT_GT(s.nnz_per_slice.stddev, s.nnz_per_slice.mean);
+  EXPECT_GT(s.nnz_per_slice.max, 20000.0);  // a block-pinning slice
+}
+
+TEST(Datasets, GenerateByNameMatchesBySpec) {
+  const SparseTensor a = generate_dataset("uber");
+  const SparseTensor b = generate_dataset(dataset_spec("uber"));
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (offset_t z = 0; z < std::min<offset_t>(a.nnz(), 100); ++z) {
+    EXPECT_EQ(a.coord(0, z), b.coord(0, z));
+  }
+}
+
+TEST(Datasets, FourOrderTwinsValidate) {
+  for (const std::string name : {"nips", "uber"}) {
+    const SparseTensor x = generate_dataset(name);
+    EXPECT_EQ(x.order(), 4u) << name;
+    EXPECT_NO_THROW(x.validate()) << name;
+    EXPECT_GT(x.nnz(), 100'000u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace bcsf

@@ -1,0 +1,143 @@
+// Tests for the CSR/DCSR matrix substrate (§III-B's ancestry of CSF) and
+// for the per-fiber vs per-slice output-combine modes of the B-CSF
+// engine.
+#include <gtest/gtest.h>
+
+#include "formats/csf.hpp"
+#include "formats/dcsr.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/registry.hpp"
+#include "tensor/generator.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+namespace {
+
+/// Hyper-sparse matrix: 1000 rows, only 5 non-empty -- DCSR's home turf.
+SparseTensor hyper_sparse() {
+  SparseTensor m({1000, 50});
+  const index_t entries[][2] = {{3, 10}, {3, 20}, {400, 0}, {401, 49},
+                                {402, 5}, {999, 25}, {999, 26}, {999, 27}};
+  value_t v = 1.0F;
+  for (const auto& e : entries) m.push_back({e, 2}, v++);
+  return m;
+}
+
+TEST(Csr, BuildAndAccess) {
+  const CsrMatrix m = build_csr(hyper_sparse());
+  m.validate();
+  EXPECT_EQ(m.rows(), 1000u);
+  EXPECT_EQ(m.nnz(), 8u);
+  EXPECT_EQ(m.row_end(3) - m.row_begin(3), 2u);
+  EXPECT_EQ(m.row_end(0) - m.row_begin(0), 0u);  // empty row
+  EXPECT_EQ(m.row_end(999) - m.row_begin(999), 3u);
+}
+
+TEST(Dcsr, CompressesEmptyRows) {
+  const DcsrMatrix m = build_dcsr(hyper_sparse());
+  m.validate();
+  EXPECT_EQ(m.num_nonempty_rows(), 5u);
+  EXPECT_EQ(m.row_index(0), 3u);
+  EXPECT_EQ(m.row_index(4), 999u);
+}
+
+TEST(Dcsr, StorageBeatsCsrOnHyperSparse) {
+  // "for hyper-sparse matrices ... DCSR is a more efficient choice".
+  const SparseTensor x = hyper_sparse();
+  const CsrMatrix csr = build_csr(x);
+  const DcsrMatrix dcsr = build_dcsr(x);
+  EXPECT_LT(dcsr.index_storage_bytes(), csr.index_storage_bytes() / 10);
+}
+
+TEST(Dcsr, CsrWinsWhenAllRowsOccupied) {
+  const SparseTensor x = generate_uniform({40, 40}, 800, 7);
+  const CsrMatrix csr = build_csr(x);
+  const DcsrMatrix dcsr = build_dcsr(x);
+  // With every row non-empty, DCSR pays the extra row-index array.
+  EXPECT_GE(dcsr.index_storage_bytes() + 4, csr.index_storage_bytes());
+}
+
+TEST(Dcsr, SpmvMatchesCsrAndDense) {
+  const SparseTensor x = generate_uniform({30, 20}, 200, 8);
+  const CsrMatrix csr = build_csr(x);
+  const DcsrMatrix dcsr = build_dcsr(x);
+  std::vector<value_t> vec(20);
+  for (index_t i = 0; i < 20; ++i) vec[i] = 0.1F * static_cast<value_t>(i + 1);
+
+  std::vector<value_t> dense(30, 0.0F);
+  for (offset_t z = 0; z < x.nnz(); ++z) {
+    dense[x.coord(0, z)] += x.value(z) * vec[x.coord(1, z)];
+  }
+  std::vector<value_t> y1(30);
+  std::vector<value_t> y2(30);
+  csr.spmv(vec, y1);
+  dcsr.spmv(vec, y2);
+  for (index_t r = 0; r < 30; ++r) {
+    EXPECT_NEAR(y1[r], dense[r], 1e-4);
+    EXPECT_NEAR(y2[r], dense[r], 1e-4);
+  }
+}
+
+TEST(Dcsr, MatchesOrder2Csf) {
+  // DCSR is exactly the order-2 CSF: same non-empty row set, same storage
+  // accounting (2S + 2F + M with S = F).
+  const SparseTensor x = hyper_sparse();
+  const DcsrMatrix dcsr = build_dcsr(x);
+  const CsfTensor csf = build_csf(x, 0);
+  EXPECT_EQ(dcsr.num_nonempty_rows(), csf.num_slices());
+  EXPECT_EQ(dcsr.index_storage_bytes(), csf.index_storage_bytes());
+}
+
+TEST(Dcsr, RejectsNonMatrix) {
+  const SparseTensor t = generate_uniform({5, 5, 5}, 20, 9);
+  EXPECT_THROW(build_csr(t), Error);
+  EXPECT_THROW(build_dcsr(t), Error);
+}
+
+TEST(OutputCombine, ModesProduceSameResult) {
+  PowerLawConfig cfg;
+  cfg.dims = {40, 50, 200};
+  cfg.target_nnz = 5000;
+  cfg.slice_alpha = 0.5;
+  cfg.max_slice_frac = 0.3;
+  cfg.fiber_alpha = 0.6;
+  cfg.max_fiber_len = 150;
+  cfg.seed = 401;
+  const SparseTensor x = generate_power_law(cfg);
+  const auto factors = make_random_factors(x.dims(), 8, 402);
+  const DeviceModel device = DeviceModel::tiny(4, 16);
+  for (index_t mode = 0; mode < 3; ++mode) {
+    const DenseMatrix ref = mttkrp_reference(x, mode, factors);
+    const BcsfTensor b = build_bcsf(x, mode);
+    const GpuMttkrpResult per_fiber =
+        mttkrp_bcsf_gpu(b, factors, device, OutputCombine::kPerFiber);
+    const GpuMttkrpResult per_slice =
+        mttkrp_bcsf_gpu(b, factors, device, OutputCombine::kPerSliceShared);
+    EXPECT_LT(ref.max_abs_diff(per_fiber.output), 1e-2);
+    EXPECT_LT(ref.max_abs_diff(per_slice.output), 1e-2);
+  }
+}
+
+TEST(OutputCombine, PerSliceTouchesOutputLess) {
+  PowerLawConfig cfg;
+  cfg.dims = {20, 60, 400};
+  cfg.target_nnz = 8000;
+  cfg.fiber_alpha = 2.5;  // many short fibers per slice
+  cfg.max_fiber_len = 4;
+  cfg.seed = 403;
+  const SparseTensor x = generate_power_law(cfg);
+  const auto factors = make_random_factors(x.dims(), 8, 404);
+  const DeviceModel device = DeviceModel::p100();
+  const BcsfTensor b = build_bcsf(x, 0);
+  const double per_fiber =
+      mttkrp_bcsf_gpu(b, factors, device, OutputCombine::kPerFiber)
+          .report.cycles;
+  const double per_slice =
+      mttkrp_bcsf_gpu(b, factors, device, OutputCombine::kPerSliceShared)
+          .report.cycles;
+  // With fibers >> slices, fewer Y touches should not be slower.
+  EXPECT_LE(per_slice, per_fiber * 1.02);
+}
+
+}  // namespace
+}  // namespace bcsf

@@ -1,0 +1,185 @@
+// Tests for the SS VII related-work baselines (GigaTensor-style COO,
+// DFacTo SpMV pair, SPLATT ONEMODE) and the reordering module (the
+// paper's named future work).
+#include <gtest/gtest.h>
+
+#include "formats/csf.hpp"
+#include "kernels/extra_baselines.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/registry.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/reorder.hpp"
+#include "tensor/tensor_stats.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+namespace {
+
+SparseTensor test3() {
+  PowerLawConfig cfg;
+  cfg.dims = {50, 40, 120};
+  cfg.target_nnz = 3000;
+  cfg.fiber_alpha = 0.8;
+  cfg.max_fiber_len = 60;
+  cfg.seed = 201;
+  return generate_power_law(cfg);
+}
+
+SparseTensor test4() {
+  PowerLawConfig cfg;
+  cfg.dims = {25, 20, 15, 30};
+  cfg.target_nnz = 1500;
+  cfg.seed = 202;
+  return generate_power_law(cfg);
+}
+
+TEST(GigaTensor, MatchesReferenceAllModes) {
+  const SparseTensor x = test3();
+  const auto factors = make_random_factors(x.dims(), 8, 7);
+  for (index_t mode = 0; mode < 3; ++mode) {
+    const DenseMatrix ref = mttkrp_reference(x, mode, factors);
+    EXPECT_LT(ref.max_abs_diff(mttkrp_gigatensor_cpu(x, mode, factors)),
+              1e-2);
+  }
+}
+
+TEST(GigaTensor, Order4) {
+  const SparseTensor x = test4();
+  const auto factors = make_random_factors(x.dims(), 4, 8);
+  const DenseMatrix ref = mttkrp_reference(x, 2, factors);
+  EXPECT_LT(ref.max_abs_diff(mttkrp_gigatensor_cpu(x, 2, factors)), 1e-2);
+}
+
+TEST(DFacTo, MatchesReferencePerRootMode) {
+  const SparseTensor x = test3();
+  const auto factors = make_random_factors(x.dims(), 8, 9);
+  for (index_t mode = 0; mode < 3; ++mode) {
+    const CsfTensor csf = build_csf(x, mode);
+    const DenseMatrix ref = mttkrp_reference(x, mode, factors);
+    EXPECT_LT(ref.max_abs_diff(mttkrp_dfacto_cpu(csf, factors)), 1e-2)
+        << "mode " << mode;
+  }
+}
+
+TEST(DFacTo, RejectsOrder4) {
+  const SparseTensor x = test4();
+  const auto factors = make_random_factors(x.dims(), 4, 10);
+  const CsfTensor csf = build_csf(x, 0);
+  EXPECT_THROW(mttkrp_dfacto_cpu(csf, factors), Error);
+}
+
+TEST(Onemode, ForeignModesMatchReference) {
+  // The essence of ONEMODE: one CSF (rooted at mode 0) answers MTTKRP for
+  // *every* mode.
+  const SparseTensor x = test3();
+  const auto factors = make_random_factors(x.dims(), 8, 11);
+  const CsfTensor csf = build_csf(x, 0);
+  for (index_t target = 0; target < 3; ++target) {
+    const DenseMatrix ref = mttkrp_reference(x, target, factors);
+    EXPECT_LT(ref.max_abs_diff(mttkrp_csf_cpu_onemode(csf, target, factors)),
+              1e-2)
+        << "target " << target;
+  }
+}
+
+TEST(Onemode, Order4AllTargets) {
+  const SparseTensor x = test4();
+  const auto factors = make_random_factors(x.dims(), 4, 12);
+  const CsfTensor csf = build_csf(x, 1);
+  for (index_t target = 0; target < 4; ++target) {
+    const DenseMatrix ref = mttkrp_reference(x, target, factors);
+    EXPECT_LT(ref.max_abs_diff(mttkrp_csf_cpu_onemode(csf, target, factors)),
+              1e-2)
+        << "target " << target;
+  }
+}
+
+TEST(Reorder, RandomRelabelingIsBijection) {
+  const Relabeling perm = random_relabeling(100, 5);
+  const Relabeling inv = invert_relabeling(perm);
+  for (index_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(inv[perm[i]], i);
+  }
+}
+
+TEST(Reorder, ApplyRejectsNonBijection) {
+  SparseTensor x = test3();
+  Relabeling bad(x.dim(0), 0);  // all zeros
+  EXPECT_THROW(apply_relabeling(x, 0, bad), Error);
+  Relabeling wrong_size(x.dim(0) + 1);
+  EXPECT_THROW(apply_relabeling(x, 0, wrong_size), Error);
+}
+
+TEST(Reorder, RelabelingPermutesMttkrpRows) {
+  SparseTensor x = test3();
+  const auto factors = make_random_factors(x.dims(), 8, 13);
+  const DenseMatrix before = mttkrp_reference(x, 0, factors);
+
+  const Relabeling perm = random_relabeling(x.dim(0), 99);
+  apply_relabeling(x, 0, perm);
+  const DenseMatrix after = mttkrp_reference(x, 0, factors);
+  // Row old-i of the original equals row perm[old-i] of the relabeled
+  // result: the relabeling is a pure row permutation of the output
+  // because mode-0 factors do not participate in mode-0 MTTKRP.
+  for (index_t i = 0; i < x.dim(0); ++i) {
+    for (rank_t r = 0; r < 8; ++r) {
+      EXPECT_NEAR(before(i, r), after(perm[i], r), 1e-4);
+    }
+  }
+}
+
+TEST(Reorder, DegreeSortedPutsHeaviestFirst) {
+  SparseTensor x = test3();
+  const Relabeling perm = degree_sorted_relabeling(x, 0);
+  apply_relabeling(x, 0, perm);
+  const ModeStats s = compute_mode_stats(x, 0);
+  // After relabeling, slice 0 is the heaviest: the first slice's count
+  // equals the max.
+  SparseTensor sorted = x;
+  sorted.sort(mode_order_for(0, 3));
+  const SliceFiberCounts c = count_slices_and_fibers(sorted, mode_order_for(0, 3));
+  EXPECT_EQ(static_cast<double>(c.slice_nnz.front()), s.nnz_per_slice.max);
+}
+
+TEST(Reorder, ZorderKeepsSemantics) {
+  SparseTensor x = test3();
+  const auto factors = make_random_factors(x.dims(), 8, 14);
+  const DenseMatrix before = mttkrp_reference(x, 1, factors);
+  zorder_sort(x, 7);
+  EXPECT_NO_THROW(x.validate());
+  const DenseMatrix after = mttkrp_reference(x, 1, factors);
+  EXPECT_LT(before.max_abs_diff(after), 1e-3);
+}
+
+TEST(Reorder, ZorderGroupsNeighbors) {
+  // After a Z-order sort, consecutive nonzeros share high coordinate bits
+  // far more often than in a random order.
+  SparseTensor x = generate_uniform({256, 256, 256}, 4000, 15);
+  auto locality = [&](const SparseTensor& t) {
+    offset_t close = 0;
+    for (offset_t z = 1; z < t.nnz(); ++z) {
+      bool same_box = true;
+      for (index_t m = 0; m < 3; ++m) {
+        if ((t.coord(m, z) >> 5) != (t.coord(m, z - 1) >> 5)) {
+          same_box = false;
+          break;
+        }
+      }
+      if (same_box) ++close;
+    }
+    return close;
+  };
+  const offset_t before = locality(x);
+  zorder_sort(x, 8);
+  const offset_t after = locality(x);
+  EXPECT_GT(after, 4 * std::max<offset_t>(before, 1));
+}
+
+TEST(Reorder, ZorderRejectsBadBits) {
+  SparseTensor x = test3();
+  EXPECT_THROW(zorder_sort(x, 0), Error);
+  EXPECT_THROW(zorder_sort(x, 17), Error);
+}
+
+}  // namespace
+}  // namespace bcsf

@@ -1,0 +1,153 @@
+// Tests for the two baseline formats: F-COO (flag consistency with the
+// CSF fiber/slice structure) and HiCOO (block decomposition and
+// coordinate reconstruction).
+#include <gtest/gtest.h>
+
+#include "formats/csf.hpp"
+#include "formats/fcoo.hpp"
+#include "formats/hicoo.hpp"
+#include "tensor/generator.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+namespace {
+
+SparseTensor test_tensor() {
+  PowerLawConfig cfg;
+  cfg.dims = {50, 60, 300};
+  cfg.target_nnz = 3000;
+  cfg.fiber_alpha = 0.8;
+  cfg.max_fiber_len = 120;
+  cfg.seed = 51;
+  return generate_power_law(cfg);
+}
+
+TEST(Fcoo, FlagCountsMatchCsfStructure) {
+  const SparseTensor x = test_tensor();
+  for (index_t mode = 0; mode < 3; ++mode) {
+    const FcooTensor f = build_fcoo(x, mode);
+    const CsfTensor csf = build_csf(x, mode);
+    f.validate();
+    offset_t slice_flags = 0;
+    offset_t fiber_flags = 0;
+    for (offset_t z = 0; z < f.nnz(); ++z) {
+      slice_flags += f.starts_slice(z) ? 1 : 0;
+      fiber_flags += f.starts_fiber(z) ? 1 : 0;
+    }
+    EXPECT_EQ(slice_flags, csf.num_slices()) << "mode " << mode;
+    EXPECT_EQ(fiber_flags, csf.num_fibers()) << "mode " << mode;
+    EXPECT_EQ(f.num_slices(), csf.num_slices());
+  }
+}
+
+TEST(Fcoo, SliceIndexListMatchesCsf) {
+  const SparseTensor x = test_tensor();
+  const FcooTensor f = build_fcoo(x, 1);
+  const CsfTensor csf = build_csf(x, 1);
+  ASSERT_EQ(f.num_slices(), csf.num_slices());
+  for (offset_t s = 0; s < f.num_slices(); ++s) {
+    EXPECT_EQ(f.slice_index(s), csf.node_index(0, s));
+  }
+}
+
+TEST(Fcoo, PartitionOrdinalsRecoverRows) {
+  FcooOptions opts;
+  opts.partition_size = 64;
+  const SparseTensor x = test_tensor();
+  const FcooTensor f = build_fcoo(x, 0, opts);
+  // Replaying flags from each partition start must land on the right
+  // slice: the segmented-scan bookkeeping a GPU thread performs.
+  offset_t ordinal = 0;
+  for (offset_t z = 0; z < f.nnz(); ++z) {
+    if (f.starts_slice(z) && z > 0) ++ordinal;
+    if (z % opts.partition_size == 0) {
+      EXPECT_EQ(f.partition_slice_ordinal(z / opts.partition_size), ordinal);
+    }
+  }
+}
+
+TEST(Fcoo, StorageSmallerThanCooFor3Order) {
+  // F-COO drops one index array in exchange for two bit arrays: for a
+  // 3-order tensor that is ~2M words vs COO's 3M.
+  const SparseTensor x = test_tensor();
+  const FcooTensor f = build_fcoo(x, 0);
+  EXPECT_LT(f.index_storage_bytes(), x.index_storage_bytes());
+}
+
+TEST(Fcoo, RejectsBadPartitionSize) {
+  FcooOptions opts;
+  opts.partition_size = 0;
+  EXPECT_THROW(build_fcoo(test_tensor(), 0, opts), Error);
+}
+
+TEST(Fcoo, EmptyTensor) {
+  const FcooTensor f = build_fcoo(SparseTensor({2, 2, 2}), 0);
+  EXPECT_EQ(f.nnz(), 0u);
+  EXPECT_NO_THROW(f.validate());
+}
+
+TEST(Hicoo, BlocksPartitionAndReconstruct) {
+  const SparseTensor x = test_tensor();
+  const HicooTensor h = build_hicoo(x);
+  h.validate();
+  EXPECT_EQ(h.nnz(), x.nnz());
+  EXPECT_GT(h.num_blocks(), 0u);
+  // Every nonzero's reconstructed coordinate stays within its block's
+  // 2^b-aligned box.
+  const index_t bits = h.block_bits();
+  for (offset_t b = 0; b < h.num_blocks(); ++b) {
+    for (offset_t z = h.block_begin(b); z < h.block_end(b); ++z) {
+      for (index_t m = 0; m < h.order(); ++m) {
+        EXPECT_EQ(h.coord(m, b, z) >> bits, h.block_coord(m, b));
+      }
+    }
+  }
+}
+
+TEST(Hicoo, SmallerBlocksMeanMoreBlocks) {
+  const SparseTensor x = test_tensor();
+  HicooOptions small;
+  small.block_bits = 2;
+  HicooOptions large;
+  large.block_bits = 7;
+  EXPECT_GT(build_hicoo(x, small).num_blocks(),
+            build_hicoo(x, large).num_blocks());
+}
+
+TEST(Hicoo, RejectsBadBlockBits) {
+  HicooOptions opts;
+  opts.block_bits = 0;
+  EXPECT_THROW(build_hicoo(test_tensor(), opts), Error);
+  opts.block_bits = 9;  // element offsets are one byte
+  EXPECT_THROW(build_hicoo(test_tensor(), opts), Error);
+}
+
+TEST(Hicoo, CompressedStorageBeatsCooWhenBlocksAreDense) {
+  // A tensor confined to one 128-box: 1 block, order bytes per nnz.
+  SparseTensor t({128, 128, 128});
+  Rng rng(5);
+  std::vector<index_t> c(3);
+  for (int i = 0; i < 500; ++i) {
+    c = {rng.uniform_index(128), rng.uniform_index(128),
+         rng.uniform_index(128)};
+    t.push_back(c, 1.0F);
+  }
+  t.coalesce();
+  const HicooTensor h = build_hicoo(t);
+  EXPECT_EQ(h.num_blocks(), 1u);
+  EXPECT_LT(h.index_storage_bytes(), t.index_storage_bytes());
+}
+
+TEST(Hicoo, Order4) {
+  PowerLawConfig cfg;
+  cfg.dims = {40, 30, 20, 50};
+  cfg.target_nnz = 1500;
+  cfg.seed = 52;
+  const SparseTensor x = generate_power_law(cfg);
+  const HicooTensor h = build_hicoo(x);
+  EXPECT_NO_THROW(h.validate());
+  EXPECT_EQ(h.nnz(), x.nnz());
+}
+
+}  // namespace
+}  // namespace bcsf

@@ -1,0 +1,104 @@
+// Tests for the FROSTT .tns reader/writer, including the failure modes
+// (malformed lines, arity changes, zero coordinates).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tensor/frostt_io.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+namespace {
+
+TEST(FrosttIo, ParsesBasicFile) {
+  std::istringstream in(
+      "# a comment line\n"
+      "1 1 1 1.5\n"
+      "2 3 4 -2.0\n"
+      "\n"
+      "5 2 1 0.25  # trailing comment\n");
+  const SparseTensor t = read_tns(in);
+  EXPECT_EQ(t.order(), 3u);
+  EXPECT_EQ(t.nnz(), 3u);
+  EXPECT_EQ(t.dim(0), 5u);  // max coordinate per mode
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.dim(2), 4u);
+  EXPECT_EQ(t.coord(0, 1), 1u);  // 1-based to 0-based
+  EXPECT_FLOAT_EQ(t.value(1), -2.0F);
+}
+
+TEST(FrosttIo, RoundTrip) {
+  std::istringstream in("1 2 3 1.0\n4 5 6 2.5\n2 2 2 -1.25\n");
+  const SparseTensor t = read_tns(in);
+  std::ostringstream out;
+  write_tns(out, t);
+  std::istringstream in2(out.str());
+  const SparseTensor t2 = read_tns(in2);
+  ASSERT_EQ(t2.nnz(), t.nnz());
+  for (offset_t z = 0; z < t.nnz(); ++z) {
+    for (index_t m = 0; m < 3; ++m) EXPECT_EQ(t2.coord(m, z), t.coord(m, z));
+    EXPECT_FLOAT_EQ(t2.value(z), t.value(z));
+  }
+}
+
+TEST(FrosttIo, DimsHintValidates) {
+  std::istringstream ok("1 1 1.0\n2 2 2.0\n");
+  const SparseTensor t = read_tns(ok, {10, 10});
+  EXPECT_EQ(t.dim(0), 10u);
+  std::istringstream bad("11 1 1.0\n");
+  EXPECT_THROW(read_tns(bad, {10, 10}), Error);
+}
+
+TEST(FrosttIo, RejectsNonNumeric) {
+  std::istringstream in("1 x 1 1.0\n");
+  EXPECT_THROW(read_tns(in), Error);
+}
+
+TEST(FrosttIo, RejectsArityChange) {
+  std::istringstream in("1 1 1 1.0\n1 1 1 1 1.0\n");
+  EXPECT_THROW(read_tns(in), Error);
+}
+
+TEST(FrosttIo, RejectsZeroCoordinate) {
+  std::istringstream in("0 1 1 1.0\n");
+  EXPECT_THROW(read_tns(in), Error);  // coordinates are 1-based
+}
+
+TEST(FrosttIo, RejectsFractionalCoordinate) {
+  std::istringstream in("1.5 1 1 1.0\n");
+  EXPECT_THROW(read_tns(in), Error);
+}
+
+TEST(FrosttIo, RejectsEmptyInput) {
+  std::istringstream in("# only comments\n\n");
+  EXPECT_THROW(read_tns(in), Error);
+}
+
+TEST(FrosttIo, RejectsValueOnlyLine) {
+  std::istringstream in("1.0\n");
+  EXPECT_THROW(read_tns(in), Error);
+}
+
+TEST(FrosttIo, MissingFileThrows) {
+  EXPECT_THROW(read_tns_file("/nonexistent/path/x.tns"), Error);
+}
+
+TEST(FrosttIo, FileRoundTrip) {
+  std::istringstream in("1 2 3 1.0\n3 1 2 2.0\n");
+  const SparseTensor t = read_tns(in);
+  const std::string path = testing::TempDir() + "/bcsf_io_test.tns";
+  write_tns_file(path, t);
+  const SparseTensor t2 = read_tns_file(path);
+  EXPECT_EQ(t2.nnz(), 2u);
+  EXPECT_EQ(t2.dims(), t.dims());
+}
+
+TEST(FrosttIo, Order4) {
+  std::istringstream in("1 2 3 4 1.0\n2 2 2 2 2.0\n");
+  const SparseTensor t = read_tns(in);
+  EXPECT_EQ(t.order(), 4u);
+  EXPECT_EQ(t.dim(3), 4u);
+}
+
+}  // namespace
+}  // namespace bcsf

@@ -1,0 +1,185 @@
+// Tests for the synthetic tensor generators: structural guarantees
+// (distinct coordinates, dimension bounds, determinism) and the knobs that
+// produce the paper's dataset signatures (power-law tails, singleton
+// fibers, singleton slices).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "tensor/generator.hpp"
+#include "tensor/tensor_stats.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+namespace {
+
+PowerLawConfig base_config() {
+  PowerLawConfig cfg;
+  cfg.dims = {100, 200, 150};
+  cfg.target_nnz = 5000;
+  cfg.seed = 11;
+  return cfg;
+}
+
+offset_t count_duplicates(const SparseTensor& t) {
+  std::set<std::tuple<index_t, index_t, index_t, index_t>> seen;
+  offset_t dups = 0;
+  for (offset_t z = 0; z < t.nnz(); ++z) {
+    const auto key = std::make_tuple(
+        t.coord(0, z), t.order() > 1 ? t.coord(1, z) : 0,
+        t.order() > 2 ? t.coord(2, z) : 0, t.order() > 3 ? t.coord(3, z) : 0);
+    if (!seen.insert(key).second) ++dups;
+  }
+  return dups;
+}
+
+TEST(PowerLaw, HitsTargetApproximately) {
+  const SparseTensor t = generate_power_law(base_config());
+  EXPECT_GT(t.nnz(), 4000u);
+  EXPECT_LT(t.nnz(), 7000u);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(PowerLaw, NoDuplicateCoordinates) {
+  EXPECT_EQ(count_duplicates(generate_power_law(base_config())), 0u);
+}
+
+TEST(PowerLaw, Deterministic) {
+  const SparseTensor a = generate_power_law(base_config());
+  const SparseTensor b = generate_power_law(base_config());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (offset_t z = 0; z < a.nnz(); ++z) {
+    for (index_t m = 0; m < a.order(); ++m) {
+      EXPECT_EQ(a.coord(m, z), b.coord(m, z));
+    }
+    EXPECT_FLOAT_EQ(a.value(z), b.value(z));
+  }
+}
+
+TEST(PowerLaw, DifferentSeedDiffers) {
+  PowerLawConfig cfg = base_config();
+  const SparseTensor a = generate_power_law(cfg);
+  cfg.seed = 12;
+  const SparseTensor b = generate_power_law(cfg);
+  bool differs = a.nnz() != b.nnz();
+  if (!differs) {
+    for (offset_t z = 0; z < a.nnz() && !differs; ++z) {
+      differs = a.coord(0, z) != b.coord(0, z);
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(PowerLaw, FixedFiberLenOneMakesSingletonFibers) {
+  PowerLawConfig cfg = base_config();
+  cfg.fixed_fiber_len = 1;
+  const SparseTensor t = generate_power_law(cfg);
+  const ModeStats s = compute_mode_stats(t, 0);
+  EXPECT_DOUBLE_EQ(s.nnz_per_fiber.max, 1.0);
+  EXPECT_DOUBLE_EQ(s.nnz_per_fiber.stddev, 0.0);  // the freebase signature
+}
+
+TEST(PowerLaw, SingletonSliceFraction) {
+  PowerLawConfig cfg = base_config();
+  cfg.dims = {4000, 200, 150};
+  cfg.singleton_slice_frac = 0.5;
+  const SparseTensor t = generate_power_law(cfg);
+  const ModeStats s = compute_mode_stats(t, 0);
+  // At least the requested share of *nonzeros* sits in singleton slices;
+  // as slice counts those dominate.
+  EXPECT_GT(s.singleton_slice_fraction, 0.5);
+}
+
+TEST(PowerLaw, HeavierSliceTailRaisesStddev) {
+  PowerLawConfig light = base_config();
+  light.dims = {2000, 400, 300};
+  light.target_nnz = 20000;
+  light.slice_alpha = 3.0;
+  light.max_slice_frac = 0.001;
+  PowerLawConfig heavy = light;
+  heavy.slice_alpha = 0.3;
+  heavy.max_slice_frac = 0.3;
+  const ModeStats ls = compute_mode_stats(generate_power_law(light), 0);
+  const ModeStats hs = compute_mode_stats(generate_power_law(heavy), 0);
+  EXPECT_GT(hs.nnz_per_slice.stddev, 3.0 * ls.nnz_per_slice.stddev);
+}
+
+TEST(PowerLaw, SmallSliceDimStillReachesTarget) {
+  PowerLawConfig cfg = base_config();
+  cfg.dims = {8, 200, 150};  // forces the proportional top-up path
+  cfg.target_nnz = 4000;
+  const SparseTensor t = generate_power_law(cfg);
+  EXPECT_GT(t.nnz(), 3000u);
+  EXPECT_EQ(count_duplicates(t), 0u);
+}
+
+TEST(PowerLaw, Order2) {
+  PowerLawConfig cfg;
+  cfg.dims = {50, 80};
+  cfg.target_nnz = 800;
+  const SparseTensor t = generate_power_law(cfg);
+  EXPECT_EQ(t.order(), 2u);
+  EXPECT_GT(t.nnz(), 300u);
+  EXPECT_EQ(count_duplicates(t), 0u);
+}
+
+TEST(PowerLaw, Order4) {
+  PowerLawConfig cfg;
+  cfg.dims = {40, 30, 20, 10};
+  cfg.target_nnz = 2000;
+  const SparseTensor t = generate_power_law(cfg);
+  EXPECT_EQ(t.order(), 4u);
+  EXPECT_GT(t.nnz(), 1200u);
+  EXPECT_EQ(count_duplicates(t), 0u);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(PowerLaw, RejectsBadConfig) {
+  PowerLawConfig cfg = base_config();
+  cfg.target_nnz = 0;
+  EXPECT_THROW(generate_power_law(cfg), Error);
+  PowerLawConfig one_dim;
+  one_dim.dims = {10};
+  one_dim.target_nnz = 5;
+  EXPECT_THROW(generate_power_law(one_dim), Error);
+}
+
+TEST(Uniform, ExactCountDistinct) {
+  const SparseTensor t = generate_uniform({30, 30, 30}, 1000, 3);
+  EXPECT_EQ(t.nnz(), 1000u);
+  EXPECT_EQ(count_duplicates(t), 0u);
+}
+
+TEST(Uniform, RejectsOverfull) {
+  EXPECT_THROW(generate_uniform({2, 2}, 5, 1), Error);
+}
+
+TEST(Uniform, FullTensorPossible) {
+  const SparseTensor t = generate_uniform({2, 2}, 4, 1);
+  EXPECT_EQ(t.nnz(), 4u);
+}
+
+TEST(LowRank, ValuesReflectRankOneStructure) {
+  // Rank-1, no noise: value(i,j,k) = a_i * b_j * c_k, so the value is a
+  // product of per-coordinate weights; check multiplicativity via ratios.
+  const SparseTensor t = generate_low_rank({20, 20, 20}, 1, 400, 0.0F, 5);
+  EXPECT_EQ(t.nnz(), 400u);
+  for (offset_t z = 0; z < t.nnz(); ++z) {
+    EXPECT_GT(t.value(z), 0.0F);  // nonnegative factors
+  }
+}
+
+TEST(LowRank, NoiseChangesValuesOnly) {
+  const SparseTensor clean = generate_low_rank({15, 15, 15}, 2, 300, 0.0F, 6);
+  const SparseTensor noisy = generate_low_rank({15, 15, 15}, 2, 300, 0.1F, 6);
+  ASSERT_EQ(clean.nnz(), noisy.nnz());
+  for (offset_t z = 0; z < clean.nnz(); ++z) {
+    for (index_t m = 0; m < 3; ++m) {
+      EXPECT_EQ(clean.coord(m, z), noisy.coord(m, z));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bcsf

@@ -1,0 +1,256 @@
+// Tests for the GPU execution simulator: the L2 cache model, the address
+// space, and the block/warp scheduler's invariants (work conservation,
+// metric bounds, imbalance behavior, dispatch gating).
+#include <gtest/gtest.h>
+
+#include "gpusim/cache.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/scheduler.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+namespace {
+
+TEST(CacheSim, HitAfterMiss) {
+  CacheSim cache(1024, 64, 2);
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(32));  // same line
+  EXPECT_FALSE(cache.access(64)); // next line
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate_pct(), 50.0);
+}
+
+TEST(CacheSim, LruEviction) {
+  // 2-way, 64B lines, 2 sets (capacity 256B).  Addresses 0, 128, 256 map
+  // to set 0; the third access evicts the LRU (0).
+  CacheSim cache(256, 64, 2);
+  cache.access(0);
+  cache.access(128);
+  cache.access(256);
+  EXPECT_FALSE(cache.access(0));   // was evicted
+  EXPECT_TRUE(cache.access(256));  // still resident
+}
+
+TEST(CacheSim, LruRefreshOnHit) {
+  CacheSim cache(256, 64, 2);
+  cache.access(0);
+  cache.access(128);
+  cache.access(0);    // refresh 0
+  cache.access(256);  // evicts 128, not 0
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_FALSE(cache.access(128));
+}
+
+TEST(CacheSim, AccessRangeCountsLines) {
+  CacheSim cache(4096, 64, 4);
+  EXPECT_EQ(cache.access_range(0, 256), 4u);    // 4 cold lines
+  EXPECT_EQ(cache.access_range(0, 256), 0u);    // all hot
+  EXPECT_EQ(cache.access_range(1020, 8), 2u);   // straddles two cold lines
+}
+
+TEST(CacheSim, RejectsBadGeometry) {
+  EXPECT_THROW(CacheSim(32, 64, 2), Error);  // capacity < one set
+}
+
+TEST(AddressSpace, RegionsAreDisjoint) {
+  AddressSpace space;
+  const unsigned a = space.add_region("A");
+  const unsigned b = space.add_region("B");
+  EXPECT_NE(a, b);
+  // Regions are 1 TB apart: no overlap for any realistic offset.
+  EXPECT_GT(space.addr(b, 0), space.addr(a, 1ULL << 39));
+}
+
+KernelLaunch uniform_launch(offset_t blocks, unsigned warps, double cycles) {
+  KernelLaunch launch;
+  launch.name = "test";
+  launch.warps_per_block = warps;
+  for (offset_t b = 0; b < blocks; ++b) {
+    BlockWork bw;
+    bw.warp_cycles.assign(warps, cycles);
+    launch.blocks.push_back(bw);
+  }
+  launch.total_flops = 1e6;
+  return launch;
+}
+
+TEST(Scheduler, EmptyLaunch) {
+  const DeviceModel dev = DeviceModel::tiny();
+  KernelLaunch launch;
+  launch.name = "empty";
+  const SimReport r = simulate_launch(dev, launch);
+  EXPECT_EQ(r.cycles, 0.0);
+  EXPECT_GT(r.seconds, 0.0);  // launch latency only
+}
+
+TEST(Scheduler, SingleWarpRunsAtRateOne) {
+  DeviceModel dev = DeviceModel::tiny();
+  dev.cycles_block_overhead = 0.0;
+  KernelLaunch launch = uniform_launch(1, 1, 1000.0);
+  const SimReport r = simulate_launch(dev, launch);
+  EXPECT_NEAR(r.cycles, 1000.0, 1.0);
+  EXPECT_NEAR(r.sm_efficiency_pct, 100.0 / dev.num_sms, 1.0);
+}
+
+TEST(Scheduler, IssueWidthCapsThroughput) {
+  DeviceModel dev = DeviceModel::tiny();  // issue width 2, 8 warp slots
+  dev.cycles_block_overhead = 0.0;
+  dev.block_dispatch_per_cycle = 1e9;  // disable gating for this test
+  // One block of 8 warps x 1000 cycles: total 8000 warp-cycles at width 2
+  // -> 4000 cycles, not 1000.
+  KernelLaunch launch = uniform_launch(1, 8, 1000.0);
+  const SimReport r = simulate_launch(dev, launch);
+  EXPECT_NEAR(r.cycles, 4000.0, 10.0);
+}
+
+TEST(Scheduler, WorkConservation) {
+  const DeviceModel dev = DeviceModel::tiny();
+  const KernelLaunch launch = uniform_launch(50, 4, 500.0);
+  const SimReport r = simulate_launch(dev, launch);
+  // Total work cannot exceed SMs x issue width x makespan.
+  const double capacity = r.cycles * dev.num_sms * dev.sm_issue_width;
+  const double work =
+      50.0 * 4.0 * (500.0 + dev.cycles_block_overhead);
+  EXPECT_GE(capacity * (1.0 + 1e-9), work);
+}
+
+TEST(Scheduler, MetricBounds) {
+  const DeviceModel dev = DeviceModel::tiny();
+  const SimReport r = simulate_launch(dev, uniform_launch(37, 3, 321.0));
+  EXPECT_GT(r.cycles, 0.0);
+  EXPECT_GE(r.achieved_occupancy_pct, 0.0);
+  EXPECT_LE(r.achieved_occupancy_pct, 100.0);
+  EXPECT_GE(r.sm_efficiency_pct, 0.0);
+  EXPECT_LE(r.sm_efficiency_pct, 100.0);
+}
+
+TEST(Scheduler, Deterministic) {
+  const DeviceModel dev = DeviceModel::tiny();
+  const KernelLaunch launch = uniform_launch(23, 4, 777.0);
+  const SimReport a = simulate_launch(dev, launch);
+  const SimReport b = simulate_launch(dev, launch);
+  EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.achieved_occupancy_pct, b.achieved_occupancy_pct);
+}
+
+TEST(Scheduler, MoreWorkNeverFinishesSooner) {
+  const DeviceModel dev = DeviceModel::tiny();
+  const SimReport small = simulate_launch(dev, uniform_launch(10, 4, 100.0));
+  const SimReport large = simulate_launch(dev, uniform_launch(40, 4, 100.0));
+  EXPECT_GE(large.cycles, small.cycles);
+}
+
+TEST(Scheduler, OneGiantBlockTanksSmEfficiency) {
+  DeviceModel dev = DeviceModel::tiny(8, 8);
+  dev.block_dispatch_per_cycle = 1e9;
+  // 63 tiny blocks + 1 enormous block: the tail pins one SM while the
+  // other seven idle -- the darpa signature.
+  KernelLaunch launch = uniform_launch(63, 2, 10.0);
+  BlockWork giant;
+  giant.warp_cycles.assign(2, 50000.0);
+  launch.blocks.push_back(giant);
+  launch.warps_per_block = 2;
+  const SimReport r = simulate_launch(dev, launch);
+  EXPECT_LT(r.sm_efficiency_pct, 25.0);
+  const SimReport balanced = simulate_launch(dev, uniform_launch(64, 2, 10.0 + 50000.0 / 64));
+  EXPECT_GT(balanced.sm_efficiency_pct, 2.0 * r.sm_efficiency_pct);
+}
+
+TEST(Scheduler, IntraBlockImbalanceExtendsBlock) {
+  DeviceModel dev = DeviceModel::tiny();
+  dev.cycles_block_overhead = 0.0;
+  dev.block_dispatch_per_cycle = 1e9;
+  // 4 warps totalling 4000 cycles, but one warp owns almost all of it:
+  // the block cannot finish before that warp does (inter-warp imbalance).
+  KernelLaunch skewed;
+  skewed.warps_per_block = 4;
+  BlockWork bw;
+  bw.warp_cycles = {3700.0, 100.0, 100.0, 100.0};
+  skewed.blocks.push_back(bw);
+  const SimReport r = simulate_launch(dev, skewed);
+  EXPECT_GE(r.cycles, 3700.0 - 1.0);
+  // The balanced version of the same work finishes at width 2: 2000.
+  const SimReport balanced = simulate_launch(dev, uniform_launch(1, 4, 1000.0));
+  EXPECT_LT(balanced.cycles, r.cycles);
+}
+
+TEST(Scheduler, DispatchGateStarvesTinyBlocks) {
+  DeviceModel dev = DeviceModel::tiny(4, 16);
+  dev.block_dispatch_per_cycle = 0.005;  // very slow dispatcher
+  const SimReport slow = simulate_launch(dev, uniform_launch(500, 1, 5.0));
+  dev.block_dispatch_per_cycle = 1e9;
+  const SimReport fast = simulate_launch(dev, uniform_launch(500, 1, 5.0));
+  EXPECT_GT(slow.cycles, 10.0 * fast.cycles);
+  EXPECT_LT(slow.sm_efficiency_pct, 50.0);
+}
+
+TEST(Scheduler, PassthroughCounters) {
+  KernelLaunch launch = uniform_launch(2, 2, 10.0);
+  launch.atomic_ops = 42;
+  launch.l2_hit_rate_pct = 33.0;
+  const SimReport r = simulate_launch(DeviceModel::tiny(), launch);
+  EXPECT_EQ(r.atomic_ops, 42u);
+  EXPECT_DOUBLE_EQ(r.l2_hit_rate_pct, 33.0);
+  EXPECT_EQ(r.num_blocks, 2u);
+  EXPECT_EQ(r.num_warps, 4u);
+}
+
+TEST(Scheduler, RejectsOverwideBlock) {
+  KernelLaunch launch;
+  launch.warps_per_block = 2;
+  BlockWork bw;
+  bw.warp_cycles.assign(5, 1.0);  // more warps than declared
+  launch.blocks.push_back(bw);
+  EXPECT_THROW(simulate_launch(DeviceModel::tiny(), launch), Error);
+}
+
+TEST(SimReport, CombineWeightsByTime) {
+  SimReport a;
+  a.kernel = "a";
+  a.seconds = 1.0;
+  a.sm_efficiency_pct = 100.0;
+  a.achieved_occupancy_pct = 80.0;
+  a.total_flops = 100.0;
+  a.l2_hit_rate_pct = 100.0;
+  SimReport b;
+  b.kernel = "b";
+  b.seconds = 3.0;
+  b.sm_efficiency_pct = 20.0;
+  b.achieved_occupancy_pct = 40.0;
+  b.total_flops = 300.0;
+  b.l2_hit_rate_pct = 0.0;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.seconds, 4.0);
+  EXPECT_DOUBLE_EQ(a.sm_efficiency_pct, 40.0);   // (100*1 + 20*3)/4
+  EXPECT_DOUBLE_EQ(a.achieved_occupancy_pct, 50.0);
+  EXPECT_DOUBLE_EQ(a.l2_hit_rate_pct, 25.0);     // flop-weighted
+  EXPECT_DOUBLE_EQ(a.gflops, 100.0 / 1e9);
+}
+
+TEST(Device, Presets) {
+  const DeviceModel p100 = DeviceModel::p100();
+  EXPECT_EQ(p100.num_sms, 56u);           // SS VI-A
+  EXPECT_EQ(p100.warps_per_block(), 16u); // 512-thread blocks
+  EXPECT_EQ(p100.l2_bytes, 4096u * 1024u);
+  const DeviceModel v100 = DeviceModel::v100();
+  EXPECT_EQ(v100.num_sms, 80u);
+  EXPECT_GT(v100.clock_ghz, p100.clock_ghz);
+  EXPECT_GT(v100.l2_bytes, p100.l2_bytes);
+  const DeviceModel tiny = DeviceModel::tiny(3, 4);
+  EXPECT_EQ(tiny.num_sms, 3u);
+  EXPECT_EQ(tiny.max_warps_per_sm, 4u);
+}
+
+TEST(Device, V100FasterThanP100OnSameLaunch) {
+  KernelLaunch launch = uniform_launch(200, 8, 400.0);
+  launch.warps_per_block = 8;
+  launch.total_flops = 1e9;
+  const SimReport p = simulate_launch(DeviceModel::p100(), launch);
+  const SimReport v = simulate_launch(DeviceModel::v100(), launch);
+  EXPECT_LT(v.seconds, p.seconds);  // more SMs + higher clock
+}
+
+}  // namespace
+}  // namespace bcsf

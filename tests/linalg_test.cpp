@@ -1,0 +1,197 @@
+// Tests for the dense linear algebra surrounding CPD-ALS: Gram, Hadamard,
+// Khatri-Rao, SPD solves and the sparse CP fit identity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/spd_solve.hpp"
+#include "tensor/generator.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+namespace {
+
+DenseMatrix from_rows(std::initializer_list<std::initializer_list<value_t>> rows) {
+  const auto r = static_cast<index_t>(rows.size());
+  const auto c = static_cast<rank_t>(rows.begin()->size());
+  DenseMatrix m(r, c);
+  index_t i = 0;
+  for (const auto& row : rows) {
+    rank_t j = 0;
+    for (value_t v : row) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+TEST(DenseMatrix, RowAccessAndFill) {
+  DenseMatrix m(3, 4, 1.5F);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_FLOAT_EQ(m(2, 3), 1.5F);
+  m.row(1)[2] = 7.0F;
+  EXPECT_FLOAT_EQ(m(1, 2), 7.0F);
+  m.fill(0.0F);
+  EXPECT_DOUBLE_EQ(m.frob_norm(), 0.0);
+}
+
+TEST(DenseMatrix, MaxAbsDiffChecksShape) {
+  DenseMatrix a(2, 2);
+  DenseMatrix b(2, 3);
+  EXPECT_THROW((void)a.max_abs_diff(b), Error);
+}
+
+TEST(DenseMatrix, RandomizeDeterministic) {
+  DenseMatrix a(5, 5);
+  DenseMatrix b(5, 5);
+  a.randomize(9);
+  b.randomize(9);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.0);
+}
+
+TEST(Ops, GramKnown) {
+  const DenseMatrix a = from_rows({{1, 2}, {3, 4}, {5, 6}});
+  const DenseMatrix g = gram(a);
+  EXPECT_FLOAT_EQ(g(0, 0), 35.0F);   // 1+9+25
+  EXPECT_FLOAT_EQ(g(0, 1), 44.0F);   // 2+12+30
+  EXPECT_FLOAT_EQ(g(1, 0), 44.0F);   // symmetric
+  EXPECT_FLOAT_EQ(g(1, 1), 56.0F);   // 4+16+36
+}
+
+TEST(Ops, HadamardKnown) {
+  const DenseMatrix a = from_rows({{1, 2}, {3, 4}});
+  const DenseMatrix b = from_rows({{5, 6}, {7, 8}});
+  const DenseMatrix h = hadamard(a, b);
+  EXPECT_FLOAT_EQ(h(0, 0), 5.0F);
+  EXPECT_FLOAT_EQ(h(1, 1), 32.0F);
+  EXPECT_THROW(hadamard(a, DenseMatrix(3, 2)), Error);
+}
+
+TEST(Ops, KhatriRaoKnown) {
+  const DenseMatrix a = from_rows({{1, 2}, {3, 4}});
+  const DenseMatrix b = from_rows({{5, 6}, {7, 8}, {9, 10}});
+  const DenseMatrix kr = khatri_rao(a, b);
+  ASSERT_EQ(kr.rows(), 6u);
+  ASSERT_EQ(kr.cols(), 2u);
+  // Row (i=0, j=0) = a(0,:) * b(0,:) = (5, 12); row (1,2) = (27, 40).
+  EXPECT_FLOAT_EQ(kr(0, 0), 5.0F);
+  EXPECT_FLOAT_EQ(kr(0, 1), 12.0F);
+  EXPECT_FLOAT_EQ(kr(5, 0), 27.0F);
+  EXPECT_FLOAT_EQ(kr(5, 1), 40.0F);
+}
+
+TEST(Ops, MatmulKnown) {
+  const DenseMatrix a = from_rows({{1, 2}, {3, 4}});
+  const DenseMatrix b = from_rows({{5, 6}, {7, 8}});
+  const DenseMatrix c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.0F);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.0F);
+}
+
+TEST(Ops, GramHadamardExceptSkipsMode) {
+  std::vector<DenseMatrix> factors;
+  factors.push_back(from_rows({{2, 0}, {0, 2}}));  // gram = 4I
+  factors.push_back(from_rows({{3, 0}, {0, 3}}));  // gram = 9I
+  factors.push_back(from_rows({{5, 0}, {0, 5}}));  // gram = 25I
+  const DenseMatrix v = gram_hadamard_except(factors, 1);
+  EXPECT_FLOAT_EQ(v(0, 0), 100.0F);  // 4 * 25
+  EXPECT_FLOAT_EQ(v(0, 1), 0.0F);
+}
+
+TEST(Ops, NormalizeColumns) {
+  DenseMatrix a = from_rows({{3, 0}, {4, 0}});
+  const auto lambda = normalize_columns(a);
+  ASSERT_EQ(lambda.size(), 2u);
+  EXPECT_FLOAT_EQ(lambda[0], 5.0F);
+  EXPECT_FLOAT_EQ(lambda[1], 0.0F);  // zero column untouched
+  EXPECT_FLOAT_EQ(a(0, 0), 0.6F);
+  EXPECT_FLOAT_EQ(a(1, 0), 0.8F);
+}
+
+TEST(SpdSolve, CholeskyKnown) {
+  const DenseMatrix v = from_rows({{4, 2}, {2, 3}});
+  DenseMatrix lower;
+  ASSERT_TRUE(cholesky(v, lower));
+  EXPECT_FLOAT_EQ(lower(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(lower(1, 0), 1.0F);
+  EXPECT_NEAR(lower(1, 1), std::sqrt(2.0), 1e-6);
+}
+
+TEST(SpdSolve, CholeskyRejectsIndefinite) {
+  const DenseMatrix v = from_rows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  DenseMatrix lower;
+  EXPECT_FALSE(cholesky(v, lower));
+}
+
+TEST(SpdSolve, SolveRightRecoversKnownSolution) {
+  const DenseMatrix v = from_rows({{4, 2}, {2, 3}});
+  const DenseMatrix x_true = from_rows({{1, 2}, {-1, 0.5}, {0, 3}});
+  const DenseMatrix b = matmul(x_true, v);  // B = X V
+  const DenseMatrix x = solve_spd_right(v, b);
+  EXPECT_LT(x.max_abs_diff(x_true), 1e-4);
+}
+
+TEST(SpdSolve, InverseTimesSelfIsIdentity) {
+  DenseMatrix v(4, 4);
+  v.randomize(3, 0.1F, 1.0F);
+  DenseMatrix spd = gram(v);  // SPD with probability 1
+  for (rank_t i = 0; i < 4; ++i) spd(i, i) += 1.0F;
+  const DenseMatrix inv = spd_inverse(spd);
+  const DenseMatrix prod = matmul(spd, inv);
+  for (rank_t i = 0; i < 4; ++i) {
+    for (rank_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0F : 0.0F, 1e-3);
+    }
+  }
+}
+
+TEST(SpdSolve, SingularFallsBackToJitter) {
+  // Rank-deficient Gram (duplicate columns): plain Cholesky fails, the
+  // regularized path must still return finite numbers.
+  const DenseMatrix a = from_rows({{1, 1}, {2, 2}, {3, 3}});
+  const DenseMatrix v = gram(a);
+  const DenseMatrix b = from_rows({{1, 1}});
+  const DenseMatrix x = solve_spd_right(v, b);
+  EXPECT_TRUE(std::isfinite(x(0, 0)));
+  EXPECT_TRUE(std::isfinite(x(0, 1)));
+}
+
+TEST(Fit, ExactModelHasFitOne) {
+  // Build tensor whose entries are exactly a rank-2 CP model sampled at
+  // random coordinates; cp_fit with those factors must be ~1.
+  const rank_t rank = 2;
+  std::vector<DenseMatrix> factors;
+  for (index_t m = 0; m < 3; ++m) {
+    DenseMatrix f(10, rank);
+    f.randomize(40 + m, 0.1F, 1.0F);
+    factors.push_back(std::move(f));
+  }
+  SparseTensor x = generate_uniform({10, 10, 10}, 300, 8);
+  for (offset_t z = 0; z < x.nnz(); ++z) {
+    value_t acc = 0.0F;
+    for (rank_t r = 0; r < rank; ++r) {
+      acc += factors[0](x.coord(0, z), r) * factors[1](x.coord(1, z), r) *
+             factors[2](x.coord(2, z), r);
+    }
+    x.value(z) = acc;
+  }
+  const std::vector<value_t> lambda(rank, 1.0F);
+  // The fit identity only reaches 1 when the model is zero off-support;
+  // restrict the check to the inner-product consistency instead.
+  const double inner = cp_inner_product(x, factors, lambda);
+  const double norm2 = x.norm() * x.norm();
+  EXPECT_NEAR(inner, norm2, norm2 * 1e-3);
+}
+
+TEST(Fit, ZeroFactorsGiveZeroFit) {
+  SparseTensor x = generate_uniform({5, 5, 5}, 20, 9);
+  std::vector<DenseMatrix> factors;
+  for (index_t m = 0; m < 3; ++m) factors.emplace_back(5, 2);
+  const std::vector<value_t> lambda(2, 1.0F);
+  EXPECT_NEAR(cp_fit(x, factors, lambda), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace bcsf

@@ -1,0 +1,181 @@
+// The library's central property: *every* MTTKRP kernel -- five simulated
+// GPU kernels and four real CPU kernels, across all formats -- computes
+// the same matrix as the sequential COO reference, for every mode, for
+// tensors of different orders and sparsity regimes.  Splitting,
+// hybridization, flags, and blocking are storage/scheduling choices; they
+// must never change semantics.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bcsf/bcsf.hpp"
+
+namespace bcsf {
+namespace {
+
+struct Scenario {
+  std::string name;
+  PowerLawConfig config;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+  {
+    Scenario s;
+    s.name = "balanced3d";
+    s.config.dims = {40, 50, 60};
+    s.config.target_nnz = 2500;
+    s.config.slice_alpha = 2.0;
+    s.config.fiber_alpha = 2.0;
+    s.config.max_fiber_len = 16;
+    s.config.seed = 61;
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "heavy_slices3d";
+    s.config.dims = {30, 40, 300};
+    s.config.target_nnz = 4000;
+    s.config.slice_alpha = 0.3;
+    s.config.max_slice_frac = 0.4;
+    s.config.fiber_alpha = 0.5;
+    s.config.max_fiber_len = 250;
+    s.config.seed = 62;
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "singleton_fibers3d";
+    s.config.dims = {300, 200, 100};
+    s.config.target_nnz = 3000;
+    s.config.fixed_fiber_len = 1;
+    s.config.singleton_slice_frac = 0.4;
+    s.config.seed = 63;
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "order4";
+    s.config.dims = {25, 20, 15, 40};
+    s.config.target_nnz = 2000;
+    s.config.fiber_alpha = 0.8;
+    s.config.max_fiber_len = 30;
+    s.config.seed = 64;
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "order4_singletons";
+    s.config.dims = {120, 20, 15, 40};
+    s.config.target_nnz = 1500;
+    s.config.fixed_fiber_len = 1;
+    s.config.singleton_slice_frac = 0.3;
+    s.config.seed = 65;
+    out.push_back(s);
+  }
+  return out;
+}
+
+class MttkrpEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, rank_t>> {};
+
+TEST_P(MttkrpEquivalence, AllKernelsMatchReference) {
+  const auto [scenario_idx, rank] = GetParam();
+  const Scenario scenario = scenarios()[scenario_idx];
+  const SparseTensor x = generate_power_law(scenario.config);
+  ASSERT_GT(x.nnz(), 500u);
+  const auto factors = make_random_factors(x.dims(), rank, 1234);
+  const DeviceModel device = DeviceModel::tiny(4, 16);
+
+  // fp32 kernels accumulate in different orders; scale tolerance with the
+  // largest reference magnitude.
+  for (index_t mode = 0; mode < x.order(); ++mode) {
+    const DenseMatrix ref = mttkrp_reference(x, mode, factors);
+    double scale = 1.0;
+    for (value_t v : ref.data()) {
+      scale = std::max(scale, static_cast<double>(std::abs(v)));
+    }
+    const double tol = 1e-4 * scale;
+    SCOPED_TRACE(scenario.name + " mode " + std::to_string(mode) + " rank " +
+                 std::to_string(rank));
+
+    // --- simulated GPU kernels ---
+    const CsfTensor csf = build_csf(x, mode);
+    EXPECT_LT(ref.max_abs_diff(mttkrp_csf_gpu(csf, factors, device).output),
+              tol);
+    const BcsfTensor bcsf = build_bcsf_from_csf(csf, BcsfOptions{});
+    EXPECT_LT(ref.max_abs_diff(mttkrp_bcsf_gpu(bcsf, factors, device).output),
+              tol);
+    const HbcsfTensor hb = build_hbcsf(x, mode);
+    EXPECT_LT(ref.max_abs_diff(mttkrp_hbcsf_gpu(hb, factors, device).output),
+              tol);
+    EXPECT_LT(
+        ref.max_abs_diff(mttkrp_coo_gpu(x, mode, factors, device).output),
+        tol);
+    const FcooTensor fcoo = build_fcoo(x, mode);
+    EXPECT_LT(ref.max_abs_diff(mttkrp_fcoo_gpu(fcoo, factors, device).output),
+              tol);
+    const CslTensor csl = build_csl(x, mode);
+    EXPECT_LT(ref.max_abs_diff(mttkrp_csl_gpu(csl, factors, device).output),
+              tol);
+
+    // --- real CPU kernels ---
+    EXPECT_LT(ref.max_abs_diff(mttkrp_coo_cpu(x, mode, factors)), tol);
+    EXPECT_LT(ref.max_abs_diff(mttkrp_csf_cpu(csf, factors)), tol);
+    EXPECT_LT(ref.max_abs_diff(mttkrp_csl_cpu(csl, factors)), tol);
+    EXPECT_LT(ref.max_abs_diff(mttkrp_csf_cpu_tiled(csf, factors, 4)), tol);
+    const HicooTensor hicoo = build_hicoo(x);
+    EXPECT_LT(ref.max_abs_diff(mttkrp_hicoo_cpu(hicoo, mode, factors)), tol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MttkrpEquivalence,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values<rank_t>(1, 8, 32)),
+    [](const ::testing::TestParamInfo<std::tuple<int, rank_t>>& info) {
+      return scenarios()[std::get<0>(info.param)].name + "_r" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MttkrpValidation, RejectsBadFactors) {
+  const SparseTensor x = generate_uniform({5, 6, 7}, 30, 1);
+  auto factors = make_random_factors(x.dims(), 4, 2);
+  factors.pop_back();
+  EXPECT_THROW(mttkrp_reference(x, 0, factors), Error);
+
+  auto wrong_rows = make_random_factors({5, 6, 8}, 4, 2);
+  EXPECT_THROW(mttkrp_reference(x, 0, wrong_rows), Error);
+
+  auto factors2 = make_random_factors(x.dims(), 4, 2);
+  EXPECT_THROW(mttkrp_reference(x, 3, factors2), Error);
+}
+
+TEST(MttkrpValidation, EmptyTensorGivesZeroOutput) {
+  const SparseTensor x({4, 5, 6});
+  const auto factors = make_random_factors(x.dims(), 3, 7);
+  const DenseMatrix ref = mttkrp_reference(x, 1, factors);
+  EXPECT_EQ(ref.rows(), 5u);
+  EXPECT_DOUBLE_EQ(ref.frob_norm(), 0.0);
+  const GpuMttkrpResult r =
+      mttkrp_hbcsf_gpu(build_hbcsf(x, 1), factors, DeviceModel::tiny());
+  EXPECT_DOUBLE_EQ(r.output.frob_norm(), 0.0);
+}
+
+TEST(MttkrpRegistry, BuildAndRunCoversAllKinds) {
+  const SparseTensor x = generate_uniform({20, 20, 20}, 500, 9);
+  const auto factors = make_random_factors(x.dims(), 8, 10);
+  const DenseMatrix ref = mttkrp_reference(x, 0, factors);
+  GpuRunOptions opts;
+  opts.device = DeviceModel::tiny();
+  for (GpuKernelKind kind :
+       {GpuKernelKind::kCsf, GpuKernelKind::kBcsf, GpuKernelKind::kHbcsf,
+        GpuKernelKind::kCoo, GpuKernelKind::kFcoo}) {
+    const TimedGpuResult r = build_and_run(kind, x, 0, factors, opts);
+    EXPECT_LT(ref.max_abs_diff(r.run.output), 1e-2) << kind_name(kind);
+    EXPECT_GE(r.build_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace bcsf

@@ -1,0 +1,165 @@
+// Parameterized property sweeps over configuration knobs: no matter how
+// the device geometry, block capacities, fiber thresholds, F-COO
+// partition sizes or HiCOO block bits are chosen, (a) results equal the
+// reference and (b) the simulator's accounting invariants hold.
+#include <gtest/gtest.h>
+
+#include "bcsf/bcsf.hpp"
+
+namespace bcsf {
+namespace {
+
+const SparseTensor& sweep_tensor() {
+  static const SparseTensor x = [] {
+    PowerLawConfig cfg;
+    cfg.dims = {60, 50, 250};
+    cfg.target_nnz = 4000;
+    cfg.slice_alpha = 0.5;
+    cfg.max_slice_frac = 0.2;
+    cfg.fiber_alpha = 0.6;
+    cfg.max_fiber_len = 200;
+    cfg.singleton_slice_frac = 0.1;
+    cfg.seed = 301;
+    return generate_power_law(cfg);
+  }();
+  return x;
+}
+
+const std::vector<DenseMatrix>& sweep_factors() {
+  static const std::vector<DenseMatrix> f =
+      make_random_factors(sweep_tensor().dims(), 8, 302);
+  return f;
+}
+
+const DenseMatrix& sweep_reference() {
+  static const DenseMatrix ref =
+      mttkrp_reference(sweep_tensor(), 0, sweep_factors());
+  return ref;
+}
+
+// ---------------------------------------------------------------------------
+
+class DeviceGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned, double>> {
+};
+
+TEST_P(DeviceGeometrySweep, ResultAndInvariantsHold) {
+  const auto [sms, warps_per_sm, issue_width] = GetParam();
+  DeviceModel dev = DeviceModel::tiny(sms, warps_per_sm);
+  dev.sm_issue_width = issue_width;
+  const HbcsfTensor h = build_hbcsf(sweep_tensor(), 0);
+  const GpuMttkrpResult r = mttkrp_hbcsf_gpu(h, sweep_factors(), dev);
+  EXPECT_LT(sweep_reference().max_abs_diff(r.output), 1e-2);
+  EXPECT_GT(r.report.cycles, 0.0);
+  EXPECT_LE(r.report.achieved_occupancy_pct, 100.0);
+  EXPECT_LE(r.report.sm_efficiency_pct, 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, DeviceGeometrySweep,
+    ::testing::Combine(::testing::Values(1u, 4u, 56u),
+                       ::testing::Values(4u, 16u, 64u),
+                       ::testing::Values(1.0, 4.0)));
+
+/// More parallel hardware never slows the simulated kernel down.
+TEST(DeviceGeometry, MoreSmsNeverSlower) {
+  const BcsfTensor b = build_bcsf(sweep_tensor(), 0);
+  double prev = std::numeric_limits<double>::infinity();
+  for (unsigned sms : {1u, 2u, 8u, 32u}) {
+    DeviceModel dev = DeviceModel::tiny(sms, 16);
+    const double cycles =
+        mttkrp_bcsf_gpu(b, sweep_factors(), dev).report.cycles;
+    EXPECT_LE(cycles, prev * 1.05);  // small tolerance for dispatch ties
+    prev = cycles;
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+class BcsfOptionSweep
+    : public ::testing::TestWithParam<std::tuple<offset_t, offset_t>> {};
+
+TEST_P(BcsfOptionSweep, SemanticsAndStructure) {
+  const auto [threshold, capacity] = GetParam();
+  BcsfOptions opts;
+  opts.fiber_threshold = threshold;
+  opts.block_nnz_capacity = capacity;
+  const BcsfTensor b = build_bcsf(sweep_tensor(), 0, opts);
+  b.validate();
+  const GpuMttkrpResult r =
+      mttkrp_bcsf_gpu(b, sweep_factors(), DeviceModel::tiny());
+  EXPECT_LT(sweep_reference().max_abs_diff(r.output), 1e-2);
+  // Smaller capacity can only produce at least as many blocks.
+  EXPECT_GE(b.blocks().size(), b.csf().num_slices());
+}
+
+INSTANTIATE_TEST_SUITE_P(Options, BcsfOptionSweep,
+                         ::testing::Combine(::testing::Values<offset_t>(1, 8,
+                                                                        128,
+                                                                        100000),
+                                            ::testing::Values<offset_t>(16, 512,
+                                                                        100000)));
+
+TEST(BcsfOptionProperty, TighterThresholdMoreSegments) {
+  offset_t prev_segments = 0;
+  for (offset_t threshold : {100000u, 128u, 16u, 2u, 1u}) {
+    BcsfOptions opts;
+    opts.fiber_threshold = threshold;
+    const BcsfTensor b = build_bcsf(sweep_tensor(), 0, opts);
+    EXPECT_GE(b.num_fiber_segments(), prev_segments);
+    prev_segments = b.num_fiber_segments();
+  }
+  // threshold 1: one segment per nonzero.
+  EXPECT_EQ(prev_segments, sweep_tensor().nnz());
+}
+
+// ---------------------------------------------------------------------------
+
+class FcooPartitionSweep : public ::testing::TestWithParam<offset_t> {};
+
+TEST_P(FcooPartitionSweep, SemanticsHold) {
+  FcooOptions opts;
+  opts.partition_size = GetParam();
+  const FcooTensor f = build_fcoo(sweep_tensor(), 0, opts);
+  f.validate();
+  const GpuMttkrpResult r =
+      mttkrp_fcoo_gpu(f, sweep_factors(), DeviceModel::tiny());
+  EXPECT_LT(sweep_reference().max_abs_diff(r.output), 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, FcooPartitionSweep,
+                         ::testing::Values<offset_t>(1, 7, 64, 4096, 1 << 20));
+
+// ---------------------------------------------------------------------------
+
+class HicooBitsSweep : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(HicooBitsSweep, SemanticsHold) {
+  HicooOptions opts;
+  opts.block_bits = GetParam();
+  const HicooTensor h = build_hicoo(sweep_tensor(), opts);
+  h.validate();
+  const DenseMatrix out = mttkrp_hicoo_cpu(h, 0, sweep_factors());
+  EXPECT_LT(sweep_reference().max_abs_diff(out), 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, HicooBitsSweep,
+                         ::testing::Values<index_t>(1, 3, 5, 7, 8));
+
+// ---------------------------------------------------------------------------
+
+class ThreadsPerBlockSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadsPerBlockSweep, SemanticsHold) {
+  DeviceModel dev = DeviceModel::p100();
+  dev.threads_per_block = GetParam();
+  const HbcsfTensor h = build_hbcsf(sweep_tensor(), 0);
+  const GpuMttkrpResult r = mttkrp_hbcsf_gpu(h, sweep_factors(), dev);
+  EXPECT_LT(sweep_reference().max_abs_diff(r.output), 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, ThreadsPerBlockSweep,
+                         ::testing::Values(32u, 128u, 512u, 1024u));
+
+}  // namespace
+}  // namespace bcsf

@@ -1,0 +1,131 @@
+// Randomized stress tests of the scheduler: for many random launch
+// shapes and device geometries, the invariants that make the simulator a
+// valid costing substrate must hold -- determinism, work conservation,
+// metric bounds, and monotonicity in hardware resources.
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "gpusim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace bcsf {
+namespace {
+
+KernelLaunch random_launch(Rng& rng) {
+  KernelLaunch launch;
+  launch.name = "fuzz";
+  const unsigned wpb = 1 + static_cast<unsigned>(rng.uniform(0, 7));
+  launch.warps_per_block = wpb;
+  const auto blocks = static_cast<offset_t>(rng.uniform(1, 120));
+  for (offset_t b = 0; b < blocks; ++b) {
+    BlockWork bw;
+    const unsigned warps = 1 + static_cast<unsigned>(rng.uniform(0, wpb - 1));
+    for (unsigned w = 0; w < warps; ++w) {
+      // Heavy-tailed warp costs to exercise the imbalance paths.
+      bw.warp_cycles.push_back(rng.pareto(0.7, 1.0, 20000.0));
+    }
+    launch.blocks.push_back(std::move(bw));
+  }
+  launch.total_flops = 1e6;
+  return launch;
+}
+
+DeviceModel random_device(Rng& rng) {
+  DeviceModel dev = DeviceModel::tiny(
+      1 + static_cast<unsigned>(rng.uniform(0, 15)),
+      8 * (1 + static_cast<unsigned>(rng.uniform(0, 7))));
+  dev.sm_issue_width = 1.0 + rng.uniform_real(0.0, 7.0);
+  dev.max_blocks_per_sm = 1 + static_cast<unsigned>(rng.uniform(0, 15));
+  dev.block_dispatch_per_cycle = rng.uniform_real(0.01, 2.0);
+  dev.cycles_block_overhead = rng.uniform_real(0.0, 200.0);
+  return dev;
+}
+
+TEST(SchedulerFuzz, InvariantsOverRandomLaunches) {
+  Rng rng(20240612);
+  for (int trial = 0; trial < 60; ++trial) {
+    const KernelLaunch launch = random_launch(rng);
+    const DeviceModel dev = random_device(rng);
+    SCOPED_TRACE("trial " + std::to_string(trial));
+
+    const SimReport r = simulate_launch(dev, launch);
+
+    // Bounds.
+    EXPECT_GE(r.cycles, 0.0);
+    EXPECT_GE(r.achieved_occupancy_pct, 0.0);
+    EXPECT_LE(r.achieved_occupancy_pct, 100.0);
+    EXPECT_GE(r.sm_efficiency_pct, 0.0);
+    EXPECT_LE(r.sm_efficiency_pct, 100.0);
+
+    // The makespan is at least the single longest warp (with overhead)
+    // and at most serial execution of everything on one warp slot.
+    double longest = 0.0;
+    double total = 0.0;
+    for (const auto& b : launch.blocks) {
+      for (double c : b.warp_cycles) {
+        longest = std::max(longest, c + dev.cycles_block_overhead);
+        total += c + dev.cycles_block_overhead;
+      }
+    }
+    EXPECT_GE(r.cycles * (1.0 + 1e-9), longest);
+    EXPECT_LE(r.cycles, total + launch.blocks.size() /
+                                    dev.block_dispatch_per_cycle + 1.0);
+
+    // Work conservation: the machine cannot have done more warp-cycles
+    // than capacity allows.
+    const double capacity =
+        r.cycles * dev.num_sms *
+        std::min<double>(dev.sm_issue_width, dev.max_warps_per_sm);
+    EXPECT_GE(capacity * (1.0 + 1e-6) + 1.0, total);
+
+    // Determinism.
+    const SimReport again = simulate_launch(dev, launch);
+    EXPECT_DOUBLE_EQ(r.cycles, again.cycles);
+    EXPECT_DOUBLE_EQ(r.sm_efficiency_pct, again.sm_efficiency_pct);
+  }
+}
+
+// Greedy list scheduling is famously *not* monotone in resources (Graham's
+// anomalies: adding capacity can re-order placements and lengthen the
+// makespan of an individual schedule, bounded by a factor of 2).  The
+// per-trial checks therefore allow the Graham factor, and monotonicity is
+// asserted in aggregate across trials.
+
+TEST(SchedulerFuzz, MoreIssueWidthFasterInAggregate) {
+  Rng rng(77);
+  double narrow_total = 0.0;
+  double wide_total = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const KernelLaunch launch = random_launch(rng);
+    DeviceModel dev = random_device(rng);
+    dev.sm_issue_width = 1.0;
+    const double narrow = simulate_launch(dev, launch).cycles;
+    dev.sm_issue_width = 8.0;
+    const double wide = simulate_launch(dev, launch).cycles;
+    EXPECT_LE(wide, narrow * 2.0 + 1.0) << "trial " << trial;  // Graham bound
+    narrow_total += narrow;
+    wide_total += wide;
+  }
+  EXPECT_LT(wide_total, narrow_total);
+}
+
+TEST(SchedulerFuzz, FasterDispatchFasterInAggregate) {
+  Rng rng(78);
+  double slow_total = 0.0;
+  double fast_total = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const KernelLaunch launch = random_launch(rng);
+    DeviceModel dev = random_device(rng);
+    dev.block_dispatch_per_cycle = 0.02;
+    const double slow = simulate_launch(dev, launch).cycles;
+    dev.block_dispatch_per_cycle = 10.0;
+    const double fast = simulate_launch(dev, launch).cycles;
+    EXPECT_LE(fast, slow * 2.0 + 1.0) << "trial " << trial;  // Graham bound
+    slow_total += slow;
+    fast_total += fast;
+  }
+  EXPECT_LT(fast_total, slow_total);
+}
+
+}  // namespace
+}  // namespace bcsf

@@ -1,0 +1,39 @@
+// End-to-end smoke test: generate a small power-law tensor, build every
+// format, run every kernel, and check all outputs agree with the
+// reference.  Details are covered by the per-module suites; this test
+// exists so a broken pipeline fails fast and obviously.
+#include <gtest/gtest.h>
+
+#include "bcsf/bcsf.hpp"
+
+namespace bcsf {
+namespace {
+
+TEST(Smoke, AllKernelsAgreeOnPowerLawTensor) {
+  PowerLawConfig cfg;
+  cfg.dims = {50, 60, 70};
+  cfg.target_nnz = 3000;
+  cfg.seed = 1;
+  const SparseTensor x = generate_power_law(cfg);
+  ASSERT_GT(x.nnz(), 1000u);
+  x.validate();
+
+  const rank_t rank = 8;
+  const auto factors = make_random_factors(x.dims(), rank, 99);
+  const DeviceModel device = DeviceModel::p100();
+
+  for (index_t mode = 0; mode < x.order(); ++mode) {
+    const DenseMatrix ref = mttkrp_reference(x, mode, factors);
+    for (GpuKernelKind kind :
+         {GpuKernelKind::kCsf, GpuKernelKind::kBcsf, GpuKernelKind::kHbcsf,
+          GpuKernelKind::kCoo, GpuKernelKind::kFcoo}) {
+      const TimedGpuResult r = build_and_run(kind, x, mode, factors);
+      EXPECT_LT(ref.max_abs_diff(r.run.output), 1e-2)
+          << kind_name(kind) << " mode " << mode;
+      EXPECT_GT(r.run.report.gflops, 0.0) << kind_name(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bcsf

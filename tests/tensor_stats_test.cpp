@@ -1,0 +1,96 @@
+// Tests for the slice/fiber statistics module, anchored on the paper's
+// worked example (Fig. 4): a tensor with S = 3 slices, F = 5 fibers and
+// M = 8 nonzeros whose three slices are exactly one COO candidate, one
+// CSL candidate and one CSF slice.
+#include <gtest/gtest.h>
+
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/tensor_stats.hpp"
+
+namespace bcsf {
+namespace {
+
+/// The Fig. 4 tensor: slice 0 has a single nonzero; slice 1 has three
+/// singleton fibers; slice 2 has one fiber with four nonzeros.
+SparseTensor fig4_tensor() {
+  SparseTensor t({3, 5, 6});
+  const index_t coords[][3] = {
+      {0, 1, 2},                            // slice 0: COO candidate
+      {1, 0, 0}, {1, 2, 3}, {1, 4, 1},      // slice 1: CSL candidate
+      {2, 1, 0}, {2, 1, 2}, {2, 1, 4}, {2, 1, 5},  // slice 2: CSF
+  };
+  value_t v = 1.0F;
+  for (const auto& c : coords) t.push_back({c, 3}, v++);
+  return t;
+}
+
+TEST(TensorStats, Fig4SliceAndFiberCounts) {
+  const ModeStats s = compute_mode_stats(fig4_tensor(), 0);
+  EXPECT_EQ(s.num_slices, 3u);   // S = 3, as in the paper
+  EXPECT_EQ(s.num_fibers, 5u);   // F = 5
+  EXPECT_EQ(s.nnz, 8u);          // M = 8
+}
+
+TEST(TensorStats, Fig4Classification) {
+  const ModeStats s = compute_mode_stats(fig4_tensor(), 0);
+  // One of three slices is a singleton (COO), one is all-singleton-fiber
+  // (CSL); the remaining slice is CSF.
+  EXPECT_NEAR(s.singleton_slice_fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.csl_slice_fraction, 1.0 / 3.0, 1e-12);
+}
+
+TEST(TensorStats, Fig4PerSliceDistribution) {
+  const ModeStats s = compute_mode_stats(fig4_tensor(), 0);
+  EXPECT_DOUBLE_EQ(s.nnz_per_slice.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.nnz_per_slice.max, 4.0);
+  EXPECT_NEAR(s.nnz_per_slice.mean, 8.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.nnz_per_fiber.max, 4.0);
+  EXPECT_NEAR(s.nnz_per_fiber.mean, 8.0 / 5.0, 1e-12);
+}
+
+TEST(TensorStats, CountScanMatchesManual) {
+  SparseTensor t = fig4_tensor();
+  const ModeOrder order = mode_order_for(0, 3);
+  t.sort(order);
+  const SliceFiberCounts c = count_slices_and_fibers(t, order);
+  EXPECT_EQ(c.slice_index, (index_vec{0, 1, 2}));
+  EXPECT_EQ(c.slice_nnz, (offset_vec{1, 3, 4}));
+  EXPECT_EQ(c.fiber_nnz, (offset_vec{1, 1, 1, 1, 4}));
+  EXPECT_EQ(c.slice_fiber_begin, (offset_vec{0, 1, 4, 5}));
+}
+
+TEST(TensorStats, OtherModesDifferStructurally) {
+  const SparseTensor t = fig4_tensor();
+  const ModeStats m1 = compute_mode_stats(t, 1);
+  // Mode 1 has slices at j in {0,1,2,4}; j=1 collects 5 nonzeros.
+  EXPECT_EQ(m1.num_slices, 4u);
+  EXPECT_DOUBLE_EQ(m1.nnz_per_slice.max, 5.0);
+}
+
+TEST(TensorStats, EmptyTensor) {
+  const SparseTensor t({3, 3, 3});
+  const ModeStats s = compute_mode_stats(t, 0);
+  EXPECT_EQ(s.num_slices, 0u);
+  EXPECT_EQ(s.num_fibers, 0u);
+}
+
+TEST(TensorStats, AllModesCoverEveryMode) {
+  const auto all = compute_all_mode_stats(fig4_tensor());
+  ASSERT_EQ(all.size(), 3u);
+  for (index_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(all[m].mode, m);
+    EXPECT_EQ(all[m].nnz, 8u);
+  }
+}
+
+TEST(TensorStats, Order2FiberEqualsSlice) {
+  SparseTensor t({4, 4});
+  const index_t coords[][2] = {{0, 1}, {0, 2}, {3, 0}};
+  for (const auto& c : coords) t.push_back({c, 2}, 1.0F);
+  const ModeStats s = compute_mode_stats(t, 0);
+  EXPECT_EQ(s.num_slices, 2u);
+  EXPECT_EQ(s.num_fibers, 2u);  // in a matrix, rows are both
+}
+
+}  // namespace
+}  // namespace bcsf

@@ -1,0 +1,138 @@
+// Unit tests for the COO sparse tensor core: construction, sorting,
+// coalescing, validation, and the mode-ordering convention.
+#include <gtest/gtest.h>
+
+#include "tensor/sparse_tensor.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+namespace {
+
+SparseTensor small3() {
+  SparseTensor t({4, 5, 6});
+  const index_t coords[][3] = {{3, 0, 2}, {0, 1, 1}, {0, 0, 5},
+                               {2, 4, 0}, {0, 1, 0}, {3, 0, 1}};
+  value_t v = 1.0F;
+  for (const auto& c : coords) t.push_back({c, 3}, v++);
+  return t;
+}
+
+TEST(ModeOrder, PaperConvention) {
+  EXPECT_EQ(mode_order_for(0, 3), (ModeOrder{0, 1, 2}));
+  EXPECT_EQ(mode_order_for(1, 3), (ModeOrder{1, 0, 2}));
+  EXPECT_EQ(mode_order_for(2, 3), (ModeOrder{2, 0, 1}));
+  EXPECT_EQ(mode_order_for(2, 4), (ModeOrder{2, 0, 1, 3}));
+  EXPECT_THROW(mode_order_for(3, 3), Error);
+}
+
+TEST(SparseTensor, BasicAccessors) {
+  const SparseTensor t = small3();
+  EXPECT_EQ(t.order(), 3u);
+  EXPECT_EQ(t.nnz(), 6u);
+  EXPECT_EQ(t.dim(0), 4u);
+  EXPECT_EQ(t.dim(2), 6u);
+  EXPECT_NEAR(t.density(), 6.0 / (4 * 5 * 6), 1e-12);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(SparseTensor, RejectsEmptyDims) {
+  EXPECT_THROW(SparseTensor(std::vector<index_t>{}), Error);
+  EXPECT_THROW(SparseTensor({3, 0, 2}), Error);
+}
+
+TEST(SparseTensor, PushBackBoundsChecked) {
+  SparseTensor t({2, 2});
+  const index_t bad[] = {2, 0};
+  EXPECT_THROW(t.push_back({bad, 2}, 1.0F), Error);
+  const index_t short_coords[] = {1};
+  EXPECT_THROW(t.push_back({short_coords, 1}, 1.0F), Error);
+}
+
+TEST(SparseTensor, SortByMode0) {
+  SparseTensor t = small3();
+  const ModeOrder order = mode_order_for(0, 3);
+  EXPECT_FALSE(t.is_sorted(order));
+  t.sort(order);
+  EXPECT_TRUE(t.is_sorted(order));
+  // First coordinate nondecreasing; ties broken by next modes.
+  for (offset_t z = 1; z < t.nnz(); ++z) {
+    EXPECT_LE(t.coord(0, z - 1), t.coord(0, z));
+  }
+  // Values move with their coordinates: (0,0,5) had value 3.
+  EXPECT_EQ(t.coord(0, 0), 0u);
+  EXPECT_EQ(t.coord(1, 0), 0u);
+  EXPECT_EQ(t.coord(2, 0), 5u);
+  EXPECT_FLOAT_EQ(t.value(0), 3.0F);
+}
+
+TEST(SparseTensor, SortByMode2PutsLeafFirst) {
+  SparseTensor t = small3();
+  const ModeOrder order = mode_order_for(2, 3);
+  t.sort(order);
+  EXPECT_TRUE(t.is_sorted(order));
+  for (offset_t z = 1; z < t.nnz(); ++z) {
+    EXPECT_LE(t.coord(2, z - 1), t.coord(2, z));
+  }
+}
+
+TEST(SparseTensor, IsSortedOnEmptyAndSingle) {
+  SparseTensor t({3, 3});
+  EXPECT_TRUE(t.is_sorted(mode_order_for(0, 2)));
+  const index_t c[] = {1, 1};
+  t.push_back({c, 2}, 1.0F);
+  EXPECT_TRUE(t.is_sorted(mode_order_for(0, 2)));
+}
+
+TEST(SparseTensor, CoalesceSumsDuplicates) {
+  SparseTensor t({3, 3});
+  const index_t a[] = {1, 2};
+  const index_t b[] = {0, 0};
+  t.push_back({a, 2}, 1.5F);
+  t.push_back({b, 2}, 2.0F);
+  t.push_back({a, 2}, 2.5F);
+  t.push_back({a, 2}, 1.0F);
+  const offset_t removed = t.coalesce();
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(t.nnz(), 2u);
+  // Sorted by identity order: (0,0) first.
+  EXPECT_FLOAT_EQ(t.value(0), 2.0F);
+  EXPECT_FLOAT_EQ(t.value(1), 5.0F);
+}
+
+TEST(SparseTensor, CoalesceNoDuplicates) {
+  SparseTensor t = small3();
+  EXPECT_EQ(t.coalesce(), 0u);
+  EXPECT_EQ(t.nnz(), 6u);
+}
+
+TEST(SparseTensor, Norm) {
+  SparseTensor t({2, 2});
+  const index_t a[] = {0, 0};
+  const index_t b[] = {1, 1};
+  t.push_back({a, 2}, 3.0F);
+  t.push_back({b, 2}, 4.0F);
+  EXPECT_DOUBLE_EQ(t.norm(), 5.0);
+}
+
+TEST(SparseTensor, IndexStorageBytes) {
+  const SparseTensor t = small3();
+  EXPECT_EQ(t.index_storage_bytes(), 3u * 6u * 4u);  // 4 x 3M of SS III-A
+}
+
+TEST(SparseTensor, ShapeString) {
+  SparseTensor t({533'000, 17'000'000, 2'000'000});
+  EXPECT_EQ(t.shape_string(), "533K x 17M x 2M");
+}
+
+TEST(SparseTensor, Order4SortAndValidate) {
+  SparseTensor t({3, 4, 5, 6});
+  const index_t coords[][4] = {
+      {2, 3, 4, 5}, {0, 0, 0, 0}, {2, 3, 4, 1}, {1, 2, 0, 3}};
+  for (const auto& c : coords) t.push_back({c, 4}, 1.0F);
+  t.sort(mode_order_for(3, 4));
+  EXPECT_TRUE(t.is_sorted(mode_order_for(3, 4)));
+  EXPECT_NO_THROW(t.validate());
+}
+
+}  // namespace
+}  // namespace bcsf
