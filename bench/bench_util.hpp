@@ -57,6 +57,12 @@ class Table {
     rows_.push_back(std::move(r));
   }
 
+  /// Pre-formatted row for callers whose column count is only known at
+  /// run time (e.g. one column per registered format).
+  void row_cells(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
   void print(std::ostream& os = std::cout) const {
     std::vector<std::size_t> width(headers_.size());
     for (std::size_t c = 0; c < headers_.size(); ++c) {

@@ -6,5 +6,5 @@
 int main() {
   return bcsf::bench::run_speedup_figure(
       "Figure 11 -- HB-CSF vs SPLATT-CPU-tiled",
-      bcsf::bench::Baseline::kSplattTiled, 35.0);
+      bcsf::bench::splatt_baseline(true), 35.0);
 }

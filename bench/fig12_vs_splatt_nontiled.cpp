@@ -5,5 +5,5 @@
 int main() {
   return bcsf::bench::run_speedup_figure(
       "Figure 12 -- HB-CSF vs SPLATT-CPU-nontiled",
-      bcsf::bench::Baseline::kSplattNontiled, 9.0);
+      bcsf::bench::splatt_baseline(false), 9.0);
 }

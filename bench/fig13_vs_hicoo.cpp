@@ -3,5 +3,5 @@
 
 int main() {
   return bcsf::bench::run_speedup_figure("Figure 13 -- HB-CSF vs HiCOO-CPU",
-                                         bcsf::bench::Baseline::kHicoo, 17.0);
+                                         bcsf::bench::hicoo_baseline(), 17.0);
 }

@@ -4,6 +4,6 @@
 
 int main() {
   return bcsf::bench::run_speedup_figure("Figure 14 -- HB-CSF vs ParTI-GPU",
-                                         bcsf::bench::Baseline::kPartiGpu,
+                                         bcsf::bench::gpu_baseline("coo"),
                                          3.0);
 }

@@ -4,6 +4,6 @@
 
 int main() {
   return bcsf::bench::run_speedup_figure("Figure 15 -- HB-CSF vs FCOO-GPU",
-                                         bcsf::bench::Baseline::kFcooGpu,
+                                         bcsf::bench::gpu_baseline("fcoo"),
                                          4.0);
 }

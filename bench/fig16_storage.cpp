@@ -1,6 +1,9 @@
-// Figure 16: index storage of the mode-oriented formats -- FCOO, CSF and
-// HB-CSF each keep N representations for an N-order tensor, so the figure
-// sums all modes.  COO (one representation) is shown for reference.
+// Figure 16: index storage of every registered GPU format.  The
+// mode-oriented formats (FCOO, CSF family, HB-CSF) keep N representations
+// for an N-order tensor, so the figure sums all modes; mode-agnostic COO
+// keeps one.  The format list and the per-format mode-orientation flag
+// both come from the FormatRegistry, so a new format lands in this figure
+// without touching it.
 // Expected shape: HB-CSF consistently below CSF (no redundant pointers);
 // FCOO below both on tensors with sparse fibers/slices (bit flags instead
 // of index words).
@@ -12,20 +15,40 @@ int main() {
   print_header("Figure 16 -- index storage (all-mode representations)",
                "megabytes of index data; values excluded, as in the paper");
 
-  Table table({"tensor", "COO (1 rep) MB", "FCOO MB", "CSF MB", "HB-CSF MB",
-               "HB-CSF/CSF", "FCOO/CSF"});
+  const FormatRegistry& registry = FormatRegistry::instance();
+  const std::vector<std::string> formats = registry.names(PlanKind::kGpu);
+
+  std::vector<std::string> headers{"tensor"};
+  for (const std::string& f : formats) {
+    const auto& e = registry.at(f);
+    headers.push_back(e.display_name +
+                      (e.mode_oriented ? " MB" : " (1 rep) MB"));
+  }
+  Table table(headers);
 
   for (const DatasetSpec& spec : paper_datasets()) {
     const SparseTensor& x = twin(spec.name);
     const double mb = 1.0 / (1024.0 * 1024.0);
-    const double coo = static_cast<double>(coo_storage(x).bytes) * mb;
-    const double fcoo = static_cast<double>(fcoo_storage_all_modes(x)) * mb;
-    const double csf = static_cast<double>(csf_storage_all_modes(x)) * mb;
-    const double hb = static_cast<double>(hbcsf_storage_all_modes(x)) * mb;
-    table.row(spec.name, coo, fcoo, csf, hb, hb / csf, fcoo / csf);
+
+    std::vector<std::string> cells{spec.name};
+    for (const std::string& f : formats) {
+      std::size_t bytes = 0;
+      if (registry.at(f).mode_oriented) {
+        for (index_t m = 0; m < x.order(); ++m) {
+          bytes += registry.create(f, x, m)->storage_bytes();
+        }
+      } else {
+        bytes = registry.create(f, x, 0)->storage_bytes();
+      }
+      std::ostringstream cell;
+      cell << std::fixed << std::setprecision(2)
+           << static_cast<double>(bytes) * mb;
+      cells.push_back(cell.str());
+    }
+    table.row_cells(std::move(cells));
   }
   table.print();
-  std::cout << "\nExpected shape: HB-CSF/CSF < 1 everywhere; FCOO smallest "
+  std::cout << "\nExpected shape: HB-CSF below CSF everywhere; FCOO smallest "
                "on singleton-fiber tensors (flick, freebase).\n";
   return 0;
 }

@@ -1,40 +1,57 @@
-// Figure 8: ParTI-COO-GPU vs B-CSF vs HB-CSF in mode 1.  The paper's
-// point: plain COO beats even optimized B-CSF on tensors whose slices are
-// tiny and whose fibers are singletons (flick-3d, fr_s) because CSF's
-// machinery is pure overhead there -- and HB-CSF wins everywhere by
-// routing each slice population to the right representation.
+// Figure 8: every registered GPU format head-to-head in mode 1.  The
+// paper's point: plain COO beats even optimized B-CSF on tensors whose
+// slices are tiny and whose fibers are singletons (flick-3d, fr_s)
+// because CSF's machinery is pure overhead there -- and HB-CSF wins
+// everywhere by routing each slice population to the right
+// representation.
+//
+// The format list comes from the FormatRegistry: a newly registered GPU
+// format shows up as a column with no change here.
 #include "bench_util.hpp"
 
 int main() {
   using namespace bcsf;
   using namespace bcsf::bench;
-  print_header("Figure 8 -- ParTI-COO vs B-CSF vs HB-CSF (mode 1, simulated "
-               "P100)",
-               "R = 32; HB-CSF group sizes shown to explain the wins");
+  print_header("Figure 8 -- GPU formats head-to-head (mode 1, simulated P100)",
+               "R = 32; columns enumerate the FormatRegistry catalogue");
 
-  const DeviceModel device = DeviceModel::p100();
-  Table table({"tensor", "COO GF", "B-CSF GF", "HB-CSF GF", "best",
-               "hb: coo/csl/csf nnz %"});
+  const std::vector<std::string> formats =
+      FormatRegistry::instance().names(PlanKind::kGpu);
+
+  std::vector<std::string> headers{"tensor"};
+  for (const std::string& f : formats) {
+    headers.push_back(FormatRegistry::instance().at(f).display_name + " GF");
+  }
+  headers.push_back("best");
+  headers.push_back("best notes");
+  Table table(headers);
+
+  PlanOptions opts;
+  opts.device = DeviceModel::p100();
 
   for (const std::string& name : three_order_dataset_names()) {
     const SparseTensor& x = twin(name);
     const auto& factors = factors_for(name);
 
-    const SimReport coo = mttkrp_coo_gpu(x, 0, factors, device).report;
-    const BcsfTensor b = build_bcsf(x, 0);
-    const SimReport bc = mttkrp_bcsf_gpu(b, factors, device).report;
-    const HbcsfTensor h = build_hbcsf(x, 0);
-    const SimReport hb = mttkrp_hbcsf_gpu(h, factors, device).report;
-
-    const double m = static_cast<double>(h.nnz());
-    std::ostringstream mix;
-    mix << std::fixed << std::setprecision(0) << 100.0 * h.coo_nnz() / m << "/"
-        << 100.0 * h.csl_nnz() / m << "/" << 100.0 * h.csf_nnz() / m;
-    const char* best = hb.gflops >= bc.gflops && hb.gflops >= coo.gflops
-                           ? "HB-CSF"
-                           : (bc.gflops >= coo.gflops ? "B-CSF" : "COO");
-    table.row(name, coo.gflops, bc.gflops, hb.gflops, std::string(best),
-              mix.str());
+    std::vector<std::string> cells{name};
+    double best_gf = -1.0;
+    std::string best_name = "?";
+    std::string best_notes;
+    for (const std::string& f : formats) {
+      const PlanPtr plan = FormatRegistry::instance().create(f, x, 0, opts);
+      const SimReport rep = plan->run(factors).report;
+      std::ostringstream gf;
+      gf << std::fixed << std::setprecision(2) << rep.gflops;
+      cells.push_back(gf.str());
+      if (rep.gflops > best_gf) {
+        best_gf = rep.gflops;
+        best_name = plan->display_name();
+        best_notes = plan->detail();
+      }
+    }
+    cells.push_back(best_name);
+    cells.push_back(best_notes);
+    table.row_cells(std::move(cells));
   }
   table.print();
   std::cout << "\nExpected shape: COO > B-CSF on flick-3d / fr_s / fr_m "

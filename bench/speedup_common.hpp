@@ -2,68 +2,76 @@
 // P100 versus one baseline, per dataset and per mode, with the geometric
 // mean the paper quotes ("HB-CSF outperforms SPLATT by 35x on average").
 //
+// A baseline is a name plus a pricing function -- no per-format switch.
 // CPU baselines (SPLATT tiled/nontiled, HiCOO) are priced with the
-// 28-core Broadwell model; GPU baselines (ParTI-COO, F-COO) run through
-// the same simulator as HB-CSF.  ParTI and F-COO do not support
-// order > 3 tensors ("None of the existing GPU based frameworks ...
-// support four or higher dimensional tensors"), so 4-D rows print n/a --
-// the paper's missing bars.
+// 28-core Broadwell model; GPU baselines are whatever the FormatRegistry
+// knows, run through the same simulator as HB-CSF.  ParTI and F-COO do
+// not support order > 3 tensors ("None of the existing GPU based
+// frameworks ... support four or higher dimensional tensors"), so 4-D
+// rows print n/a -- the paper's missing bars.
 #pragma once
+
+#include <functional>
 
 #include "bench_util.hpp"
 
 namespace bcsf::bench {
 
-enum class Baseline {
-  kSplattTiled,
-  kSplattNontiled,
-  kHicoo,
-  kPartiGpu,
-  kFcooGpu,
+struct Baseline {
+  std::string name;
+  /// Highest tensor order supported; 0 = unlimited.
+  index_t max_order = 0;
+  std::function<double(const SparseTensor& x, index_t mode,
+                       const std::vector<DenseMatrix>& factors,
+                       const DeviceModel& device, const CpuModel& cpu)>
+      seconds;
 };
 
-inline const char* baseline_name(Baseline b) {
-  switch (b) {
-    case Baseline::kSplattTiled: return "SPLATT-CPU-tiled";
-    case Baseline::kSplattNontiled: return "SPLATT-CPU-nontiled";
-    case Baseline::kHicoo: return "HiCOO-CPU";
-    case Baseline::kPartiGpu: return "ParTI-GPU";
-    case Baseline::kFcooGpu: return "FCOO-GPU";
-  }
-  return "?";
+/// Analytic Broadwell pricing of SPLATT's CSF kernel (DESIGN.md §1).
+inline Baseline splatt_baseline(bool tiled) {
+  return {tiled ? "SPLATT-CPU-tiled" : "SPLATT-CPU-nontiled", 0,
+          [tiled](const SparseTensor& x, index_t mode,
+                  const std::vector<DenseMatrix>&, const DeviceModel&,
+                  const CpuModel& cpu) {
+            return estimate_splatt(build_csf(x, mode), kPaperRank, cpu, tiled)
+                .seconds;
+          }};
 }
 
-/// Seconds for the baseline on (tensor, mode); negative = unsupported.
-inline double baseline_seconds(Baseline b, const SparseTensor& x, index_t mode,
-                               const std::vector<DenseMatrix>& factors,
-                               const DeviceModel& device,
-                               const CpuModel& cpu) {
-  switch (b) {
-    case Baseline::kSplattTiled:
-      return estimate_splatt(build_csf(x, mode), kPaperRank, cpu, true).seconds;
-    case Baseline::kSplattNontiled:
-      return estimate_splatt(build_csf(x, mode), kPaperRank, cpu, false)
-          .seconds;
-    case Baseline::kHicoo:
-      return estimate_hicoo(build_hicoo(x), mode, kPaperRank, cpu).seconds;
-    case Baseline::kPartiGpu:
-      if (x.order() > 3) return -1.0;
-      return mttkrp_coo_gpu(x, mode, factors, device).report.seconds;
-    case Baseline::kFcooGpu: {
-      if (x.order() > 3) return -1.0;
-      const FcooTensor f = build_fcoo(x, mode);
-      return mttkrp_fcoo_gpu(f, factors, device).report.seconds;
-    }
-  }
-  return -1.0;
+/// Analytic Broadwell pricing of the HiCOO CPU kernel.
+inline Baseline hicoo_baseline() {
+  return {"HiCOO-CPU", 0,
+          [](const SparseTensor& x, index_t mode,
+             const std::vector<DenseMatrix>&, const DeviceModel&,
+             const CpuModel& cpu) {
+            return estimate_hicoo(build_hicoo(x), mode, kPaperRank, cpu)
+                .seconds;
+          }};
 }
 
-inline int run_speedup_figure(const std::string& figure, Baseline b,
+/// Any GPU format in the FormatRegistry as a simulated baseline.
+inline Baseline gpu_baseline(const std::string& format,
+                             index_t max_order = 3) {
+  const auto& entry = FormatRegistry::instance().at(format);
+  return {entry.display_name + "-GPU", max_order,
+          [format](const SparseTensor& x, index_t mode,
+                   const std::vector<DenseMatrix>& factors,
+                   const DeviceModel& device, const CpuModel&) {
+            PlanOptions opts;
+            opts.device = device;
+            return FormatRegistry::instance()
+                .create(format, x, mode, opts)
+                ->run(factors)
+                .report.seconds;
+          }};
+}
+
+inline int run_speedup_figure(const std::string& figure, const Baseline& b,
                               double paper_average) {
   const DeviceModel device = DeviceModel::p100();
   const CpuModel cpu = CpuModel::broadwell();
   std::ostringstream note;
-  note << "speedup = " << baseline_name(b)
+  note << "speedup = " << b.name
        << " time / HB-CSF simulated time; paper average ~" << paper_average
        << "x";
   print_header(figure, note.str());
@@ -71,21 +79,23 @@ inline int run_speedup_figure(const std::string& figure, Baseline b,
   Table table({"tensor", "mode", "baseline (ms)", "HB-CSF (ms)", "speedup"});
   std::vector<double> speedups;
 
+  PlanOptions hb_opts;
+  hb_opts.device = device;
   for (const DatasetSpec& spec : paper_datasets()) {
     const SparseTensor& x = twin(spec.name);
     const auto& factors = factors_for(spec.name);
     for (index_t mode = 0; mode < x.order(); ++mode) {
-      const double base_s =
-          baseline_seconds(b, x, mode, factors, device, cpu);
-      if (base_s < 0.0) {
+      if (b.max_order != 0 && x.order() > b.max_order) {
         table.row(spec.name, static_cast<int>(mode), std::string("n/a"),
                   std::string("n/a"),
                   std::string("n/a (no 4-D support)"));
         continue;
       }
-      const HbcsfTensor h = build_hbcsf(x, mode);
-      const double hb_s =
-          mttkrp_hbcsf_gpu(h, factors, device).report.seconds;
+      const double base_s = b.seconds(x, mode, factors, device, cpu);
+      const double hb_s = FormatRegistry::instance()
+                              .create("hbcsf", x, mode, hb_opts)
+                              ->run(factors)
+                              .report.seconds;
       const double speedup = base_s / hb_s;
       speedups.push_back(speedup);
       table.row(spec.name, static_cast<int>(mode), base_s * 1e3, hb_s * 1e3,

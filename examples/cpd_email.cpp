@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
   CpdOptions opts;
   opts.rank = static_cast<rank_t>(cli.get_int("rank", 8));
   opts.max_iterations = static_cast<unsigned>(cli.get_int("iters", 20));
-  opts.backend = CpdBackend::kGpuHbcsf;
+  opts.format = cli.get_string("format", "hbcsf");
   opts.seed = 11;
 
   const SparseTensor x =

@@ -2,9 +2,11 @@
 //
 // Loads a FROSTT `.tns` file (or one of the paper's dataset twins) and,
 // per mode, prints the structural statistics the paper's analysis is
-// built on, the index storage of every format, and the simulated-P100
-// GFLOPs for each kernel -- ending with a recommendation, i.e. the
-// decision HB-CSF automates per slice.
+// built on, then every format registered in the FormatRegistry: its index
+// storage, build time, and simulated-P100 GFLOPs -- ending with the
+// measured best and the `auto` policy's a-priori recommendation (§V
+// binning + Fig-10 break-even), so you can see whether the model picks
+// the measured winner.
 //
 // Usage: format_explorer [--tns=path] [--dataset=deli] [--rank=32]
 #include <iostream>
@@ -25,7 +27,9 @@ int main(int argc, char** argv) {
             << ", density=" << x.density() << "\n\n";
 
   const auto factors = make_random_factors(x.dims(), rank, 1);
-  const DeviceModel device = DeviceModel::p100();
+  const FormatRegistry& registry = FormatRegistry::instance();
+  PlanOptions opts;
+  opts.device = DeviceModel::p100();
 
   for (index_t mode = 0; mode < x.order(); ++mode) {
     const ModeStats s = compute_mode_stats(x, mode);
@@ -38,30 +42,27 @@ int main(int argc, char** argv) {
               << "% singleton (COO), " << 100.0 * s.csl_slice_fraction
               << "% all-singleton-fiber (CSL)\n";
 
-    std::cout << "  storage (index MB): COO "
-              << coo_storage(x).bytes / 1e6 << ", CSF "
-              << csf_storage(x, mode).bytes / 1e6 << ", HB-CSF "
-              << hbcsf_storage(x, mode).bytes / 1e6 << ", F-COO "
-              << fcoo_storage(x, mode).bytes / 1e6 << "\n";
-
     double best_gf = 0.0;
-    const char* best = "?";
-    for (GpuKernelKind kind :
-         {GpuKernelKind::kCsf, GpuKernelKind::kBcsf, GpuKernelKind::kHbcsf,
-          GpuKernelKind::kCoo, GpuKernelKind::kFcoo}) {
-      GpuRunOptions opts;
-      opts.device = device;
-      const TimedGpuResult r = build_and_run(kind, x, mode, factors, opts);
-      std::cout << "  " << kind_name(kind) << ": " << r.run.report.gflops
-                << " GFLOPs (occ " << r.run.report.achieved_occupancy_pct
-                << "%, sm_eff " << r.run.report.sm_efficiency_pct
-                << "%), build " << r.build_seconds * 1e3 << " ms\n";
-      if (r.run.report.gflops > best_gf) {
-        best_gf = r.run.report.gflops;
-        best = kind_name(kind);
+    std::string best = "?";
+    for (const std::string& name : registry.names(PlanKind::kGpu)) {
+      const PlanPtr plan = registry.create(name, x, mode, opts);
+      const PlanRunResult r = plan->run(factors);
+      std::cout << "  " << plan->display_name() << ": "
+                << r.report.gflops << " GFLOPs (occ "
+                << r.report.achieved_occupancy_pct << "%, sm_eff "
+                << r.report.sm_efficiency_pct << "%), index "
+                << plan->storage_bytes() / 1e6 << " MB, build "
+                << plan->build_seconds() * 1e3 << " ms";
+      if (!plan->detail().empty()) std::cout << " [" << plan->detail() << "]";
+      std::cout << "\n";
+      if (r.report.gflops > best_gf) {
+        best_gf = r.report.gflops;
+        best = plan->display_name();
       }
     }
-    std::cout << "  => best for mode " << mode + 1 << ": " << best << "\n\n";
+    const AutoDecision rec = auto_select_format(s);
+    std::cout << "  => measured best for mode " << mode + 1 << ": " << best
+              << "\n  => auto policy: " << rec.to_string() << "\n\n";
   }
   return 0;
 }

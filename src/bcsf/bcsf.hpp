@@ -11,6 +11,11 @@
 //   // res.output is the MTTKRP result, res.report the simulated metrics.
 #pragma once
 
+#include "core/auto_policy.hpp"
+#include "core/factors.hpp"
+#include "core/format_registry.hpp"
+#include "core/mttkrp_plan.hpp"
+#include "core/plan_cache.hpp"
 #include "cpd/cpd_als.hpp"
 #include "formats/bcsf.hpp"
 #include "formats/csf.hpp"

@@ -1,0 +1,92 @@
+#include "core/auto_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace bcsf {
+
+AutoDecision auto_select_format(const SparseTensor& tensor, index_t mode,
+                                const AutoPolicyOptions& opts) {
+  return auto_select_format(compute_mode_stats(tensor, mode), opts);
+}
+
+AutoDecision auto_select_format(const ModeStats& stats,
+                                const AutoPolicyOptions& opts) {
+  AutoDecision d;
+  d.coo_slice_fraction = stats.singleton_slice_fraction;
+  d.csl_slice_fraction = stats.csl_slice_fraction;
+  d.csf_slice_fraction = std::max(
+      0.0, 1.0 - d.coo_slice_fraction - d.csl_slice_fraction);
+  if (stats.nnz_per_fiber.mean > 0.0) {
+    d.fiber_length_cv = stats.nnz_per_fiber.stddev / stats.nnz_per_fiber.mean;
+  }
+
+  if (stats.nnz == 0) {
+    d.format = "coo";
+    d.rationale = "empty tensor: nothing to amortize";
+    return d;
+  }
+
+  // Fig-10 break-even gate.  Costs are in units of one per-nonzero MTTKRP
+  // step; only the ratio matters for the break-even count.
+  const double n = static_cast<double>(stats.nnz);
+  const double build_cost =
+      opts.sort_cost_ratio * n * std::log2(std::max(n, 2.0));
+  const double utilization =
+      std::min(1.0, n / static_cast<double>(opts.saturation_nnz));
+  const double gain_per_call =
+      n * (opts.atomic_penalty - 1.0) * utilization;
+  d.breakeven_calls = gain_per_call > 0.0
+                          ? build_cost / gain_per_call
+                          : std::numeric_limits<double>::infinity();
+
+  std::ostringstream why;
+  if (d.breakeven_calls > opts.expected_mttkrp_calls) {
+    d.format = "coo";
+    why << "build amortizes only after " << d.breakeven_calls
+        << " calls but " << opts.expected_mttkrp_calls
+        << " are expected; staying unstructured";
+    d.rationale = why.str();
+    return d;
+  }
+
+  // §V slice binning: dominant population -> its pure format; mixed ->
+  // HB-CSF, which routes each population to its own group.
+  if (d.coo_slice_fraction >= opts.dominant_fraction) {
+    d.format = "coo";
+    why << "slices are " << 100.0 * d.coo_slice_fraction
+        << "% singletons; CSF machinery would be pure overhead";
+  } else if (d.csl_slice_fraction >= opts.dominant_fraction) {
+    d.format = "csl";
+    why << 100.0 * d.csl_slice_fraction
+        << "% of slices have only singleton fibers; the fiber level "
+           "compresses away";
+  } else if (d.csf_slice_fraction >= opts.dominant_fraction) {
+    d.format = "bcsf";
+    why << "slice population is uniformly CSF material (fiber-length cv "
+        << d.fiber_length_cv << "); splitting balances it";
+  } else {
+    d.format = "hbcsf";
+    why << "mixed slice populations (coo/csl/csf = "
+        << 100.0 * d.coo_slice_fraction << "/"
+        << 100.0 * d.csl_slice_fraction << "/"
+        << 100.0 * d.csf_slice_fraction
+        << "%); hybrid routing wins";
+  }
+  why << "; breakeven " << d.breakeven_calls << " calls";
+  d.rationale = why.str();
+  return d;
+}
+
+std::string AutoDecision::to_string() const {
+  std::ostringstream os;
+  os << "auto -> " << format << " (coo/csl/csf slices "
+     << 100.0 * coo_slice_fraction << "/" << 100.0 * csl_slice_fraction << "/"
+     << 100.0 * csf_slice_fraction << "%, fiber cv " << fiber_length_cv
+     << ", breakeven " << breakeven_calls << "): " << rationale;
+  return os.str();
+}
+
+}  // namespace bcsf

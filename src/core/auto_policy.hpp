@@ -1,0 +1,69 @@
+// The `auto` format policy: the paper's format-selection logic lifted to
+// a whole-tensor decision (DESIGN.md §3).
+//
+// Two ingredients:
+//  1. §V slice binning.  Every slice is COO (single nonzero), CSL (all
+//     fibers singletons) or B-CSF material; `tensor_stats` already
+//     computes the three populations.  A dominant population picks the
+//     pure format; a mixed population picks HB-CSF, whose whole point is
+//     routing each population to its own representation.
+//  2. Fig-10 break-even.  Structured formats pay a build (sort-dominated,
+//     ~nnz log nnz) that COO does not; it amortizes only if the caller
+//     will run enough MTTKRPs:  build <= n * (t_coo - t_structured).
+//     The per-call gain scales with how much atomic traffic structure
+//     removes and collapses on tensors too small to occupy the device,
+//     so tiny tensors fall back to COO no matter their shape.
+#pragma once
+
+#include <string>
+
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/tensor_stats.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+struct AutoPolicyOptions {
+  /// MTTKRP calls the plan is expected to serve (CPD-ALS: iterations x
+  /// order).  Fewer calls -> harder to amortize a build -> COO.
+  double expected_mttkrp_calls = 50.0;
+  /// A slice population at or above this fraction is "dominant" and gets
+  /// its pure format; below, populations are mixed and HB-CSF wins.
+  double dominant_fraction = 0.95;
+  /// Build cost model: build = sort_cost_ratio * nnz * log2(nnz) units,
+  /// with one unit = the per-nonzero MTTKRP cost.
+  double sort_cost_ratio = 1.0;
+  /// COO's per-nonzero cost multiplier from global atomics (the paper's
+  /// motivation for structured formats).
+  double atomic_penalty = 4.0;
+  /// Nonzeros needed to saturate the device; below this the structured
+  /// kernels cannot convert balance into speed and the per-call gain
+  /// shrinks proportionally.
+  offset_t saturation_nnz = 1 << 16;
+};
+
+struct AutoDecision {
+  std::string format;  ///< chosen registry key ("coo", "csl", "bcsf", "hbcsf")
+  /// §V slice binning (fractions over non-empty slices).
+  double coo_slice_fraction = 0.0;
+  double csl_slice_fraction = 0.0;
+  double csf_slice_fraction = 0.0;
+  /// Imbalance signal: stddev / mean of nonzeros per fiber (Table II).
+  double fiber_length_cv = 0.0;
+  /// Estimated calls for a structured build to pay for itself; infinite
+  /// when structure yields no per-call gain.
+  double breakeven_calls = 0.0;
+  std::string rationale;  ///< one human-readable sentence
+
+  std::string to_string() const;
+};
+
+/// Decides the format for mode-`mode` MTTKRP on `tensor`.  Uses
+/// `compute_mode_stats` internally; the overload taking ModeStats lets
+/// callers that already have them skip the recompute.
+AutoDecision auto_select_format(const SparseTensor& tensor, index_t mode,
+                                const AutoPolicyOptions& opts = {});
+AutoDecision auto_select_format(const ModeStats& stats,
+                                const AutoPolicyOptions& opts = {});
+
+}  // namespace bcsf

@@ -1,0 +1,18 @@
+#include "core/factors.hpp"
+
+namespace bcsf {
+
+std::vector<DenseMatrix> make_random_factors(const std::vector<index_t>& dims,
+                                             rank_t rank, std::uint64_t seed,
+                                             value_t lo, value_t hi) {
+  std::vector<DenseMatrix> factors;
+  factors.reserve(dims.size());
+  for (std::size_t m = 0; m < dims.size(); ++m) {
+    DenseMatrix f(dims[m], rank);
+    f.randomize(seed + 31 * m, lo, hi);
+    factors.push_back(std::move(f));
+  }
+  return factors;
+}
+
+}  // namespace bcsf

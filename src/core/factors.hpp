@@ -1,0 +1,23 @@
+// The ONE random-factor constructor shared by every layer (cpd, kernels
+// shim, benches, tests).  Historically registry.cpp seeded factor m with
+// `seed + m` while cpd_als used `seed + 31 * m`; this helper fixes the
+// scheme to `seed + 31 * m` so factor matrices are decorrelated across
+// modes and identical call sites produce identical factors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+/// Random factor matrices, one per mode (factors[m] has dims[m] rows and
+/// `rank` columns), entries uniform in [lo, hi).
+std::vector<DenseMatrix> make_random_factors(const std::vector<index_t>& dims,
+                                             rank_t rank, std::uint64_t seed,
+                                             value_t lo = 0.0F,
+                                             value_t hi = 1.0F);
+
+}  // namespace bcsf

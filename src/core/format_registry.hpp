@@ -1,0 +1,75 @@
+// String-keyed factory for MTTKRP plans (DESIGN.md §2).
+//
+// Every format registers itself once (static FormatRegistrar in
+// core/plans.cpp); consumers -- cpd_als, the benches, the examples, the
+// enum shim in kernels/registry.hpp -- look plans up by name or enumerate
+// the catalogue, so adding a format means adding ONE registration and no
+// switch statement anywhere.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/mttkrp_plan.hpp"
+#include "tensor/sparse_tensor.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+/// Which execution engine a format's kernel targets.  `kMeta` marks
+/// policies (e.g. "auto") that delegate to another registered format.
+enum class PlanKind { kGpu, kCpu, kMeta };
+
+class FormatRegistry {
+ public:
+  using Factory = std::function<PlanPtr(
+      const SparseTensor& tensor, index_t mode, const PlanOptions& opts)>;
+
+  struct Entry {
+    std::string name;          ///< registry key, e.g. "hbcsf"
+    std::string display_name;  ///< paper-facing name, e.g. "HB-CSF"
+    std::string description;   ///< one line for catalogue listings
+    PlanKind kind = PlanKind::kGpu;
+    /// True for formats keeping one representation per mode (CSF family);
+    /// false for mode-agnostic storage (COO).  Drives all-mode storage
+    /// sums (Fig. 16).
+    bool mode_oriented = true;
+    Factory factory;
+  };
+
+  /// The process-wide registry with all built-in formats registered.
+  static FormatRegistry& instance();
+
+  /// Registers a format; throws bcsf::Error on duplicate names.
+  void add(Entry entry);
+
+  bool contains(const std::string& name) const;
+  const Entry& at(const std::string& name) const;  ///< throws if unknown
+
+  /// Builds the plan for (name, tensor, mode), timing the factory call
+  /// into the plan's build_seconds().  Throws bcsf::Error for unknown
+  /// names (message lists the catalogue).  `tensor` must outlive the
+  /// plan: the COO-family plans reference it rather than copy (their
+  /// format IS the tensor, and copying would charge COO a build cost
+  /// the paper says it does not have).
+  PlanPtr create(const std::string& name, const SparseTensor& tensor,
+                 index_t mode, const PlanOptions& opts = {}) const;
+
+  /// Registered names, sorted; optionally restricted to one kind.
+  std::vector<std::string> names() const;
+  std::vector<std::string> names(PlanKind kind) const;
+
+ private:
+  FormatRegistry() = default;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Self-registration helper: `static FormatRegistrar r{{...}};` at
+/// namespace scope adds the entry before main() runs.
+struct FormatRegistrar {
+  explicit FormatRegistrar(FormatRegistry::Entry entry);
+};
+
+}  // namespace bcsf

@@ -1,0 +1,98 @@
+// The plan layer: one uniform contract over every MTTKRP format/kernel
+// pair in the library (see DESIGN.md §2).
+//
+// A plan is built ONCE from a (tensor, mode) pair -- paying the format
+// construction cost the paper calls pre-processing (Figs. 9/10) -- and
+// then RUN many times against evolving factor matrices, which is exactly
+// the CPD-ALS access pattern (Alg. 1 performs order x iterations MTTKRP
+// calls over the same structure).  The plan exposes what every consumer
+// layer needs to reason about that trade:
+//   * build_seconds()  -- the amortizable pre-processing cost
+//   * storage_bytes()  -- index storage (§III accounting, Fig. 16)
+//   * run()            -- output matrix + SimReport (simulated GPU
+//                         kernels) or wall-clock report (CPU kernels)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "formats/bcsf.hpp"
+#include "formats/fcoo.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/metrics.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "tensor/sparse_tensor.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+/// Everything a plan factory may need beyond (tensor, mode).  One struct
+/// so adding a knob for a new format does not ripple through signatures.
+struct PlanOptions {
+  DeviceModel device = DeviceModel::p100();
+  BcsfOptions bcsf;
+  FcooOptions fcoo;
+  /// Expected number of MTTKRP calls the plan will serve; drives the
+  /// `auto` policy's Fig-10 break-even decision (CPD-ALS: iterations x
+  /// order).
+  double expected_mttkrp_calls = 50.0;
+};
+
+struct PlanRunResult {
+  DenseMatrix output;
+  /// Simulated metrics for GPU plans; for CPU plans, `kernel` and
+  /// `seconds` (wall clock) plus derived gflops are filled in.
+  SimReport report;
+};
+
+class MttkrpPlan {
+ public:
+  virtual ~MttkrpPlan() = default;
+
+  /// The registry key this plan was created under (e.g. "hbcsf").
+  const std::string& format() const { return format_; }
+  /// The format actually executing; differs from format() only for meta
+  /// plans ("auto" reports its delegate's key).
+  virtual const std::string& resolved_format() const { return format_; }
+  /// Human-facing name matching the paper's figures (e.g. "HB-CSF").
+  const std::string& display_name() const { return display_name_; }
+  index_t mode() const { return mode_; }
+
+  /// Format construction wall time, measured by the registry around the
+  /// factory call (the paper's pre-processing cost).
+  double build_seconds() const { return build_seconds_; }
+
+  /// Index storage of this plan's representation (§III accounting).
+  virtual std::size_t storage_bytes() const = 0;
+
+  /// True when run() reports simulated-GPU metrics (SimReport semantics);
+  /// false for real CPU kernels timed with wall clocks.
+  virtual bool is_gpu() const = 0;
+
+  /// Format-specific one-liner (e.g. HB-CSF's coo/csl/csf nnz split, the
+  /// auto policy's rationale).  Empty when there is nothing to add.
+  virtual std::string detail() const { return {}; }
+
+  /// Executes MTTKRP against the given factors.  Callable any number of
+  /// times; the plan is immutable after construction.
+  virtual PlanRunResult run(const std::vector<DenseMatrix>& factors) const = 0;
+
+ protected:
+  MttkrpPlan(std::string format, std::string display_name, index_t mode)
+      : format_(std::move(format)),
+        display_name_(std::move(display_name)),
+        mode_(mode) {}
+
+ private:
+  friend class FormatRegistry;  // stamps build_seconds_ after the factory
+
+  std::string format_;
+  std::string display_name_;
+  index_t mode_ = 0;
+  double build_seconds_ = 0.0;
+};
+
+using PlanPtr = std::unique_ptr<MttkrpPlan>;
+
+}  // namespace bcsf

@@ -1,0 +1,23 @@
+#include "core/plan_cache.hpp"
+
+namespace bcsf {
+
+const MttkrpPlan& PlanCache::get(const std::string& format, index_t mode) {
+  const auto key = std::make_pair(format, mode);
+  auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    it = plans_
+             .emplace(key, FormatRegistry::instance().create(format, *tensor_,
+                                                             mode, opts_))
+             .first;
+  }
+  return *it->second;
+}
+
+double PlanCache::total_build_seconds() const {
+  double total = 0.0;
+  for (const auto& [key, plan] : plans_) total += plan->build_seconds();
+  return total;
+}
+
+}  // namespace bcsf

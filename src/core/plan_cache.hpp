@@ -1,0 +1,40 @@
+// Memoized plan construction keyed by (format, mode): the ALLMODE
+// strategy (§VI-A) as a reusable component.  CPD-ALS touches every mode
+// each iteration over the same tensor, so the first iteration populates
+// the cache and later ones run for free; mixing formats (e.g. comparing
+// backends on one tensor) shares nothing but also rebuilds nothing.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "core/format_registry.hpp"
+#include "core/mttkrp_plan.hpp"
+#include "tensor/sparse_tensor.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+class PlanCache {
+ public:
+  /// The cache holds a reference to `tensor`; it must outlive the cache.
+  explicit PlanCache(const SparseTensor& tensor, PlanOptions opts = {})
+      : tensor_(&tensor), opts_(std::move(opts)) {}
+
+  /// Returns the plan for (format, mode), building it on first use.
+  const MttkrpPlan& get(const std::string& format, index_t mode);
+
+  /// Sum of build_seconds() over every plan constructed so far (the
+  /// paper's all-mode pre-processing cost).
+  double total_build_seconds() const;
+
+  std::size_t size() const { return plans_.size(); }
+
+ private:
+  const SparseTensor* tensor_;
+  PlanOptions opts_;
+  std::map<std::pair<std::string, index_t>, PlanPtr> plans_;
+};
+
+}  // namespace bcsf

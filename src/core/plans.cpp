@@ -1,0 +1,380 @@
+// Concrete MttkrpPlan implementations for every format/kernel pair in the
+// library, each self-registering into the FormatRegistry.  This file is
+// the ONLY place that knows which formats exist; everything above it
+// (cpd, benches, examples, the enum shim) enumerates or looks up.
+//
+// To add a format: implement its plan class here (or in your own TU) and
+// add one FormatRegistrar -- no consumer changes (DESIGN.md §4).
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "core/auto_policy.hpp"
+#include "core/format_registry.hpp"
+#include "formats/csf.hpp"
+#include "formats/csl.hpp"
+#include "formats/hbcsf.hpp"
+#include "formats/hicoo.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/splatt.hpp"
+#include "util/timer.hpp"
+
+namespace bcsf {
+
+void ensure_builtin_plans_linked() {}  // linker anchor, see format_registry.cpp
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared machinery
+// ---------------------------------------------------------------------------
+
+/// Wall-clock SimReport for real CPU kernels: `seconds` is measured, the
+/// flop count uses the COO accounting (order x R per nonzero) so CPU and
+/// GPU gflops columns are comparable.
+SimReport cpu_report(const std::string& kernel, double seconds, index_t order,
+                     offset_t nnz, rank_t rank) {
+  SimReport r;
+  r.kernel = kernel;
+  r.seconds = seconds;
+  r.total_flops =
+      static_cast<double>(order) * rank * static_cast<double>(nnz);
+  r.gflops = seconds > 0.0 ? r.total_flops / seconds / 1e9 : 0.0;
+  return r;
+}
+
+template <typename Derived>
+class GpuPlanBase : public MttkrpPlan {
+ public:
+  GpuPlanBase(std::string format, std::string display, index_t mode,
+              DeviceModel device)
+      : MttkrpPlan(std::move(format), std::move(display), mode),
+        device_(device) {}
+  bool is_gpu() const override { return true; }
+
+ protected:
+  DeviceModel device_;
+};
+
+// ---------------------------------------------------------------------------
+// Simulated GPU plans
+// ---------------------------------------------------------------------------
+
+class GpuCsfPlan final : public GpuPlanBase<GpuCsfPlan> {
+ public:
+  GpuCsfPlan(const SparseTensor& t, index_t mode, const PlanOptions& o)
+      : GpuPlanBase("gpu-csf", "GPU-CSF", mode, o.device),
+        csf_(build_csf(t, mode)) {}
+  std::size_t storage_bytes() const override {
+    return csf_.index_storage_bytes();
+  }
+  PlanRunResult run(const std::vector<DenseMatrix>& f) const override {
+    GpuMttkrpResult r = mttkrp_csf_gpu(csf_, f, device_);
+    return {std::move(r.output), std::move(r.report)};
+  }
+
+ private:
+  CsfTensor csf_;
+};
+
+class BcsfPlan final : public GpuPlanBase<BcsfPlan> {
+ public:
+  BcsfPlan(const SparseTensor& t, index_t mode, const PlanOptions& o)
+      : GpuPlanBase("bcsf", "B-CSF", mode, o.device),
+        bcsf_(build_bcsf(t, mode, o.bcsf)) {}
+  std::size_t storage_bytes() const override {
+    return bcsf_.index_storage_bytes();
+  }
+  PlanRunResult run(const std::vector<DenseMatrix>& f) const override {
+    GpuMttkrpResult r = mttkrp_bcsf_gpu(bcsf_, f, device_);
+    return {std::move(r.output), std::move(r.report)};
+  }
+
+ private:
+  BcsfTensor bcsf_;
+};
+
+class CslPlan final : public GpuPlanBase<CslPlan> {
+ public:
+  CslPlan(const SparseTensor& t, index_t mode, const PlanOptions& o)
+      : GpuPlanBase("csl", "CSL", mode, o.device), csl_(build_csl(t, mode)) {}
+  std::size_t storage_bytes() const override {
+    return csl_.index_storage_bytes();
+  }
+  PlanRunResult run(const std::vector<DenseMatrix>& f) const override {
+    GpuMttkrpResult r = mttkrp_csl_gpu(csl_, f, device_);
+    return {std::move(r.output), std::move(r.report)};
+  }
+
+ private:
+  CslTensor csl_;
+};
+
+class HbcsfPlan final : public GpuPlanBase<HbcsfPlan> {
+ public:
+  HbcsfPlan(const SparseTensor& t, index_t mode, const PlanOptions& o)
+      : GpuPlanBase("hbcsf", "HB-CSF", mode, o.device),
+        hb_(build_hbcsf(t, mode, o.bcsf)) {}
+  std::size_t storage_bytes() const override {
+    return hb_.index_storage_bytes();
+  }
+  std::string detail() const override {
+    const double m = std::max<double>(1.0, static_cast<double>(hb_.nnz()));
+    std::ostringstream os;
+    os << "coo/csl/csf nnz % = " << std::fixed << std::setprecision(0)
+       << 100.0 * hb_.coo_nnz() / m << "/" << 100.0 * hb_.csl_nnz() / m << "/"
+       << 100.0 * hb_.csf_nnz() / m;
+    return os.str();
+  }
+  PlanRunResult run(const std::vector<DenseMatrix>& f) const override {
+    GpuMttkrpResult r = mttkrp_hbcsf_gpu(hb_, f, device_);
+    return {std::move(r.output), std::move(r.report)};
+  }
+
+ private:
+  HbcsfTensor hb_;
+};
+
+// COO's format IS the source tensor, so the COO-family plans reference
+// it instead of copying: construction stays free (the paper's
+// zero-preprocessing COO, Figs. 9/10) and no O(nnz) memory is
+// duplicated.  The registry contract makes the caller keep the tensor
+// alive for the plan's lifetime.
+class GpuCooPlan final : public GpuPlanBase<GpuCooPlan> {
+ public:
+  GpuCooPlan(const SparseTensor& t, index_t mode, const PlanOptions& o)
+      : GpuPlanBase("coo", "ParTI-COO", mode, o.device), tensor_(&t) {}
+  std::size_t storage_bytes() const override {
+    return tensor_->index_storage_bytes();
+  }
+  PlanRunResult run(const std::vector<DenseMatrix>& f) const override {
+    GpuMttkrpResult r = mttkrp_coo_gpu(*tensor_, mode(), f, device_);
+    return {std::move(r.output), std::move(r.report)};
+  }
+
+ private:
+  const SparseTensor* tensor_;
+};
+
+class FcooPlan final : public GpuPlanBase<FcooPlan> {
+ public:
+  FcooPlan(const SparseTensor& t, index_t mode, const PlanOptions& o)
+      : GpuPlanBase("fcoo", "F-COO", mode, o.device),
+        fcoo_(build_fcoo(t, mode, o.fcoo)) {}
+  std::size_t storage_bytes() const override {
+    return fcoo_.index_storage_bytes();
+  }
+  PlanRunResult run(const std::vector<DenseMatrix>& f) const override {
+    GpuMttkrpResult r = mttkrp_fcoo_gpu(fcoo_, f, device_);
+    return {std::move(r.output), std::move(r.report)};
+  }
+
+ private:
+  FcooTensor fcoo_;
+};
+
+// ---------------------------------------------------------------------------
+// Real CPU plans (OpenMP kernels, wall-clock reports)
+// ---------------------------------------------------------------------------
+
+class ReferencePlan final : public MttkrpPlan {
+ public:
+  ReferencePlan(const SparseTensor& t, index_t mode, const PlanOptions&)
+      : MttkrpPlan("reference", "Reference-COO", mode), tensor_(&t) {}
+  bool is_gpu() const override { return false; }
+  std::size_t storage_bytes() const override {
+    return tensor_->index_storage_bytes();
+  }
+  PlanRunResult run(const std::vector<DenseMatrix>& f) const override {
+    Timer t;
+    DenseMatrix out = mttkrp_reference(*tensor_, mode(), f);
+    const rank_t rank = out.cols();
+    return {std::move(out), cpu_report(display_name(), t.seconds(),
+                                       tensor_->order(), tensor_->nnz(), rank)};
+  }
+
+ private:
+  const SparseTensor* tensor_;
+};
+
+class CpuCooPlan final : public MttkrpPlan {
+ public:
+  CpuCooPlan(const SparseTensor& t, index_t mode, const PlanOptions&)
+      : MttkrpPlan("cpu-coo", "CPU-COO", mode), tensor_(&t) {}
+  bool is_gpu() const override { return false; }
+  std::size_t storage_bytes() const override {
+    return tensor_->index_storage_bytes();
+  }
+  PlanRunResult run(const std::vector<DenseMatrix>& f) const override {
+    Timer t;
+    DenseMatrix out = mttkrp_coo_cpu(*tensor_, mode(), f);
+    const rank_t rank = out.cols();
+    return {std::move(out), cpu_report(display_name(), t.seconds(),
+                                       tensor_->order(), tensor_->nnz(), rank)};
+  }
+
+ private:
+  const SparseTensor* tensor_;
+};
+
+class CpuCsfPlan final : public MttkrpPlan {
+ public:
+  CpuCsfPlan(const SparseTensor& t, index_t mode, const PlanOptions&,
+             index_t tiles = 0)
+      : MttkrpPlan(tiles ? "cpu-csf-tiled" : "cpu-csf",
+                   tiles ? "SPLATT-tiled" : "SPLATT", mode),
+        csf_(build_csf(t, mode)),
+        tiles_(tiles) {}
+  bool is_gpu() const override { return false; }
+  std::size_t storage_bytes() const override {
+    return csf_.index_storage_bytes();
+  }
+  PlanRunResult run(const std::vector<DenseMatrix>& f) const override {
+    Timer t;
+    DenseMatrix out = tiles_ ? mttkrp_csf_cpu_tiled(csf_, f, tiles_)
+                             : mttkrp_csf_cpu(csf_, f);
+    const rank_t rank = out.cols();
+    return {std::move(out), cpu_report(display_name(), t.seconds(),
+                                       csf_.order(), csf_.nnz(), rank)};
+  }
+
+ private:
+  CsfTensor csf_;
+  index_t tiles_;
+};
+
+class CpuCslPlan final : public MttkrpPlan {
+ public:
+  CpuCslPlan(const SparseTensor& t, index_t mode, const PlanOptions&)
+      : MttkrpPlan("cpu-csl", "CPU-CSL", mode), csl_(build_csl(t, mode)) {}
+  bool is_gpu() const override { return false; }
+  std::size_t storage_bytes() const override {
+    return csl_.index_storage_bytes();
+  }
+  PlanRunResult run(const std::vector<DenseMatrix>& f) const override {
+    Timer t;
+    DenseMatrix out = mttkrp_csl_cpu(csl_, f);
+    const rank_t rank = out.cols();
+    return {std::move(out), cpu_report(display_name(), t.seconds(),
+                                       csl_.order(), csl_.nnz(), rank)};
+  }
+
+ private:
+  CslTensor csl_;
+};
+
+class CpuHicooPlan final : public MttkrpPlan {
+ public:
+  CpuHicooPlan(const SparseTensor& t, index_t mode, const PlanOptions&)
+      : MttkrpPlan("cpu-hicoo", "HiCOO", mode),
+        order_(t.order()),
+        hicoo_(build_hicoo(t)) {}
+  bool is_gpu() const override { return false; }
+  std::size_t storage_bytes() const override {
+    return hicoo_.index_storage_bytes();
+  }
+  PlanRunResult run(const std::vector<DenseMatrix>& f) const override {
+    Timer t;
+    DenseMatrix out = mttkrp_hicoo_cpu(hicoo_, mode(), f);
+    const rank_t rank = out.cols();
+    return {std::move(out), cpu_report(display_name(), t.seconds(), order_,
+                                       hicoo_.nnz(), rank)};
+  }
+
+ private:
+  index_t order_;
+  HicooTensor hicoo_;
+};
+
+// ---------------------------------------------------------------------------
+// The `auto` meta plan: decide per §V + Fig-10, then delegate
+// ---------------------------------------------------------------------------
+
+class AutoPlan final : public MttkrpPlan {
+ public:
+  AutoPlan(const SparseTensor& t, index_t mode, const PlanOptions& o)
+      : MttkrpPlan("auto", "Auto", mode) {
+    AutoPolicyOptions policy;
+    policy.expected_mttkrp_calls = o.expected_mttkrp_calls;
+    decision_ = auto_select_format(t, mode, policy);
+    inner_ = FormatRegistry::instance().create(decision_.format, t, mode, o);
+  }
+  bool is_gpu() const override { return inner_->is_gpu(); }
+  const std::string& resolved_format() const override {
+    return inner_->format();
+  }
+  std::size_t storage_bytes() const override {
+    return inner_->storage_bytes();
+  }
+  std::string detail() const override { return decision_.to_string(); }
+  const AutoDecision& decision() const { return decision_; }
+  PlanRunResult run(const std::vector<DenseMatrix>& f) const override {
+    return inner_->run(f);
+  }
+
+ private:
+  AutoDecision decision_;
+  PlanPtr inner_;
+};
+
+// ---------------------------------------------------------------------------
+// Registrations
+// ---------------------------------------------------------------------------
+
+template <typename Plan>
+FormatRegistry::Factory make() {
+  return [](const SparseTensor& t, index_t mode, const PlanOptions& o) {
+    return PlanPtr(new Plan(t, mode, o));
+  };
+}
+
+using E = FormatRegistry::Entry;
+
+FormatRegistrar r_gpu_csf{
+    {"gpu-csf", "GPU-CSF", "plain CSF, one block per slice (§IV baseline)",
+     PlanKind::kGpu, true, make<GpuCsfPlan>()}};
+FormatRegistrar r_bcsf{
+    {"bcsf", "B-CSF", "balanced CSF with fbr-/slc-split (§IV)",
+     PlanKind::kGpu, true, make<BcsfPlan>()}};
+FormatRegistrar r_csl{
+    {"csl", "CSL", "compressed slices, one warp per slice (§V-A)",
+     PlanKind::kGpu, true, make<CslPlan>()}};
+FormatRegistrar r_hbcsf{
+    {"hbcsf", "HB-CSF", "hybrid COO+CSL+B-CSF slice routing (§V)",
+     PlanKind::kGpu, true, make<HbcsfPlan>()}};
+FormatRegistrar r_coo{
+    {"coo", "ParTI-COO", "thread per nonzero, global atomics [18]",
+     PlanKind::kGpu, false, make<GpuCooPlan>()}};
+FormatRegistrar r_fcoo{
+    {"fcoo", "F-COO", "flagged COO with segmented scan [17]",
+     PlanKind::kGpu, true, make<FcooPlan>()}};
+
+FormatRegistrar r_reference{
+    {"reference", "Reference-COO", "sequential double-accumulation ground truth",
+     PlanKind::kCpu, false, make<ReferencePlan>()}};
+FormatRegistrar r_cpu_coo{
+    {"cpu-coo", "CPU-COO", "OpenMP COO with privatized outputs (Alg. 2)",
+     PlanKind::kCpu, false, make<CpuCooPlan>()}};
+FormatRegistrar r_cpu_csf{
+    {"cpu-csf", "SPLATT", "OpenMP CSF, parallel over slices (Alg. 3)",
+     PlanKind::kCpu, true, make<CpuCsfPlan>()}};
+FormatRegistrar r_cpu_csf_tiled{
+    {"cpu-csf-tiled", "SPLATT-tiled", "cache-blocked OpenMP CSF (4 tiles)",
+     PlanKind::kCpu, true,
+     [](const SparseTensor& t, index_t mode, const PlanOptions& o) {
+       return PlanPtr(new CpuCsfPlan(t, mode, o, 4));
+     }}};
+FormatRegistrar r_cpu_csl{
+    {"cpu-csl", "CPU-CSL", "OpenMP CSL, parallel over slices (Alg. 4)",
+     PlanKind::kCpu, true, make<CpuCslPlan>()}};
+FormatRegistrar r_cpu_hicoo{
+    {"cpu-hicoo", "HiCOO", "blocked COO with compressed offsets [13]",
+     PlanKind::kCpu, false, make<CpuHicooPlan>()}};
+
+FormatRegistrar r_auto{
+    {"auto", "Auto", "picks COO/CSL/B-CSF/HB-CSF per §V + Fig-10 break-even",
+     PlanKind::kMeta, true, make<AutoPlan>()}};
+
+}  // namespace
+}  // namespace bcsf

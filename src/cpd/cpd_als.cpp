@@ -2,13 +2,11 @@
 
 #include <memory>
 
-#include "formats/csf.hpp"
-#include "formats/hbcsf.hpp"
-#include "kernels/mttkrp.hpp"
+#include "core/factors.hpp"
+#include "core/plan_cache.hpp"
 #include "linalg/ops.hpp"
 #include "linalg/spd_solve.hpp"
 #include "util/error.hpp"
-#include "util/timer.hpp"
 
 namespace bcsf {
 
@@ -18,42 +16,29 @@ CpdResult cpd_als(const SparseTensor& tensor, const CpdOptions& options) {
   const index_t order = tensor.order();
 
   CpdResult result;
-  result.factors.reserve(order);
-  for (index_t m = 0; m < order; ++m) {
-    DenseMatrix f(tensor.dim(m), options.rank);
-    f.randomize(options.seed + 31 * m, 0.05F, 1.0F);
-    result.factors.push_back(std::move(f));
-  }
+  result.factors =
+      make_random_factors(tensor.dims(), options.rank, options.seed, 0.05F);
   result.lambda.assign(options.rank, 1.0F);
 
-  // Pre-build one representation per mode (ALLMODE strategy, §VI-A).
-  Timer prep;
-  std::vector<CsfTensor> csfs;
-  std::vector<HbcsfTensor> hbcsfs;
-  if (options.backend == CpdBackend::kCpuCsf) {
-    for (index_t m = 0; m < order; ++m) csfs.push_back(build_csf(tensor, m));
-  } else if (options.backend == CpdBackend::kGpuHbcsf) {
-    for (index_t m = 0; m < order; ++m) {
-      hbcsfs.push_back(build_hbcsf(tensor, m));
-    }
+  // Pre-build one plan per mode (ALLMODE strategy, §VI-A).  The cache
+  // key is (format, mode), so repeated calls within an iteration and
+  // across iterations reuse the same representation.
+  PlanOptions plan_opts;
+  plan_opts.device = options.device;
+  plan_opts.expected_mttkrp_calls =
+      static_cast<double>(options.max_iterations) * order;
+  PlanCache cache(tensor, plan_opts);
+  result.mode_formats.reserve(order);
+  for (index_t m = 0; m < order; ++m) {
+    result.mode_formats.push_back(cache.get(options.format, m).resolved_format());
   }
-  result.preprocessing_seconds = prep.seconds();
+  result.preprocessing_seconds = cache.total_build_seconds();
 
   auto run_mttkrp = [&](index_t mode) -> DenseMatrix {
-    switch (options.backend) {
-      case CpdBackend::kReference:
-        return mttkrp_reference(tensor, mode, result.factors);
-      case CpdBackend::kCpuCsf:
-        return mttkrp_csf_cpu(csfs[mode], result.factors);
-      case CpdBackend::kGpuHbcsf: {
-        GpuMttkrpResult r =
-            mttkrp_hbcsf_gpu(hbcsfs[mode], result.factors, options.device);
-        result.simulated_mttkrp_seconds += r.report.seconds;
-        return std::move(r.output);
-      }
-    }
-    BCSF_CHECK(false, "cpd_als: unknown backend");
-    return DenseMatrix{};
+    const MttkrpPlan& plan = cache.get(options.format, mode);
+    PlanRunResult r = plan.run(result.factors);
+    if (plan.is_gpu()) result.simulated_mttkrp_seconds += r.report.seconds;
+    return std::move(r.output);
   };
 
   double prev_fit = 0.0;

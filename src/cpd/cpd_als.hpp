@@ -6,9 +6,13 @@
 // then normalizes columns into lambda and evaluates the model fit.  The
 // MTTKRP is the bottleneck the whole paper is about; everything else here
 // is R x R dense work (linalg/).
+//
+// The backend is any format registered in the FormatRegistry ("hbcsf",
+// "cpu-csf", "coo", "auto", ...); plans are built once per (format, mode)
+// in a PlanCache -- the ALLMODE strategy of §VI-A -- and reused across
+// iterations.
 #pragma once
 
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -20,19 +24,16 @@
 
 namespace bcsf {
 
-enum class CpdBackend {
-  kReference,  ///< sequential double-precision COO (ground truth)
-  kCpuCsf,     ///< SPLATT-style OpenMP CSF, one representation per mode
-  kGpuHbcsf,   ///< simulated HB-CSF GPU kernel (the paper's system)
-};
-
 struct CpdOptions {
   rank_t rank = 16;
   unsigned max_iterations = 25;
   /// Stop when the fit improves by less than this between iterations.
   double fit_tolerance = 1e-5;
   std::uint64_t seed = 7;
-  CpdBackend backend = CpdBackend::kCpuCsf;
+  /// FormatRegistry key of the MTTKRP backend.  "reference" is the
+  /// sequential ground truth, "cpu-csf" the SPLATT-style OpenMP kernel,
+  /// "hbcsf" the paper's system, "auto" the §V + Fig-10 selection policy.
+  std::string format = "cpu-csf";
   DeviceModel device = DeviceModel::p100();
 };
 
@@ -42,10 +43,13 @@ struct CpdResult {
   std::vector<double> fit_history;  ///< fit after each iteration
   unsigned iterations = 0;
   double final_fit = 0.0;
-  /// Format-construction wall time (all modes).
+  /// Format-construction wall time (all modes, from the plan cache).
   double preprocessing_seconds = 0.0;
-  /// Simulated GPU seconds spent in MTTKRP (kGpuHbcsf backend only).
+  /// Simulated GPU seconds spent in MTTKRP (GPU-format backends only).
   double simulated_mttkrp_seconds = 0.0;
+  /// Formats actually executed per mode (differs from the requested
+  /// format only for "auto", which resolves per mode).
+  std::vector<std::string> mode_formats;
 };
 
 CpdResult cpd_als(const SparseTensor& tensor, const CpdOptions& options);

@@ -1,75 +1,43 @@
 #include "kernels/registry.hpp"
 
-#include "formats/csf.hpp"
-#include "formats/hbcsf.hpp"
-#include "util/error.hpp"
-#include "util/timer.hpp"
+#include "core/format_registry.hpp"
 
 namespace bcsf {
 
-const char* kind_name(GpuKernelKind kind) {
+const char* kind_format_name(GpuKernelKind kind) {
   switch (kind) {
-    case GpuKernelKind::kCsf: return "GPU-CSF";
-    case GpuKernelKind::kBcsf: return "B-CSF";
-    case GpuKernelKind::kHbcsf: return "HB-CSF";
-    case GpuKernelKind::kCoo: return "ParTI-COO";
-    case GpuKernelKind::kFcoo: return "F-COO";
+    case GpuKernelKind::kCsf: return "gpu-csf";
+    case GpuKernelKind::kBcsf: return "bcsf";
+    case GpuKernelKind::kHbcsf: return "hbcsf";
+    case GpuKernelKind::kCoo: return "coo";
+    case GpuKernelKind::kFcoo: return "fcoo";
   }
   return "?";
+}
+
+const char* kind_name(GpuKernelKind kind) {
+  return FormatRegistry::instance()
+      .at(kind_format_name(kind))
+      .display_name.c_str();
 }
 
 TimedGpuResult build_and_run(GpuKernelKind kind, const SparseTensor& tensor,
                              index_t mode,
                              const std::vector<DenseMatrix>& factors,
                              const GpuRunOptions& opts) {
-  TimedGpuResult out;
-  Timer timer;
-  switch (kind) {
-    case GpuKernelKind::kCsf: {
-      const CsfTensor csf = build_csf(tensor, mode);
-      out.build_seconds = timer.seconds();
-      out.run = mttkrp_csf_gpu(csf, factors, opts.device);
-      return out;
-    }
-    case GpuKernelKind::kBcsf: {
-      const BcsfTensor b = build_bcsf(tensor, mode, opts.bcsf);
-      out.build_seconds = timer.seconds();
-      out.run = mttkrp_bcsf_gpu(b, factors, opts.device);
-      return out;
-    }
-    case GpuKernelKind::kHbcsf: {
-      const HbcsfTensor h = build_hbcsf(tensor, mode, opts.bcsf);
-      out.build_seconds = timer.seconds();
-      out.run = mttkrp_hbcsf_gpu(h, factors, opts.device);
-      return out;
-    }
-    case GpuKernelKind::kCoo: {
-      // COO needs no construction beyond the tensor itself.
-      out.build_seconds = timer.seconds();
-      out.run = mttkrp_coo_gpu(tensor, mode, factors, opts.device);
-      return out;
-    }
-    case GpuKernelKind::kFcoo: {
-      const FcooTensor f = build_fcoo(tensor, mode, opts.fcoo);
-      out.build_seconds = timer.seconds();
-      out.run = mttkrp_fcoo_gpu(f, factors, opts.device);
-      return out;
-    }
-  }
-  BCSF_CHECK(false, "build_and_run: unknown kernel kind");
-  return out;
-}
+  PlanOptions plan_opts;
+  plan_opts.device = opts.device;
+  plan_opts.bcsf = opts.bcsf;
+  plan_opts.fcoo = opts.fcoo;
+  const PlanPtr plan = FormatRegistry::instance().create(
+      kind_format_name(kind), tensor, mode, plan_opts);
 
-std::vector<DenseMatrix> make_random_factors(const std::vector<index_t>& dims,
-                                             rank_t rank, std::uint64_t seed) {
-  std::vector<DenseMatrix> factors;
-  factors.reserve(dims.size());
-  for (std::size_t m = 0; m < dims.size(); ++m) {
-    DenseMatrix f(dims[m], rank);
-    f.randomize(seed + m, 0.0F, 1.0F);
-    factors.push_back(std::move(f));
-  }
-  return factors;
+  TimedGpuResult out;
+  out.build_seconds = plan->build_seconds();
+  PlanRunResult r = plan->run(factors);
+  out.run.output = std::move(r.output);
+  out.run.report = std::move(r.report);
+  return out;
 }
 
 }  // namespace bcsf

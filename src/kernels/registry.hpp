@@ -1,13 +1,15 @@
-// Convenience layer for benches, examples and tests: build a format and
-// run its GPU kernel in one call, with the construction wall time
-// (the paper's pre-processing cost, Figs. 9/10) captured.
+// Thin enum-keyed shim over core/format_registry.hpp, kept so call sites
+// written against the original enum API keep compiling.  New code should
+// use FormatRegistry directly (string keys, enumeration, plan reuse);
+// this header just maps each GpuKernelKind to its registry name and runs
+// the plan once.
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "formats/bcsf.hpp"
-#include "formats/fcoo.hpp"
+#include "core/factors.hpp"
+#include "core/mttkrp_plan.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/mttkrp.hpp"
 #include "tensor/sparse_tensor.hpp"
@@ -22,6 +24,10 @@ enum class GpuKernelKind {
   kFcoo,   ///< F-COO
 };
 
+/// FormatRegistry key for the kind (e.g. kHbcsf -> "hbcsf").
+const char* kind_format_name(GpuKernelKind kind);
+
+/// Paper-facing display name from the registry (e.g. "HB-CSF").
 const char* kind_name(GpuKernelKind kind);
 
 struct GpuRunOptions {
@@ -35,14 +41,10 @@ struct TimedGpuResult {
   double build_seconds = 0.0;  ///< format construction wall time
 };
 
-/// Builds the format for (kind, mode) and runs its kernel.
+/// Builds the plan for (kind, mode) via the FormatRegistry and runs it.
 TimedGpuResult build_and_run(GpuKernelKind kind, const SparseTensor& tensor,
                              index_t mode,
                              const std::vector<DenseMatrix>& factors,
                              const GpuRunOptions& opts = {});
-
-/// Random fp32 factor matrices, one per mode (rows = dims[m]).
-std::vector<DenseMatrix> make_random_factors(const std::vector<index_t>& dims,
-                                             rank_t rank, std::uint64_t seed);
 
 }  // namespace bcsf

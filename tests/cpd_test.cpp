@@ -20,7 +20,7 @@ TEST(CpdAls, FitIncreasesAndConverges) {
   CpdOptions opts;
   opts.rank = 4;
   opts.max_iterations = 30;
-  opts.backend = CpdBackend::kCpuCsf;
+  opts.format = "cpu-csf";
   const CpdResult r = cpd_als(low_rank_tensor(), opts);
   ASSERT_GE(r.fit_history.size(), 2u);
   // Fit is non-decreasing up to fp noise after the first iterations.
@@ -47,11 +47,11 @@ TEST(CpdAls, BackendsAgreeOnFit) {
   base.seed = 5;
   const SparseTensor x = low_rank_tensor();
 
-  base.backend = CpdBackend::kReference;
+  base.format = "reference";
   const double ref_fit = cpd_als(x, base).final_fit;
-  base.backend = CpdBackend::kCpuCsf;
+  base.format = "cpu-csf";
   const double cpu_fit = cpd_als(x, base).final_fit;
-  base.backend = CpdBackend::kGpuHbcsf;
+  base.format = "hbcsf";
   base.device = DeviceModel::tiny();
   const CpdResult gpu = cpd_als(x, base);
 

@@ -162,6 +162,53 @@ TEST(MttkrpValidation, EmptyTensorGivesZeroOutput) {
   EXPECT_DOUBLE_EQ(r.output.frob_norm(), 0.0);
 }
 
+// Every format in the FormatRegistry catalogue -- GPU, CPU and meta --
+// must agree with the reference through the plan interface, on 3- and
+// 4-mode tensors, for every mode.  This is the property that makes the
+// registry safe to enumerate blindly from cpd_als and the benches.
+class RegistryEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegistryEquivalence, EveryRegisteredFormatMatchesReference) {
+  const Scenario scenario = scenarios()[GetParam()];
+  const SparseTensor x = generate_power_law(scenario.config);
+  const rank_t rank = 8;
+  const auto factors = make_random_factors(x.dims(), rank, 1234);
+
+  PlanOptions opts;
+  opts.device = DeviceModel::tiny(4, 16);
+
+  const FormatRegistry& registry = FormatRegistry::instance();
+  ASSERT_FALSE(registry.names().empty());
+  for (index_t mode = 0; mode < x.order(); ++mode) {
+    const DenseMatrix ref = mttkrp_reference(x, mode, factors);
+    double scale = 1.0;
+    for (value_t v : ref.data()) {
+      scale = std::max(scale, static_cast<double>(std::abs(v)));
+    }
+    const double tol = 1e-4 * scale;
+
+    for (const std::string& name : registry.names()) {
+      SCOPED_TRACE(scenario.name + " format " + name + " mode " +
+                   std::to_string(mode));
+      const PlanPtr plan = registry.create(name, x, mode, opts);
+      ASSERT_NE(plan, nullptr);
+      EXPECT_EQ(plan->mode(), mode);
+      EXPECT_GE(plan->build_seconds(), 0.0);
+      EXPECT_GT(plan->storage_bytes(), 0u);
+      // Plans are build-once run-many: two runs, identical output.
+      const PlanRunResult first = plan->run(factors);
+      EXPECT_LT(ref.max_abs_diff(first.output), tol);
+      EXPECT_DOUBLE_EQ(first.output.max_abs_diff(plan->run(factors).output),
+                       0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RegistryEquivalence, ::testing::Range(0, 5),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return scenarios()[info.param].name;
+                         });
+
 TEST(MttkrpRegistry, BuildAndRunCoversAllKinds) {
   const SparseTensor x = generate_uniform({20, 20, 20}, 500, 9);
   const auto factors = make_random_factors(x.dims(), 8, 10);
