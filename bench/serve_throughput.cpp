@@ -1,0 +1,88 @@
+// Serving-layer throughput: requests/sec through MttkrpService as the
+// worker pool grows (DESIGN.md §5).  Each run fires a fixed request load
+// (round-robin over modes, shared factor set) at a fresh service and
+// times admission-to-drain; the table also reports how much of the
+// traffic was served before vs after the async B-CSF upgrade, so the
+// serve-then-upgrade amortization story is visible in one row.
+//
+// Traffic arrives in waves (--batch requests per wave, each drained
+// before the next) rather than one burst, so the background upgrade task
+// gets pool time mid-run exactly as it would under continuous load.
+//
+//   ./serve_throughput [--requests=N] [--batch=N] [--nnz=N] [--rank=R]
+//                      [--threads=1,2,4,8] [--threshold=N] [--format=bcsf]
+#include "bench_util.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+#include <sstream>
+
+int main(int argc, char** argv) {
+  using namespace bcsf;
+  using namespace bcsf::bench;
+  const CliParser cli(argc, argv);
+  const int requests = static_cast<int>(cli.get_int("requests", 512));
+  const int batch_size = static_cast<int>(cli.get_int("batch", 64));
+  const offset_t nnz = static_cast<offset_t>(cli.get_int("nnz", 200000));
+  const rank_t rank = static_cast<rank_t>(cli.get_int("rank", kPaperRank));
+  const double threshold = cli.get_double("threshold", requests / 4.0);
+  const std::string upgrade = cli.get_string("format", "bcsf");
+
+  std::vector<unsigned> thread_counts;
+  {
+    std::stringstream ss(cli.get_string("threads", "1,2,4,8"));
+    for (std::string tok; std::getline(ss, tok, ',');) {
+      thread_counts.push_back(static_cast<unsigned>(std::stoul(tok)));
+    }
+  }
+
+  print_header("Serving throughput -- requests/sec vs worker count",
+               "async COO -> " + upgrade + " upgrade at " +
+                   std::to_string(static_cast<long>(threshold)) + " calls");
+
+  PowerLawConfig config;
+  config.dims = {400, 600, 800};
+  config.target_nnz = nnz;
+  config.slice_alpha = 0.8;
+  config.fiber_alpha = 0.8;
+  config.max_fiber_len = 64;
+  config.seed = 97;
+  const SparseTensor base = generate_power_law(config);
+  const auto factors = std::make_shared<const std::vector<DenseMatrix>>(
+      make_random_factors(base.dims(), rank, 4242));
+  std::cout << "tensor: " << base.shape_string() << ", nnz = " << base.nnz()
+            << ", rank = " << rank << ", requests = " << requests << "\n\n";
+
+  Table table({"workers", "req/s", "wall (ms)", "pre-upgrade", "post-upgrade",
+               "final format"});
+  for (unsigned workers : thread_counts) {
+    ServeOptions opts;
+    opts.workers = workers;
+    opts.upgrade_format = upgrade;
+    opts.upgrade_threshold = threshold;
+    MttkrpService service(opts);
+    service.register_tensor("bench", share_tensor(SparseTensor(base)));
+
+    Timer timer;
+    int pre = 0;
+    int post = 0;
+    for (int issued = 0; issued < requests;) {
+      std::vector<MttkrpRequest> batch;
+      batch.reserve(batch_size);
+      for (int i = 0; i < batch_size && issued < requests; ++i, ++issued) {
+        batch.push_back(
+            {"bench", static_cast<index_t>(issued % base.order()), factors});
+      }
+      for (auto& future : service.submit_batch(std::move(batch))) {
+        (future.get().upgraded ? post : pre)++;
+      }
+    }
+    service.wait_idle();
+    const double seconds = timer.seconds();
+
+    table.row(workers, static_cast<long>(requests / seconds),
+              seconds * 1e3, pre, post, service.current_format("bench", 0));
+  }
+  table.print();
+  return 0;
+}

@@ -15,7 +15,6 @@
 #include "core/factors.hpp"
 #include "core/format_registry.hpp"
 #include "core/mttkrp_plan.hpp"
-#include "core/plan_cache.hpp"
 #include "cpd/cpd_als.hpp"
 #include "formats/bcsf.hpp"
 #include "formats/csf.hpp"
@@ -35,6 +34,8 @@
 #include "linalg/dense_matrix.hpp"
 #include "linalg/ops.hpp"
 #include "linalg/spd_solve.hpp"
+#include "serve/concurrent_plan_cache.hpp"
+#include "serve/mttkrp_service.hpp"
 #include "tensor/datasets.hpp"
 #include "tensor/frostt_io.hpp"
 #include "tensor/generator.hpp"
@@ -43,5 +44,6 @@
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"

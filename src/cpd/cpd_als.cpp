@@ -1,41 +1,55 @@
 #include "cpd/cpd_als.hpp"
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/factors.hpp"
-#include "core/plan_cache.hpp"
 #include "linalg/ops.hpp"
 #include "linalg/spd_solve.hpp"
+#include "serve/concurrent_plan_cache.hpp"
 #include "util/error.hpp"
 
 namespace bcsf {
 
 CpdResult cpd_als(const SparseTensor& tensor, const CpdOptions& options) {
-  BCSF_CHECK(tensor.nnz() > 0, "cpd_als: tensor has no nonzeros");
+  // Non-owning bridge: the caller's reference outlives this call, which
+  // is all the plans built inside it need.
+  return cpd_als(borrow_tensor(tensor), options);
+}
+
+CpdResult cpd_als(TensorPtr tensor, const CpdOptions& options) {
+  BCSF_CHECK(tensor != nullptr, "cpd_als: null tensor");
+  BCSF_CHECK(tensor->nnz() > 0, "cpd_als: tensor has no nonzeros");
   BCSF_CHECK(options.rank > 0, "cpd_als: rank must be positive");
-  const index_t order = tensor.order();
+  const SparseTensor& x = *tensor;
+  const index_t order = x.order();
 
   CpdResult result;
   result.factors =
-      make_random_factors(tensor.dims(), options.rank, options.seed, 0.05F);
+      make_random_factors(x.dims(), options.rank, options.seed, 0.05F);
   result.lambda.assign(options.rank, 1.0F);
 
-  // Pre-build one plan per mode (ALLMODE strategy, §VI-A).  The cache
-  // key is (format, mode), so repeated calls within an iteration and
-  // across iterations reuse the same representation.
+  // Pre-build one plan per mode (ALLMODE strategy, §VI-A) through the
+  // concurrent cache -- the same component the serving layer uses, so
+  // a cpd_als running inside a service worker shares its semantics.
   PlanOptions plan_opts;
   plan_opts.device = options.device;
-  plan_opts.expected_mttkrp_calls =
-      static_cast<double>(options.max_iterations) * order;
-  PlanCache cache(tensor, plan_opts);
+  // Each (format, mode) plan serves ONE MTTKRP per iteration; its build
+  // amortizes against that mode's calls only, not the tensor aggregate.
+  plan_opts.expected_mttkrp_calls = static_cast<double>(options.max_iterations);
+  ConcurrentPlanCache cache(std::move(tensor), plan_opts);
+  std::vector<SharedPlan> mode_plans;
+  mode_plans.reserve(order);
   result.mode_formats.reserve(order);
   for (index_t m = 0; m < order; ++m) {
-    result.mode_formats.push_back(cache.get(options.format, m).resolved_format());
+    mode_plans.push_back(cache.get(options.format, m));
+    result.mode_formats.push_back(mode_plans.back()->resolved_format());
   }
   result.preprocessing_seconds = cache.total_build_seconds();
 
   auto run_mttkrp = [&](index_t mode) -> DenseMatrix {
-    const MttkrpPlan& plan = cache.get(options.format, mode);
+    const MttkrpPlan& plan = *mode_plans[mode];
     PlanRunResult r = plan.run(result.factors);
     if (plan.is_gpu()) result.simulated_mttkrp_seconds += r.report.seconds;
     return std::move(r.output);
@@ -49,7 +63,7 @@ CpdResult cpd_als(const SparseTensor& tensor, const CpdOptions& options) {
       result.factors[mode] = solve_spd_right(v, mk);
       result.lambda = normalize_columns(result.factors[mode]);
     }
-    const double fit = cp_fit(tensor, result.factors, result.lambda);
+    const double fit = cp_fit(x, result.factors, result.lambda);
     result.fit_history.push_back(fit);
     result.iterations = iter + 1;
     if (iter > 0 && fit - prev_fit < options.fit_tolerance) break;

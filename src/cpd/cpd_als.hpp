@@ -9,8 +9,8 @@
 //
 // The backend is any format registered in the FormatRegistry ("hbcsf",
 // "cpu-csf", "coo", "auto", ...); plans are built once per (format, mode)
-// in a PlanCache -- the ALLMODE strategy of §VI-A -- and reused across
-// iterations.
+// in a ConcurrentPlanCache -- the ALLMODE strategy of §VI-A -- and reused
+// across iterations.
 #pragma once
 
 #include <string>
@@ -19,6 +19,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/metrics.hpp"
 #include "linalg/dense_matrix.hpp"
+#include "serve/concurrent_plan_cache.hpp"
 #include "tensor/sparse_tensor.hpp"
 #include "util/types.hpp"
 
@@ -52,6 +53,12 @@ struct CpdResult {
   std::vector<std::string> mode_formats;
 };
 
+/// Shared-ownership entry point: the plans built inside hold the tensor
+/// alive via the concurrent cache, so the caller may drop its reference
+/// as soon as this call is enqueued (e.g. when running on a worker pool).
+CpdResult cpd_als(TensorPtr tensor, const CpdOptions& options);
+
+/// Legacy reference-taking entry point; the tensor must outlive the call.
 CpdResult cpd_als(const SparseTensor& tensor, const CpdOptions& options);
 
 }  // namespace bcsf

@@ -1,0 +1,114 @@
+#include "serve/concurrent_plan_cache.hpp"
+
+#include <chrono>
+#include <future>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+TensorPtr share_tensor(SparseTensor&& tensor) {
+  return std::make_shared<SparseTensor>(std::move(tensor));
+}
+
+TensorPtr borrow_tensor(const SparseTensor& tensor) {
+  return TensorPtr(TensorPtr{}, &tensor);
+}
+
+ConcurrentPlanCache::ConcurrentPlanCache(TensorPtr tensor, PlanOptions opts,
+                                         BuildFn build)
+    : tensor_(std::move(tensor)), opts_(std::move(opts)), build_(std::move(build)) {
+  BCSF_CHECK(tensor_ != nullptr, "ConcurrentPlanCache: null tensor");
+  if (!build_) {
+    build_ = [](const std::string& format, const SparseTensor& t, index_t mode,
+                const PlanOptions& o) {
+      return FormatRegistry::instance().create(format, t, mode, o);
+    };
+  }
+}
+
+SharedPlan ConcurrentPlanCache::get(const std::string& format, index_t mode) {
+  const Key key{format, mode};
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = slots_.find(key);
+    if (it != slots_.end()) {
+      std::shared_future<SharedPlan> future = it->second;
+      lock.unlock();
+      return future.get();  // ready, or blocks on the in-flight build
+    }
+  }
+
+  std::promise<SharedPlan> promise;
+  std::shared_future<SharedPlan> future = promise.get_future().share();
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto [it, inserted] = slots_.emplace(key, future);
+    if (!inserted) {
+      // Lost the publish race: wait on the winner's build instead.
+      std::shared_future<SharedPlan> other = it->second;
+      lock.unlock();
+      return other.get();
+    }
+  }
+
+  // Single-flight winner: build with no lock held so other keys proceed.
+  try {
+    PlanPtr raw = build_(format, *tensor_, mode, opts_);
+    BCSF_CHECK(raw != nullptr, "ConcurrentPlanCache: builder for '"
+                                   << format << "' returned null");
+    // The deleter pins the tensor: any caller retaining the plan keeps
+    // the source tensor alive (COO-family plans reference, not copy).
+    SharedPlan plan(raw.release(),
+                    [tensor = tensor_](const MttkrpPlan* p) { delete p; });
+    promise.set_value(plan);
+    return plan;
+  } catch (...) {
+    {
+      // Evict before waking waiters so a retrying waiter cannot re-find
+      // the failed slot.
+      std::unique_lock<std::shared_mutex> lock(mutex_);
+      slots_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+SharedPlan ConcurrentPlanCache::try_get(const std::string& format,
+                                        index_t mode) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = slots_.find(Key{format, mode});
+  if (it == slots_.end()) return nullptr;
+  const std::shared_future<SharedPlan>& future = it->second;
+  if (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+    return nullptr;
+  }
+  return future.get();
+}
+
+std::size_t ConcurrentPlanCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::size_t ready = 0;
+  for (const auto& [key, future] : slots_) {
+    if (future.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      ++ready;
+    }
+  }
+  return ready;
+}
+
+double ConcurrentPlanCache::total_build_seconds() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  double total = 0.0;
+  for (const auto& [key, future] : slots_) {
+    if (future.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      total += future.get()->build_seconds();
+    }
+  }
+  return total;
+}
+
+}  // namespace bcsf

@@ -1,0 +1,94 @@
+// Thread-safe memoized plan construction keyed by (format, mode): the
+// PlanCache contract of DESIGN.md §2 made safe for the serving layer
+// (DESIGN.md §5).
+//
+// Two guarantees beyond the single-threaded cache it replaces:
+//
+//  * Single-flight builds.  N threads requesting the same (format, mode)
+//    trigger exactly ONE factory call; the winner builds outside any lock
+//    while the others block on a shared_future for that key.  Reads of
+//    already-built plans take only a shared lock.  A build that throws is
+//    evicted so a later request can retry.
+//
+//  * Tensor lifetime.  The cache holds the source tensor by shared_ptr
+//    and pins that shared_ptr into the deleter of every plan it hands
+//    out.  COO-family plans reference the tensor instead of copying it
+//    (DESIGN.md §2); with this pinning a plan retained past the cache --
+//    or past the caller's own tensor handle -- can never dangle.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+
+#include "core/format_registry.hpp"
+#include "core/mttkrp_plan.hpp"
+#include "tensor/sparse_tensor.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+using TensorPtr = std::shared_ptr<const SparseTensor>;
+/// Plans leave the concurrent cache as shared_ptr so an async delegate
+/// swap can retire a plan while in-flight run() calls finish on it.
+using SharedPlan = std::shared_ptr<const MttkrpPlan>;
+
+/// Moves a tensor onto the heap under shared ownership (the normal way to
+/// feed ConcurrentPlanCache / MttkrpService).
+TensorPtr share_tensor(SparseTensor&& tensor);
+
+/// Non-owning view of a caller-owned tensor (aliasing shared_ptr with no
+/// control block).  The caller guarantees the tensor outlives every plan
+/// built from it -- this is the bridge for legacy reference-taking call
+/// sites like cpd_als(const SparseTensor&).
+TensorPtr borrow_tensor(const SparseTensor& tensor);
+
+class ConcurrentPlanCache {
+ public:
+  /// Factory used to build plans; injectable so tests can count or fail
+  /// builds.  Defaults to FormatRegistry::instance().create.
+  using BuildFn =
+      std::function<PlanPtr(const std::string& format, const SparseTensor&,
+                            index_t mode, const PlanOptions&)>;
+
+  explicit ConcurrentPlanCache(TensorPtr tensor, PlanOptions opts = {},
+                               BuildFn build = {});
+
+  /// Returns the plan for (format, mode), building it on first use.
+  /// Concurrent callers for the same key get the same plan from exactly
+  /// one factory call; callers for distinct keys build in parallel.
+  /// Rethrows the builder's exception to every waiter and evicts the
+  /// entry so the next get() retries.
+  SharedPlan get(const std::string& format, index_t mode);
+
+  /// Non-blocking probe: the plan if it is already built, nullptr if it
+  /// is absent or still building.
+  SharedPlan try_get(const std::string& format, index_t mode) const;
+
+  /// Number of completed plans (in-flight builds excluded).
+  std::size_t size() const;
+
+  /// Sum of build_seconds() over completed plans (the all-mode
+  /// pre-processing cost, as in the old PlanCache).
+  double total_build_seconds() const;
+
+  const TensorPtr& tensor() const { return tensor_; }
+  const PlanOptions& options() const { return opts_; }
+
+ private:
+  using Key = std::pair<std::string, index_t>;
+
+  TensorPtr tensor_;
+  PlanOptions opts_;
+  BuildFn build_;
+  mutable std::shared_mutex mutex_;
+  // One shared_future per key: pending while the winning thread builds,
+  // ready once the plan exists.  Failed builds are erased.
+  std::map<Key, std::shared_future<SharedPlan>> slots_;
+};
+
+}  // namespace bcsf

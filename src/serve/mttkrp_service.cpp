@@ -1,0 +1,229 @@
+#include "serve/mttkrp_service.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/auto_policy.hpp"
+#include "util/error.hpp"
+
+namespace bcsf {
+
+namespace {
+
+/// Formats whose "build" is free because their representation IS the
+/// source tensor (DESIGN.md §2).  Only these may serve the initial path,
+/// and upgrading to one of them would buy nothing.
+bool is_coo_family(const std::string& format) {
+  return format == "coo" || format == "cpu-coo" || format == "reference";
+}
+
+}  // namespace
+
+MttkrpService::MttkrpService(ServeOptions opts)
+    : opts_(std::move(opts)), pool_(opts_.workers) {
+  BCSF_CHECK(is_coo_family(opts_.initial_format),
+             "MttkrpService: initial_format '"
+                 << opts_.initial_format
+                 << "' is not zero-preprocessing (COO family)");
+}
+
+MttkrpService::~MttkrpService() = default;
+
+void MttkrpService::register_tensor(const std::string& name,
+                                    TensorPtr tensor) {
+  BCSF_CHECK(!name.empty(), "MttkrpService: empty tensor name");
+  BCSF_CHECK(tensor != nullptr, "MttkrpService: null tensor '" << name << "'");
+  BCSF_CHECK(tensor->nnz() > 0,
+             "MttkrpService: tensor '" << name << "' has no nonzeros");
+  auto state = std::make_unique<TensorState>(std::move(tensor), opts_.plan);
+  std::unique_lock<std::shared_mutex> lock(tensors_mutex_);
+  const bool inserted = tensors_.emplace(name, std::move(state)).second;
+  BCSF_CHECK(inserted, "MttkrpService: tensor '" << name
+                                                 << "' already registered");
+}
+
+bool MttkrpService::has_tensor(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(tensors_mutex_);
+  return tensors_.count(name) > 0;
+}
+
+MttkrpService::TensorState& MttkrpService::state_for(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(tensors_mutex_);
+  auto it = tensors_.find(name);
+  BCSF_CHECK(it != tensors_.end(),
+             "MttkrpService: unknown tensor '" << name << "'");
+  return *it->second;
+}
+
+std::future<MttkrpResponse> MttkrpService::submit(MttkrpRequest request) {
+  BCSF_CHECK(request.factors != nullptr,
+             "MttkrpService: request has no factors");
+  TensorState& state = state_for(request.tensor);
+  BCSF_CHECK(request.mode < state.cache.tensor()->order(),
+             "MttkrpService: mode " << request.mode
+                                    << " out of range for tensor '"
+                                    << request.tensor << "'");
+  return pool_.async([this, &state, req = std::move(request)] {
+    return handle(state, req);
+  });
+}
+
+std::vector<std::future<MttkrpResponse>> MttkrpService::submit_batch(
+    std::vector<MttkrpRequest> batch) {
+  std::vector<std::future<MttkrpResponse>> futures;
+  futures.reserve(batch.size());
+  for (MttkrpRequest& request : batch) {
+    futures.push_back(submit(std::move(request)));
+  }
+  return futures;
+}
+
+std::uint64_t MttkrpService::call_count(const std::string& tensor) const {
+  return state_for(tensor).calls.load(std::memory_order_relaxed);
+}
+
+std::string MttkrpService::current_format(const std::string& tensor,
+                                          index_t mode) const {
+  TensorState& state = state_for(tensor);
+  BCSF_CHECK(mode < state.modes.size(), "MttkrpService: mode out of range");
+  ModeSlot& slot = state.modes[mode];
+  std::lock_guard<std::mutex> lock(slot.m);
+  return slot.current ? slot.current->resolved_format() : opts_.initial_format;
+}
+
+bool MttkrpService::upgraded(const std::string& tensor, index_t mode) const {
+  TensorState& state = state_for(tensor);
+  BCSF_CHECK(mode < state.modes.size(), "MttkrpService: mode out of range");
+  ModeSlot& slot = state.modes[mode];
+  std::lock_guard<std::mutex> lock(slot.m);
+  return slot.upgraded_flag;
+}
+
+MttkrpResponse MttkrpService::handle(TensorState& state,
+                                     const MttkrpRequest& request) {
+  const std::uint64_t sequence =
+      state.calls.fetch_add(1, std::memory_order_relaxed) + 1;
+  ModeSlot& slot = state.modes[request.mode];
+  const std::uint64_t mode_sequence =
+      slot.mode_calls.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  SharedPlan plan;
+  bool was_upgraded = false;
+  {
+    std::lock_guard<std::mutex> lock(slot.m);
+    plan = slot.current;
+    was_upgraded = slot.upgraded_flag;
+  }
+  if (!plan) {
+    // First touch of this mode: the COO-family plan is build-free, so the
+    // request still answers immediately (single-flight dedupes racers).
+    SharedPlan initial = state.cache.get(opts_.initial_format, request.mode);
+    std::lock_guard<std::mutex> lock(slot.m);
+    if (!slot.current) slot.current = std::move(initial);
+    plan = slot.current;
+    was_upgraded = slot.upgraded_flag;
+  }
+
+  if (opts_.enable_upgrade && !was_upgraded) {
+    maybe_launch_upgrade(state, request.mode, mode_sequence);
+  }
+
+  PlanRunResult run = plan->run(*request.factors);
+  MttkrpResponse response;
+  response.output = std::move(run.output);
+  response.report = std::move(run.report);
+  response.served_format = plan->resolved_format();
+  response.plan = std::move(plan);
+  response.sequence = sequence;
+  response.upgraded = was_upgraded;
+  return response;
+}
+
+std::pair<std::string, double> MttkrpService::resolve_upgrade_policy(
+    const TensorState& state, index_t mode) const {
+  std::string target = opts_.upgrade_format;
+  double threshold = opts_.upgrade_threshold;
+  if (target == "auto" || threshold <= 0.0) {
+    AutoPolicyOptions policy;
+    // The policy's expected-calls gate answers "will enough calls ever
+    // arrive?" from a static guess.  The service KNOWS: it counts real
+    // traffic and launches exactly at break-even, so the gate must not
+    // veto the target -- only an infinite break-even (structure yields
+    // no per-call gain) or coo-dominant slice binning disables upgrade.
+    policy.expected_mttkrp_calls = std::numeric_limits<double>::infinity();
+    const AutoDecision decision =
+        auto_select_format(*state.cache.tensor(), mode, policy);
+    if (target == "auto") target = decision.format;
+    if (threshold <= 0.0) {
+      threshold = std::isfinite(decision.breakeven_calls)
+                      ? std::max(1.0, std::ceil(decision.breakeven_calls))
+                      : std::numeric_limits<double>::infinity();
+    }
+  }
+  // Upgrading to a zero-preprocessing format is a no-op: stay as served.
+  if (is_coo_family(target)) target.clear();
+  return {std::move(target), threshold};
+}
+
+void MttkrpService::maybe_launch_upgrade(TensorState& state, index_t mode,
+                                         std::uint64_t mode_sequence) {
+  ModeSlot& slot = state.modes[mode];
+  if (slot.upgrade_launched.load(std::memory_order_acquire)) return;
+
+  std::string target;
+  double threshold = 0.0;
+  bool resolved;
+  {
+    std::lock_guard<std::mutex> lock(slot.m);
+    resolved = slot.policy_resolved;
+    if (resolved) {
+      target = slot.target_format;
+      threshold = slot.threshold;
+    }
+  }
+  if (!resolved) {
+    // The policy scan is O(nnz), so it runs with NO lock held: requests
+    // for this mode keep serving meanwhile.  Concurrent resolvers compute
+    // the same answer; first publish wins.
+    auto [fresh_target, fresh_threshold] = resolve_upgrade_policy(state, mode);
+    std::lock_guard<std::mutex> lock(slot.m);
+    if (!slot.policy_resolved) {
+      slot.target_format = std::move(fresh_target);
+      slot.threshold = fresh_threshold;
+      slot.policy_resolved = true;
+    }
+    target = slot.target_format;
+    threshold = slot.threshold;
+  }
+
+  if (target.empty()) {
+    // Nothing to upgrade to; pin the flag so later calls return fast.
+    slot.upgrade_launched.store(true, std::memory_order_release);
+    return;
+  }
+  if (static_cast<double>(mode_sequence) < threshold) return;
+  if (slot.upgrade_launched.exchange(true, std::memory_order_acq_rel)) return;
+
+  const bool queued = pool_.try_submit([this, &state, mode, target] {
+    ModeSlot& slot = state.modes[mode];
+    try {
+      // Break-even crossed: pay the structured build off the request
+      // path.  Single-flight in the cache dedupes against anyone else.
+      SharedPlan structured = state.cache.get(target, mode);
+      std::lock_guard<std::mutex> lock(slot.m);
+      slot.current = std::move(structured);  // in-flight runs keep the old
+                                             // plan alive via SharedPlan
+      slot.upgraded_flag = true;
+    } catch (...) {
+      // Build failed; re-arm so a later request retries the upgrade.
+      slot.upgrade_launched.store(false, std::memory_order_release);
+    }
+  });
+  // try_submit refuses only when the destructor is already draining the
+  // queue; the upgrade is moot then, but keep the state machine honest.
+  if (!queued) slot.upgrade_launched.store(false, std::memory_order_release);
+}
+
+}  // namespace bcsf

@@ -1,0 +1,158 @@
+// MttkrpService: the concurrent serving layer (DESIGN.md §5).
+//
+// The paper frames format choice as an amortization problem: structured
+// formats (B-CSF / HB-CSF) pay a sort-dominated build that COO does not,
+// and Fig. 10's break-even gate says when that build pays for itself.
+// This service makes the trade-off dynamic per tensor:
+//
+//   1. Requests are answered IMMEDIATELY from the zero-preprocessing
+//      COO-family plan -- no caller ever waits on a format build.
+//   2. Per-tensor call counts are tracked; when they cross the break-even
+//      threshold (the auto policy's Fig-10 estimate, or an explicit
+//      override), a structured-plan build is kicked off on the worker
+//      pool in the background.
+//   3. When the build completes, the per-(tensor, mode) delegate is
+//      atomically swapped.  In-flight runs hold the old plan by
+//      shared_ptr and finish on it; subsequent requests run structured.
+//
+// Thread-safety: submit/submit_batch/register_tensor and the
+// introspection calls may be invoked from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/concurrent_plan_cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bcsf {
+
+struct ServeOptions {
+  /// Worker pool size; requests and background upgrades share it.
+  unsigned workers = 4;
+  /// Zero-preprocessing format answering from the first request.  Must be
+  /// build-free (COO family: "coo", "cpu-coo", "reference").
+  std::string initial_format = "coo";
+  /// Structured target for the background upgrade.  "auto" asks the §V
+  /// slice-binning policy per mode (the Fig-10 expected-calls gate is NOT
+  /// applied -- the observed-traffic threshold below plays that role); a
+  /// COO-family target disables upgrade.
+  std::string upgrade_format = "auto";
+  /// Per-(tensor, mode) call count that triggers the upgrade -- the
+  /// structured build amortizes against that mode's own traffic, matching
+  /// Fig. 10.  <= 0 means use the auto policy's breakeven_calls for the
+  /// mode (infinite when structure never pays -- the mode then stays COO
+  /// forever).
+  double upgrade_threshold = 0.0;
+  bool enable_upgrade = true;
+  /// Device model, format knobs, expected_mttkrp_calls for the policy.
+  PlanOptions plan;
+};
+
+/// Factor matrices are shared across the requests of a batch (and across
+/// batches) instead of copied per request.
+using FactorsPtr = std::shared_ptr<const std::vector<DenseMatrix>>;
+
+struct MttkrpRequest {
+  std::string tensor;  ///< name passed to register_tensor
+  index_t mode = 0;
+  FactorsPtr factors;
+};
+
+struct MttkrpResponse {
+  DenseMatrix output;
+  SimReport report;
+  /// Format that actually executed ("auto" never leaks: resolved key).
+  std::string served_format;
+  /// The plan that served this response.  Holding it is safe after the
+  /// service dies (it pins the tensor); comparing pointers across
+  /// responses observes the async upgrade swap.
+  SharedPlan plan;
+  std::uint64_t sequence = 0;  ///< 1-based per-tensor call number
+  bool upgraded = false;  ///< served by the structured (post-swap) delegate
+};
+
+class MttkrpService {
+ public:
+  explicit MttkrpService(ServeOptions opts = {});
+  /// Joins the pool; accepted requests and in-flight upgrades complete.
+  ~MttkrpService();
+
+  MttkrpService(const MttkrpService&) = delete;
+  MttkrpService& operator=(const MttkrpService&) = delete;
+
+  /// Registers a tensor under a unique name.  No plan is built here --
+  /// the first request pays only the (free) COO plan construction.
+  void register_tensor(const std::string& name, TensorPtr tensor);
+  bool has_tensor(const std::string& name) const;
+
+  /// Enqueues one request; the future carries the response or the error.
+  std::future<MttkrpResponse> submit(MttkrpRequest request);
+  /// Enqueues a batch (possibly spanning tensors and modes); requests
+  /// fan out across the worker pool.
+  std::vector<std::future<MttkrpResponse>> submit_batch(
+      std::vector<MttkrpRequest> batch);
+
+  /// MTTKRP calls served (or admitted) so far for `tensor`.
+  std::uint64_t call_count(const std::string& tensor) const;
+  /// Resolved format currently serving (tensor, mode); the initial format
+  /// until the background upgrade swaps the delegate.
+  std::string current_format(const std::string& tensor, index_t mode) const;
+  /// True once the structured delegate is installed for (tensor, mode).
+  bool upgraded(const std::string& tensor, index_t mode) const;
+
+  /// Blocks until all accepted requests AND background upgrades finished.
+  void wait_idle() { pool_.wait_idle(); }
+
+  const ServeOptions& options() const { return opts_; }
+
+ private:
+  struct ModeSlot {
+    mutable std::mutex m;  // guards current/upgraded_flag/target/threshold
+    SharedPlan current;    // serving delegate; swapped by the upgrade task
+    bool upgraded_flag = false;
+    bool policy_resolved = false;
+    std::string target_format;  // empty = never upgrade this mode
+    double threshold = 0.0;
+    /// This mode's own call count -- what the threshold compares against.
+    std::atomic<std::uint64_t> mode_calls{0};
+    std::atomic<bool> upgrade_launched{false};
+  };
+
+  struct TensorState {
+    TensorState(TensorPtr tensor, PlanOptions plan_opts)
+        : cache(std::move(tensor), std::move(plan_opts)),
+          modes(cache.tensor()->order()) {}
+    ConcurrentPlanCache cache;
+    std::atomic<std::uint64_t> calls{0};
+    std::vector<ModeSlot> modes;
+  };
+
+  TensorState& state_for(const std::string& name) const;
+  MttkrpResponse handle(TensorState& state, const MttkrpRequest& request);
+  /// Computes (target format, threshold) for a mode; runs the §V policy
+  /// when the options defer to it.  Pure -- called with NO lock held.
+  std::pair<std::string, double> resolve_upgrade_policy(
+      const TensorState& state, index_t mode) const;
+  void maybe_launch_upgrade(TensorState& state, index_t mode,
+                            std::uint64_t mode_sequence);
+
+  ServeOptions opts_;
+  mutable std::shared_mutex tensors_mutex_;
+  // unique_ptr: TensorState addresses stay stable across map rehash, so
+  // worker tasks can hold TensorState& while new tensors register.
+  std::map<std::string, std::unique_ptr<TensorState>> tensors_;
+  // Declared last: destroyed first, joining workers before the tensor
+  // states their tasks reference go away.
+  ThreadPool pool_;
+};
+
+}  // namespace bcsf

@@ -1,0 +1,74 @@
+// Fixed-size worker pool backing the serving layer (serve/).  Deliberately
+// small: a locked deque, N workers, and an idle barrier -- the MTTKRP
+// kernels themselves are the expensive part, so queue overhead is noise.
+//
+// Tasks may submit further tasks (the service's async format upgrade is
+// enqueued from inside a request handler); wait_idle() accounts for that
+// by waiting until the queue is empty AND no worker is mid-task.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bcsf {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 -> hardware_concurrency, at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains nothing: pending tasks still in the queue are executed before
+  /// the workers join (a service being destroyed must not drop accepted
+  /// requests on the floor).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a fire-and-forget task.  Throws if called after shutdown
+  /// began (i.e. from a task racing the destructor -- a caller bug).
+  void submit(std::function<void()> task);
+
+  /// Like submit(), but returns false instead of throwing once shutdown
+  /// began -- for best-effort background work (e.g. a format upgrade)
+  /// enqueued from inside a task that may be draining at destruction.
+  bool try_submit(std::function<void()> task);
+
+  /// Enqueues a task and returns a future for its result; exceptions
+  /// thrown by the task surface through the future.
+  template <typename F>
+  auto async(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    submit([task] { (*task)(); });
+    return result;
+  }
+
+  /// Blocks until the queue is empty and every worker is idle.  Tasks
+  /// submitted by other threads while waiting extend the wait.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // signals workers: task ready / stop
+  std::condition_variable idle_cv_;  // signals wait_idle: maybe drained
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;  // tasks currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bcsf

@@ -1,0 +1,170 @@
+// Stress suite for the serving layer's ConcurrentPlanCache (DESIGN.md §5):
+// 16 threads hammer the same and distinct (format, mode) keys and the
+// cache must (a) call the factory exactly once per key -- single-flight --
+// (b) hand every thread the same plan object, (c) produce bitwise
+// identical outputs from concurrent run() calls, and (d) keep the source
+// tensor alive for as long as any plan is retained (the COO-family
+// lifetime rule of DESIGN.md §2).
+//
+// Deliberately restricted to simulated-GPU formats and the sequential
+// reference: those kernels are single-threaded inside, so every data race
+// a sanitizer reports here belongs to the cache itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bcsf/bcsf.hpp"
+#include "serve_test_util.hpp"
+
+namespace bcsf {
+namespace {
+
+using serve_test::ref_scale;
+using serve_test::run_threads;
+
+constexpr int kThreads = 16;
+
+SparseTensor stress_tensor() {
+  PowerLawConfig config;
+  config.dims = {40, 50, 60};
+  config.target_nnz = 3000;
+  config.slice_alpha = 1.0;
+  config.fiber_alpha = 1.0;
+  config.max_fiber_len = 24;
+  config.seed = 321;
+  return generate_power_law(config);
+}
+
+/// Counting factory: wraps the real registry but tallies one build per
+/// (format, mode) key and widens the race window with a sleep, so a
+/// broken cache would overcount with high probability.
+struct CountingFactory {
+  std::atomic<int> builds{0};
+
+  ConcurrentPlanCache::BuildFn fn() {
+    return [this](const std::string& format, const SparseTensor& t,
+                  index_t mode, const PlanOptions& opts) {
+      builds.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return FormatRegistry::instance().create(format, t, mode, opts);
+    };
+  }
+};
+
+TEST(ConcurrentCache, SingleFlightSameKey) {
+  CountingFactory factory;
+  ConcurrentPlanCache cache(share_tensor(stress_tensor()), {}, factory.fn());
+
+  std::vector<SharedPlan> plans(kThreads);
+  run_threads(kThreads, [&](int i) { plans[i] = cache.get("bcsf", 0); });
+
+  EXPECT_EQ(factory.builds.load(), 1) << "single-flight violated";
+  EXPECT_EQ(cache.size(), 1u);
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(plans[i], nullptr);
+    EXPECT_EQ(plans[i].get(), plans[0].get()) << "thread " << i;
+  }
+}
+
+TEST(ConcurrentCache, SingleFlightDistinctKeys) {
+  CountingFactory factory;
+  ConcurrentPlanCache cache(share_tensor(stress_tensor()), {}, factory.fn());
+
+  // 16 threads over 8 distinct keys (4 formats x 2 modes): exactly one
+  // build per key, and both threads of a pair get the same plan.
+  const std::vector<std::string> formats = {"coo", "gpu-csf", "csl", "bcsf"};
+  std::vector<SharedPlan> plans(kThreads);
+  run_threads(kThreads, [&](int i) {
+    const int key = i % 8;
+    plans[i] = cache.get(formats[key % 4], static_cast<index_t>(key / 4));
+  });
+
+  EXPECT_EQ(factory.builds.load(), 8);
+  EXPECT_EQ(cache.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(plans[i].get(), plans[i + 8].get()) << "key " << i;
+  }
+}
+
+TEST(ConcurrentCache, ConcurrentRunsAreBitwiseIdentical) {
+  const SparseTensor x = stress_tensor();
+  const auto factors = make_random_factors(x.dims(), 16, 99);
+  const DenseMatrix ref = mttkrp_reference(x, 1, factors);
+  ConcurrentPlanCache cache(share_tensor(SparseTensor(x)));
+
+  for (const std::string& format : {"hbcsf", "coo", "csl"}) {
+    SCOPED_TRACE(format);
+    SharedPlan plan = cache.get(format, 1);
+    std::vector<DenseMatrix> outputs(kThreads);
+    run_threads(kThreads,
+                [&](int i) { outputs[i] = plan->run(factors).output; });
+
+    const auto base = outputs[0].data();
+    for (int i = 1; i < kThreads; ++i) {
+      const auto other = outputs[i].data();
+      ASSERT_EQ(other.size(), base.size());
+      EXPECT_EQ(std::memcmp(other.data(), base.data(),
+                            base.size() * sizeof(value_t)),
+                0)
+          << "thread " << i << " diverged bitwise";
+    }
+    // ... and they are all the right answer, not identically wrong.
+    EXPECT_LT(ref.max_abs_diff(outputs[0]), 1e-4 * ref_scale(ref));
+  }
+}
+
+TEST(ConcurrentCache, FailedBuildPropagatesAndRetries) {
+  std::atomic<int> calls{0};
+  ConcurrentPlanCache cache(
+      share_tensor(stress_tensor()), {},
+      [&](const std::string& format, const SparseTensor& t, index_t mode,
+          const PlanOptions& opts) -> PlanPtr {
+        if (calls.fetch_add(1) == 0) {
+          throw Error("injected build failure");
+        }
+        return FormatRegistry::instance().create(format, t, mode, opts);
+      });
+
+  EXPECT_THROW(cache.get("bcsf", 0), Error);
+  EXPECT_EQ(cache.size(), 0u) << "failed build must be evicted";
+  // The failure is not sticky: the next request rebuilds and succeeds.
+  EXPECT_NE(cache.get("bcsf", 0), nullptr);
+  EXPECT_EQ(calls.load(), 2);
+}
+
+// Regression for the COO-family lifetime hazard: plans that reference the
+// source tensor (DESIGN.md §2) used to dangle if the tensor died before
+// the plan.  The concurrent cache pins the tensor into every plan it
+// returns, so running a retained plan after BOTH the cache and the last
+// caller-held tensor handle are gone must still be valid and correct.
+TEST(ConcurrentCache, PlanOutlivesCacheAndTensorHandle) {
+  const std::vector<index_t> dims = {25, 30, 35};
+  const auto factors = make_random_factors(dims, 8, 7);
+
+  DenseMatrix expected;
+  std::vector<SharedPlan> retained;
+  {
+    TensorPtr tensor = share_tensor(generate_uniform(dims, 1500, 55));
+    expected = mttkrp_reference(*tensor, 0, factors);
+    ConcurrentPlanCache cache(tensor, {});
+    tensor.reset();  // cache is now the only owner
+    for (const std::string& format : {"coo", "reference"}) {
+      retained.push_back(cache.get(format, 0));
+    }
+  }  // cache destroyed; only the plans' pinned shared_ptrs remain
+
+  for (const SharedPlan& plan : retained) {
+    SCOPED_TRACE(plan->format());
+    const DenseMatrix out = plan->run(factors).output;
+    EXPECT_LT(expected.max_abs_diff(out), 1e-4 * ref_scale(expected));
+  }
+}
+
+}  // namespace
+}  // namespace bcsf

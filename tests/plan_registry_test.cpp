@@ -55,16 +55,17 @@ TEST(FormatRegistry, EnumShimMapsToRegistryNames) {
 }
 
 TEST(PlanCache, BuildsOncePerFormatModePair) {
-  const SparseTensor x = small_tensor();
-  PlanCache cache(x);
-  const MttkrpPlan& a = cache.get("hbcsf", 0);
-  const MttkrpPlan& b = cache.get("hbcsf", 0);
-  EXPECT_EQ(&a, &b);  // cached, not rebuilt
+  ConcurrentPlanCache cache(share_tensor(small_tensor()));
+  const SharedPlan a = cache.get("hbcsf", 0);
+  const SharedPlan b = cache.get("hbcsf", 0);
+  EXPECT_EQ(a.get(), b.get());  // cached, not rebuilt
   EXPECT_EQ(cache.size(), 1u);
   cache.get("hbcsf", 1);
   cache.get("coo", 0);
   EXPECT_EQ(cache.size(), 3u);
   EXPECT_GE(cache.total_build_seconds(), 0.0);
+  EXPECT_EQ(cache.try_get("hbcsf", 1), cache.get("hbcsf", 1));
+  EXPECT_EQ(cache.try_get("bcsf", 2), nullptr);  // never requested
 }
 
 TEST(CpdAlsFormats, RunsWithAnyRegisteredFormat) {

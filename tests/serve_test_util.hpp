@@ -1,0 +1,46 @@
+// Shared helpers for the serving-layer test suites (concurrent_cache_test,
+// serve_property_test).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "util/types.hpp"
+
+namespace bcsf::serve_test {
+
+/// Largest absolute entry of the reference output, floored at 1: fp32
+/// kernels accumulate in different orders than the double-precision
+/// reference, so comparison tolerances scale with the output magnitude
+/// (same convention as mttkrp_equivalence_test).
+inline double ref_scale(const DenseMatrix& ref) {
+  double scale = 1.0;
+  for (value_t v : ref.data()) {
+    scale = std::max(scale, static_cast<double>(std::abs(v)));
+  }
+  return scale;
+}
+
+/// Launches `n` threads that first block on a shared start gate, then run
+/// `body(thread_index)`; joins them all.  The gate maximizes overlap.
+template <typename Body>
+void run_threads(int n, Body body) {
+  std::promise<void> go;
+  std::shared_future<void> gate = go.get_future().share();
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([i, gate, &body] {
+      gate.wait();
+      body(i);
+    });
+  }
+  go.set_value();
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace bcsf::serve_test
