@@ -1,21 +1,62 @@
 // Serving-layer throughput: requests/sec through MttkrpService as the
-// worker pool grows (DESIGN.md §5).  Each run fires a fixed request load
-// (round-robin over modes, shared factor set) at a fresh service and
-// times admission-to-drain; the table also reports how much of the
-// traffic was served before vs after the async B-CSF upgrade, so the
-// serve-then-upgrade amortization story is visible in one row.
+// worker pool grows (DESIGN.md §5-§6).  Each run fires a fixed request
+// load (round-robin over modes, shared factor set) at a fresh service and
+// times admission-to-drain; the table also reports per-request latency
+// percentiles and how much of the traffic was served before vs after the
+// async B-CSF upgrade, so the serve-then-upgrade amortization story is
+// visible in one row.
 //
 // Traffic arrives in waves (--batch requests per wave, each drained
 // before the next) rather than one burst, so the background upgrade task
 // gets pool time mid-run exactly as it would under continuous load.
+// With --update-every=N an additive COO update batch is applied every N
+// requests, exercising the snapshot/delta/compaction path of §6; the
+// compaction count and final snapshot version land in the output.
+//
+// --json <path> additionally writes the machine-readable result record
+// described by bench/schema/BENCH_serve.schema.json (the perf-trajectory
+// format; BENCH_serve.json at the repo root is a committed baseline).
 //
 //   ./serve_throughput [--requests=N] [--batch=N] [--nnz=N] [--rank=R]
 //                      [--threads=1,2,4,8] [--threshold=N] [--format=bcsf]
+//                      [--update-every=N] [--update-nnz=N] [--json=path]
 #include "bench_util.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <random>
 #include <sstream>
+#include <vector>
+
+namespace {
+
+/// Percentile over a copy (nearest-rank on the sorted sample).
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(xs.size() - 1) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+struct RunRow {
+  unsigned workers = 0;
+  double req_per_s = 0.0;
+  double wall_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  int pre_upgrade = 0;
+  int post_upgrade = 0;
+  std::string final_format;
+  std::uint64_t compactions = 0;
+  std::uint64_t final_version = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace bcsf;
@@ -27,6 +68,10 @@ int main(int argc, char** argv) {
   const rank_t rank = static_cast<rank_t>(cli.get_int("rank", kPaperRank));
   const double threshold = cli.get_double("threshold", requests / 4.0);
   const std::string upgrade = cli.get_string("format", "bcsf");
+  const int update_every = static_cast<int>(cli.get_int("update-every", 0));
+  const offset_t update_nnz =
+      static_cast<offset_t>(cli.get_int("update-nnz", 2000));
+  const std::string json_path = cli.get_string("json", "");
 
   std::vector<unsigned> thread_counts;
   {
@@ -38,7 +83,11 @@ int main(int argc, char** argv) {
 
   print_header("Serving throughput -- requests/sec vs worker count",
                "async COO -> " + upgrade + " upgrade at " +
-                   std::to_string(static_cast<long>(threshold)) + " calls");
+                   std::to_string(static_cast<long>(threshold)) + " calls" +
+                   (update_every > 0
+                        ? ", update every " + std::to_string(update_every) +
+                              " requests"
+                        : ""));
 
   PowerLawConfig config;
   config.dims = {400, 600, 800};
@@ -53,8 +102,10 @@ int main(int argc, char** argv) {
   std::cout << "tensor: " << base.shape_string() << ", nnz = " << base.nnz()
             << ", rank = " << rank << ", requests = " << requests << "\n\n";
 
-  Table table({"workers", "req/s", "wall (ms)", "pre-upgrade", "post-upgrade",
-               "final format"});
+  std::mt19937 update_rng(4711);
+  std::vector<RunRow> rows;
+  Table table({"workers", "req/s", "wall (ms)", "p50 (ms)", "p99 (ms)",
+               "pre-upgrade", "post-upgrade", "final format", "compactions"});
   for (unsigned workers : thread_counts) {
     ServeOptions opts;
     opts.workers = workers;
@@ -63,26 +114,90 @@ int main(int argc, char** argv) {
     MttkrpService service(opts);
     service.register_tensor("bench", share_tensor(SparseTensor(base)));
 
+    using clock = std::chrono::steady_clock;
     Timer timer;
-    int pre = 0;
-    int post = 0;
+    RunRow row;
+    row.workers = workers;
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(static_cast<std::size_t>(requests));
     for (int issued = 0; issued < requests;) {
       std::vector<MttkrpRequest> batch;
       batch.reserve(batch_size);
       for (int i = 0; i < batch_size && issued < requests; ++i, ++issued) {
+        if (update_every > 0 && issued > 0 && issued % update_every == 0) {
+          SparseTensor updates(base.dims());
+          std::vector<index_t> coords(base.dims().size());
+          for (offset_t z = 0; z < update_nnz; ++z) {
+            for (std::size_t m = 0; m < coords.size(); ++m) {
+              coords[m] = static_cast<index_t>(update_rng() % base.dims()[m]);
+            }
+            updates.push_back(coords, 1.0F);
+          }
+          service.apply_updates("bench", std::move(updates));
+        }
         batch.push_back(
             {"bench", static_cast<index_t>(issued % base.order()), factors});
       }
+      const clock::time_point submitted = clock::now();
       for (auto& future : service.submit_batch(std::move(batch))) {
-        (future.get().upgraded ? post : pre)++;
+        (future.get().upgraded ? row.post_upgrade : row.pre_upgrade)++;
+        latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(clock::now() - submitted)
+                .count());
       }
     }
     service.wait_idle();
     const double seconds = timer.seconds();
 
-    table.row(workers, static_cast<long>(requests / seconds),
-              seconds * 1e3, pre, post, service.current_format("bench", 0));
+    row.req_per_s = requests / seconds;
+    row.wall_ms = seconds * 1e3;
+    row.p50_ms = percentile(latencies_ms, 50.0);
+    row.p99_ms = percentile(latencies_ms, 99.0);
+    row.final_format = service.current_format("bench", 0);
+    row.compactions = service.compaction_count("bench");
+    row.final_version = service.snapshot_version("bench");
+    table.row(row.workers, static_cast<long>(row.req_per_s), row.wall_ms,
+              row.p50_ms, row.p99_ms, row.pre_upgrade, row.post_upgrade,
+              row.final_format, static_cast<long>(row.compactions));
+    rows.push_back(row);
   }
   table.print();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"schema\": \"BENCH_serve/v1\",\n"
+        << "  \"bench\": \"serve_throughput\",\n"
+        << "  \"config\": {\n"
+        << "    \"requests\": " << requests << ",\n"
+        << "    \"batch\": " << batch_size << ",\n"
+        << "    \"nnz\": " << base.nnz() << ",\n"
+        << "    \"rank\": " << rank << ",\n"
+        << "    \"upgrade_format\": \"" << upgrade << "\",\n"
+        << "    \"upgrade_threshold\": " << threshold << ",\n"
+        << "    \"update_every\": " << update_every << ",\n"
+        << "    \"update_nnz\": " << update_nnz << "\n"
+        << "  },\n"
+        << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const RunRow& r = rows[i];
+      out << "    {\"workers\": " << r.workers
+          << ", \"req_per_s\": " << r.req_per_s
+          << ", \"wall_ms\": " << r.wall_ms << ", \"p50_ms\": " << r.p50_ms
+          << ", \"p99_ms\": " << r.p99_ms
+          << ", \"pre_upgrade\": " << r.pre_upgrade
+          << ", \"post_upgrade\": " << r.post_upgrade
+          << ", \"final_format\": \"" << r.final_format << "\""
+          << ", \"compactions\": " << r.compactions
+          << ", \"final_version\": " << r.final_version << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
   return 0;
 }

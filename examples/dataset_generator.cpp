@@ -4,7 +4,7 @@
 //
 // Usage:
 //   dataset_generator --out=DIR [--dataset=deli | --all]
-//   dataset_generator --out=DIR --dims=1000x2000x500 --nnz=100000 \
+//   dataset_generator --out=DIR --dims=1000x2000x500 --nnz=100000
 //       [--slice-alpha=1.2] [--fiber-alpha=1.5] [--seed=42]
 #include <iostream>
 #include <sstream>

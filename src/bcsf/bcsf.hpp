@@ -37,6 +37,7 @@
 #include "serve/concurrent_plan_cache.hpp"
 #include "serve/mttkrp_service.hpp"
 #include "tensor/datasets.hpp"
+#include "tensor/dynamic_tensor.hpp"
 #include "tensor/frostt_io.hpp"
 #include "tensor/generator.hpp"
 #include "tensor/sparse_tensor.hpp"

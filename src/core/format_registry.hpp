@@ -5,6 +5,13 @@
 // enum shim in kernels/registry.hpp -- look plans up by name or enumerate
 // the catalogue, so adding a format means adding ONE registration and no
 // switch statement anywhere.
+//
+// Thread-safety: all registrations happen during static initialization,
+// before main(); after that the registry is read-only, so contains() /
+// at() / create() / names() may be called from any thread without
+// locking.  create() itself is re-entrant -- each call builds an
+// independent plan -- and the serving layer memoizes and single-flights
+// those builds in ConcurrentPlanCache (DESIGN.md §5) rather than here.
 #pragma once
 
 #include <functional>

@@ -11,6 +11,23 @@
 //   * storage_bytes()  -- index storage (§III accounting, Fig. 16)
 //   * run()            -- output matrix + SimReport (simulated GPU
 //                         kernels) or wall-clock report (CPU kernels)
+//
+// Lifecycle and thread-safety contract (what serve/ relies on):
+//
+//   * A plan is IMMUTABLE after construction.  run() never mutates plan
+//     state, so any number of threads may call run() on one plan
+//     concurrently; outputs are bitwise reproducible for given factors.
+//   * Structured plans own their representation.  COO-family plans
+//     ("coo", "cpu-coo", "reference") REFERENCE the source tensor --
+//     their format IS the tensor -- so the tensor must outlive the
+//     plan.  ConcurrentPlanCache (DESIGN.md §5) closes that hazard
+//     structurally by pinning the tensor shared_ptr into every plan
+//     deleter it hands out; code building plans directly through the
+//     registry owns the lifetime problem itself.
+//   * A plan is bound to one frozen tensor snapshot forever.  Growing
+//     tensors are served as snapshot + delta (DESIGN.md §6): the plan
+//     answers for its snapshot and the delta is swept separately --
+//     plans never see in-place updates.
 #pragma once
 
 #include <memory>

@@ -12,6 +12,7 @@
 // except n and returns a dims[n] x R matrix.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "formats/bcsf.hpp"
@@ -37,6 +38,24 @@ void check_factors(const std::vector<index_t>& dims,
 
 DenseMatrix mttkrp_reference(const SparseTensor& tensor, index_t mode,
                              const std::vector<DenseMatrix>& factors);
+
+/// Adds the MTTKRP contribution of `deltas` -- COO batches of additive
+/// updates with the base tensor's dims -- into `inout` (dims[mode] x R,
+/// typically a base plan's output).  MTTKRP is linear in the tensor
+/// values, so base-plan-result + delta contribution equals the MTTKRP of
+/// the merged tensor.  Accumulates in double like mttkrp_reference:
+/// inout is promoted ONCE, every chunk's terms accumulate, and one cast
+/// back happens at the end -- so a whole TensorSnapshot delta is swept
+/// with a single float rounding boundary (per-chunk calls would round at
+/// every chunk seam) and without per-chunk buffer copies.
+void mttkrp_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
+                             const std::vector<DenseMatrix>& factors,
+                             DenseMatrix& inout);
+
+/// Single-chunk convenience overload.
+void mttkrp_delta_accumulate(const SparseTensor& delta, index_t mode,
+                             const std::vector<DenseMatrix>& factors,
+                             DenseMatrix& inout);
 
 // ---------------------------------------------------------------------------
 // Simulated GPU kernels

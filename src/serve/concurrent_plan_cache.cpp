@@ -7,17 +7,11 @@
 
 namespace bcsf {
 
-TensorPtr share_tensor(SparseTensor&& tensor) {
-  return std::make_shared<SparseTensor>(std::move(tensor));
-}
-
-TensorPtr borrow_tensor(const SparseTensor& tensor) {
-  return TensorPtr(TensorPtr{}, &tensor);
-}
-
 ConcurrentPlanCache::ConcurrentPlanCache(TensorPtr tensor, PlanOptions opts,
-                                         BuildFn build)
-    : tensor_(std::move(tensor)), opts_(std::move(opts)), build_(std::move(build)) {
+                                         BuildFn build,
+                                         std::uint64_t tensor_version)
+    : tensor_(std::move(tensor)), opts_(std::move(opts)),
+      build_(std::move(build)), tensor_version_(tensor_version) {
   BCSF_CHECK(tensor_ != nullptr, "ConcurrentPlanCache: null tensor");
   if (!build_) {
     build_ = [](const std::string& format, const SparseTensor& t, index_t mode,
@@ -41,6 +35,8 @@ SharedPlan ConcurrentPlanCache::get(const std::string& format, index_t mode) {
 
   std::promise<SharedPlan> promise;
   std::shared_future<SharedPlan> future = promise.get_future().share();
+  TensorPtr tensor;
+  std::uint64_t version = 0;
   {
     std::unique_lock<std::shared_mutex> lock(mutex_);
     auto [it, inserted] = slots_.emplace(key, future);
@@ -50,29 +46,57 @@ SharedPlan ConcurrentPlanCache::get(const std::string& format, index_t mode) {
       lock.unlock();
       return other.get();
     }
+    // Capture the snapshot this build is for: invalidate() may swap
+    // tensor_ while the build runs, and the plan must pin ITS source.
+    tensor = tensor_;
+    version = tensor_version_;
   }
 
   // Single-flight winner: build with no lock held so other keys proceed.
   try {
-    PlanPtr raw = build_(format, *tensor_, mode, opts_);
+    PlanPtr raw = build_(format, *tensor, mode, opts_);
     BCSF_CHECK(raw != nullptr, "ConcurrentPlanCache: builder for '"
                                    << format << "' returned null");
     // The deleter pins the tensor: any caller retaining the plan keeps
     // the source tensor alive (COO-family plans reference, not copy).
     SharedPlan plan(raw.release(),
-                    [tensor = tensor_](const MttkrpPlan* p) { delete p; });
+                    [tensor](const MttkrpPlan* p) { delete p; });
     promise.set_value(plan);
     return plan;
   } catch (...) {
     {
       // Evict before waking waiters so a retrying waiter cannot re-find
-      // the failed slot.
+      // the failed slot -- but only our own slot: an invalidate() racing
+      // the build clears the map, and a same-key build may have started
+      // against the NEW snapshot since.
       std::unique_lock<std::shared_mutex> lock(mutex_);
-      slots_.erase(key);
+      if (tensor_version_ == version) slots_.erase(key);
     }
     promise.set_exception(std::current_exception());
     throw;
   }
+}
+
+std::uint64_t ConcurrentPlanCache::tensor_version() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return tensor_version_;
+}
+
+bool ConcurrentPlanCache::invalidate(TensorPtr tensor, std::uint64_t version) {
+  BCSF_CHECK(tensor != nullptr, "ConcurrentPlanCache::invalidate: null tensor");
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (version <= tensor_version_) return false;
+  tensor_ = std::move(tensor);
+  tensor_version_ = version;
+  // Dropping pending futures is safe: in-flight winners hold their own
+  // promise/tensor and waiters their own shared_future copies.
+  slots_.clear();
+  return true;
+}
+
+TensorPtr ConcurrentPlanCache::tensor() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return tensor_;
 }
 
 SharedPlan ConcurrentPlanCache::try_get(const std::string& format,

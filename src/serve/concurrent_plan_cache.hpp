@@ -17,6 +17,7 @@
 //    or past the caller's own tensor handle -- can never dangle.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
@@ -32,20 +33,13 @@
 
 namespace bcsf {
 
-using TensorPtr = std::shared_ptr<const SparseTensor>;
+// TensorPtr / share_tensor / borrow_tensor live in tensor/sparse_tensor.hpp
+// (re-exported here): the snapshot layer underneath the cache uses the
+// same shared-ownership currency.
+
 /// Plans leave the concurrent cache as shared_ptr so an async delegate
 /// swap can retire a plan while in-flight run() calls finish on it.
 using SharedPlan = std::shared_ptr<const MttkrpPlan>;
-
-/// Moves a tensor onto the heap under shared ownership (the normal way to
-/// feed ConcurrentPlanCache / MttkrpService).
-TensorPtr share_tensor(SparseTensor&& tensor);
-
-/// Non-owning view of a caller-owned tensor (aliasing shared_ptr with no
-/// control block).  The caller guarantees the tensor outlives every plan
-/// built from it -- this is the bridge for legacy reference-taking call
-/// sites like cpd_als(const SparseTensor&).
-TensorPtr borrow_tensor(const SparseTensor& tensor);
 
 class ConcurrentPlanCache {
  public:
@@ -55,8 +49,13 @@ class ConcurrentPlanCache {
       std::function<PlanPtr(const std::string& format, const SparseTensor&,
                             index_t mode, const PlanOptions&)>;
 
+  /// `tensor_version` identifies the snapshot the cache builds plans
+  /// from (DynamicSparseTensor's TensorSnapshot::base_version; 0 for a
+  /// static tensor).  Plans in this cache are valid exactly for that
+  /// snapshot version.
   explicit ConcurrentPlanCache(TensorPtr tensor, PlanOptions opts = {},
-                               BuildFn build = {});
+                               BuildFn build = {},
+                               std::uint64_t tensor_version = 0);
 
   /// Returns the plan for (format, mode), building it on first use.
   /// Concurrent callers for the same key get the same plan from exactly
@@ -76,7 +75,22 @@ class ConcurrentPlanCache {
   /// pre-processing cost, as in the old PlanCache).
   double total_build_seconds() const;
 
-  const TensorPtr& tensor() const { return tensor_; }
+  /// Snapshot version the cached plans were built from (see constructor).
+  std::uint64_t tensor_version() const;
+
+  /// Plan invalidation by snapshot version: atomically swaps the source
+  /// tensor for a newer snapshot and evicts every cached slot, so later
+  /// get() calls build against the new snapshot.  A no-op (returns false)
+  /// unless `version` is strictly newer than tensor_version().  Plans
+  /// already handed out stay valid for THEIR snapshot -- each pins its
+  /// own source tensor via its deleter -- but a get() concurrent with
+  /// invalidate() may return a plan from either side of the swap, so
+  /// callers needing snapshot-consistent (plan, delta) pairs should hold
+  /// a per-snapshot cache instead (what MttkrpService does, DESIGN.md
+  /// §6); invalidate() is for single-writer refresh patterns.
+  bool invalidate(TensorPtr tensor, std::uint64_t version);
+
+  TensorPtr tensor() const;
   const PlanOptions& options() const { return opts_; }
 
  private:
@@ -85,6 +99,7 @@ class ConcurrentPlanCache {
   TensorPtr tensor_;
   PlanOptions opts_;
   BuildFn build_;
+  std::uint64_t tensor_version_ = 0;
   mutable std::shared_mutex mutex_;
   // One shared_future per key: pending while the winning thread builds,
   // ready once the plan exists.  Failed builds are erased.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/auto_policy.hpp"
+#include "kernels/mttkrp.hpp"
 #include "util/error.hpp"
 
 namespace bcsf {
@@ -57,11 +58,21 @@ MttkrpService::TensorState& MttkrpService::state_for(
   return *it->second;
 }
 
+std::uint64_t MttkrpService::apply_updates(const std::string& tensor,
+                                           SparseTensor updates) {
+  TensorState& state = state_for(tensor);
+  const std::uint64_t version = state.dynamic.apply(std::move(updates));
+  // The compaction trigger also rides on queries; checking here keeps an
+  // update-heavy, query-light workload from growing the delta unbounded.
+  maybe_launch_compaction(state, state.dynamic.snapshot());
+  return version;
+}
+
 std::future<MttkrpResponse> MttkrpService::submit(MttkrpRequest request) {
   BCSF_CHECK(request.factors != nullptr,
              "MttkrpService: request has no factors");
   TensorState& state = state_for(request.tensor);
-  BCSF_CHECK(request.mode < state.cache.tensor()->order(),
+  BCSF_CHECK(request.mode < state.dynamic.order(),
              "MttkrpService: mode " << request.mode
                                     << " out of range for tensor '"
                                     << request.tensor << "'");
@@ -87,25 +98,66 @@ std::uint64_t MttkrpService::call_count(const std::string& tensor) const {
 std::string MttkrpService::current_format(const std::string& tensor,
                                           index_t mode) const {
   TensorState& state = state_for(tensor);
-  BCSF_CHECK(mode < state.modes.size(), "MttkrpService: mode out of range");
-  ModeSlot& slot = state.modes[mode];
+  GenerationPtr gen;
+  {
+    std::shared_lock<std::shared_mutex> lock(state.gen_mutex);
+    gen = state.gen;
+  }
+  BCSF_CHECK(mode < gen->modes.size(), "MttkrpService: mode out of range");
+  ModeSlot& slot = gen->modes[mode];
   std::lock_guard<std::mutex> lock(slot.m);
   return slot.current ? slot.current->resolved_format() : opts_.initial_format;
 }
 
 bool MttkrpService::upgraded(const std::string& tensor, index_t mode) const {
   TensorState& state = state_for(tensor);
-  BCSF_CHECK(mode < state.modes.size(), "MttkrpService: mode out of range");
-  ModeSlot& slot = state.modes[mode];
+  GenerationPtr gen;
+  {
+    std::shared_lock<std::shared_mutex> lock(state.gen_mutex);
+    gen = state.gen;
+  }
+  BCSF_CHECK(mode < gen->modes.size(), "MttkrpService: mode out of range");
+  ModeSlot& slot = gen->modes[mode];
   std::lock_guard<std::mutex> lock(slot.m);
   return slot.upgraded_flag;
+}
+
+std::uint64_t MttkrpService::snapshot_version(
+    const std::string& tensor) const {
+  return state_for(tensor).dynamic.version();
+}
+
+double MttkrpService::delta_fraction(const std::string& tensor) const {
+  return state_for(tensor).dynamic.snapshot().delta_fraction();
+}
+
+std::uint64_t MttkrpService::compaction_count(
+    const std::string& tensor) const {
+  return state_for(tensor).compactions.load(std::memory_order_relaxed);
+}
+
+TensorSnapshot MttkrpService::snapshot(const std::string& tensor) const {
+  return state_for(tensor).dynamic.snapshot();
 }
 
 MttkrpResponse MttkrpService::handle(TensorState& state,
                                      const MttkrpRequest& request) {
   const std::uint64_t sequence =
       state.calls.fetch_add(1, std::memory_order_relaxed) + 1;
-  ModeSlot& slot = state.modes[request.mode];
+
+  // Capture (generation, snapshot) consistently: the shared lock pairs a
+  // base's plans with exactly the delta chunks the base does NOT contain.
+  // Everything after this block works on immutable state, so the query
+  // races nothing.
+  GenerationPtr gen;
+  TensorSnapshot snap;
+  {
+    std::shared_lock<std::shared_mutex> lock(state.gen_mutex);
+    gen = state.gen;
+    snap = state.dynamic.snapshot();
+  }
+
+  ModeSlot& slot = gen->modes[request.mode];
   const std::uint64_t mode_sequence =
       slot.mode_calls.fetch_add(1, std::memory_order_relaxed) + 1;
 
@@ -117,9 +169,10 @@ MttkrpResponse MttkrpService::handle(TensorState& state,
     was_upgraded = slot.upgraded_flag;
   }
   if (!plan) {
-    // First touch of this mode: the COO-family plan is build-free, so the
-    // request still answers immediately (single-flight dedupes racers).
-    SharedPlan initial = state.cache.get(opts_.initial_format, request.mode);
+    // First touch of this mode in this generation: the COO-family plan is
+    // build-free, so the request still answers immediately (single-flight
+    // dedupes racers).
+    SharedPlan initial = gen->cache.get(opts_.initial_format, request.mode);
     std::lock_guard<std::mutex> lock(slot.m);
     if (!slot.current) slot.current = std::move(initial);
     plan = slot.current;
@@ -127,10 +180,20 @@ MttkrpResponse MttkrpService::handle(TensorState& state,
   }
 
   if (opts_.enable_upgrade && !was_upgraded) {
-    maybe_launch_upgrade(state, request.mode, mode_sequence);
+    maybe_launch_upgrade(gen, request.mode, mode_sequence);
   }
 
   PlanRunResult run = plan->run(*request.factors);
+  // Delta contribution: MTTKRP is linear, so sweeping the frozen COO
+  // chunks on top of the base plan's output yields the MTTKRP of the
+  // snapshot's merged tensor.  One call over all chunks: the double
+  // accumulator is promoted/demoted once, not per chunk.  Chunks are
+  // immutable; no lock is held.
+  mttkrp_delta_accumulate(snap.deltas, request.mode, *request.factors,
+                          run.output);
+
+  maybe_launch_compaction(state, snap);
+
   MttkrpResponse response;
   response.output = std::move(run.output);
   response.report = std::move(run.report);
@@ -138,11 +201,13 @@ MttkrpResponse MttkrpService::handle(TensorState& state,
   response.plan = std::move(plan);
   response.sequence = sequence;
   response.upgraded = was_upgraded;
+  response.snapshot_version = snap.version;
+  response.delta_nnz = snap.delta_nnz;
   return response;
 }
 
 std::pair<std::string, double> MttkrpService::resolve_upgrade_policy(
-    const TensorState& state, index_t mode) const {
+    const Generation& gen, index_t mode) const {
   std::string target = opts_.upgrade_format;
   double threshold = opts_.upgrade_threshold;
   if (target == "auto" || threshold <= 0.0) {
@@ -154,7 +219,7 @@ std::pair<std::string, double> MttkrpService::resolve_upgrade_policy(
     // no per-call gain) or coo-dominant slice binning disables upgrade.
     policy.expected_mttkrp_calls = std::numeric_limits<double>::infinity();
     const AutoDecision decision =
-        auto_select_format(*state.cache.tensor(), mode, policy);
+        auto_select_format(*gen.cache.tensor(), mode, policy);
     if (target == "auto") target = decision.format;
     if (threshold <= 0.0) {
       threshold = std::isfinite(decision.breakeven_calls)
@@ -167,9 +232,10 @@ std::pair<std::string, double> MttkrpService::resolve_upgrade_policy(
   return {std::move(target), threshold};
 }
 
-void MttkrpService::maybe_launch_upgrade(TensorState& state, index_t mode,
+void MttkrpService::maybe_launch_upgrade(const GenerationPtr& gen,
+                                         index_t mode,
                                          std::uint64_t mode_sequence) {
-  ModeSlot& slot = state.modes[mode];
+  ModeSlot& slot = gen->modes[mode];
   if (slot.upgrade_launched.load(std::memory_order_acquire)) return;
 
   std::string target;
@@ -186,8 +252,9 @@ void MttkrpService::maybe_launch_upgrade(TensorState& state, index_t mode,
   if (!resolved) {
     // The policy scan is O(nnz), so it runs with NO lock held: requests
     // for this mode keep serving meanwhile.  Concurrent resolvers compute
-    // the same answer; first publish wins.
-    auto [fresh_target, fresh_threshold] = resolve_upgrade_policy(state, mode);
+    // the same answer; first publish wins.  After a compaction this runs
+    // afresh on the NEW base -- the merged structure may bin differently.
+    auto [fresh_target, fresh_threshold] = resolve_upgrade_policy(*gen, mode);
     std::lock_guard<std::mutex> lock(slot.m);
     if (!slot.policy_resolved) {
       slot.target_format = std::move(fresh_target);
@@ -206,12 +273,15 @@ void MttkrpService::maybe_launch_upgrade(TensorState& state, index_t mode,
   if (static_cast<double>(mode_sequence) < threshold) return;
   if (slot.upgrade_launched.exchange(true, std::memory_order_acq_rel)) return;
 
-  const bool queued = pool_.try_submit([this, &state, mode, target] {
-    ModeSlot& slot = state.modes[mode];
+  // The task holds the generation alive; if a compaction retires it
+  // mid-build, the finished plan lands in the retired generation's slot
+  // and simply ages out with it.
+  const bool queued = pool_.try_submit([gen, mode, target] {
+    ModeSlot& slot = gen->modes[mode];
     try {
       // Break-even crossed: pay the structured build off the request
       // path.  Single-flight in the cache dedupes against anyone else.
-      SharedPlan structured = state.cache.get(target, mode);
+      SharedPlan structured = gen->cache.get(target, mode);
       std::lock_guard<std::mutex> lock(slot.m);
       slot.current = std::move(structured);  // in-flight runs keep the old
                                              // plan alive via SharedPlan
@@ -224,6 +294,60 @@ void MttkrpService::maybe_launch_upgrade(TensorState& state, index_t mode,
   // try_submit refuses only when the destructor is already draining the
   // queue; the upgrade is moot then, but keep the state machine honest.
   if (!queued) slot.upgrade_launched.store(false, std::memory_order_release);
+}
+
+void MttkrpService::maybe_launch_compaction(TensorState& state,
+                                            const TensorSnapshot& snap) {
+  if (!opts_.enable_compaction || opts_.compact_threshold <= 0.0) return;
+  if (snap.delta_nnz < opts_.compact_min_nnz) return;
+  if (snap.delta_fraction() < opts_.compact_threshold) return;
+  if (state.compacting.exchange(true, std::memory_order_acq_rel)) return;
+  const bool queued =
+      pool_.try_submit([this, &state] { run_compaction(state); });
+  if (!queued) state.compacting.store(false, std::memory_order_release);
+}
+
+void MttkrpService::run_compaction(TensorState& state) {
+  try {
+    // Capture and merge OFF the commit path: queries keep serving from
+    // the current generation while the O(nnz log nnz) coalesce runs.
+    // Re-validate the trigger against a FRESH snapshot: the launcher may
+    // have held a stale one (captured before a just-committed
+    // compaction), and merging a sub-threshold delta is wasted work.
+    const TensorSnapshot snap = state.dynamic.snapshot();
+    if (snap.delta_nnz >= opts_.compact_min_nnz &&
+        snap.delta_fraction() >= opts_.compact_threshold) {
+      TensorPtr new_base = share_tensor(snap.merged(/*coalesce=*/true));
+      GenerationPtr old_gen;
+      GenerationPtr new_gen;
+      {
+        // Commit: swap the base and the plan generation as one atomic
+        // step against the queries' shared-lock capture.  Chunks applied
+        // since `snap` stay in the delta, now on top of the new base.
+        std::unique_lock<std::shared_mutex> lock(state.gen_mutex);
+        const std::uint64_t new_version =
+            state.dynamic.replace_base(new_base, snap.version);
+        new_gen = std::make_shared<Generation>(std::move(new_base),
+                                               opts_.plan, new_version);
+        old_gen = std::move(state.gen);
+        for (std::size_t m = 0; m < new_gen->modes.size(); ++m) {
+          // Carry traffic counters: a hot mode re-launches its structured
+          // build (and re-runs the §V policy on the merged base) on the
+          // first post-compaction request instead of re-earning the
+          // threshold from zero.
+          new_gen->modes[m].mode_calls.store(
+              old_gen->modes[m].mode_calls.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+        }
+        state.gen = std::move(new_gen);
+      }
+      state.compactions.fetch_add(1, std::memory_order_relaxed);
+    }
+    state.compacting.store(false, std::memory_order_release);
+  } catch (...) {
+    // Merge failed (e.g. allocation); re-arm so a later trigger retries.
+    state.compacting.store(false, std::memory_order_release);
+  }
 }
 
 }  // namespace bcsf

@@ -1,4 +1,4 @@
-// MttkrpService: the concurrent serving layer (DESIGN.md §5).
+// MttkrpService: the concurrent serving layer (DESIGN.md §5-§6).
 //
 // The paper frames format choice as an amortization problem: structured
 // formats (B-CSF / HB-CSF) pay a sort-dominated build that COO does not,
@@ -15,8 +15,22 @@
 //      atomically swapped.  In-flight runs hold the old plan by
 //      shared_ptr and finish on it; subsequent requests run structured.
 //
-// Thread-safety: submit/submit_batch/register_tensor and the
-// introspection calls may be invoked from any thread.
+// Registered tensors are DYNAMIC (DESIGN.md §6): apply_updates() appends
+// additive COO update batches without invalidating the structured plans.
+// Each tensor is a DynamicSparseTensor -- an immutable base snapshot plus
+// frozen delta chunks -- and a query answers as
+//
+//      base-plan result  +  delta-COO contribution,
+//
+// which equals the MTTKRP of the merged tensor because MTTKRP is linear
+// in the tensor values.  Every response names the snapshot version it was
+// computed at.  When the delta fraction crosses ServeOptions'
+// compaction threshold, a background task merges base + delta into a new
+// base, swaps in a fresh plan generation, and the upgrade policy re-runs
+// for the merged structure; in-flight queries finish on the old
+// generation, which they hold by shared_ptr.
+//
+// Thread-safety: every public method may be invoked from any thread.
 #pragma once
 
 #include <atomic>
@@ -31,12 +45,14 @@
 #include <vector>
 
 #include "serve/concurrent_plan_cache.hpp"
+#include "tensor/dynamic_tensor.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bcsf {
 
 struct ServeOptions {
-  /// Worker pool size; requests and background upgrades share it.
+  /// Worker pool size; requests, background upgrades, and compactions
+  /// share it.
   unsigned workers = 4;
   /// Zero-preprocessing format answering from the first request.  Must be
   /// build-free (COO family: "coo", "cpu-coo", "reference").
@@ -53,6 +69,15 @@ struct ServeOptions {
   /// forever).
   double upgrade_threshold = 0.0;
   bool enable_upgrade = true;
+  /// Delta fraction (delta nnz / total nnz) at which a background
+  /// compaction merges the delta into a new base snapshot and the
+  /// upgrade policy re-runs on the merged tensor.  The default keeps the
+  /// per-query COO sweep at most ~1/4 of the tensor.
+  double compact_threshold = 0.25;
+  /// Compaction also waits for this many delta nonzeros, so tiny tensors
+  /// do not churn through merges worth less than a kernel launch.
+  offset_t compact_min_nnz = 512;
+  bool enable_compaction = true;
   /// Device model, format knobs, expected_mttkrp_calls for the policy.
   PlanOptions plan;
 };
@@ -70,29 +95,49 @@ struct MttkrpRequest {
 struct MttkrpResponse {
   DenseMatrix output;
   SimReport report;
-  /// Format that actually executed ("auto" never leaks: resolved key).
+  /// Format that actually executed the BASE contribution ("auto" never
+  /// leaks: resolved key).  The delta contribution, when present, is
+  /// always a COO sweep.
   std::string served_format;
-  /// The plan that served this response.  Holding it is safe after the
-  /// service dies (it pins the tensor); comparing pointers across
+  /// The base plan that served this response.  Holding it is safe after
+  /// the service dies (it pins its snapshot); comparing pointers across
   /// responses observes the async upgrade swap.
   SharedPlan plan;
   std::uint64_t sequence = 0;  ///< 1-based per-tensor call number
   bool upgraded = false;  ///< served by the structured (post-swap) delegate
+  /// Tensor snapshot this response is the exact MTTKRP of: the version
+  /// held when the query started.  Monotonic across a tensor's responses
+  /// as observed by any single thread submitting and waiting in order.
+  std::uint64_t snapshot_version = 0;
+  /// Nonzeros the delta sweep contributed on top of the base plan
+  /// (0 == the response came purely from the base snapshot).
+  offset_t delta_nnz = 0;
 };
 
 class MttkrpService {
  public:
   explicit MttkrpService(ServeOptions opts = {});
-  /// Joins the pool; accepted requests and in-flight upgrades complete.
+  /// Joins the pool; accepted requests, in-flight upgrades, and
+  /// compactions complete.
   ~MttkrpService();
 
   MttkrpService(const MttkrpService&) = delete;
   MttkrpService& operator=(const MttkrpService&) = delete;
 
   /// Registers a tensor under a unique name.  No plan is built here --
-  /// the first request pays only the (free) COO plan construction.
+  /// the first request pays only the (free) COO plan construction.  The
+  /// tensor becomes snapshot version 0 of a DynamicSparseTensor.
   void register_tensor(const std::string& name, TensorPtr tensor);
   bool has_tensor(const std::string& name) const;
+
+  /// Appends a batch of additive updates (a COO tensor with the same
+  /// dims; duplicate coordinates add) to `tensor` and returns the new
+  /// snapshot version.  Returns immediately -- no plan is rebuilt;
+  /// queries already in flight finish on the snapshot they captured,
+  /// queries submitted after return see the update.  May trigger a
+  /// background compaction (see ServeOptions::compact_threshold).
+  std::uint64_t apply_updates(const std::string& tensor,
+                              SparseTensor updates);
 
   /// Enqueues one request; the future carries the response or the error.
   std::future<MttkrpResponse> submit(MttkrpRequest request);
@@ -103,13 +148,28 @@ class MttkrpService {
 
   /// MTTKRP calls served (or admitted) so far for `tensor`.
   std::uint64_t call_count(const std::string& tensor) const;
-  /// Resolved format currently serving (tensor, mode); the initial format
-  /// until the background upgrade swaps the delegate.
+  /// Resolved format currently serving (tensor, mode)'s base
+  /// contribution; the initial format until the background upgrade swaps
+  /// the delegate (and again right after a compaction installs a fresh
+  /// generation, until the re-upgrade lands).
   std::string current_format(const std::string& tensor, index_t mode) const;
-  /// True once the structured delegate is installed for (tensor, mode).
+  /// True once the structured delegate is installed for (tensor, mode)
+  /// in the CURRENT generation; a compaction resets it until the
+  /// re-upgrade completes.
   bool upgraded(const std::string& tensor, index_t mode) const;
 
-  /// Blocks until all accepted requests AND background upgrades finished.
+  /// Current snapshot version of `tensor` (0 until the first update).
+  std::uint64_t snapshot_version(const std::string& tensor) const;
+  /// Fraction of `tensor`'s nonzeros currently in the delta buffer.
+  double delta_fraction(const std::string& tensor) const;
+  /// Number of compactions committed for `tensor` so far.
+  std::uint64_t compaction_count(const std::string& tensor) const;
+  /// Consistent snapshot of `tensor` -- what a query submitted now would
+  /// compute against.  Cheap (shares immutable storage).
+  TensorSnapshot snapshot(const std::string& tensor) const;
+
+  /// Blocks until all accepted requests AND background work (upgrades,
+  /// compactions) finished.
   void wait_idle() { pool_.wait_idle(); }
 
   const ServeOptions& options() const { return opts_; }
@@ -122,28 +182,57 @@ class MttkrpService {
     bool policy_resolved = false;
     std::string target_format;  // empty = never upgrade this mode
     double threshold = 0.0;
-    /// This mode's own call count -- what the threshold compares against.
+    /// This mode's cumulative call count -- what the threshold compares
+    /// against.  Carried across compactions so a hot mode re-launches
+    /// its structured build on the first post-compaction request.
     std::atomic<std::uint64_t> mode_calls{0};
     std::atomic<bool> upgrade_launched{false};
   };
 
-  struct TensorState {
-    TensorState(TensorPtr tensor, PlanOptions plan_opts)
-        : cache(std::move(tensor), std::move(plan_opts)),
+  /// One immutable base snapshot together with every plan built from it:
+  /// the unit a compaction retires wholesale.  Queries pair a Generation
+  /// with a TensorSnapshot of the same base_version, so a plan can never
+  /// be combined with a delta it already incorporates.  Retired
+  /// generations stay alive through the shared_ptr held by in-flight
+  /// queries and upgrade tasks.
+  struct Generation {
+    Generation(TensorPtr base, PlanOptions plan_opts,
+               std::uint64_t base_version)
+        : cache(std::move(base), std::move(plan_opts), {}, base_version),
           modes(cache.tensor()->order()) {}
     ConcurrentPlanCache cache;
-    std::atomic<std::uint64_t> calls{0};
     std::vector<ModeSlot> modes;
+  };
+  using GenerationPtr = std::shared_ptr<Generation>;
+
+  struct TensorState {
+    TensorState(TensorPtr tensor, PlanOptions plan_opts)
+        : dynamic(tensor),
+          gen(std::make_shared<Generation>(std::move(tensor),
+                                           std::move(plan_opts), 0)) {}
+    DynamicSparseTensor dynamic;
+    // Guards the `gen` pointer AND its pairing with dynamic's base:
+    // queries read both under a shared lock; the compaction commit swaps
+    // both under the exclusive lock.
+    mutable std::shared_mutex gen_mutex;
+    GenerationPtr gen;
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<bool> compacting{false};
+    std::atomic<std::uint64_t> compactions{0};
   };
 
   TensorState& state_for(const std::string& name) const;
   MttkrpResponse handle(TensorState& state, const MttkrpRequest& request);
-  /// Computes (target format, threshold) for a mode; runs the §V policy
-  /// when the options defer to it.  Pure -- called with NO lock held.
+  /// Computes (target format, threshold) for a mode of one generation's
+  /// base; runs the §V policy when the options defer to it.  Pure --
+  /// called with NO lock held.
   std::pair<std::string, double> resolve_upgrade_policy(
-      const TensorState& state, index_t mode) const;
-  void maybe_launch_upgrade(TensorState& state, index_t mode,
+      const Generation& gen, index_t mode) const;
+  void maybe_launch_upgrade(const GenerationPtr& gen, index_t mode,
                             std::uint64_t mode_sequence);
+  void maybe_launch_compaction(TensorState& state,
+                               const TensorSnapshot& snap);
+  void run_compaction(TensorState& state);
 
   ServeOptions opts_;
   mutable std::shared_mutex tensors_mutex_;

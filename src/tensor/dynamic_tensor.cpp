@@ -1,0 +1,103 @@
+#include "tensor/dynamic_tensor.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+double TensorSnapshot::delta_fraction() const {
+  const offset_t total = nnz();
+  if (total == 0) return 0.0;
+  return static_cast<double>(delta_nnz) / static_cast<double>(total);
+}
+
+SparseTensor TensorSnapshot::merged(bool coalesce) const {
+  BCSF_CHECK(base != nullptr, "TensorSnapshot::merged: null base");
+  SparseTensor out(base->dims());
+  out.reserve(nnz());
+  const index_t order = base->order();
+  std::vector<index_t> coords(order);
+  auto append = [&](const SparseTensor& part) {
+    for (offset_t z = 0; z < part.nnz(); ++z) {
+      for (index_t m = 0; m < order; ++m) coords[m] = part.coord(m, z);
+      out.push_back(coords, part.value(z));
+    }
+  };
+  append(*base);
+  for (const TensorPtr& chunk : deltas) append(*chunk);
+  if (coalesce) out.coalesce();
+  return out;
+}
+
+DynamicSparseTensor::DynamicSparseTensor(TensorPtr base)
+    : base_(std::move(base)) {
+  BCSF_CHECK(base_ != nullptr, "DynamicSparseTensor: null base");
+  dims_ = base_->dims();
+  BCSF_CHECK(!dims_.empty(), "DynamicSparseTensor: base has order 0");
+}
+
+std::uint64_t DynamicSparseTensor::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
+offset_t DynamicSparseTensor::delta_nnz() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delta_nnz_;
+}
+
+TensorSnapshot DynamicSparseTensor::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TensorSnapshot snap;
+  snap.version = version_;
+  snap.base_version = base_version_;
+  snap.base = base_;
+  snap.deltas = deltas_;
+  snap.delta_nnz = delta_nnz_;
+  return snap;
+}
+
+std::uint64_t DynamicSparseTensor::apply(SparseTensor updates) {
+  BCSF_CHECK(updates.dims() == dims_,
+             "DynamicSparseTensor::apply: update batch dims "
+                 << updates.shape_string() << " do not match tensor dims");
+  updates.validate();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (updates.nnz() == 0) return version_;
+  delta_nnz_ += updates.nnz();
+  deltas_.push_back(share_tensor(std::move(updates)));
+  delta_versions_.push_back(++version_);
+  return version_;
+}
+
+std::uint64_t DynamicSparseTensor::replace_base(TensorPtr new_base,
+                                                std::uint64_t upto_version) {
+  BCSF_CHECK(new_base != nullptr, "DynamicSparseTensor: null new base");
+  BCSF_CHECK(new_base->dims() == dims_,
+             "DynamicSparseTensor::replace_base: dims changed");
+  std::lock_guard<std::mutex> lock(mutex_);
+  BCSF_CHECK(upto_version <= version_,
+             "DynamicSparseTensor::replace_base: version "
+                 << upto_version << " is in the future (now " << version_
+                 << ")");
+  // Drop exactly the chunks the new base absorbed; keep later ones.
+  std::size_t keep_from = 0;
+  while (keep_from < delta_versions_.size() &&
+         delta_versions_[keep_from] <= upto_version) {
+    ++keep_from;
+  }
+  deltas_.erase(deltas_.begin(),
+                deltas_.begin() + static_cast<std::ptrdiff_t>(keep_from));
+  delta_versions_.erase(
+      delta_versions_.begin(),
+      delta_versions_.begin() + static_cast<std::ptrdiff_t>(keep_from));
+  delta_nnz_ = 0;
+  for (const TensorPtr& chunk : deltas_) delta_nnz_ += chunk->nnz();
+  base_ = std::move(new_base);
+  base_version_ = ++version_;
+  return version_;
+}
+
+}  // namespace bcsf

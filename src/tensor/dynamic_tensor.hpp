@@ -1,0 +1,110 @@
+// DynamicSparseTensor: a growing tensor behind immutable versioned
+// snapshots (DESIGN.md §6).
+//
+// The paper's structured formats (B-CSF / HB-CSF) assume a frozen tensor:
+// the sort-dominated build is paid once and amortized over many MTTKRP
+// calls.  Live tensors (user-item-time interactions) grow continuously,
+// and rebuilding a structured format per insert would destroy exactly
+// that economics.  This class splits the tensor into
+//
+//   * an immutable BASE snapshot -- the thing structured plans are built
+//     from, shared by `TensorPtr` so retained plans never dangle -- and
+//   * an append-only DELTA of frozen COO chunks, one per apply() batch.
+//
+// MTTKRP is linear in the tensor values, so a query over the full tensor
+// decomposes as  result(base) + result(delta)  with no coordination
+// between the two: the base contribution comes from a prebuilt plan, the
+// delta contribution from a cheap COO sweep (kernels/mttkrp.hpp's
+// mttkrp_delta_accumulate).  Once the delta grows past a threshold, a
+// compaction merges base + delta into a new base (replace_base) and
+// structured plans are rebuilt once -- restoring build-once/run-many.
+//
+// Thread-safety: all methods may be called from any thread.  snapshot()
+// is O(#chunks) -- it copies shared_ptrs, never nonzeros -- so readers
+// can take a snapshot per query.  A snapshot is immutable: later applies
+// or compactions never mutate the chunks it references.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tensor/sparse_tensor.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+/// One immutable view of a DynamicSparseTensor: the base plus every delta
+/// chunk appended since the base was installed.  Copies are cheap (vector
+/// of shared_ptr); the referenced tensors are frozen forever.
+struct TensorSnapshot {
+  /// Monotonically increasing; bumped by every apply() and replace_base().
+  std::uint64_t version = 0;
+  /// Version at which `base` was installed (0 for the construction base).
+  /// Two snapshots with equal base_version share the identical base
+  /// object, so plans built from one serve the other.
+  std::uint64_t base_version = 0;
+  TensorPtr base;
+  /// Frozen COO update batches in apply() order.  Duplicate coordinates
+  /// (across chunks or against the base) are additive -- MTTKRP and norm
+  /// computations are linear, so no merging is needed to answer queries.
+  std::vector<TensorPtr> deltas;
+  offset_t delta_nnz = 0;
+
+  offset_t nnz() const { return base->nnz() + delta_nnz; }
+  /// Fraction of stored nonzeros living in the delta -- the compaction
+  /// trigger signal: structured plans cover only base->nnz() of the
+  /// tensor, so per-query COO work grows with this fraction.
+  double delta_fraction() const;
+  /// Materializes base + deltas as one COO tensor.  With `coalesce` the
+  /// result is sorted and duplicate coordinates are summed (what a
+  /// compaction installs as the new base); without it the nonzeros are
+  /// simply concatenated in append order.
+  SparseTensor merged(bool coalesce = false) const;
+};
+
+class DynamicSparseTensor {
+ public:
+  /// Wraps `base` as version 0.  The base is immutable from here on.
+  explicit DynamicSparseTensor(TensorPtr base);
+
+  const std::vector<index_t>& dims() const { return dims_; }
+  index_t order() const { return static_cast<index_t>(dims_.size()); }
+
+  /// Current version (== snapshot().version, cheaper).
+  std::uint64_t version() const;
+  /// Nonzeros currently in the delta (frozen chunks only).
+  offset_t delta_nnz() const;
+
+  /// O(#chunks) consistent view of the current state.
+  TensorSnapshot snapshot() const;
+
+  /// Appends one batch of additive updates: a COO tensor with the same
+  /// dims whose values ADD to the coordinates they name (new coordinates
+  /// insert, existing ones accumulate; a batch may itself contain
+  /// duplicates).  The batch is validated, frozen, and visible to every
+  /// snapshot taken after return.  Empty batches are a no-op returning
+  /// the current version.  Returns the new version.
+  std::uint64_t apply(SparseTensor updates);
+
+  /// Installs `new_base`, which must incorporate exactly the old base
+  /// plus every delta chunk with version <= `upto_version` (i.e. the
+  /// merged() of a snapshot taken at `upto_version`).  Chunks applied
+  /// after that snapshot are retained on top of the new base.  Returns
+  /// the new version.  This is the compaction commit point; the caller
+  /// (e.g. MttkrpService) does the merge off-line and swaps here.
+  std::uint64_t replace_base(TensorPtr new_base, std::uint64_t upto_version);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<index_t> dims_;
+  TensorPtr base_;
+  std::vector<TensorPtr> deltas_;
+  std::vector<std::uint64_t> delta_versions_;  // version stamped per chunk
+  offset_t delta_nnz_ = 0;
+  std::uint64_t version_ = 0;
+  std::uint64_t base_version_ = 0;
+};
+
+}  // namespace bcsf

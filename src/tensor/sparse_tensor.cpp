@@ -167,4 +167,12 @@ std::string SparseTensor::shape_string() const {
   return os.str();
 }
 
+TensorPtr share_tensor(SparseTensor&& tensor) {
+  return std::make_shared<SparseTensor>(std::move(tensor));
+}
+
+TensorPtr borrow_tensor(const SparseTensor& tensor) {
+  return TensorPtr(TensorPtr{}, &tensor);
+}
+
 }  // namespace bcsf

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -88,5 +89,22 @@ class SparseTensor {
   std::vector<index_vec> inds_;  // one array per mode, each of length nnz
   value_vec vals_;
 };
+
+/// Shared-ownership handle to an immutable tensor.  This is the currency
+/// of every layer that retains tensors past a call (DynamicSparseTensor
+/// snapshots, ConcurrentPlanCache, MttkrpService): COO-family plans
+/// reference their source tensor instead of copying it, so shared
+/// ownership is what makes "retain a plan, drop the tensor" safe.
+using TensorPtr = std::shared_ptr<const SparseTensor>;
+
+/// Moves a tensor onto the heap under shared ownership (the normal way to
+/// feed DynamicSparseTensor / ConcurrentPlanCache / MttkrpService).
+TensorPtr share_tensor(SparseTensor&& tensor);
+
+/// Non-owning view of a caller-owned tensor (aliasing shared_ptr with no
+/// control block).  The caller guarantees the tensor outlives every plan
+/// or snapshot built from it -- this is the bridge for legacy
+/// reference-taking call sites like cpd_als(const SparseTensor&).
+TensorPtr borrow_tensor(const SparseTensor& tensor);
 
 }  // namespace bcsf

@@ -98,7 +98,7 @@ TEST(ConcurrentCache, ConcurrentRunsAreBitwiseIdentical) {
   const DenseMatrix ref = mttkrp_reference(x, 1, factors);
   ConcurrentPlanCache cache(share_tensor(SparseTensor(x)));
 
-  for (const std::string& format : {"hbcsf", "coo", "csl"}) {
+  for (const char* format : {"hbcsf", "coo", "csl"}) {
     SCOPED_TRACE(format);
     SharedPlan plan = cache.get(format, 1);
     std::vector<DenseMatrix> outputs(kThreads);
@@ -154,7 +154,7 @@ TEST(ConcurrentCache, PlanOutlivesCacheAndTensorHandle) {
     expected = mttkrp_reference(*tensor, 0, factors);
     ConcurrentPlanCache cache(tensor, {});
     tensor.reset();  // cache is now the only owner
-    for (const std::string& format : {"coo", "reference"}) {
+    for (const char* format : {"coo", "reference"}) {
       retained.push_back(cache.get(format, 0));
     }
   }  // cache destroyed; only the plans' pinned shared_ptrs remain
@@ -164,6 +164,45 @@ TEST(ConcurrentCache, PlanOutlivesCacheAndTensorHandle) {
     const DenseMatrix out = plan->run(factors).output;
     EXPECT_LT(expected.max_abs_diff(out), 1e-4 * ref_scale(expected));
   }
+}
+
+// Plan invalidation by snapshot version (DESIGN.md §6): invalidate()
+// evicts every slot and later get() calls build against the new
+// snapshot; plans handed out before the swap stay valid because each
+// pins ITS source tensor.  Stale versions are rejected so a late
+// compaction commit cannot roll the cache backwards.
+TEST(ConcurrentCache, InvalidateSwapsSnapshotAndEvictsPlans) {
+  const std::vector<index_t> dims = {25, 30, 35};
+  const auto factors = make_random_factors(dims, 8, 7);
+  SparseTensor v0 = generate_uniform(dims, 1200, 66);
+  SparseTensor v1 = generate_uniform(dims, 1800, 67);
+  const DenseMatrix ref_v0 = mttkrp_reference(v0, 0, factors);
+  const DenseMatrix ref_v1 = mttkrp_reference(v1, 0, factors);
+
+  CountingFactory factory;
+  ConcurrentPlanCache cache(share_tensor(std::move(v0)), {}, factory.fn(),
+                            /*tensor_version=*/0);
+  EXPECT_EQ(cache.tensor_version(), 0u);
+
+  SharedPlan old_plan = cache.get("bcsf", 0);
+  EXPECT_EQ(cache.size(), 1u);
+
+  TensorPtr next = share_tensor(std::move(v1));
+  EXPECT_FALSE(cache.invalidate(next, 0)) << "same version must be a no-op";
+  EXPECT_TRUE(cache.invalidate(next, 3));
+  EXPECT_EQ(cache.tensor_version(), 3u);
+  EXPECT_EQ(cache.size(), 0u) << "invalidate must evict every slot";
+  EXPECT_FALSE(cache.invalidate(next, 2)) << "stale version must be rejected";
+
+  SharedPlan new_plan = cache.get("bcsf", 0);
+  EXPECT_EQ(factory.builds.load(), 2) << "post-invalidate get() must rebuild";
+  EXPECT_NE(new_plan.get(), old_plan.get());
+
+  // The retained pre-swap plan still answers for ITS snapshot.
+  EXPECT_LT(ref_v0.max_abs_diff(old_plan->run(factors).output),
+            1e-4 * ref_scale(ref_v0));
+  EXPECT_LT(ref_v1.max_abs_diff(new_plan->run(factors).output),
+            1e-4 * ref_scale(ref_v1));
 }
 
 }  // namespace

@@ -197,7 +197,9 @@ TEST(Cli, RejectsBadBool) {
 TEST(Timer, MeasuresElapsed) {
   Timer t;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
   EXPECT_GT(t.seconds(), 0.0);
   EXPECT_GT(t.milliseconds(), 0.0);
 }
