@@ -1,10 +1,15 @@
-// Serving-layer throughput: requests/sec through MttkrpService as the
-// worker pool grows (DESIGN.md §5-§6).  Each run fires a fixed request
+// Serving-layer throughput: requests/sec through TensorOpService as the
+// worker pool grows (DESIGN.md §5-§7).  Each run fires a fixed request
 // load (round-robin over modes, shared factor set) at a fresh service and
 // times admission-to-drain; the table also reports per-request latency
 // percentiles and how much of the traffic was served before vs after the
 // async B-CSF upgrade, so the serve-then-upgrade amortization story is
 // visible in one row.
+//
+// --op-mix=W:W:W sets integer weights for the mttkrp:ttv:fit traffic mix
+// (default 1:0:0 = the MTTKRP-only workload of earlier baselines); ops
+// are interleaved deterministically in that ratio and per-op p50/p99
+// latencies land in the table and the JSON record.
 //
 // Traffic arrives in waves (--batch requests per wave, each drained
 // before the next) rather than one burst, so the background upgrade task
@@ -19,11 +24,13 @@
 //
 //   ./serve_throughput [--requests=N] [--batch=N] [--nnz=N] [--rank=R]
 //                      [--threads=1,2,4,8] [--threshold=N] [--format=bcsf]
-//                      [--update-every=N] [--update-nnz=N] [--json=path]
+//                      [--op-mix=4:2:1] [--update-every=N] [--update-nnz=N]
+//                      [--json=path]
 #include "bench_util.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
+#include <array>
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -43,6 +50,12 @@ double percentile(std::vector<double> xs, double p) {
   return xs[std::min(idx, xs.size() - 1)];
 }
 
+struct OpStats {
+  int count = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
 struct RunRow {
   unsigned workers = 0;
   double req_per_s = 0.0;
@@ -54,7 +67,44 @@ struct RunRow {
   std::string final_format;
   std::uint64_t compactions = 0;
   std::uint64_t final_version = 0;
+  OpStats ops[3];  // indexed by OpKind
 };
+
+/// Parses "W:W:W" integer weights for mttkrp:ttv:fit; exits with a
+/// usage message on malformed input instead of throwing out of main.
+std::array<int, 3> parse_op_mix(const std::string& spec) {
+  std::array<int, 3> weights = {1, 0, 0};
+  std::stringstream ss(spec);
+  std::string tok;
+  for (int i = 0; i < 3 && std::getline(ss, tok, ':'); ++i) {
+    std::size_t consumed = 0;
+    int value = 0;
+    try {
+      value = std::stoi(tok, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != tok.size() || value < 0) {
+      std::cerr << "bad --op-mix '" << spec
+                << "': expected nonnegative integer weights W:W:W "
+                   "(mttkrp:ttv:fit)\n";
+      std::exit(1);
+    }
+    weights[static_cast<std::size_t>(i)] = value;
+  }
+  if (weights[0] + weights[1] + weights[2] == 0) weights[0] = 1;
+  return weights;
+}
+
+/// Deterministic interleaving: request i gets the op of slot (i mod
+/// total-weight) in the mttkrp/ttv/fit weight partition.
+bcsf::OpKind op_for_request(int issued, const std::array<int, 3>& weights) {
+  const int total = weights[0] + weights[1] + weights[2];
+  const int slot = issued % total;
+  if (slot < weights[0]) return bcsf::OpKind::kMttkrp;
+  if (slot < weights[0] + weights[1]) return bcsf::OpKind::kTtv;
+  return bcsf::OpKind::kFit;
+}
 
 }  // namespace
 
@@ -68,6 +118,8 @@ int main(int argc, char** argv) {
   const rank_t rank = static_cast<rank_t>(cli.get_int("rank", kPaperRank));
   const double threshold = cli.get_double("threshold", requests / 4.0);
   const std::string upgrade = cli.get_string("format", "bcsf");
+  const std::string op_mix = cli.get_string("op-mix", "1:0:0");
+  const std::array<int, 3> op_weights = parse_op_mix(op_mix);
   const int update_every = static_cast<int>(cli.get_int("update-every", 0));
   const offset_t update_nnz =
       static_cast<offset_t>(cli.get_int("update-nnz", 2000));
@@ -84,6 +136,7 @@ int main(int argc, char** argv) {
   print_header("Serving throughput -- requests/sec vs worker count",
                "async COO -> " + upgrade + " upgrade at " +
                    std::to_string(static_cast<long>(threshold)) + " calls" +
+                   ", op mix mttkrp:ttv:fit = " + op_mix +
                    (update_every > 0
                         ? ", update every " + std::to_string(update_every) +
                               " requests"
@@ -99,6 +152,9 @@ int main(int argc, char** argv) {
   const SparseTensor base = generate_power_law(config);
   const auto factors = std::make_shared<const std::vector<DenseMatrix>>(
       make_random_factors(base.dims(), rank, 4242));
+  // TTV requests contract with rank-1 vectors; FIT reuses the factors.
+  const auto vectors = std::make_shared<const std::vector<DenseMatrix>>(
+      make_random_factors(base.dims(), 1, 2424));
   std::cout << "tensor: " << base.shape_string() << ", nnz = " << base.nnz()
             << ", rank = " << rank << ", requests = " << requests << "\n\n";
 
@@ -120,8 +176,9 @@ int main(int argc, char** argv) {
     row.workers = workers;
     std::vector<double> latencies_ms;
     latencies_ms.reserve(static_cast<std::size_t>(requests));
+    std::vector<double> op_latencies_ms[3];
     for (int issued = 0; issued < requests;) {
-      std::vector<MttkrpRequest> batch;
+      std::vector<ServeRequest> batch;
       batch.reserve(batch_size);
       for (int i = 0; i < batch_size && issued < requests; ++i, ++issued) {
         if (update_every > 0 && issued > 0 && issued % update_every == 0) {
@@ -135,15 +192,37 @@ int main(int argc, char** argv) {
           }
           service.apply_updates("bench", std::move(updates));
         }
-        batch.push_back(
-            {"bench", static_cast<index_t>(issued % base.order()), factors});
+        ServeRequest request;
+        request.tensor = "bench";
+        request.mode = static_cast<index_t>(issued % base.order());
+        request.op = op_for_request(issued, op_weights);
+        request.factors = request.op == OpKind::kTtv ? vectors : factors;
+        batch.push_back(std::move(request));
       }
       const clock::time_point submitted = clock::now();
-      for (auto& future : service.submit_batch(std::move(batch))) {
-        (future.get().upgraded ? row.post_upgrade : row.pre_upgrade)++;
-        latencies_ms.push_back(
-            std::chrono::duration<double, std::milli>(clock::now() - submitted)
-                .count());
+      // Drain by polling ALL outstanding futures instead of get()-ing in
+      // submission order: each request's latency is stamped when ITS
+      // future becomes ready, so the per-op percentiles measure op cost
+      // rather than the request's slot position within the wave.
+      auto futures = service.submit_batch(std::move(batch));
+      std::vector<bool> done(futures.size(), false);
+      std::size_t remaining = futures.size();
+      while (remaining > 0) {
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          if (done[i] || futures[i].wait_for(std::chrono::microseconds(50)) !=
+                             std::future_status::ready) {
+            continue;
+          }
+          const double latency = std::chrono::duration<double, std::milli>(
+                                     clock::now() - submitted)
+                                     .count();
+          const ServeResponse response = futures[i].get();
+          done[i] = true;
+          --remaining;
+          (response.upgraded ? row.post_upgrade : row.pre_upgrade)++;
+          latencies_ms.push_back(latency);
+          op_latencies_ms[static_cast<int>(response.op)].push_back(latency);
+        }
       }
     }
     service.wait_idle();
@@ -156,12 +235,30 @@ int main(int argc, char** argv) {
     row.final_format = service.current_format("bench", 0);
     row.compactions = service.compaction_count("bench");
     row.final_version = service.snapshot_version("bench");
+    for (int op = 0; op < 3; ++op) {
+      row.ops[op].count = static_cast<int>(op_latencies_ms[op].size());
+      row.ops[op].p50_ms = percentile(op_latencies_ms[op], 50.0);
+      row.ops[op].p99_ms = percentile(op_latencies_ms[op], 99.0);
+    }
     table.row(row.workers, static_cast<long>(row.req_per_s), row.wall_ms,
               row.p50_ms, row.p99_ms, row.pre_upgrade, row.post_upgrade,
               row.final_format, static_cast<long>(row.compactions));
     rows.push_back(row);
   }
   table.print();
+
+  if (op_weights[1] + op_weights[2] > 0) {
+    std::cout << "\nper-op latency (count / p50 ms / p99 ms):\n";
+    for (const RunRow& r : rows) {
+      std::cout << "  workers=" << r.workers;
+      for (OpKind op : kAllOps) {
+        const OpStats& s = r.ops[static_cast<int>(op)];
+        std::cout << "  " << op_name(op) << " " << s.count << " / " << s.p50_ms
+                  << " / " << s.p99_ms;
+      }
+      std::cout << "\n";
+    }
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -170,7 +267,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << "{\n"
-        << "  \"schema\": \"BENCH_serve/v1\",\n"
+        << "  \"schema\": \"BENCH_serve/v2\",\n"
         << "  \"bench\": \"serve_throughput\",\n"
         << "  \"config\": {\n"
         << "    \"requests\": " << requests << ",\n"
@@ -179,6 +276,7 @@ int main(int argc, char** argv) {
         << "    \"rank\": " << rank << ",\n"
         << "    \"upgrade_format\": \"" << upgrade << "\",\n"
         << "    \"upgrade_threshold\": " << threshold << ",\n"
+        << "    \"op_mix\": \"" << op_mix << "\",\n"
         << "    \"update_every\": " << update_every << ",\n"
         << "    \"update_nnz\": " << update_nnz << "\n"
         << "  },\n"
@@ -193,8 +291,14 @@ int main(int argc, char** argv) {
           << ", \"post_upgrade\": " << r.post_upgrade
           << ", \"final_format\": \"" << r.final_format << "\""
           << ", \"compactions\": " << r.compactions
-          << ", \"final_version\": " << r.final_version << "}"
-          << (i + 1 < rows.size() ? "," : "") << "\n";
+          << ", \"final_version\": " << r.final_version << ", \"ops\": {";
+      for (OpKind op : kAllOps) {
+        const OpStats& s = r.ops[static_cast<int>(op)];
+        out << (op == OpKind::kMttkrp ? "" : ", ") << "\"" << op_name(op)
+            << "\": {\"count\": " << s.count << ", \"p50_ms\": " << s.p50_ms
+            << ", \"p99_ms\": " << s.p99_ms << "}";
+      }
+      out << "}}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     std::cout << "\nwrote " << json_path << "\n";

@@ -14,7 +14,8 @@
 #include "core/auto_policy.hpp"
 #include "core/factors.hpp"
 #include "core/format_registry.hpp"
-#include "core/mttkrp_plan.hpp"
+#include "core/tensor_op.hpp"
+#include "core/tensor_op_plan.hpp"
 #include "cpd/cpd_als.hpp"
 #include "formats/bcsf.hpp"
 #include "formats/csf.hpp"
@@ -29,13 +30,13 @@
 #include "gpusim/scheduler.hpp"
 #include "kernels/cpu_model.hpp"
 #include "kernels/mttkrp.hpp"
-#include "kernels/registry.hpp"
 #include "kernels/splatt.hpp"
+#include "kernels/ttv_fit.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "linalg/ops.hpp"
 #include "linalg/spd_solve.hpp"
 #include "serve/concurrent_plan_cache.hpp"
-#include "serve/mttkrp_service.hpp"
+#include "serve/tensor_op_service.hpp"
 #include "tensor/datasets.hpp"
 #include "tensor/dynamic_tensor.hpp"
 #include "tensor/frostt_io.hpp"

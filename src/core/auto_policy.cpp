@@ -36,8 +36,13 @@ AutoDecision auto_select_format(const ModeStats& stats,
       opts.sort_cost_ratio * n * std::log2(std::max(n, 2.0));
   const double utilization =
       std::min(1.0, n / static_cast<double>(opts.saturation_nnz));
+  // Op-aware per-call gain: a rank-1 TTV call does ~1/R of an MTTKRP
+  // call's arithmetic, so removing its atomic traffic buys ~1/R as much
+  // absolute time per call and break-even moves out by the same factor.
+  const double op_gain =
+      opts.op == OpKind::kTtv ? opts.ttv_gain_fraction : 1.0;
   const double gain_per_call =
-      n * (opts.atomic_penalty - 1.0) * utilization;
+      n * (opts.atomic_penalty - 1.0) * utilization * op_gain;
   d.breakeven_calls = gain_per_call > 0.0
                           ? build_cost / gain_per_call
                           : std::numeric_limits<double>::infinity();

@@ -17,6 +17,7 @@
 
 #include <string>
 
+#include "core/tensor_op.hpp"
 #include "tensor/sparse_tensor.hpp"
 #include "tensor/tensor_stats.hpp"
 #include "util/types.hpp"
@@ -24,9 +25,18 @@
 namespace bcsf {
 
 struct AutoPolicyOptions {
-  /// MTTKRP calls the plan is expected to serve (CPD-ALS: iterations x
-  /// order).  Fewer calls -> harder to amortize a build -> COO.
+  /// Calls the plan is expected to serve (CPD-ALS: iterations per mode).
+  /// Fewer calls -> harder to amortize a build -> COO.
   double expected_mttkrp_calls = 50.0;
+  /// Workload the build amortizes against (DESIGN.md §7).  TTV calls are
+  /// rank-1: the absolute per-call gain from removing atomic traffic
+  /// scales with per-call arithmetic, so a TTV-only workload needs ~R x
+  /// more calls to pay for the same sort-dominated build.  FIT runs the
+  /// full-rank traversal and prices exactly like MTTKRP.
+  OpKind op = OpKind::kMttkrp;
+  /// Per-call gain of a rank-1 (TTV) call relative to a full-rank MTTKRP
+  /// call at the paper's benchmark rank (32).
+  double ttv_gain_fraction = 1.0 / 32.0;
   /// A slice population at or above this fraction is "dominant" and gets
   /// its pure format; below, populations are mixed and HB-CSF wins.
   double dominant_fraction = 0.95;

@@ -43,6 +43,11 @@ const FormatRegistry::Entry& FormatRegistry::at(const std::string& name) const {
   return it->second;
 }
 
+bool FormatRegistry::supports(const std::string& name, OpKind op) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && (it->second.ops & op_bit(op)) != 0;
+}
+
 PlanPtr FormatRegistry::create(const std::string& name,
                                const SparseTensor& tensor, index_t mode,
                                const PlanOptions& opts) const {
@@ -50,6 +55,9 @@ PlanPtr FormatRegistry::create(const std::string& name,
   BCSF_CHECK(mode < tensor.order(), "FormatRegistry: mode " << mode
                                         << " out of range for order "
                                         << tensor.order());
+  BCSF_CHECK((entry.ops & op_bit(opts.op)) != 0,
+             "FormatRegistry: format '" << name << "' does not support op '"
+                                        << op_name(opts.op) << "'");
   Timer timer;
   PlanPtr plan = entry.factory(tensor, mode, opts);
   BCSF_CHECK(plan != nullptr,
@@ -71,6 +79,14 @@ std::vector<std::string> FormatRegistry::names(PlanKind kind) const {
   std::vector<std::string> out;
   for (const auto& [key, entry] : entries_) {
     if (entry.kind == kind) out.push_back(key);
+  }
+  return out;
+}
+
+std::vector<std::string> FormatRegistry::names(OpKind op) const {
+  std::vector<std::string> out;
+  for (const auto& [key, entry] : entries_) {
+    if ((entry.ops & op_bit(op)) != 0) out.push_back(key);
   }
   return out;
 }

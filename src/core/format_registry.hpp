@@ -1,10 +1,13 @@
-// String-keyed factory for MTTKRP plans (DESIGN.md §2).
+// String-keyed factory for tensor-op plans (DESIGN.md §2, §7).
 //
 // Every format registers itself once (static FormatRegistrar in
-// core/plans.cpp); consumers -- cpd_als, the benches, the examples, the
-// enum shim in kernels/registry.hpp -- look plans up by name or enumerate
-// the catalogue, so adding a format means adding ONE registration and no
-// switch statement anywhere.
+// core/plans.cpp); consumers -- cpd_als, the serving layer, the benches,
+// the examples -- look plans up by name or enumerate the catalogue, so
+// adding a format means adding ONE registration and no switch statement
+// anywhere.  Entries are op-aware: each declares which OpKinds its plans
+// execute (all of them today -- TTV and FIT ride the MTTKRP traversal),
+// and create() refuses an unsupported (format, op) pair up front instead
+// of failing inside execute().
 //
 // Thread-safety: all registrations happen during static initialization,
 // before main(); after that the registry is read-only, so contains() /
@@ -19,7 +22,8 @@
 #include <string>
 #include <vector>
 
-#include "core/mttkrp_plan.hpp"
+#include "core/tensor_op.hpp"
+#include "core/tensor_op_plan.hpp"
 #include "tensor/sparse_tensor.hpp"
 #include "util/types.hpp"
 
@@ -44,6 +48,11 @@ class FormatRegistry {
     /// sums (Fig. 16).
     bool mode_oriented = true;
     Factory factory;
+    /// OpKinds this format's plans execute (op_bit mask).  Defaults to
+    /// everything: the generic TensorOpPlan::execute path serves TTV/FIT
+    /// through any format's MTTKRP traversal.  A future format with a
+    /// restricted kernel set narrows this and create() refuses early.
+    unsigned ops = kAllOpsMask;
   };
 
   /// The process-wide registry with all built-in formats registered.
@@ -55,18 +64,24 @@ class FormatRegistry {
   bool contains(const std::string& name) const;
   const Entry& at(const std::string& name) const;  ///< throws if unknown
 
+  /// True when `name` is registered AND declares support for `op`.
+  bool supports(const std::string& name, OpKind op) const;
+
   /// Builds the plan for (name, tensor, mode), timing the factory call
   /// into the plan's build_seconds().  Throws bcsf::Error for unknown
-  /// names (message lists the catalogue).  `tensor` must outlive the
-  /// plan: the COO-family plans reference it rather than copy (their
-  /// format IS the tensor, and copying would charge COO a build cost
-  /// the paper says it does not have).
+  /// names (message lists the catalogue) and for a (name, opts.op) pair
+  /// the entry does not support.  `tensor` must outlive the plan: the
+  /// COO-family plans reference it rather than copy (their format IS the
+  /// tensor, and copying would charge COO a build cost the paper says it
+  /// does not have).
   PlanPtr create(const std::string& name, const SparseTensor& tensor,
                  index_t mode, const PlanOptions& opts = {}) const;
 
-  /// Registered names, sorted; optionally restricted to one kind.
+  /// Registered names, sorted; optionally restricted to one kind or to
+  /// formats supporting one op.
   std::vector<std::string> names() const;
   std::vector<std::string> names(PlanKind kind) const;
+  std::vector<std::string> names(OpKind op) const;
 
  private:
   FormatRegistry() = default;

@@ -1,4 +1,4 @@
-// Concrete MttkrpPlan implementations for every format/kernel pair in the
+// Concrete TensorOpPlan implementations for every format/kernel pair in the
 // library, each self-registering into the FormatRegistry.  This file is
 // the ONLY place that knows which formats exist; everything above it
 // (cpd, benches, examples, the enum shim) enumerates or looks up.
@@ -18,6 +18,7 @@
 #include "formats/hicoo.hpp"
 #include "kernels/mttkrp.hpp"
 #include "kernels/splatt.hpp"
+#include "kernels/ttv_fit.hpp"
 #include "util/timer.hpp"
 
 namespace bcsf {
@@ -45,11 +46,11 @@ SimReport cpu_report(const std::string& kernel, double seconds, index_t order,
 }
 
 template <typename Derived>
-class GpuPlanBase : public MttkrpPlan {
+class GpuPlanBase : public TensorOpPlan {
  public:
   GpuPlanBase(std::string format, std::string display, index_t mode,
               DeviceModel device)
-      : MttkrpPlan(std::move(format), std::move(display), mode),
+      : TensorOpPlan(std::move(format), std::move(display), mode),
         device_(device) {}
   bool is_gpu() const override { return true; }
 
@@ -178,10 +179,44 @@ class FcooPlan final : public GpuPlanBase<FcooPlan> {
 // Real CPU plans (OpenMP kernels, wall-clock reports)
 // ---------------------------------------------------------------------------
 
-class ReferencePlan final : public MttkrpPlan {
+// The two COO CPU plans override execute() with the fused kernels from
+// kernels/ttv_fit.hpp: TTV drops the rank machinery entirely and FIT
+// never materializes the MTTKRP matrix, instead of riding the generic
+// rank-1 / contract-after-run path every other format uses.  The shared
+// dispatch lives here, parameterized on the two kernel functions.
+using TtvKernel = DenseMatrix (*)(const SparseTensor&, index_t,
+                                  const std::vector<DenseMatrix>&);
+using FitKernel = double (*)(const SparseTensor&,
+                             const std::vector<DenseMatrix>&,
+                             const std::vector<value_t>*);
+
+OpResult coo_family_execute(const TensorOpPlan& plan,
+                            const SparseTensor& tensor, const OpRequest& req,
+                            TtvKernel ttv, FitKernel fit) {
+  OpResult res;
+  Timer t;
+  switch (req.kind) {
+    case OpKind::kTtv:
+      res.output = ttv(tensor, plan.mode(), *req.factors);
+      res.report = cpu_report(plan.display_name(), t.seconds(),
+                              tensor.order(), tensor.nnz(), 1);
+      break;
+    case OpKind::kFit:
+      res.scalar = fit(tensor, *req.factors, req.lambda);
+      res.report = cpu_report(plan.display_name(), t.seconds(),
+                              tensor.order(), tensor.nnz(),
+                              req.factors->front().cols());
+      break;
+    case OpKind::kMttkrp:
+      break;  // callers route MTTKRP through the base path
+  }
+  return res;
+}
+
+class ReferencePlan final : public TensorOpPlan {
  public:
   ReferencePlan(const SparseTensor& t, index_t mode, const PlanOptions&)
-      : MttkrpPlan("reference", "Reference-COO", mode), tensor_(&t) {}
+      : TensorOpPlan("reference", "Reference-COO", mode), tensor_(&t) {}
   bool is_gpu() const override { return false; }
   std::size_t storage_bytes() const override {
     return tensor_->index_storage_bytes();
@@ -193,15 +228,21 @@ class ReferencePlan final : public MttkrpPlan {
     return {std::move(out), cpu_report(display_name(), t.seconds(),
                                        tensor_->order(), tensor_->nnz(), rank)};
   }
+  OpResult execute(const OpRequest& req) const override {
+    if (req.kind == OpKind::kMttkrp) return TensorOpPlan::execute(req);
+    check_request(req);
+    return coo_family_execute(*this, *tensor_, req, ttv_reference,
+                              fit_inner_reference);
+  }
 
  private:
   const SparseTensor* tensor_;
 };
 
-class CpuCooPlan final : public MttkrpPlan {
+class CpuCooPlan final : public TensorOpPlan {
  public:
   CpuCooPlan(const SparseTensor& t, index_t mode, const PlanOptions&)
-      : MttkrpPlan("cpu-coo", "CPU-COO", mode), tensor_(&t) {}
+      : TensorOpPlan("cpu-coo", "CPU-COO", mode), tensor_(&t) {}
   bool is_gpu() const override { return false; }
   std::size_t storage_bytes() const override {
     return tensor_->index_storage_bytes();
@@ -213,16 +254,22 @@ class CpuCooPlan final : public MttkrpPlan {
     return {std::move(out), cpu_report(display_name(), t.seconds(),
                                        tensor_->order(), tensor_->nnz(), rank)};
   }
+  OpResult execute(const OpRequest& req) const override {
+    if (req.kind == OpKind::kMttkrp) return TensorOpPlan::execute(req);
+    check_request(req);
+    return coo_family_execute(*this, *tensor_, req, ttv_coo_cpu,
+                              fit_inner_coo_cpu);
+  }
 
  private:
   const SparseTensor* tensor_;
 };
 
-class CpuCsfPlan final : public MttkrpPlan {
+class CpuCsfPlan final : public TensorOpPlan {
  public:
   CpuCsfPlan(const SparseTensor& t, index_t mode, const PlanOptions&,
              index_t tiles = 0)
-      : MttkrpPlan(tiles ? "cpu-csf-tiled" : "cpu-csf",
+      : TensorOpPlan(tiles ? "cpu-csf-tiled" : "cpu-csf",
                    tiles ? "SPLATT-tiled" : "SPLATT", mode),
         csf_(build_csf(t, mode)),
         tiles_(tiles) {}
@@ -244,10 +291,10 @@ class CpuCsfPlan final : public MttkrpPlan {
   index_t tiles_;
 };
 
-class CpuCslPlan final : public MttkrpPlan {
+class CpuCslPlan final : public TensorOpPlan {
  public:
   CpuCslPlan(const SparseTensor& t, index_t mode, const PlanOptions&)
-      : MttkrpPlan("cpu-csl", "CPU-CSL", mode), csl_(build_csl(t, mode)) {}
+      : TensorOpPlan("cpu-csl", "CPU-CSL", mode), csl_(build_csl(t, mode)) {}
   bool is_gpu() const override { return false; }
   std::size_t storage_bytes() const override {
     return csl_.index_storage_bytes();
@@ -264,10 +311,10 @@ class CpuCslPlan final : public MttkrpPlan {
   CslTensor csl_;
 };
 
-class CpuHicooPlan final : public MttkrpPlan {
+class CpuHicooPlan final : public TensorOpPlan {
  public:
   CpuHicooPlan(const SparseTensor& t, index_t mode, const PlanOptions&)
-      : MttkrpPlan("cpu-hicoo", "HiCOO", mode),
+      : TensorOpPlan("cpu-hicoo", "HiCOO", mode),
         order_(t.order()),
         hicoo_(build_hicoo(t)) {}
   bool is_gpu() const override { return false; }
@@ -291,12 +338,15 @@ class CpuHicooPlan final : public MttkrpPlan {
 // The `auto` meta plan: decide per §V + Fig-10, then delegate
 // ---------------------------------------------------------------------------
 
-class AutoPlan final : public MttkrpPlan {
+class AutoPlan final : public TensorOpPlan {
  public:
   AutoPlan(const SparseTensor& t, index_t mode, const PlanOptions& o)
-      : MttkrpPlan("auto", "Auto", mode) {
+      : TensorOpPlan("auto", "Auto", mode) {
     AutoPolicyOptions policy;
     policy.expected_mttkrp_calls = o.expected_mttkrp_calls;
+    // Op-aware resolution: a TTV-dominated workload amortizes builds ~R x
+    // slower, so "auto" may pick COO where full-rank traffic picks B-CSF.
+    policy.op = o.op;
     decision_ = auto_select_format(t, mode, policy);
     inner_ = FormatRegistry::instance().create(decision_.format, t, mode, o);
   }
@@ -311,6 +361,9 @@ class AutoPlan final : public MttkrpPlan {
   const AutoDecision& decision() const { return decision_; }
   PlanRunResult run(const std::vector<DenseMatrix>& f) const override {
     return inner_->run(f);
+  }
+  OpResult execute(const OpRequest& req) const override {
+    return inner_->execute(req);  // delegate fused paths, not just run()
   }
 
  private:

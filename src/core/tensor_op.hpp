@@ -1,0 +1,83 @@
+// The multi-op execution protocol (DESIGN.md §7): one request/result
+// currency for every tensor operation a plan can serve.
+//
+// The paper's formats are traversal structures, not MTTKRP structures:
+// the (slice, fiber, nonzero) walk that B-CSF/CSL/HB-CSF balance is the
+// same walk TTV and the CPD fit inner product need.  Expressing the ops
+// as one protocol lets a format's one-time build amortize across EVERY
+// operation on the tensor instead of forcing an MTTKRP-only stack fork
+// per workload.
+//
+// Ops:
+//   kMttkrp  Y(i,:) += x(z) * Prod_{m != mode} A_m(i_m,:)   -- dims[mode] x R
+//   kTtv     y(i)   += x(z) * Prod_{m != mode} v_m(i_m)     -- dims[mode] x 1
+//            (multi-TTV: contract every mode except `mode` with a vector;
+//            algebraically MTTKRP at rank 1, so it rides the exact same
+//            kernel schedule)
+//   kFit     s      += x(z) * Sum_r lambda_r Prod_m A_m(i_m,r)  -- scalar
+//            (the residual inner product <X, Xhat> of the CPD fit; the
+//            only fit piece that needs a tensor traversal -- ||Xhat||^2
+//            is R x R dense work and ||X||^2 is a snapshot constant)
+//
+// All three ops are LINEAR in the tensor values, which is what lets the
+// serving layer answer on a base plan and sweep delta chunks separately
+// (DESIGN.md §6): base contribution + delta contribution is exactly the
+// op on the merged tensor.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "gpusim/metrics.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+enum class OpKind { kMttkrp = 0, kTtv = 1, kFit = 2 };
+
+inline constexpr std::array<OpKind, 3> kAllOps = {
+    OpKind::kMttkrp, OpKind::kTtv, OpKind::kFit};
+
+/// Stable wire/CLI name: "mttkrp", "ttv", "fit".
+const char* op_name(OpKind op);
+/// Inverse of op_name; throws bcsf::Error listing the valid names.
+OpKind op_from_name(const std::string& name);
+
+/// Bitmask helpers for declaring per-format op support in the registry.
+constexpr unsigned op_bit(OpKind op) {
+  return 1u << static_cast<unsigned>(op);
+}
+inline constexpr unsigned kAllOpsMask =
+    op_bit(OpKind::kMttkrp) | op_bit(OpKind::kTtv) | op_bit(OpKind::kFit);
+
+/// One executable operation against a plan's tensor snapshot.  Inputs are
+/// borrowed: the caller keeps `factors` (and `lambda`, when set) alive for
+/// the duration of execute().
+struct OpRequest {
+  OpKind kind = OpKind::kMttkrp;
+  /// kMttkrp/kTtv: the uncontracted (output) mode.  kFit: the traversal
+  /// anchor -- the result is mode-independent, the mode only picks which
+  /// of the plan's representations walks the nonzeros.
+  index_t mode = 0;
+  /// One matrix per tensor mode.  kMttkrp/kFit: dims[m] x R factor
+  /// matrices.  kTtv: dims[m] x 1 vectors (entry `mode` present for
+  /// uniform indexing but not read).
+  const std::vector<DenseMatrix>* factors = nullptr;
+  /// kFit only: R column weights (lambda of Eq. (1)); null = all ones.
+  const std::vector<value_t>* lambda = nullptr;
+};
+
+struct OpResult {
+  /// kMttkrp: dims[mode] x R.  kTtv: dims[mode] x 1.  kFit: empty (the
+  /// result is `scalar`).
+  DenseMatrix output;
+  /// kFit: <X, Xhat> accumulated in double.  0 for matrix-valued ops.
+  double scalar = 0.0;
+  /// Simulated metrics (GPU plans) or wall-clock report (CPU plans) of
+  /// the traversal that served the op.
+  SimReport report;
+};
+
+}  // namespace bcsf

@@ -1,22 +1,23 @@
-// The plan layer: one uniform contract over every MTTKRP format/kernel
-// pair in the library (see DESIGN.md §2).
+// The plan layer: one uniform contract over every format/kernel pair in
+// the library (see DESIGN.md §2, §7).
 //
 // A plan is built ONCE from a (tensor, mode) pair -- paying the format
 // construction cost the paper calls pre-processing (Figs. 9/10) -- and
-// then RUN many times against evolving factor matrices, which is exactly
-// the CPD-ALS access pattern (Alg. 1 performs order x iterations MTTKRP
-// calls over the same structure).  The plan exposes what every consumer
-// layer needs to reason about that trade:
+// then EXECUTED many times against evolving inputs.  Since PR 4 the plan
+// is op-generic: the same built structure serves MTTKRP, TTV and the CPD
+// fit inner product through execute(), because all three ops walk the
+// identical (slice, fiber, nonzero) traversal the format balances.  One
+// build amortizes across every op on the tensor.  The plan exposes what
+// every consumer layer needs to reason about that trade:
 //   * build_seconds()  -- the amortizable pre-processing cost
 //   * storage_bytes()  -- index storage (§III accounting, Fig. 16)
-//   * run()            -- output matrix + SimReport (simulated GPU
-//                         kernels) or wall-clock report (CPU kernels)
+//   * execute()        -- any OpKind; run() is the MTTKRP fast path
 //
 // Lifecycle and thread-safety contract (what serve/ relies on):
 //
-//   * A plan is IMMUTABLE after construction.  run() never mutates plan
-//     state, so any number of threads may call run() on one plan
-//     concurrently; outputs are bitwise reproducible for given factors.
+//   * A plan is IMMUTABLE after construction.  run()/execute() never
+//     mutate plan state, so any number of threads may execute on one plan
+//     concurrently; outputs are bitwise reproducible for given inputs.
 //   * Structured plans own their representation.  COO-family plans
 //     ("coo", "cpu-coo", "reference") REFERENCE the source tensor --
 //     their format IS the tensor -- so the tensor must outlive the
@@ -27,13 +28,15 @@
 //   * A plan is bound to one frozen tensor snapshot forever.  Growing
 //     tensors are served as snapshot + delta (DESIGN.md §6): the plan
 //     answers for its snapshot and the delta is swept separately --
-//     plans never see in-place updates.
+//     plans never see in-place updates.  Every op is linear in the
+//     tensor values, so the split is exact for all of them.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/tensor_op.hpp"
 #include "formats/bcsf.hpp"
 #include "formats/fcoo.hpp"
 #include "gpusim/device.hpp"
@@ -50,10 +53,14 @@ struct PlanOptions {
   DeviceModel device = DeviceModel::p100();
   BcsfOptions bcsf;
   FcooOptions fcoo;
-  /// Expected number of MTTKRP calls the plan will serve; drives the
-  /// `auto` policy's Fig-10 break-even decision (CPD-ALS: iterations x
-  /// order).
+  /// Expected number of plan executions; drives the `auto` policy's
+  /// Fig-10 break-even decision (CPD-ALS: iterations per mode).
   double expected_mttkrp_calls = 50.0;
+  /// Workload hint for meta plans: "auto" resolves its delegate for THIS
+  /// op (TTV's rank-1 arithmetic amortizes a build much more slowly than
+  /// full-rank MTTKRP/FIT traffic).  Concrete formats ignore it -- their
+  /// built structure serves every op.
+  OpKind op = OpKind::kMttkrp;
 };
 
 struct PlanRunResult {
@@ -63,9 +70,9 @@ struct PlanRunResult {
   SimReport report;
 };
 
-class MttkrpPlan {
+class TensorOpPlan {
  public:
-  virtual ~MttkrpPlan() = default;
+  virtual ~TensorOpPlan() = default;
 
   /// The registry key this plan was created under (e.g. "hbcsf").
   const std::string& format() const { return format_; }
@@ -91,15 +98,28 @@ class MttkrpPlan {
   /// auto policy's rationale).  Empty when there is nothing to add.
   virtual std::string detail() const { return {}; }
 
-  /// Executes MTTKRP against the given factors.  Callable any number of
-  /// times; the plan is immutable after construction.
+  /// Executes MTTKRP against the given factors -- the format's native
+  /// traversal, and the engine behind every other op.  Callable any
+  /// number of times; the plan is immutable after construction.
   virtual PlanRunResult run(const std::vector<DenseMatrix>& factors) const = 0;
 
+  /// Executes any op (DESIGN.md §7).  `request.mode` must equal mode():
+  /// a plan's representation is built for one traversal root.  The base
+  /// implementation reuses the format's run() traversal -- TTV executes
+  /// it at rank 1, FIT contracts its output with factors[mode] and
+  /// lambda in double precision -- so every format supports every op
+  /// with zero per-format kernel code.  Overrides may fuse (the COO
+  /// family substitutes the dedicated kernels in kernels/ttv_fit.hpp).
+  virtual OpResult execute(const OpRequest& request) const;
+
  protected:
-  MttkrpPlan(std::string format, std::string display_name, index_t mode)
+  TensorOpPlan(std::string format, std::string display_name, index_t mode)
       : format_(std::move(format)),
         display_name_(std::move(display_name)),
         mode_(mode) {}
+
+  /// Shared input validation + mode check for execute() overrides.
+  void check_request(const OpRequest& request) const;
 
  private:
   friend class FormatRegistry;  // stamps build_seconds_ after the factory
@@ -110,6 +130,10 @@ class MttkrpPlan {
   double build_seconds_ = 0.0;
 };
 
-using PlanPtr = std::unique_ptr<MttkrpPlan>;
+/// Back-compat alias from the MTTKRP-only era; new code should say
+/// TensorOpPlan.
+using MttkrpPlan = TensorOpPlan;
+
+using PlanPtr = std::unique_ptr<TensorOpPlan>;
 
 }  // namespace bcsf

@@ -49,10 +49,30 @@ CpdResult cpd_als(TensorPtr tensor, const CpdOptions& options) {
   result.preprocessing_seconds = cache.total_build_seconds();
 
   auto run_mttkrp = [&](index_t mode) -> DenseMatrix {
-    const MttkrpPlan& plan = *mode_plans[mode];
+    const TensorOpPlan& plan = *mode_plans[mode];
     PlanRunResult r = plan.run(result.factors);
     if (plan.is_gpu()) result.simulated_mttkrp_seconds += r.report.seconds;
     return std::move(r.output);
+  };
+
+  // Fit-based early stopping through the FIT op (DESIGN.md §7): the
+  // residual inner product <X, Xhat> -- the only fit piece that walks
+  // the tensor -- runs on the last mode's plan, i.e. on the SAME built
+  // structure the MTTKRP sweeps amortize, instead of an extra raw-COO
+  // pass per iteration.  ||X|| is constant and ||Xhat||^2 is R x R
+  // dense work on the factors.
+  const double x_norm = x.norm();
+  auto evaluate_fit = [&]() -> double {
+    const TensorOpPlan& plan = *mode_plans[order - 1];
+    OpRequest fit_request;
+    fit_request.kind = OpKind::kFit;
+    fit_request.mode = order - 1;
+    fit_request.factors = &result.factors;
+    fit_request.lambda = &result.lambda;
+    OpResult r = plan.execute(fit_request);
+    if (plan.is_gpu()) result.simulated_mttkrp_seconds += r.report.seconds;
+    return cp_fit_from_pieces(
+        x_norm, r.scalar, cp_model_norm_sq(result.factors, result.lambda));
   };
 
   double prev_fit = 0.0;
@@ -63,7 +83,7 @@ CpdResult cpd_als(TensorPtr tensor, const CpdOptions& options) {
       result.factors[mode] = solve_spd_right(v, mk);
       result.lambda = normalize_columns(result.factors[mode]);
     }
-    const double fit = cp_fit(x, result.factors, result.lambda);
+    const double fit = evaluate_fit();
     result.fit_history.push_back(fit);
     result.iterations = iter + 1;
     if (iter > 0 && fit - prev_fit < options.fit_tolerance) break;

@@ -3,9 +3,13 @@
 //
 // Each iteration updates every factor via
 //   A_n <- MTTKRP_n(X, {A_m}) * (*_{m != n} A_m^T A_m)^dagger
-// then normalizes columns into lambda and evaluates the model fit.  The
-// MTTKRP is the bottleneck the whole paper is about; everything else here
-// is R x R dense work (linalg/).
+// then normalizes columns into lambda and evaluates the model fit
+// through the plan layer's FIT op (DESIGN.md §7) -- the residual inner
+// product runs on the same built structure as the MTTKRP sweeps, and
+// iteration stops early once the fit improvement drops below
+// fit_tolerance instead of always burning max_iterations.  The MTTKRP is
+// the bottleneck the whole paper is about; everything else here is R x R
+// dense work (linalg/).
 //
 // The backend is any format registered in the FormatRegistry ("hbcsf",
 // "cpu-csf", "coo", "auto", ...); plans are built once per (format, mode)
@@ -27,8 +31,15 @@ namespace bcsf {
 
 struct CpdOptions {
   rank_t rank = 16;
+  /// Hard cap; the fit-based stop below usually fires first.
   unsigned max_iterations = 25;
-  /// Stop when the fit improves by less than this between iterations.
+  /// Stop when the fit (evaluated via the plan's FIT op each iteration)
+  /// improves by less than this between iterations.  The FIT op runs
+  /// through the backend's kernel, so for fp32 backends (every format
+  /// except the double-accumulating "reference") the fit carries
+  /// relative noise around 1e-6..1e-5 of ||Xhat||^2 / ||X||^2; keep the
+  /// tolerance above that floor or the stop may fire on noise -- use
+  /// format = "reference" when bitwise-stable fit trajectories matter.
   double fit_tolerance = 1e-5;
   std::uint64_t seed = 7;
   /// FormatRegistry key of the MTTKRP backend.  "reference" is the

@@ -125,10 +125,10 @@ double cp_inner_product(const SparseTensor& x,
   return inner;
 }
 
-double cp_fit(const SparseTensor& x, const std::vector<DenseMatrix>& factors,
-              const std::vector<value_t>& lambda) {
+double cp_model_norm_sq(const std::vector<DenseMatrix>& factors,
+                        const std::vector<value_t>& lambda) {
+  BCSF_CHECK(!factors.empty(), "cp_model_norm_sq: no factors");
   const rank_t r = factors.front().cols();
-  // ||Xhat||^2 = lambda^T (*_m A_m^T A_m) lambda.
   DenseMatrix v(r, r, 1.0F);
   for (const auto& f : factors) v = hadamard(v, gram(f));
   double model_sq = 0.0;
@@ -139,12 +139,20 @@ double cp_fit(const SparseTensor& x, const std::vector<DenseMatrix>& factors,
       model_sq += li * lj * static_cast<double>(v(i, j));
     }
   }
-  const double x_norm = x.norm();
+  return model_sq;
+}
+
+double cp_fit_from_pieces(double x_norm, double inner, double model_sq) {
   const double x_sq = x_norm * x_norm;
-  const double inner = cp_inner_product(x, factors, lambda);
-  const double resid_sq = std::max(0.0, x_sq - 2.0 * inner + model_sq);
   if (x_sq == 0.0) return 1.0;
+  const double resid_sq = std::max(0.0, x_sq - 2.0 * inner + model_sq);
   return 1.0 - std::sqrt(resid_sq) / x_norm;
+}
+
+double cp_fit(const SparseTensor& x, const std::vector<DenseMatrix>& factors,
+              const std::vector<value_t>& lambda) {
+  return cp_fit_from_pieces(x.norm(), cp_inner_product(x, factors, lambda),
+                            cp_model_norm_sq(factors, lambda));
 }
 
 }  // namespace bcsf

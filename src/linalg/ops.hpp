@@ -42,6 +42,16 @@ std::vector<value_t> normalize_columns(DenseMatrix& a);
 double cp_fit(const SparseTensor& x, const std::vector<DenseMatrix>& factors,
               const std::vector<value_t>& lambda);
 
+/// ||Xhat||^2 = lambda^T (*_m A_m^T A_m) lambda -- the factor-only fit
+/// piece (R x R dense work, no tensor traversal).
+double cp_model_norm_sq(const std::vector<DenseMatrix>& factors,
+                        const std::vector<value_t>& lambda);
+
+/// Assembles the fit from its three pieces: ||X|| (snapshot constant),
+/// <X, Xhat> (the tensor traversal -- what the FIT op computes through a
+/// plan, DESIGN.md §7), and ||Xhat||^2 (cp_model_norm_sq).
+double cp_fit_from_pieces(double x_norm, double inner, double model_sq);
+
 /// Residual inner product <X, Xhat> used by cp_fit (exposed for tests).
 double cp_inner_product(const SparseTensor& x,
                         const std::vector<DenseMatrix>& factors,

@@ -21,8 +21,29 @@ ConcurrentPlanCache::ConcurrentPlanCache(TensorPtr tensor, PlanOptions opts,
   }
 }
 
-SharedPlan ConcurrentPlanCache::get(const std::string& format, index_t mode) {
-  const Key key{format, mode};
+OpKind ConcurrentPlanCache::canonical_op(const std::string& format,
+                                         OpKind op) {
+  const FormatRegistry& registry = FormatRegistry::instance();
+  if (registry.contains(format) &&
+      registry.at(format).kind == PlanKind::kMeta) {
+    return op;
+  }
+  return OpKind::kMttkrp;
+}
+
+SharedPlan ConcurrentPlanCache::get(const std::string& format, index_t mode,
+                                    OpKind op) {
+  // The registry's op gate must hold for the op the CALLER asked for,
+  // before canonicalization folds concrete-format slots together --
+  // otherwise a restricted format would slip through as its kMttkrp
+  // slot and fail deep inside execute() instead of up front.
+  BCSF_CHECK(!FormatRegistry::instance().contains(format) ||
+                 FormatRegistry::instance().supports(format, op),
+             "ConcurrentPlanCache: format '" << format
+                                             << "' does not support op '"
+                                             << op_name(op) << "'");
+  const OpKind slot_op = canonical_op(format, op);
+  const Key key{format, mode, slot_op};
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     auto it = slots_.find(key);
@@ -54,13 +75,15 @@ SharedPlan ConcurrentPlanCache::get(const std::string& format, index_t mode) {
 
   // Single-flight winner: build with no lock held so other keys proceed.
   try {
-    PlanPtr raw = build_(format, *tensor, mode, opts_);
+    PlanOptions build_opts = opts_;
+    build_opts.op = slot_op;  // meta plans resolve for the requested op
+    PlanPtr raw = build_(format, *tensor, mode, build_opts);
     BCSF_CHECK(raw != nullptr, "ConcurrentPlanCache: builder for '"
                                    << format << "' returned null");
     // The deleter pins the tensor: any caller retaining the plan keeps
     // the source tensor alive (COO-family plans reference, not copy).
     SharedPlan plan(raw.release(),
-                    [tensor](const MttkrpPlan* p) { delete p; });
+                    [tensor](const TensorOpPlan* p) { delete p; });
     promise.set_value(plan);
     return plan;
   } catch (...) {
@@ -100,9 +123,9 @@ TensorPtr ConcurrentPlanCache::tensor() const {
 }
 
 SharedPlan ConcurrentPlanCache::try_get(const std::string& format,
-                                        index_t mode) const {
+                                        index_t mode, OpKind op) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  auto it = slots_.find(Key{format, mode});
+  auto it = slots_.find(Key{format, mode, canonical_op(format, op)});
   if (it == slots_.end()) return nullptr;
   const std::shared_future<SharedPlan>& future = it->second;
   if (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {

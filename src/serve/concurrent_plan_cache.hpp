@@ -1,14 +1,21 @@
-// Thread-safe memoized plan construction keyed by (format, mode): the
-// PlanCache contract of DESIGN.md §2 made safe for the serving layer
-// (DESIGN.md §5).
+// Thread-safe memoized plan construction keyed by (format, mode, op):
+// the PlanCache contract of DESIGN.md §2 made safe for the serving layer
+// (DESIGN.md §5) and op-aware (§7).
 //
 // Two guarantees beyond the single-threaded cache it replaces:
 //
-//  * Single-flight builds.  N threads requesting the same (format, mode)
-//    trigger exactly ONE factory call; the winner builds outside any lock
+//  * Single-flight builds.  N threads requesting the same key trigger
+//    exactly ONE factory call; the winner builds outside any lock
 //    while the others block on a shared_future for that key.  Reads of
 //    already-built plans take only a shared lock.  A build that throws is
 //    evicted so a later request can retry.
+//
+// The op component exists for META formats only: "auto" resolves its
+// delegate per op (a TTV workload amortizes builds ~R x slower), so
+// get("auto", m, kTtv) and get("auto", m, kMttkrp) are distinct slots.
+// For concrete formats the built structure serves EVERY op -- that
+// amortization is the point of the op-generic plan layer -- so the op
+// component is canonicalized to kMttkrp and all ops share one build.
 //
 //  * Tensor lifetime.  The cache holds the source tensor by shared_ptr
 //    and pins that shared_ptr into the deleter of every plan it hands
@@ -26,8 +33,10 @@
 #include <string>
 #include <utility>
 
+#include <tuple>
+
 #include "core/format_registry.hpp"
-#include "core/mttkrp_plan.hpp"
+#include "core/tensor_op_plan.hpp"
 #include "tensor/sparse_tensor.hpp"
 #include "util/types.hpp"
 
@@ -39,7 +48,7 @@ namespace bcsf {
 
 /// Plans leave the concurrent cache as shared_ptr so an async delegate
 /// swap can retire a plan while in-flight run() calls finish on it.
-using SharedPlan = std::shared_ptr<const MttkrpPlan>;
+using SharedPlan = std::shared_ptr<const TensorOpPlan>;
 
 class ConcurrentPlanCache {
  public:
@@ -57,16 +66,20 @@ class ConcurrentPlanCache {
                                BuildFn build = {},
                                std::uint64_t tensor_version = 0);
 
-  /// Returns the plan for (format, mode), building it on first use.
+  /// Returns the plan for (format, mode, op), building it on first use.
   /// Concurrent callers for the same key get the same plan from exactly
   /// one factory call; callers for distinct keys build in parallel.
   /// Rethrows the builder's exception to every waiter and evicts the
-  /// entry so the next get() retries.
-  SharedPlan get(const std::string& format, index_t mode);
+  /// entry so the next get() retries.  For concrete (non-meta) formats
+  /// every op maps to one shared slot (see the header comment); the
+  /// returned plan executes any op the format supports.
+  SharedPlan get(const std::string& format, index_t mode,
+                 OpKind op = OpKind::kMttkrp);
 
   /// Non-blocking probe: the plan if it is already built, nullptr if it
   /// is absent or still building.
-  SharedPlan try_get(const std::string& format, index_t mode) const;
+  SharedPlan try_get(const std::string& format, index_t mode,
+                     OpKind op = OpKind::kMttkrp) const;
 
   /// Number of completed plans (in-flight builds excluded).
   std::size_t size() const;
@@ -94,7 +107,12 @@ class ConcurrentPlanCache {
   const PlanOptions& options() const { return opts_; }
 
  private:
-  using Key = std::pair<std::string, index_t>;
+  using Key = std::tuple<std::string, index_t, OpKind>;
+
+  /// The op component of a key: `op` itself for meta formats (their
+  /// resolution is op-dependent), kMttkrp for everything else so one
+  /// build serves all ops.
+  static OpKind canonical_op(const std::string& format, OpKind op);
 
   TensorPtr tensor_;
   PlanOptions opts_;

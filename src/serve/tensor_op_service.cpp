@@ -1,4 +1,4 @@
-#include "serve/mttkrp_service.hpp"
+#include "serve/tensor_op_service.hpp"
 
 #include <cmath>
 #include <limits>
@@ -6,6 +6,7 @@
 
 #include "core/auto_policy.hpp"
 #include "kernels/mttkrp.hpp"
+#include "kernels/ttv_fit.hpp"
 #include "util/error.hpp"
 
 namespace bcsf {
@@ -21,45 +22,46 @@ bool is_coo_family(const std::string& format) {
 
 }  // namespace
 
-MttkrpService::MttkrpService(ServeOptions opts)
+TensorOpService::TensorOpService(ServeOptions opts)
     : opts_(std::move(opts)), pool_(opts_.workers) {
   BCSF_CHECK(is_coo_family(opts_.initial_format),
-             "MttkrpService: initial_format '"
+             "TensorOpService: initial_format '"
                  << opts_.initial_format
                  << "' is not zero-preprocessing (COO family)");
 }
 
-MttkrpService::~MttkrpService() = default;
+TensorOpService::~TensorOpService() = default;
 
-void MttkrpService::register_tensor(const std::string& name,
-                                    TensorPtr tensor) {
-  BCSF_CHECK(!name.empty(), "MttkrpService: empty tensor name");
-  BCSF_CHECK(tensor != nullptr, "MttkrpService: null tensor '" << name << "'");
+void TensorOpService::register_tensor(const std::string& name,
+                                      TensorPtr tensor) {
+  BCSF_CHECK(!name.empty(), "TensorOpService: empty tensor name");
+  BCSF_CHECK(tensor != nullptr,
+             "TensorOpService: null tensor '" << name << "'");
   BCSF_CHECK(tensor->nnz() > 0,
-             "MttkrpService: tensor '" << name << "' has no nonzeros");
+             "TensorOpService: tensor '" << name << "' has no nonzeros");
   auto state = std::make_unique<TensorState>(std::move(tensor), opts_.plan);
   std::unique_lock<std::shared_mutex> lock(tensors_mutex_);
   const bool inserted = tensors_.emplace(name, std::move(state)).second;
-  BCSF_CHECK(inserted, "MttkrpService: tensor '" << name
-                                                 << "' already registered");
+  BCSF_CHECK(inserted, "TensorOpService: tensor '" << name
+                                                   << "' already registered");
 }
 
-bool MttkrpService::has_tensor(const std::string& name) const {
+bool TensorOpService::has_tensor(const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(tensors_mutex_);
   return tensors_.count(name) > 0;
 }
 
-MttkrpService::TensorState& MttkrpService::state_for(
+TensorOpService::TensorState& TensorOpService::state_for(
     const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(tensors_mutex_);
   auto it = tensors_.find(name);
   BCSF_CHECK(it != tensors_.end(),
-             "MttkrpService: unknown tensor '" << name << "'");
+             "TensorOpService: unknown tensor '" << name << "'");
   return *it->second;
 }
 
-std::uint64_t MttkrpService::apply_updates(const std::string& tensor,
-                                           SparseTensor updates) {
+std::uint64_t TensorOpService::apply_updates(const std::string& tensor,
+                                             SparseTensor updates) {
   TensorState& state = state_for(tensor);
   const std::uint64_t version = state.dynamic.apply(std::move(updates));
   // The compaction trigger also rides on queries; checking here keeps an
@@ -68,80 +70,80 @@ std::uint64_t MttkrpService::apply_updates(const std::string& tensor,
   return version;
 }
 
-std::future<MttkrpResponse> MttkrpService::submit(MttkrpRequest request) {
+std::future<ServeResponse> TensorOpService::submit(ServeRequest request) {
   BCSF_CHECK(request.factors != nullptr,
-             "MttkrpService: request has no factors");
+             "TensorOpService: request has no factors");
   TensorState& state = state_for(request.tensor);
   BCSF_CHECK(request.mode < state.dynamic.order(),
-             "MttkrpService: mode " << request.mode
-                                    << " out of range for tensor '"
-                                    << request.tensor << "'");
+             "TensorOpService: mode " << request.mode
+                                      << " out of range for tensor '"
+                                      << request.tensor << "'");
   return pool_.async([this, &state, req = std::move(request)] {
     return handle(state, req);
   });
 }
 
-std::vector<std::future<MttkrpResponse>> MttkrpService::submit_batch(
-    std::vector<MttkrpRequest> batch) {
-  std::vector<std::future<MttkrpResponse>> futures;
+std::vector<std::future<ServeResponse>> TensorOpService::submit_batch(
+    std::vector<ServeRequest> batch) {
+  std::vector<std::future<ServeResponse>> futures;
   futures.reserve(batch.size());
-  for (MttkrpRequest& request : batch) {
+  for (ServeRequest& request : batch) {
     futures.push_back(submit(std::move(request)));
   }
   return futures;
 }
 
-std::uint64_t MttkrpService::call_count(const std::string& tensor) const {
+std::uint64_t TensorOpService::call_count(const std::string& tensor) const {
   return state_for(tensor).calls.load(std::memory_order_relaxed);
 }
 
-std::string MttkrpService::current_format(const std::string& tensor,
-                                          index_t mode) const {
+std::string TensorOpService::current_format(const std::string& tensor,
+                                            index_t mode) const {
   TensorState& state = state_for(tensor);
   GenerationPtr gen;
   {
     std::shared_lock<std::shared_mutex> lock(state.gen_mutex);
     gen = state.gen;
   }
-  BCSF_CHECK(mode < gen->modes.size(), "MttkrpService: mode out of range");
+  BCSF_CHECK(mode < gen->modes.size(), "TensorOpService: mode out of range");
   ModeSlot& slot = gen->modes[mode];
   std::lock_guard<std::mutex> lock(slot.m);
   return slot.current ? slot.current->resolved_format() : opts_.initial_format;
 }
 
-bool MttkrpService::upgraded(const std::string& tensor, index_t mode) const {
+bool TensorOpService::upgraded(const std::string& tensor, index_t mode) const {
   TensorState& state = state_for(tensor);
   GenerationPtr gen;
   {
     std::shared_lock<std::shared_mutex> lock(state.gen_mutex);
     gen = state.gen;
   }
-  BCSF_CHECK(mode < gen->modes.size(), "MttkrpService: mode out of range");
+  BCSF_CHECK(mode < gen->modes.size(), "TensorOpService: mode out of range");
   ModeSlot& slot = gen->modes[mode];
   std::lock_guard<std::mutex> lock(slot.m);
   return slot.upgraded_flag;
 }
 
-std::uint64_t MttkrpService::snapshot_version(
+std::uint64_t TensorOpService::snapshot_version(
     const std::string& tensor) const {
   return state_for(tensor).dynamic.version();
 }
 
-double MttkrpService::delta_fraction(const std::string& tensor) const {
+double TensorOpService::delta_fraction(const std::string& tensor) const {
   return state_for(tensor).dynamic.snapshot().delta_fraction();
 }
 
-std::uint64_t MttkrpService::compaction_count(
+std::uint64_t TensorOpService::compaction_count(
     const std::string& tensor) const {
   return state_for(tensor).compactions.load(std::memory_order_relaxed);
 }
 
-TensorSnapshot MttkrpService::snapshot(const std::string& tensor) const {
+TensorSnapshot TensorOpService::snapshot(const std::string& tensor) const {
   return state_for(tensor).dynamic.snapshot();
 }
 
-MttkrpResponse MttkrpService::handle(TensorState& state,
-                                     const MttkrpRequest& request) {
+ServeResponse TensorOpService::handle(TensorState& state,
+                                      const ServeRequest& request) {
   const std::uint64_t sequence =
       state.calls.fetch_add(1, std::memory_order_relaxed) + 1;
 
@@ -158,8 +160,9 @@ MttkrpResponse MttkrpService::handle(TensorState& state,
   }
 
   ModeSlot& slot = gen->modes[request.mode];
-  const std::uint64_t mode_sequence =
-      slot.mode_calls.fetch_add(1, std::memory_order_relaxed) + 1;
+  slot.mode_calls.fetch_add(1, std::memory_order_relaxed);
+  slot.op_calls[static_cast<std::size_t>(request.op)].fetch_add(
+      1, std::memory_order_relaxed);
 
   SharedPlan plan;
   bool was_upgraded = false;
@@ -180,21 +183,42 @@ MttkrpResponse MttkrpService::handle(TensorState& state,
   }
 
   if (opts_.enable_upgrade && !was_upgraded) {
-    maybe_launch_upgrade(gen, request.mode, mode_sequence);
+    maybe_launch_upgrade(gen, request.mode);
   }
 
-  PlanRunResult run = plan->run(*request.factors);
-  // Delta contribution: MTTKRP is linear, so sweeping the frozen COO
-  // chunks on top of the base plan's output yields the MTTKRP of the
-  // snapshot's merged tensor.  One call over all chunks: the double
-  // accumulator is promoted/demoted once, not per chunk.  Chunks are
-  // immutable; no lock is held.
-  mttkrp_delta_accumulate(snap.deltas, request.mode, *request.factors,
-                          run.output);
+  // Base contribution through the plan; the op protocol dispatches TTV
+  // and FIT onto the same traversal the structured build balanced.
+  OpRequest op_request;
+  op_request.kind = request.op;
+  op_request.mode = request.mode;
+  op_request.factors = request.factors.get();
+  op_request.lambda = request.lambda ? request.lambda.get() : nullptr;
+  OpResult run = plan->execute(op_request);
+
+  // Per-op delta sweep: every op is linear in the tensor values, so the
+  // frozen COO chunks' contribution on top of the base plan's result
+  // yields the op on the snapshot's merged tensor.  Matrix ops sweep
+  // into the output (one promote/demote across all chunks); FIT adds the
+  // chunks' inner product to the scalar.  Chunks are immutable; no lock
+  // is held.
+  switch (request.op) {
+    case OpKind::kMttkrp:
+      mttkrp_delta_accumulate(snap.deltas, request.mode, *request.factors,
+                              run.output);
+      break;
+    case OpKind::kTtv:
+      ttv_delta_accumulate(snap.deltas, request.mode, *request.factors,
+                           run.output);
+      break;
+    case OpKind::kFit:
+      run.scalar += fit_inner_delta(snap.deltas, *request.factors,
+                                    op_request.lambda);
+      break;
+  }
 
   maybe_launch_compaction(state, snap);
 
-  MttkrpResponse response;
+  ServeResponse response;
   response.output = std::move(run.output);
   response.report = std::move(run.report);
   response.served_format = plan->resolved_format();
@@ -203,10 +227,12 @@ MttkrpResponse MttkrpService::handle(TensorState& state,
   response.upgraded = was_upgraded;
   response.snapshot_version = snap.version;
   response.delta_nnz = snap.delta_nnz;
+  response.op = request.op;
+  response.scalar = run.scalar;
   return response;
 }
 
-std::pair<std::string, double> MttkrpService::resolve_upgrade_policy(
+std::pair<std::string, double> TensorOpService::resolve_upgrade_policy(
     const Generation& gen, index_t mode) const {
   std::string target = opts_.upgrade_format;
   double threshold = opts_.upgrade_threshold;
@@ -217,6 +243,8 @@ std::pair<std::string, double> MttkrpService::resolve_upgrade_policy(
     // traffic and launches exactly at break-even, so the gate must not
     // veto the target -- only an infinite break-even (structure yields
     // no per-call gain) or coo-dominant slice binning disables upgrade.
+    // Mixed-op traffic is priced at the MTTKRP rate: full-rank calls
+    // dominate the gain, and the built structure serves every op anyway.
     policy.expected_mttkrp_calls = std::numeric_limits<double>::infinity();
     const AutoDecision decision =
         auto_select_format(*gen.cache.tensor(), mode, policy);
@@ -232,9 +260,8 @@ std::pair<std::string, double> MttkrpService::resolve_upgrade_policy(
   return {std::move(target), threshold};
 }
 
-void MttkrpService::maybe_launch_upgrade(const GenerationPtr& gen,
-                                         index_t mode,
-                                         std::uint64_t mode_sequence) {
+void TensorOpService::maybe_launch_upgrade(const GenerationPtr& gen,
+                                           index_t mode) {
   ModeSlot& slot = gen->modes[mode];
   if (slot.upgrade_launched.load(std::memory_order_acquire)) return;
 
@@ -270,7 +297,23 @@ void MttkrpService::maybe_launch_upgrade(const GenerationPtr& gen,
     slot.upgrade_launched.store(true, std::memory_order_release);
     return;
   }
-  if (static_cast<double>(mode_sequence) < threshold) return;
+  // Gain-weighted traffic vs the break-even threshold: MTTKRP and FIT
+  // calls recoup the build at the full-rank rate, a rank-1 TTV call at
+  // ~1/R of it -- so TTV-dominated modes launch the sort-dominated
+  // build only once the discounted traffic actually pays for it (the
+  // op-aware §3 economics applied to OBSERVED calls).
+  const double effective_calls =
+      static_cast<double>(slot.op_calls[static_cast<std::size_t>(
+                                            OpKind::kMttkrp)]
+                              .load(std::memory_order_relaxed)) +
+      static_cast<double>(
+          slot.op_calls[static_cast<std::size_t>(OpKind::kFit)].load(
+              std::memory_order_relaxed)) +
+      static_cast<double>(
+          slot.op_calls[static_cast<std::size_t>(OpKind::kTtv)].load(
+              std::memory_order_relaxed)) *
+          AutoPolicyOptions{}.ttv_gain_fraction;
+  if (effective_calls < threshold) return;
   if (slot.upgrade_launched.exchange(true, std::memory_order_acq_rel)) return;
 
   // The task holds the generation alive; if a compaction retires it
@@ -296,8 +339,8 @@ void MttkrpService::maybe_launch_upgrade(const GenerationPtr& gen,
   if (!queued) slot.upgrade_launched.store(false, std::memory_order_release);
 }
 
-void MttkrpService::maybe_launch_compaction(TensorState& state,
-                                            const TensorSnapshot& snap) {
+void TensorOpService::maybe_launch_compaction(TensorState& state,
+                                              const TensorSnapshot& snap) {
   if (!opts_.enable_compaction || opts_.compact_threshold <= 0.0) return;
   if (snap.delta_nnz < opts_.compact_min_nnz) return;
   if (snap.delta_fraction() < opts_.compact_threshold) return;
@@ -307,7 +350,7 @@ void MttkrpService::maybe_launch_compaction(TensorState& state,
   if (!queued) state.compacting.store(false, std::memory_order_release);
 }
 
-void MttkrpService::run_compaction(TensorState& state) {
+void TensorOpService::run_compaction(TensorState& state) {
   try {
     // Capture and merge OFF the commit path: queries keep serving from
     // the current generation while the O(nnz log nnz) coalesce runs.
@@ -331,13 +374,20 @@ void MttkrpService::run_compaction(TensorState& state) {
                                                opts_.plan, new_version);
         old_gen = std::move(state.gen);
         for (std::size_t m = 0; m < new_gen->modes.size(); ++m) {
-          // Carry traffic counters: a hot mode re-launches its structured
-          // build (and re-runs the §V policy on the merged base) on the
-          // first post-compaction request instead of re-earning the
-          // threshold from zero.
+          // Carry traffic counters (total and per-op): a hot mode
+          // re-launches its structured build (and re-runs the §V policy
+          // on the merged base) on the first post-compaction request
+          // instead of re-earning the threshold from zero.
           new_gen->modes[m].mode_calls.store(
               old_gen->modes[m].mode_calls.load(std::memory_order_relaxed),
               std::memory_order_relaxed);
+          for (std::size_t op = 0; op < old_gen->modes[m].op_calls.size();
+               ++op) {
+            new_gen->modes[m].op_calls[op].store(
+                old_gen->modes[m].op_calls[op].load(
+                    std::memory_order_relaxed),
+                std::memory_order_relaxed);
+          }
         }
         state.gen = std::move(new_gen);
       }

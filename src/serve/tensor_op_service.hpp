@@ -1,4 +1,6 @@
-// MttkrpService: the concurrent serving layer (DESIGN.md §5-§6).
+// TensorOpService: the concurrent multi-op serving layer (DESIGN.md
+// §5-§7).  Known as MttkrpService before the op-generic redesign; the
+// alias below keeps that name working.
 //
 // The paper frames format choice as an amortization problem: structured
 // formats (B-CSF / HB-CSF) pay a sort-dominated build that COO does not,
@@ -15,6 +17,12 @@
 //      atomically swapped.  In-flight runs hold the old plan by
 //      shared_ptr and finish on it; subsequent requests run structured.
 //
+// Batches may MIX OPS (DESIGN.md §7): each request names an OpKind
+// (MTTKRP, TTV, fit inner product) and every op executes on the same
+// per-(tensor, mode) delegate -- a structured build triggered by any
+// op's traffic serves all of them, which is why mode call counts
+// aggregate across ops.
+//
 // Registered tensors are DYNAMIC (DESIGN.md §6): apply_updates() appends
 // additive COO update batches without invalidating the structured plans.
 // Each tensor is a DynamicSparseTensor -- an immutable base snapshot plus
@@ -22,17 +30,21 @@
 //
 //      base-plan result  +  delta-COO contribution,
 //
-// which equals the MTTKRP of the merged tensor because MTTKRP is linear
-// in the tensor values.  Every response names the snapshot version it was
-// computed at.  When the delta fraction crosses ServeOptions'
-// compaction threshold, a background task merges base + delta into a new
-// base, swaps in a fresh plan generation, and the upgrade policy re-runs
-// for the merged structure; in-flight queries finish on the old
-// generation, which they hold by shared_ptr.
+// which equals the op on the merged tensor because every op in the
+// protocol (MTTKRP, TTV, FIT) is linear in the tensor values.  The delta
+// sweep is per-op: an MTTKRP/TTV response accumulates the chunks into the
+// output matrix, a FIT response adds the chunks' inner product to the
+// scalar.  Every response names the snapshot version it was computed at.
+// When the delta fraction crosses ServeOptions' compaction threshold, a
+// background task merges base + delta into a new base, swaps in a fresh
+// plan generation, and the upgrade policy re-runs for the merged
+// structure; in-flight queries finish on the old generation, which they
+// hold by shared_ptr.
 //
 // Thread-safety: every public method may be invoked from any thread.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <future>
@@ -64,9 +76,12 @@ struct ServeOptions {
   std::string upgrade_format = "auto";
   /// Per-(tensor, mode) call count that triggers the upgrade -- the
   /// structured build amortizes against that mode's own traffic, matching
-  /// Fig. 10.  <= 0 means use the auto policy's breakeven_calls for the
-  /// mode (infinite when structure never pays -- the mode then stays COO
-  /// forever).
+  /// Fig. 10.  Calls of EVERY op count, because the build serves all of
+  /// them -- but gain-weighted: MTTKRP/FIT calls count 1.0, TTV calls
+  /// count ttv_gain_fraction (~1/R), since a rank-1 sweep recoups
+  /// proportionally less of the build.  <= 0 means use the auto
+  /// policy's breakeven_calls for the mode (infinite when structure
+  /// never pays -- the mode then stays COO forever).
   double upgrade_threshold = 0.0;
   bool enable_upgrade = true;
   /// Delta fraction (delta nnz / total nnz) at which a background
@@ -78,21 +93,40 @@ struct ServeOptions {
   /// do not churn through merges worth less than a kernel launch.
   offset_t compact_min_nnz = 512;
   bool enable_compaction = true;
-  /// Device model, format knobs, expected_mttkrp_calls for the policy.
+  /// Device model, format knobs, expected calls for the policy.
   PlanOptions plan;
 };
 
 /// Factor matrices are shared across the requests of a batch (and across
 /// batches) instead of copied per request.
 using FactorsPtr = std::shared_ptr<const std::vector<DenseMatrix>>;
+/// FIT column weights, shared the same way.  Null = all ones.
+using LambdaPtr = std::shared_ptr<const std::vector<value_t>>;
 
-struct MttkrpRequest {
+/// One serve-layer operation.  The constructor's leading parameters
+/// predate the op protocol, so MTTKRP-era initializers `{tensor, mode,
+/// factors}` keep meaning what they always did.
+struct ServeRequest {
+  ServeRequest() = default;
+  ServeRequest(std::string tensor_name, index_t target_mode,
+               FactorsPtr factor_set, OpKind op_kind = OpKind::kMttkrp,
+               LambdaPtr fit_lambda = nullptr)
+      : tensor(std::move(tensor_name)),
+        mode(target_mode),
+        factors(std::move(factor_set)),
+        op(op_kind),
+        lambda(std::move(fit_lambda)) {}
+
   std::string tensor;  ///< name passed to register_tensor
-  index_t mode = 0;
+  index_t mode = 0;    ///< output mode (MTTKRP/TTV), traversal anchor (FIT)
+  /// MTTKRP/FIT: dims[m] x R factor per mode.  TTV: dims[m] x 1 vectors.
   FactorsPtr factors;
+  OpKind op = OpKind::kMttkrp;
+  LambdaPtr lambda;  ///< FIT weights; ignored by the other ops
 };
 
-struct MttkrpResponse {
+struct ServeResponse {
+  /// MTTKRP: dims[mode] x R.  TTV: dims[mode] x 1.  FIT: empty.
   DenseMatrix output;
   SimReport report;
   /// Format that actually executed the BASE contribution ("auto" never
@@ -105,24 +139,32 @@ struct MttkrpResponse {
   SharedPlan plan;
   std::uint64_t sequence = 0;  ///< 1-based per-tensor call number
   bool upgraded = false;  ///< served by the structured (post-swap) delegate
-  /// Tensor snapshot this response is the exact MTTKRP of: the version
+  /// Tensor snapshot this response is the exact op result of: the version
   /// held when the query started.  Monotonic across a tensor's responses
   /// as observed by any single thread submitting and waiting in order.
   std::uint64_t snapshot_version = 0;
   /// Nonzeros the delta sweep contributed on top of the base plan
   /// (0 == the response came purely from the base snapshot).
   offset_t delta_nnz = 0;
+  OpKind op = OpKind::kMttkrp;  ///< echo of the request's op
+  /// FIT: <X, Xhat> at snapshot_version (base plan + delta inner
+  /// product).  0 for matrix-valued ops.
+  double scalar = 0.0;
 };
 
-class MttkrpService {
+/// Back-compat aliases from the MTTKRP-only era.
+using MttkrpRequest = ServeRequest;
+using MttkrpResponse = ServeResponse;
+
+class TensorOpService {
  public:
-  explicit MttkrpService(ServeOptions opts = {});
+  explicit TensorOpService(ServeOptions opts = {});
   /// Joins the pool; accepted requests, in-flight upgrades, and
   /// compactions complete.
-  ~MttkrpService();
+  ~TensorOpService();
 
-  MttkrpService(const MttkrpService&) = delete;
-  MttkrpService& operator=(const MttkrpService&) = delete;
+  TensorOpService(const TensorOpService&) = delete;
+  TensorOpService& operator=(const TensorOpService&) = delete;
 
   /// Registers a tensor under a unique name.  No plan is built here --
   /// the first request pays only the (free) COO plan construction.  The
@@ -140,13 +182,13 @@ class MttkrpService {
                               SparseTensor updates);
 
   /// Enqueues one request; the future carries the response or the error.
-  std::future<MttkrpResponse> submit(MttkrpRequest request);
-  /// Enqueues a batch (possibly spanning tensors and modes); requests
-  /// fan out across the worker pool.
-  std::vector<std::future<MttkrpResponse>> submit_batch(
-      std::vector<MttkrpRequest> batch);
+  std::future<ServeResponse> submit(ServeRequest request);
+  /// Enqueues a batch (possibly spanning tensors, modes, and ops);
+  /// requests fan out across the worker pool.
+  std::vector<std::future<ServeResponse>> submit_batch(
+      std::vector<ServeRequest> batch);
 
-  /// MTTKRP calls served (or admitted) so far for `tensor`.
+  /// Op calls served (or admitted) so far for `tensor`, all ops summed.
   std::uint64_t call_count(const std::string& tensor) const;
   /// Resolved format currently serving (tensor, mode)'s base
   /// contribution; the initial format until the background upgrade swaps
@@ -182,10 +224,19 @@ class MttkrpService {
     bool policy_resolved = false;
     std::string target_format;  // empty = never upgrade this mode
     double threshold = 0.0;
-    /// This mode's cumulative call count -- what the threshold compares
-    /// against.  Carried across compactions so a hot mode re-launches
-    /// its structured build on the first post-compaction request.
+    /// This mode's cumulative call count over ALL ops (request
+    /// sequencing).  Carried across compactions so a hot mode
+    /// re-launches its structured build on the first post-compaction
+    /// request.
     std::atomic<std::uint64_t> mode_calls{0};
+    /// Per-op call counts feeding the GAIN-WEIGHTED upgrade trigger:
+    /// the structured build serves every op, but a rank-1 TTV call
+    /// recoups ~1/R of an MTTKRP call's build cost, so TTV traffic
+    /// counts at AutoPolicyOptions::ttv_gain_fraction weight when
+    /// compared against the break-even threshold.  A TTV-only workload
+    /// therefore upgrades ~R x later (or never), matching the op-aware
+    /// §3 policy; MTTKRP/FIT traffic counts at full weight.
+    std::array<std::atomic<std::uint64_t>, 3> op_calls{};
     std::atomic<bool> upgrade_launched{false};
   };
 
@@ -222,14 +273,13 @@ class MttkrpService {
   };
 
   TensorState& state_for(const std::string& name) const;
-  MttkrpResponse handle(TensorState& state, const MttkrpRequest& request);
+  ServeResponse handle(TensorState& state, const ServeRequest& request);
   /// Computes (target format, threshold) for a mode of one generation's
   /// base; runs the §V policy when the options defer to it.  Pure --
   /// called with NO lock held.
   std::pair<std::string, double> resolve_upgrade_policy(
       const Generation& gen, index_t mode) const;
-  void maybe_launch_upgrade(const GenerationPtr& gen, index_t mode,
-                            std::uint64_t mode_sequence);
+  void maybe_launch_upgrade(const GenerationPtr& gen, index_t mode);
   void maybe_launch_compaction(TensorState& state,
                                const TensorSnapshot& snap);
   void run_compaction(TensorState& state);
@@ -243,5 +293,9 @@ class MttkrpService {
   // states their tasks reference go away.
   ThreadPool pool_;
 };
+
+/// Back-compat alias from the MTTKRP-only era; new code should say
+/// TensorOpService.
+using MttkrpService = TensorOpService;
 
 }  // namespace bcsf

@@ -3,9 +3,9 @@
 // invariants.
 #include <gtest/gtest.h>
 
+#include "core/factors.hpp"
 #include "formats/bcsf.hpp"
 #include "kernels/mttkrp.hpp"
-#include "kernels/registry.hpp"
 #include "tensor/generator.hpp"
 #include "util/error.hpp"
 

@@ -3,11 +3,11 @@
 // walk-through (COO 24 words, CSF 24 words, HB-CSF 19 words).
 #include <gtest/gtest.h>
 
+#include "core/factors.hpp"
 #include "formats/csl.hpp"
 #include "formats/hbcsf.hpp"
 #include "formats/storage.hpp"
 #include "kernels/mttkrp.hpp"
-#include "kernels/registry.hpp"
 #include "tensor/generator.hpp"
 #include "tensor/tensor_stats.hpp"
 #include "util/error.hpp"

@@ -3,10 +3,10 @@
 // engine.
 #include <gtest/gtest.h>
 
+#include "core/factors.hpp"
 #include "formats/csf.hpp"
 #include "formats/dcsr.hpp"
 #include "kernels/mttkrp.hpp"
-#include "kernels/registry.hpp"
 #include "tensor/generator.hpp"
 #include "util/error.hpp"
 

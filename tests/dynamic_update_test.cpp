@@ -37,74 +37,11 @@ namespace {
 
 using serve_test::run_threads;
 
-// ---------------------------------------------------------------------------
-// Exact-grid inputs
-// ---------------------------------------------------------------------------
-
-/// Tensor with distinct random coordinates and small-integer values.
-SparseTensor exact_tensor(const std::vector<index_t>& dims, offset_t nnz,
-                          std::uint64_t seed) {
-  SparseTensor x = generate_uniform(dims, nnz, seed);
-  std::mt19937 rng(seed * 31 + 7);
-  for (value_t& v : x.values()) {
-    v = static_cast<value_t>(1 + rng() % 3);
-  }
-  return x;
-}
-
-/// Factor entries are multiples of 0.5 in [-1, 1].
-FactorsPtr exact_factors(const std::vector<index_t>& dims, rank_t rank,
-                         std::uint64_t seed) {
-  std::mt19937 rng(seed);
-  std::vector<DenseMatrix> factors;
-  for (index_t d : dims) {
-    DenseMatrix m(d, rank);
-    for (value_t& v : m.data()) {
-      v = 0.5F * static_cast<value_t>(static_cast<int>(rng() % 5) - 2);
-    }
-    factors.push_back(std::move(m));
-  }
-  return std::make_shared<const std::vector<DenseMatrix>>(std::move(factors));
-}
-
-/// Additive update batch: random coordinates (may collide with existing
-/// nonzeros -- that is the point), nonzero integer values in [-3, 3].
-SparseTensor exact_batch(const std::vector<index_t>& dims, offset_t nnz,
-                         std::mt19937& rng) {
-  SparseTensor b(dims);
-  std::vector<index_t> coords(dims.size());
-  for (offset_t i = 0; i < nnz; ++i) {
-    for (std::size_t m = 0; m < dims.size(); ++m) {
-      coords[m] = static_cast<index_t>(rng() % dims[m]);
-    }
-    const int magnitude = 1 + static_cast<int>(rng() % 3);
-    b.push_back(coords,
-                static_cast<value_t>(rng() % 2 ? magnitude : -magnitude));
-  }
-  return b;
-}
-
-void append_nonzeros(SparseTensor& dst, const SparseTensor& src) {
-  std::vector<index_t> coords(dst.order());
-  for (offset_t z = 0; z < src.nnz(); ++z) {
-    for (index_t m = 0; m < dst.order(); ++m) coords[m] = src.coord(m, z);
-    dst.push_back(coords, src.value(z));
-  }
-}
-
-::testing::AssertionResult bitwise_equal(const DenseMatrix& expected,
-                                         const DenseMatrix& actual) {
-  if (expected.rows() != actual.rows() || expected.cols() != actual.cols()) {
-    return ::testing::AssertionFailure() << "shape mismatch";
-  }
-  const auto e = expected.data();
-  const auto a = actual.data();
-  if (std::memcmp(e.data(), a.data(), e.size() * sizeof(value_t)) != 0) {
-    return ::testing::AssertionFailure()
-           << "bitwise mismatch, max |diff| = " << expected.max_abs_diff(actual);
-  }
-  return ::testing::AssertionSuccess();
-}
+using serve_test::append_nonzeros;
+using serve_test::bitwise_equal;
+using serve_test::exact_batch;
+using serve_test::exact_factors;
+using serve_test::exact_tensor;
 
 /// Computes (and memoizes) the reference MTTKRP of "base + every update
 /// batch with version <= v" -- the ground truth for a response naming

@@ -3,10 +3,10 @@
 // paper's named future work).
 #include <gtest/gtest.h>
 
+#include "core/factors.hpp"
 #include "formats/csf.hpp"
 #include "kernels/extra_baselines.hpp"
 #include "kernels/mttkrp.hpp"
-#include "kernels/registry.hpp"
 #include "tensor/generator.hpp"
 #include "tensor/reorder.hpp"
 #include "tensor/tensor_stats.hpp"

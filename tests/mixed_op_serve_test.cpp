@@ -1,0 +1,364 @@
+// Mixed-op serving correctness under dynamic updates (DESIGN.md §6-§7):
+// MTTKRP, TTV and FIT requests interleave through TensorOpService while
+// apply_updates, async format upgrades and background compactions fire
+// underneath.  Every response must be BITWISE-equal to the sequential
+// reference of its op on the merged tensor at the snapshot version the
+// response names.
+//
+// Bitwise comparison across ops, formats and racy interleavings is
+// possible because every input lives on the exact power-of-two grid of
+// serve_test_util.hpp: all float and double arithmetic in every kernel
+// is rounding-free, so any accumulation order, any base/delta split and
+// any coalescing produce the identical bit pattern -- for the FIT scalar
+// the double is compared with EXPECT_EQ outright.
+//
+// Like the other `concurrency`-labeled suites, the format pool is
+// simulated-GPU formats plus the sequential reference so the suite is
+// ThreadSanitizer-clean by construction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bcsf/bcsf.hpp"
+#include "serve_test_util.hpp"
+
+namespace bcsf {
+namespace {
+
+using serve_test::append_nonzeros;
+using serve_test::bitwise_equal;
+using serve_test::exact_batch;
+using serve_test::exact_factors;
+using serve_test::exact_tensor;
+using serve_test::run_threads;
+
+/// Ground truth for every op at every recorded snapshot version:
+/// reconstructs "base + all batches with version <= v" and applies the
+/// sequential reference of the op.  Thread-safe recording; lookups happen
+/// after the parallel phase.  Exact arithmetic makes the results
+/// independent of batch order and of service-side compaction.
+class MixedOpOracle {
+ public:
+  MixedOpOracle(SparseTensor base, FactorsPtr factors, FactorsPtr vectors,
+                LambdaPtr lambda)
+      : base_(std::move(base)),
+        factors_(std::move(factors)),
+        vectors_(std::move(vectors)),
+        lambda_(std::move(lambda)) {}
+
+  void record(std::uint64_t version, SparseTensor batch) {
+    std::lock_guard<std::mutex> lock(m_);
+    batches_.emplace_back(version, std::move(batch));
+  }
+
+  const DenseMatrix& expected_matrix(OpKind op, std::uint64_t version,
+                                     index_t mode) {
+    std::lock_guard<std::mutex> lock(m_);
+    const auto key = std::make_tuple(op, version, mode);
+    auto it = matrix_cache_.find(key);
+    if (it != matrix_cache_.end()) return it->second;
+    const SparseTensor merged = merged_at(version);
+    DenseMatrix expected =
+        op == OpKind::kMttkrp ? mttkrp_reference(merged, mode, *factors_)
+                              : ttv_reference(merged, mode, *vectors_);
+    return matrix_cache_.emplace(key, std::move(expected)).first->second;
+  }
+
+  double expected_fit(std::uint64_t version) {
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = fit_cache_.find(version);
+    if (it != fit_cache_.end()) return it->second;
+    const double inner =
+        fit_inner_reference(merged_at(version), *factors_, lambda_.get());
+    return fit_cache_.emplace(version, inner).first->second;
+  }
+
+ private:
+  SparseTensor merged_at(std::uint64_t version) const {
+    SparseTensor merged(base_.dims());
+    append_nonzeros(merged, base_);
+    for (const auto& [v, batch] : batches_) {
+      if (v <= version) append_nonzeros(merged, batch);
+    }
+    return merged;
+  }
+
+  std::mutex m_;
+  SparseTensor base_;
+  FactorsPtr factors_;
+  FactorsPtr vectors_;
+  LambdaPtr lambda_;
+  std::vector<std::pair<std::uint64_t, SparseTensor>> batches_;
+  std::map<std::tuple<OpKind, std::uint64_t, index_t>, DenseMatrix>
+      matrix_cache_;
+  std::map<std::uint64_t, double> fit_cache_;
+};
+
+ServeRequest make_request(const std::string& tensor, OpKind op, index_t mode,
+                          const FactorsPtr& factors, const FactorsPtr& vectors,
+                          const LambdaPtr& lambda) {
+  ServeRequest request;
+  request.tensor = tensor;
+  request.mode = mode;
+  request.op = op;
+  request.factors = op == OpKind::kTtv ? vectors : factors;
+  if (op == OpKind::kFit) request.lambda = lambda;
+  return request;
+}
+
+void check_response(MixedOpOracle& oracle, const ServeResponse& r,
+                    index_t mode) {
+  if (r.op == OpKind::kFit) {
+    EXPECT_EQ(r.output.rows(), 0u);
+    EXPECT_EQ(r.scalar, oracle.expected_fit(r.snapshot_version))
+        << "sequence " << r.sequence << " version " << r.snapshot_version
+        << " served by " << r.served_format;
+  } else {
+    EXPECT_TRUE(bitwise_equal(
+        oracle.expected_matrix(r.op, r.snapshot_version, mode), r.output))
+        << op_name(r.op) << " sequence " << r.sequence << " version "
+        << r.snapshot_version << " served by " << r.served_format;
+  }
+}
+
+/// Exact-grid lambda: multiples of 0.5 in [0.5, 2].
+LambdaPtr exact_lambda(rank_t rank, std::uint64_t seed) {
+  std::mt19937 rng(seed);
+  auto lambda = std::make_shared<std::vector<value_t>>(rank);
+  for (value_t& v : *lambda) {
+    v = 0.5F * static_cast<value_t>(1 + rng() % 4);
+  }
+  return lambda;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic walkthrough: mixed-op waves observe the upgrade swap and
+// the update -> compaction lifecycle, every response bitwise-checked.
+// ---------------------------------------------------------------------------
+
+TEST(MixedOpServe, MixedBatchesStayExactAcrossUpgradeAndCompaction) {
+  const std::vector<index_t> dims = {24, 30, 36};
+  SparseTensor base = exact_tensor(dims, 1800, 19);
+  FactorsPtr factors = exact_factors(dims, 8, 23);
+  FactorsPtr vectors = exact_factors(dims, 1, 29);
+  LambdaPtr lambda = exact_lambda(8, 31);
+  MixedOpOracle oracle(SparseTensor(base), factors, vectors, lambda);
+  std::mt19937 rng(37);
+
+  ServeOptions opts;
+  opts.workers = 4;
+  opts.initial_format = "coo";
+  opts.upgrade_format = "bcsf";
+  // The trigger is gain-weighted: 12 calls/mode in wave 1 = 4 MTTKRP +
+  // 4 FIT + 4 TTV -> effective 8.125, comfortably past 6.
+  opts.upgrade_threshold = 6;
+  opts.compact_threshold = 0.2;
+  opts.compact_min_nnz = 64;
+  TensorOpService service(opts);
+  service.register_tensor("t", share_tensor(std::move(base)));
+
+  auto run_wave = [&](int n) {
+    std::vector<ServeRequest> batch;
+    std::vector<std::pair<OpKind, index_t>> keys;
+    for (int i = 0; i < n; ++i) {
+      // Round-robin ops and modes so every mode sees the same mixed
+      // traffic (deterministic effective-calls accounting above).
+      const OpKind op = kAllOps[static_cast<std::size_t>(i) % kAllOps.size()];
+      const index_t mode =
+          static_cast<index_t>((static_cast<std::size_t>(i) / kAllOps.size()) %
+                               dims.size());
+      batch.push_back(make_request("t", op, mode, factors, vectors, lambda));
+      keys.emplace_back(op, mode);
+    }
+    auto futures = service.submit_batch(std::move(batch));
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const ServeResponse r = futures[i].get();
+      EXPECT_EQ(r.op, keys[i].first);
+      check_response(oracle, r, keys[i].second);
+    }
+  };
+
+  // Phase 1: static serving; mixed traffic jointly crosses the per-mode
+  // threshold (all ops count) and the structured build lands.
+  run_wave(36);
+  service.wait_idle();
+  for (index_t m = 0; m < dims.size(); ++m) {
+    EXPECT_TRUE(service.upgraded("t", static_cast<index_t>(m)));
+    EXPECT_EQ(service.current_format("t", static_cast<index_t>(m)), "bcsf");
+  }
+
+  // Phase 2: updates stream in; every op folds the delta contribution on
+  // top of the structured base plan.
+  for (int i = 0; i < 3; ++i) {
+    SparseTensor batch = exact_batch(dims, 90, rng);
+    oracle.record(service.snapshot_version("t") + 1, SparseTensor(batch));
+    service.apply_updates("t", std::move(batch));
+  }
+  EXPECT_EQ(service.snapshot_version("t"), 3u);
+  run_wave(18);
+
+  // Phase 3: push past the compaction threshold; post-compaction mixed
+  // traffic re-upgrades and serves pure base again.
+  for (int i = 0; i < 2; ++i) {
+    SparseTensor batch = exact_batch(dims, 150, rng);
+    oracle.record(service.snapshot_version("t") + 1, SparseTensor(batch));
+    service.apply_updates("t", std::move(batch));
+  }
+  service.wait_idle();
+  EXPECT_GE(service.compaction_count("t"), 1u);
+  run_wave(18);
+  service.wait_idle();
+
+  auto fit_future = service.submit(
+      make_request("t", OpKind::kFit, 0, factors, vectors, lambda));
+  const ServeResponse fit = fit_future.get();
+  EXPECT_EQ(fit.delta_nnz, 0u) << "post-compaction serving is pure base";
+  EXPECT_EQ(fit.scalar, oracle.expected_fit(fit.snapshot_version));
+}
+
+// The upgrade trigger is gain-weighted: rank-1 TTV calls recoup ~1/R of
+// an MTTKRP call's build cost, so a TTV-only stream counts at
+// ttv_gain_fraction weight and must NOT launch the structured build at
+// an MTTKRP-equivalent threshold -- while a handful of full-rank calls
+// on top tips it over.
+TEST(MixedOpServe, TtvOnlyTrafficDiscountsTowardUpgrade) {
+  const std::vector<index_t> dims = {20, 24, 28};
+  SparseTensor base = exact_tensor(dims, 1200, 41);
+  FactorsPtr factors = exact_factors(dims, 8, 43);
+  FactorsPtr vectors = exact_factors(dims, 1, 47);
+
+  ServeOptions opts;
+  opts.workers = 2;
+  opts.upgrade_format = "bcsf";
+  opts.upgrade_threshold = 8;
+  TensorOpService service(opts);
+  service.register_tensor("t", share_tensor(std::move(base)));
+
+  // 60 TTV calls on mode 0: effective traffic 60/32 < 2, far under 8.
+  std::vector<ServeRequest> ttv_batch(
+      60, make_request("t", OpKind::kTtv, 0, factors, vectors, nullptr));
+  for (auto& f : service.submit_batch(std::move(ttv_batch))) f.get();
+  service.wait_idle();
+  EXPECT_FALSE(service.upgraded("t", 0))
+      << "rank-1 traffic alone must not pay for a structured build";
+
+  // 7 full-rank MTTKRP calls push effective past 8 (7 + 60/32 = 8.875).
+  std::vector<ServeRequest> mttkrp_batch(
+      7, make_request("t", OpKind::kMttkrp, 0, factors, vectors, nullptr));
+  for (auto& f : service.submit_batch(std::move(mttkrp_batch))) f.get();
+  service.wait_idle();
+  EXPECT_TRUE(service.upgraded("t", 0));
+  EXPECT_EQ(service.current_format("t", 0), "bcsf");
+}
+
+// ---------------------------------------------------------------------------
+// Randomized interleavings: query threads submit a random op stream while
+// updater threads race them and upgrades/compactions fire underneath.
+// ---------------------------------------------------------------------------
+
+TEST(MixedOpServe, RacingMixedOpsUpdatesAndCompactionsStayExact) {
+  const std::vector<std::string> upgrade_pool = {"bcsf", "csl", "auto",
+                                                 "gpu-csf"};
+  for (int trial = 0; trial < 3; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const index_t order = (trial % 2 == 0) ? 3 : 4;
+    std::vector<index_t> dims;
+    for (index_t m = 0; m < order; ++m) {
+      dims.push_back(16 + 6 * ((trial + m) % 3));
+    }
+    const rank_t rank = (trial % 2) ? 4 : 8;
+    SparseTensor base = exact_tensor(dims, 1400, 200 + trial);
+    FactorsPtr factors = exact_factors(dims, rank, 11 * trial + 1);
+    FactorsPtr vectors = exact_factors(dims, 1, 13 * trial + 2);
+    // Alternate between explicit exact weights and the all-ones default.
+    LambdaPtr lambda =
+        (trial % 2 == 0) ? exact_lambda(rank, 17 * trial + 3) : nullptr;
+    MixedOpOracle oracle(SparseTensor(base), factors, vectors, lambda);
+
+    ServeOptions opts;
+    opts.workers = 2 + trial;
+    opts.initial_format = (trial % 2) ? "reference" : "coo";
+    opts.upgrade_format = upgrade_pool[trial % upgrade_pool.size()];
+    opts.upgrade_threshold = 5 + trial;
+    opts.compact_threshold = 0.12;
+    opts.compact_min_nnz = 32;
+    TensorOpService service(opts);
+    service.register_tensor("x", share_tensor(std::move(base)));
+
+    constexpr int kQueryThreads = 4;
+    constexpr int kUpdateThreads = 2;
+    constexpr int kQueriesPerThread = 15;
+    constexpr int kBatchesPerThread = 7;
+
+    struct Observed {
+      OpKind op;
+      index_t mode;
+      std::uint64_t version;
+      DenseMatrix output;
+      double scalar;
+    };
+    std::vector<std::vector<Observed>> observed(kQueryThreads);
+    std::atomic<bool> version_zero_seen{false};
+
+    run_threads(kQueryThreads + kUpdateThreads, [&](int i) {
+      std::mt19937 rng(7000 + 41 * trial + i);
+      if (i < kQueryThreads) {
+        for (int q = 0; q < kQueriesPerThread; ++q) {
+          const OpKind op = kAllOps[rng() % kAllOps.size()];
+          const index_t mode = static_cast<index_t>(rng() % order);
+          ServeResponse r =
+              service.submit(make_request("x", op, mode, factors, vectors,
+                                          lambda))
+                  .get();
+          observed[i].push_back({op, mode, r.snapshot_version,
+                                 std::move(r.output), r.scalar});
+        }
+      } else {
+        for (int b = 0; b < kBatchesPerThread; ++b) {
+          SparseTensor batch = exact_batch(dims, 20 + rng() % 50, rng);
+          SparseTensor copy(batch);
+          const std::uint64_t version =
+              service.apply_updates("x", std::move(batch));
+          oracle.record(version, std::move(copy));
+          if (version == 0) version_zero_seen.store(true);
+        }
+      }
+    });
+    service.wait_idle();
+    EXPECT_FALSE(version_zero_seen.load());
+
+    std::uint64_t max_version_seen = 0;
+    for (int i = 0; i < kQueryThreads; ++i) {
+      std::uint64_t previous = 0;
+      for (std::size_t q = 0; q < observed[i].size(); ++q) {
+        const Observed& o = observed[i][q];
+        SCOPED_TRACE("thread " + std::to_string(i) + " query " +
+                     std::to_string(q) + " op " + op_name(o.op));
+        EXPECT_GE(o.version, previous)
+            << "versions must be monotone along a serial submit->get chain";
+        previous = o.version;
+        max_version_seen = std::max(max_version_seen, o.version);
+        if (o.op == OpKind::kFit) {
+          EXPECT_EQ(o.scalar, oracle.expected_fit(o.version));
+        } else {
+          EXPECT_TRUE(bitwise_equal(
+              oracle.expected_matrix(o.op, o.version, o.mode), o.output));
+        }
+      }
+    }
+    // The interleaving genuinely exercised the dynamic path.
+    EXPECT_GT(max_version_seen, 0u);
+    EXPECT_GE(service.snapshot_version("x"),
+              static_cast<std::uint64_t>(kUpdateThreads * kBatchesPerThread));
+  }
+}
+
+}  // namespace
+}  // namespace bcsf

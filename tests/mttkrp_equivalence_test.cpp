@@ -209,18 +209,19 @@ INSTANTIATE_TEST_SUITE_P(Sweep, RegistryEquivalence, ::testing::Range(0, 5),
                            return scenarios()[info.param].name;
                          });
 
-TEST(MttkrpRegistry, BuildAndRunCoversAllKinds) {
+TEST(MttkrpRegistry, GpuCatalogueBuildsAndRunsByName) {
   const SparseTensor x = generate_uniform({20, 20, 20}, 500, 9);
   const auto factors = make_random_factors(x.dims(), 8, 10);
   const DenseMatrix ref = mttkrp_reference(x, 0, factors);
-  GpuRunOptions opts;
+  PlanOptions opts;
   opts.device = DeviceModel::tiny();
-  for (GpuKernelKind kind :
-       {GpuKernelKind::kCsf, GpuKernelKind::kBcsf, GpuKernelKind::kHbcsf,
-        GpuKernelKind::kCoo, GpuKernelKind::kFcoo}) {
-    const TimedGpuResult r = build_and_run(kind, x, 0, factors, opts);
-    EXPECT_LT(ref.max_abs_diff(r.run.output), 1e-2) << kind_name(kind);
-    EXPECT_GE(r.build_seconds, 0.0);
+  const std::vector<std::string> gpu_names =
+      FormatRegistry::instance().names(PlanKind::kGpu);
+  EXPECT_EQ(gpu_names.size(), 6u);
+  for (const std::string& name : gpu_names) {
+    const PlanPtr plan = FormatRegistry::instance().create(name, x, 0, opts);
+    EXPECT_LT(ref.max_abs_diff(plan->run(factors).output), 1e-2) << name;
+    EXPECT_GE(plan->build_seconds(), 0.0);
   }
 }
 

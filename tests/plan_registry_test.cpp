@@ -44,14 +44,36 @@ TEST(FormatRegistry, RejectsDuplicateAndOutOfRangeMode) {
   EXPECT_THROW(r.create("coo", small_tensor(), 3), Error);
 }
 
-TEST(FormatRegistry, EnumShimMapsToRegistryNames) {
-  for (GpuKernelKind kind :
-       {GpuKernelKind::kCsf, GpuKernelKind::kBcsf, GpuKernelKind::kHbcsf,
-        GpuKernelKind::kCoo, GpuKernelKind::kFcoo}) {
-    const auto& entry = FormatRegistry::instance().at(kind_format_name(kind));
-    EXPECT_EQ(entry.display_name, kind_name(kind));
+TEST(FormatRegistry, GpuCatalogueCarriesThePaperNames) {
+  const std::map<std::string, std::string> display = {
+      {"gpu-csf", "GPU-CSF"}, {"bcsf", "B-CSF"}, {"hbcsf", "HB-CSF"},
+      {"coo", "ParTI-COO"},   {"fcoo", "F-COO"}, {"csl", "CSL"}};
+  for (const auto& [name, paper_name] : display) {
+    const auto& entry = FormatRegistry::instance().at(name);
+    EXPECT_EQ(entry.display_name, paper_name);
     EXPECT_EQ(entry.kind, PlanKind::kGpu);
   }
+}
+
+TEST(FormatRegistry, EveryFormatDeclaresFullOpSupport) {
+  const FormatRegistry& r = FormatRegistry::instance();
+  for (const std::string& name : r.names()) {
+    for (OpKind op : kAllOps) {
+      EXPECT_TRUE(r.supports(name, op)) << name << " " << op_name(op);
+    }
+    EXPECT_EQ(r.at(name).ops, kAllOpsMask) << name;
+  }
+  for (OpKind op : kAllOps) {
+    EXPECT_EQ(r.names(op), r.names()) << op_name(op);
+  }
+  EXPECT_FALSE(r.supports("no-such-format", OpKind::kMttkrp));
+}
+
+TEST(OpProtocol, NamesRoundTrip) {
+  for (OpKind op : kAllOps) {
+    EXPECT_EQ(op_from_name(op_name(op)), op);
+  }
+  EXPECT_THROW(op_from_name("spmv"), Error);
 }
 
 TEST(PlanCache, BuildsOncePerFormatModePair) {

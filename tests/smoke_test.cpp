@@ -22,15 +22,18 @@ TEST(Smoke, AllKernelsAgreeOnPowerLawTensor) {
   const auto factors = make_random_factors(x.dims(), rank, 99);
   const DeviceModel device = DeviceModel::p100();
 
+  PlanOptions opts;
+  opts.device = device;
   for (index_t mode = 0; mode < x.order(); ++mode) {
     const DenseMatrix ref = mttkrp_reference(x, mode, factors);
-    for (GpuKernelKind kind :
-         {GpuKernelKind::kCsf, GpuKernelKind::kBcsf, GpuKernelKind::kHbcsf,
-          GpuKernelKind::kCoo, GpuKernelKind::kFcoo}) {
-      const TimedGpuResult r = build_and_run(kind, x, mode, factors);
-      EXPECT_LT(ref.max_abs_diff(r.run.output), 1e-2)
-          << kind_name(kind) << " mode " << mode;
-      EXPECT_GT(r.run.report.gflops, 0.0) << kind_name(kind);
+    for (const std::string& name :
+         FormatRegistry::instance().names(PlanKind::kGpu)) {
+      const PlanPtr plan = FormatRegistry::instance().create(name, x, mode,
+                                                             opts);
+      const PlanRunResult r = plan->run(factors);
+      EXPECT_LT(ref.max_abs_diff(r.output), 1e-2)
+          << plan->display_name() << " mode " << mode;
+      EXPECT_GT(r.report.gflops, 0.0) << plan->display_name();
     }
   }
 }

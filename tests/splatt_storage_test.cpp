@@ -2,9 +2,9 @@
 // the cross-format storage accounting of SS III / Fig. 16.
 #include <gtest/gtest.h>
 
+#include "core/factors.hpp"
 #include "formats/storage.hpp"
 #include "kernels/mttkrp.hpp"
-#include "kernels/registry.hpp"
 #include "kernels/splatt.hpp"
 #include "tensor/generator.hpp"
 #include "util/error.hpp"
