@@ -1,10 +1,18 @@
 // Serving-layer throughput: requests/sec through TensorOpService as the
-// worker pool grows (DESIGN.md §5-§7).  Each run fires a fixed request
+// worker pool grows (DESIGN.md §5-§8).  Each run fires a fixed request
 // load (round-robin over modes, shared factor set) at a fresh service and
 // times admission-to-drain; the table also reports per-request latency
 // percentiles and how much of the traffic was served before vs after the
 // async B-CSF upgrade, so the serve-then-upgrade amortization story is
 // visible in one row.
+//
+// --shards=K,K,... runs the whole sweep once per shard count
+// (ServeOptions::shards, DESIGN.md §8).  Each row additionally records
+// TIME-TO-STRUCTURED -- the wall time until every shard of mode 0 swapped
+// in its structured plan, polled between waves -- and the per-shard
+// build seconds, so the parallel-shard-build win (K builds of nnz/K
+// overlapping on the pool vs one monolithic sort) is measurable:
+// compare the time_to_structured_ms of --shards=4 against --shards=1.
 //
 // --op-mix=W:W:W sets integer weights for the mttkrp:ttv:fit traffic mix
 // (default 1:0:0 = the MTTKRP-only workload of earlier baselines); ops
@@ -15,17 +23,19 @@
 // before the next) rather than one burst, so the background upgrade task
 // gets pool time mid-run exactly as it would under continuous load.
 // With --update-every=N an additive COO update batch is applied every N
-// requests, exercising the snapshot/delta/compaction path of §6; the
-// compaction count and final snapshot version land in the output.
+// requests, exercising the snapshot/delta/compaction path of §6 (routed
+// per shard under §8: only the shards a batch touches version-bump or
+// compact).
 //
 // --json <path> additionally writes the machine-readable result record
 // described by bench/schema/BENCH_serve.schema.json (the perf-trajectory
-// format; BENCH_serve.json at the repo root is a committed baseline).
+// format, BENCH_serve/v3; BENCH_serve.json at the repo root is a
+// committed baseline).
 //
 //   ./serve_throughput [--requests=N] [--batch=N] [--nnz=N] [--rank=R]
-//                      [--threads=1,2,4,8] [--threshold=N] [--format=bcsf]
-//                      [--op-mix=4:2:1] [--update-every=N] [--update-nnz=N]
-//                      [--json=path]
+//                      [--threads=1,2,4,8] [--shards=1,4] [--threshold=N]
+//                      [--format=bcsf] [--op-mix=4:2:1] [--update-every=N]
+//                      [--update-nnz=N] [--json=path]
 #include "bench_util.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
@@ -56,17 +66,27 @@ struct OpStats {
   double p99_ms = 0.0;
 };
 
+struct ShardTiming {
+  double build_s = 0.0;  ///< build work in the shard's final generation
+  bool upgraded = false; ///< structured delegate live for mode 0 at drain
+};
+
 struct RunRow {
+  unsigned shards = 1;
   unsigned workers = 0;
   double req_per_s = 0.0;
   double wall_ms = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  /// Wall ms until EVERY shard of mode 0 served structured (polled per
+  /// wave; -1 = the upgrade never landed during the run).
+  double time_to_structured_ms = -1.0;
   int pre_upgrade = 0;
   int post_upgrade = 0;
   std::string final_format;
   std::uint64_t compactions = 0;
   std::uint64_t final_version = 0;
+  std::vector<ShardTiming> shard_timings;
   OpStats ops[3];  // indexed by OpKind
 };
 
@@ -106,6 +126,15 @@ bcsf::OpKind op_for_request(int issued, const std::array<int, 3>& weights) {
   return bcsf::OpKind::kFit;
 }
 
+std::vector<unsigned> parse_unsigned_list(const std::string& spec) {
+  std::vector<unsigned> out;
+  std::stringstream ss(spec);
+  for (std::string tok; std::getline(ss, tok, ',');) {
+    out.push_back(static_cast<unsigned>(std::stoul(tok)));
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -123,20 +152,18 @@ int main(int argc, char** argv) {
   const int update_every = static_cast<int>(cli.get_int("update-every", 0));
   const offset_t update_nnz =
       static_cast<offset_t>(cli.get_int("update-nnz", 2000));
+  const std::string shard_spec = cli.get_string("shards", "1");
   const std::string json_path = cli.get_string("json", "");
 
-  std::vector<unsigned> thread_counts;
-  {
-    std::stringstream ss(cli.get_string("threads", "1,2,4,8"));
-    for (std::string tok; std::getline(ss, tok, ',');) {
-      thread_counts.push_back(static_cast<unsigned>(std::stoul(tok)));
-    }
-  }
+  const std::vector<unsigned> thread_counts =
+      parse_unsigned_list(cli.get_string("threads", "1,2,4,8"));
+  const std::vector<unsigned> shard_counts = parse_unsigned_list(shard_spec);
 
   print_header("Serving throughput -- requests/sec vs worker count",
                "async COO -> " + upgrade + " upgrade at " +
                    std::to_string(static_cast<long>(threshold)) + " calls" +
-                   ", op mix mttkrp:ttv:fit = " + op_mix +
+                   ", op mix mttkrp:ttv:fit = " + op_mix + ", shards = " +
+                   shard_spec +
                    (update_every > 0
                         ? ", update every " + std::to_string(update_every) +
                               " requests"
@@ -160,97 +187,117 @@ int main(int argc, char** argv) {
 
   std::mt19937 update_rng(4711);
   std::vector<RunRow> rows;
-  Table table({"workers", "req/s", "wall (ms)", "p50 (ms)", "p99 (ms)",
-               "pre-upgrade", "post-upgrade", "final format", "compactions"});
-  for (unsigned workers : thread_counts) {
-    ServeOptions opts;
-    opts.workers = workers;
-    opts.upgrade_format = upgrade;
-    opts.upgrade_threshold = threshold;
-    MttkrpService service(opts);
-    service.register_tensor("bench", share_tensor(SparseTensor(base)));
+  Table table({"shards", "workers", "req/s", "wall (ms)", "p50 (ms)",
+               "p99 (ms)", "t->struct (ms)", "pre-upgrade", "post-upgrade",
+               "final format", "compactions"});
+  for (unsigned shards : shard_counts) {
+    for (unsigned workers : thread_counts) {
+      ServeOptions opts;
+      opts.workers = workers;
+      opts.shards = shards;
+      opts.upgrade_format = upgrade;
+      opts.upgrade_threshold = threshold;
+      MttkrpService service(opts);
+      service.register_tensor("bench", share_tensor(SparseTensor(base)));
 
-    using clock = std::chrono::steady_clock;
-    Timer timer;
-    RunRow row;
-    row.workers = workers;
-    std::vector<double> latencies_ms;
-    latencies_ms.reserve(static_cast<std::size_t>(requests));
-    std::vector<double> op_latencies_ms[3];
-    for (int issued = 0; issued < requests;) {
-      std::vector<ServeRequest> batch;
-      batch.reserve(batch_size);
-      for (int i = 0; i < batch_size && issued < requests; ++i, ++issued) {
-        if (update_every > 0 && issued > 0 && issued % update_every == 0) {
-          SparseTensor updates(base.dims());
-          std::vector<index_t> coords(base.dims().size());
-          for (offset_t z = 0; z < update_nnz; ++z) {
-            for (std::size_t m = 0; m < coords.size(); ++m) {
-              coords[m] = static_cast<index_t>(update_rng() % base.dims()[m]);
+      using clock = std::chrono::steady_clock;
+      Timer timer;
+      RunRow row;
+      row.shards = shards;
+      row.workers = workers;
+      std::vector<double> latencies_ms;
+      latencies_ms.reserve(static_cast<std::size_t>(requests));
+      std::vector<double> op_latencies_ms[3];
+      for (int issued = 0; issued < requests;) {
+        std::vector<ServeRequest> batch;
+        batch.reserve(batch_size);
+        for (int i = 0; i < batch_size && issued < requests; ++i, ++issued) {
+          if (update_every > 0 && issued > 0 && issued % update_every == 0) {
+            SparseTensor updates(base.dims());
+            std::vector<index_t> coords(base.dims().size());
+            for (offset_t z = 0; z < update_nnz; ++z) {
+              for (std::size_t m = 0; m < coords.size(); ++m) {
+                coords[m] = static_cast<index_t>(update_rng() % base.dims()[m]);
+              }
+              updates.push_back(coords, 1.0F);
             }
-            updates.push_back(coords, 1.0F);
+            service.apply_updates("bench", std::move(updates));
           }
-          service.apply_updates("bench", std::move(updates));
+          ServeRequest request;
+          request.tensor = "bench";
+          request.mode = static_cast<index_t>(issued % base.order());
+          request.op = op_for_request(issued, op_weights);
+          request.factors = request.op == OpKind::kTtv ? vectors : factors;
+          batch.push_back(std::move(request));
         }
-        ServeRequest request;
-        request.tensor = "bench";
-        request.mode = static_cast<index_t>(issued % base.order());
-        request.op = op_for_request(issued, op_weights);
-        request.factors = request.op == OpKind::kTtv ? vectors : factors;
-        batch.push_back(std::move(request));
-      }
-      const clock::time_point submitted = clock::now();
-      // Drain by polling ALL outstanding futures instead of get()-ing in
-      // submission order: each request's latency is stamped when ITS
-      // future becomes ready, so the per-op percentiles measure op cost
-      // rather than the request's slot position within the wave.
-      auto futures = service.submit_batch(std::move(batch));
-      std::vector<bool> done(futures.size(), false);
-      std::size_t remaining = futures.size();
-      while (remaining > 0) {
-        for (std::size_t i = 0; i < futures.size(); ++i) {
-          if (done[i] || futures[i].wait_for(std::chrono::microseconds(50)) !=
-                             std::future_status::ready) {
-            continue;
+        const clock::time_point submitted = clock::now();
+        // Drain by polling ALL outstanding futures instead of get()-ing in
+        // submission order: each request's latency is stamped when ITS
+        // future becomes ready, so the per-op percentiles measure op cost
+        // rather than the request's slot position within the wave.
+        auto futures = service.submit_batch(std::move(batch));
+        std::vector<bool> done(futures.size(), false);
+        std::size_t remaining = futures.size();
+        while (remaining > 0) {
+          for (std::size_t i = 0; i < futures.size(); ++i) {
+            if (done[i] || futures[i].wait_for(std::chrono::microseconds(50)) !=
+                               std::future_status::ready) {
+              continue;
+            }
+            const double latency = std::chrono::duration<double, std::milli>(
+                                       clock::now() - submitted)
+                                       .count();
+            const ServeResponse response = futures[i].get();
+            done[i] = true;
+            --remaining;
+            (response.upgraded ? row.post_upgrade : row.pre_upgrade)++;
+            latencies_ms.push_back(latency);
+            op_latencies_ms[static_cast<int>(response.op)].push_back(latency);
           }
-          const double latency = std::chrono::duration<double, std::milli>(
-                                     clock::now() - submitted)
-                                     .count();
-          const ServeResponse response = futures[i].get();
-          done[i] = true;
-          --remaining;
-          (response.upgraded ? row.post_upgrade : row.pre_upgrade)++;
-          latencies_ms.push_back(latency);
-          op_latencies_ms[static_cast<int>(response.op)].push_back(latency);
+        }
+        // Time-to-structured: first wave boundary where EVERY shard of
+        // mode 0 serves its structured delegate.  With K shards the K
+        // builds of nnz/K overlap on the pool, so this lands earlier
+        // than one monolithic build -- the §8 headline.
+        if (row.time_to_structured_ms < 0 && service.upgraded("bench", 0)) {
+          row.time_to_structured_ms = timer.seconds() * 1e3;
         }
       }
-    }
-    service.wait_idle();
-    const double seconds = timer.seconds();
+      service.wait_idle();
+      if (row.time_to_structured_ms < 0 && service.upgraded("bench", 0)) {
+        row.time_to_structured_ms = timer.seconds() * 1e3;
+      }
+      const double seconds = timer.seconds();
 
-    row.req_per_s = requests / seconds;
-    row.wall_ms = seconds * 1e3;
-    row.p50_ms = percentile(latencies_ms, 50.0);
-    row.p99_ms = percentile(latencies_ms, 99.0);
-    row.final_format = service.current_format("bench", 0);
-    row.compactions = service.compaction_count("bench");
-    row.final_version = service.snapshot_version("bench");
-    for (int op = 0; op < 3; ++op) {
-      row.ops[op].count = static_cast<int>(op_latencies_ms[op].size());
-      row.ops[op].p50_ms = percentile(op_latencies_ms[op], 50.0);
-      row.ops[op].p99_ms = percentile(op_latencies_ms[op], 99.0);
+      row.req_per_s = requests / seconds;
+      row.wall_ms = seconds * 1e3;
+      row.p50_ms = percentile(latencies_ms, 50.0);
+      row.p99_ms = percentile(latencies_ms, 99.0);
+      row.final_format = service.current_format("bench", 0);
+      row.compactions = service.compaction_count("bench");
+      row.final_version = service.snapshot_version("bench");
+      for (const auto& status : service.shard_status("bench", 0)) {
+        row.shard_timings.push_back(
+            ShardTiming{status.build_seconds, status.upgraded});
+      }
+      for (int op = 0; op < 3; ++op) {
+        row.ops[op].count = static_cast<int>(op_latencies_ms[op].size());
+        row.ops[op].p50_ms = percentile(op_latencies_ms[op], 50.0);
+        row.ops[op].p99_ms = percentile(op_latencies_ms[op], 99.0);
+      }
+      table.row(row.shards, row.workers, static_cast<long>(row.req_per_s),
+                row.wall_ms, row.p50_ms, row.p99_ms,
+                row.time_to_structured_ms, row.pre_upgrade, row.post_upgrade,
+                row.final_format, static_cast<long>(row.compactions));
+      rows.push_back(row);
     }
-    table.row(row.workers, static_cast<long>(row.req_per_s), row.wall_ms,
-              row.p50_ms, row.p99_ms, row.pre_upgrade, row.post_upgrade,
-              row.final_format, static_cast<long>(row.compactions));
-    rows.push_back(row);
   }
   table.print();
 
   if (op_weights[1] + op_weights[2] > 0) {
     std::cout << "\nper-op latency (count / p50 ms / p99 ms):\n";
     for (const RunRow& r : rows) {
-      std::cout << "  workers=" << r.workers;
+      std::cout << "  shards=" << r.shards << " workers=" << r.workers;
       for (OpKind op : kAllOps) {
         const OpStats& s = r.ops[static_cast<int>(op)];
         std::cout << "  " << op_name(op) << " " << s.count << " / " << s.p50_ms
@@ -267,7 +314,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << "{\n"
-        << "  \"schema\": \"BENCH_serve/v2\",\n"
+        << "  \"schema\": \"BENCH_serve/v3\",\n"
         << "  \"bench\": \"serve_throughput\",\n"
         << "  \"config\": {\n"
         << "    \"requests\": " << requests << ",\n"
@@ -277,21 +324,30 @@ int main(int argc, char** argv) {
         << "    \"upgrade_format\": \"" << upgrade << "\",\n"
         << "    \"upgrade_threshold\": " << threshold << ",\n"
         << "    \"op_mix\": \"" << op_mix << "\",\n"
+        << "    \"shards\": \"" << shard_spec << "\",\n"
         << "    \"update_every\": " << update_every << ",\n"
         << "    \"update_nnz\": " << update_nnz << "\n"
         << "  },\n"
         << "  \"rows\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const RunRow& r = rows[i];
-      out << "    {\"workers\": " << r.workers
+      out << "    {\"shards\": " << r.shards << ", \"workers\": " << r.workers
           << ", \"req_per_s\": " << r.req_per_s
           << ", \"wall_ms\": " << r.wall_ms << ", \"p50_ms\": " << r.p50_ms
           << ", \"p99_ms\": " << r.p99_ms
+          << ", \"time_to_structured_ms\": " << r.time_to_structured_ms
           << ", \"pre_upgrade\": " << r.pre_upgrade
           << ", \"post_upgrade\": " << r.post_upgrade
           << ", \"final_format\": \"" << r.final_format << "\""
           << ", \"compactions\": " << r.compactions
-          << ", \"final_version\": " << r.final_version << ", \"ops\": {";
+          << ", \"final_version\": " << r.final_version
+          << ", \"shard_builds\": [";
+      for (std::size_t s = 0; s < r.shard_timings.size(); ++s) {
+        out << (s == 0 ? "" : ", ") << "{\"build_s\": "
+            << r.shard_timings[s].build_s << ", \"upgraded\": "
+            << (r.shard_timings[s].upgraded ? "true" : "false") << "}";
+      }
+      out << "], \"ops\": {";
       for (OpKind op : kAllOps) {
         const OpStats& s = r.ops[static_cast<int>(op)];
         out << (op == OpKind::kMttkrp ? "" : ", ") << "\"" << op_name(op)

@@ -14,6 +14,7 @@
 #include "core/auto_policy.hpp"
 #include "core/factors.hpp"
 #include "core/format_registry.hpp"
+#include "core/sharded_plan.hpp"
 #include "core/tensor_op.hpp"
 #include "core/tensor_op_plan.hpp"
 #include "cpd/cpd_als.hpp"
@@ -40,6 +41,7 @@
 #include "tensor/datasets.hpp"
 #include "tensor/dynamic_tensor.hpp"
 #include "tensor/frostt_io.hpp"
+#include "tensor/partitioner.hpp"
 #include "tensor/generator.hpp"
 #include "tensor/sparse_tensor.hpp"
 #include "tensor/tensor_stats.hpp"

@@ -28,6 +28,7 @@ AutoDecision auto_select_format(const ModeStats& stats,
     d.rationale = "empty tensor: nothing to amortize";
     return d;
   }
+  d.shards = auto_shard_count(stats.nnz, opts);
 
   // Fig-10 break-even gate.  Costs are in units of one per-nonzero MTTKRP
   // step; only the ratio matters for the break-even count.
@@ -83,6 +84,14 @@ AutoDecision auto_select_format(const ModeStats& stats,
   why << "; breakeven " << d.breakeven_calls << " calls";
   d.rationale = why.str();
   return d;
+}
+
+unsigned auto_shard_count(offset_t nnz, const AutoPolicyOptions& opts) {
+  if (opts.saturation_nnz == 0 || nnz == 0) return 1;
+  const offset_t per_saturation = nnz / opts.saturation_nnz;
+  const unsigned cap = std::max(1u, opts.max_shards);
+  return static_cast<unsigned>(
+      std::clamp<offset_t>(per_saturation, 1, cap));
 }
 
 std::string AutoDecision::to_string() const {

@@ -50,6 +50,10 @@ struct AutoPolicyOptions {
   /// kernels cannot convert balance into speed and the per-call gain
   /// shrinks proportionally.
   offset_t saturation_nnz = 1 << 16;
+  /// Upper bound for auto_shard_count (DESIGN.md §8): shard builds run in
+  /// parallel on the serving pool, so more shards than the pool can chew
+  /// (or than the partitioner can keep balanced) buys nothing.
+  unsigned max_shards = 16;
 };
 
 struct AutoDecision {
@@ -63,6 +67,10 @@ struct AutoDecision {
   /// Estimated calls for a structured build to pay for itself; infinite
   /// when structure yields no per-call gain.
   double breakeven_calls = 0.0;
+  /// Recommended nnz-balanced shard count (auto_shard_count at the
+  /// policy's saturation term): 1 below device saturation, growing with
+  /// nnz so each shard still saturates on its own.
+  unsigned shards = 1;
   std::string rationale;  ///< one human-readable sentence
 
   std::string to_string() const;
@@ -75,5 +83,13 @@ AutoDecision auto_select_format(const SparseTensor& tensor, index_t mode,
                                 const AutoPolicyOptions& opts = {});
 AutoDecision auto_select_format(const ModeStats& stats,
                                 const AutoPolicyOptions& opts = {});
+
+/// Prices the nnz-balanced shard count for a tensor (DESIGN.md §8): one
+/// shard per `saturation_nnz` nonzeros -- a shard below saturation cannot
+/// convert its balanced structure into speed, the same term that gates
+/// the Fig-10 break-even -- clamped to [1, max_shards].  Small tensors
+/// therefore stay monolithic and a 100M-nnz tensor splits into enough
+/// shards to pipeline builds/compactions without starving any kernel.
+unsigned auto_shard_count(offset_t nnz, const AutoPolicyOptions& opts = {});
 
 }  // namespace bcsf

@@ -12,6 +12,7 @@
 
 #include "core/auto_policy.hpp"
 #include "core/format_registry.hpp"
+#include "core/sharded_plan.hpp"
 #include "formats/csf.hpp"
 #include "formats/csl.hpp"
 #include "formats/hbcsf.hpp"
@@ -428,6 +429,14 @@ FormatRegistrar r_cpu_hicoo{
 FormatRegistrar r_auto{
     {"auto", "Auto", "picks COO/CSL/B-CSF/HB-CSF per §V + Fig-10 break-even",
      PlanKind::kMeta, true, make<AutoPlan>()}};
+
+// Implemented in core/sharded_plan.cpp; registered here so this file
+// stays the one catalogue of existing formats (and the linker anchor
+// keeps the entry alive in static-archive consumers).
+FormatRegistrar r_sharded{
+    {"sharded", "Sharded",
+     "K nnz-balanced slice-range shards, one inner plan each (§8)",
+     PlanKind::kMeta, true, make<ShardedPlan>()}};
 
 }  // namespace
 }  // namespace bcsf

@@ -47,12 +47,36 @@
 
 namespace bcsf {
 
+class ThreadPool;  // util/thread_pool.hpp; forward-declared to keep the
+                   // plan header free of threading machinery
+
+/// Knobs for the "sharded" meta format (core/sharded_plan.hpp,
+/// DESIGN.md §8): how many nnz-balanced shards to cut the tensor into
+/// and what to build per shard.
+struct ShardingOptions {
+  /// Number of shards; 1 = monolithic (a pass-through around one inner
+  /// plan), 0 = let auto_shard_count price K from nnz and device
+  /// saturation.  Always clamped so every shard is non-empty.
+  unsigned shards = 1;
+  /// Registry key built per shard.  "auto" re-runs the §V policy on each
+  /// shard's own slice population, so dense shards go structured while
+  /// sparse tails stay COO.  Must not itself be "sharded".
+  std::string shard_format = "auto";
+  /// Optional worker pool for PARALLEL shard builds and executions.  The
+  /// calling thread always participates (util/thread_pool.hpp run_tasks),
+  /// so passing a pool the caller is itself running on cannot deadlock.
+  /// Null = sequential.  Non-owning; the pool must outlive the plan.
+  ThreadPool* pool = nullptr;
+};
+
 /// Everything a plan factory may need beyond (tensor, mode).  One struct
 /// so adding a knob for a new format does not ripple through signatures.
 struct PlanOptions {
   DeviceModel device = DeviceModel::p100();
   BcsfOptions bcsf;
   FcooOptions fcoo;
+  /// Consumed by the "sharded" meta format only (other formats ignore it).
+  ShardingOptions sharding;
   /// Expected number of plan executions; drives the `auto` policy's
   /// Fig-10 break-even decision (CPD-ALS: iterations per mode).
   double expected_mttkrp_calls = 50.0;

@@ -38,12 +38,24 @@ CpdResult cpd_als(TensorPtr tensor, const CpdOptions& options) {
   // Each (format, mode) plan serves ONE MTTKRP per iteration; its build
   // amortizes against that mode's calls only, not the tensor aggregate.
   plan_opts.expected_mttkrp_calls = static_cast<double>(options.max_iterations);
+  // Sharded ALS (DESIGN.md §8): wrap the requested backend in the
+  // "sharded" meta format, which partitions each mode along itself and
+  // reduces per-shard MTTKRP/FIT runs in double -- exact, and the K
+  // smaller builds replace one monolithic sort per mode.
+  std::string format = options.format;
+  if (format == "sharded") {
+    plan_opts.sharding.shards = options.shards;
+  } else if (options.shards != 1) {
+    plan_opts.sharding.shards = options.shards;
+    plan_opts.sharding.shard_format = format;
+    format = "sharded";
+  }
   ConcurrentPlanCache cache(std::move(tensor), plan_opts);
   std::vector<SharedPlan> mode_plans;
   mode_plans.reserve(order);
   result.mode_formats.reserve(order);
   for (index_t m = 0; m < order; ++m) {
-    mode_plans.push_back(cache.get(options.format, m));
+    mode_plans.push_back(cache.get(format, m));
     result.mode_formats.push_back(mode_plans.back()->resolved_format());
   }
   result.preprocessing_seconds = cache.total_build_seconds();

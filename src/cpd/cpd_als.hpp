@@ -44,8 +44,15 @@ struct CpdOptions {
   std::uint64_t seed = 7;
   /// FormatRegistry key of the MTTKRP backend.  "reference" is the
   /// sequential ground truth, "cpu-csf" the SPLATT-style OpenMP kernel,
-  /// "hbcsf" the paper's system, "auto" the §V + Fig-10 selection policy.
+  /// "hbcsf" the paper's system, "auto" the §V + Fig-10 selection policy,
+  /// "sharded" K nnz-balanced shard plans reduced per call (§8).
   std::string format = "cpu-csf";
+  /// Nnz-balanced shards per mode plan (DESIGN.md §8).  1 = monolithic;
+  /// 0 = auto_shard_count pricing; K != 1 wraps `format` in the
+  /// "sharded" meta format, so every MTTKRP/FIT sweep of the ALS loop
+  /// runs as K per-shard runs reduced in double -- exact, because both
+  /// ops are linear in the tensor.
+  unsigned shards = 1;
   DeviceModel device = DeviceModel::p100();
 };
 

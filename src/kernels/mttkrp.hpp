@@ -57,6 +57,16 @@ void mttkrp_delta_accumulate(const SparseTensor& delta, index_t mode,
                              const std::vector<DenseMatrix>& factors,
                              DenseMatrix& inout);
 
+/// Double-accumulator variant for callers already holding a promoted
+/// buffer (`acc` is row-major dims[mode] x R): adds every chunk's MTTKRP
+/// terms with NO float rounding at all.  The sharded serving path sweeps
+/// each shard's delta into the shard's double partial this way, so a
+/// whole K-shard response rounds at exactly one float boundary when the
+/// partials are reduced (DESIGN.md §8).
+void mttkrp_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
+                             const std::vector<DenseMatrix>& factors,
+                             std::span<double> acc);
+
 // ---------------------------------------------------------------------------
 // Simulated GPU kernels
 // ---------------------------------------------------------------------------

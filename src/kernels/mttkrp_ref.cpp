@@ -55,6 +55,46 @@ DenseMatrix mttkrp_reference(const SparseTensor& tensor, index_t mode,
 
 void mttkrp_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
                              const std::vector<DenseMatrix>& factors,
+                             std::span<double> acc) {
+  offset_t total = 0;
+  for (const TensorPtr& chunk : deltas) {
+    BCSF_CHECK(chunk != nullptr, "mttkrp_delta_accumulate: null chunk");
+    total += chunk->nnz();
+  }
+  if (total == 0) return;
+
+  const SparseTensor& first = *deltas.front();
+  check_factors(first.dims(), factors);
+  BCSF_CHECK(mode < first.order(), "mttkrp_delta_accumulate: bad mode");
+  const rank_t rank = factors.front().cols();
+  BCSF_CHECK(acc.size() == static_cast<std::size_t>(first.dim(mode)) * rank,
+             "mttkrp_delta_accumulate: accumulator has "
+                 << acc.size() << " entries, expected " << first.dim(mode)
+                 << " x " << rank);
+
+  std::vector<double> prod(rank);
+  for (const TensorPtr& chunk : deltas) {
+    const SparseTensor& delta = *chunk;
+    BCSF_CHECK(delta.dims() == first.dims(),
+               "mttkrp_delta_accumulate: chunk dims mismatch");
+    for (offset_t z = 0; z < delta.nnz(); ++z) {
+      for (rank_t r = 0; r < rank; ++r) {
+        prod[r] = static_cast<double>(delta.value(z));
+      }
+      for (index_t m = 0; m < delta.order(); ++m) {
+        if (m == mode) continue;
+        const auto row = factors[m].row(delta.coord(m, z));
+        for (rank_t r = 0; r < rank; ++r) prod[r] *= row[r];
+      }
+      const std::size_t base =
+          static_cast<std::size_t>(delta.coord(mode, z)) * rank;
+      for (rank_t r = 0; r < rank; ++r) acc[base + r] += prod[r];
+    }
+  }
+}
+
+void mttkrp_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
+                             const std::vector<DenseMatrix>& factors,
                              DenseMatrix& inout) {
   offset_t total = 0;
   for (const TensorPtr& chunk : deltas) {
@@ -76,25 +116,7 @@ void mttkrp_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
   // rounds at exactly one float boundary, like the reference would on
   // the concatenated nonzero stream seeded with inout.
   std::vector<double> acc(inout.data().begin(), inout.data().end());
-  std::vector<double> prod(rank);
-  for (const TensorPtr& chunk : deltas) {
-    const SparseTensor& delta = *chunk;
-    BCSF_CHECK(delta.dims() == first.dims(),
-               "mttkrp_delta_accumulate: chunk dims mismatch");
-    for (offset_t z = 0; z < delta.nnz(); ++z) {
-      for (rank_t r = 0; r < rank; ++r) {
-        prod[r] = static_cast<double>(delta.value(z));
-      }
-      for (index_t m = 0; m < delta.order(); ++m) {
-        if (m == mode) continue;
-        const auto row = factors[m].row(delta.coord(m, z));
-        for (rank_t r = 0; r < rank; ++r) prod[r] *= row[r];
-      }
-      const std::size_t base =
-          static_cast<std::size_t>(delta.coord(mode, z)) * rank;
-      for (rank_t r = 0; r < rank; ++r) acc[base + r] += prod[r];
-    }
-  }
+  mttkrp_delta_accumulate(deltas, mode, factors, std::span<double>(acc));
   for (std::size_t i = 0; i < acc.size(); ++i) {
     inout.data()[i] = static_cast<value_t>(acc[i]);
   }

@@ -91,6 +91,13 @@ void ttv_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
   mttkrp_delta_accumulate(deltas, mode, vectors, inout);
 }
 
+void ttv_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
+                          const std::vector<DenseMatrix>& vectors,
+                          std::span<double> acc) {
+  if (!deltas.empty()) check_vectors(deltas.front()->dims(), vectors);
+  mttkrp_delta_accumulate(deltas, mode, vectors, acc);
+}
+
 namespace {
 
 /// Shared validation for the fit kernels.

@@ -52,6 +52,13 @@ void ttv_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
                           const std::vector<DenseMatrix>& vectors,
                           DenseMatrix& inout);
 
+/// Double-accumulator variant (`acc` has dims[mode] entries): adds every
+/// chunk's multi-TTV terms with no float rounding, mirroring the
+/// mttkrp_delta_accumulate span overload for the sharded serving path.
+void ttv_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
+                          const std::vector<DenseMatrix>& vectors,
+                          std::span<double> acc);
+
 /// Sequential ground truth for <X, Xhat>, accumulated in double.
 double fit_inner_reference(const SparseTensor& tensor,
                            const std::vector<DenseMatrix>& factors,

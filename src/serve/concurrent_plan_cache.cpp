@@ -4,6 +4,7 @@
 #include <future>
 
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace bcsf {
 
@@ -105,16 +106,30 @@ std::uint64_t ConcurrentPlanCache::tensor_version() const {
   return tensor_version_;
 }
 
-bool ConcurrentPlanCache::invalidate(TensorPtr tensor, std::uint64_t version) {
+std::size_t ConcurrentPlanCache::invalidate(TensorPtr tensor,
+                                            std::uint64_t version) {
   BCSF_CHECK(tensor != nullptr, "ConcurrentPlanCache::invalidate: null tensor");
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  if (version <= tensor_version_) return false;
-  tensor_ = std::move(tensor);
-  tensor_version_ = version;
-  // Dropping pending futures is safe: in-flight winners hold their own
-  // promise/tensor and waiters their own shared_future copies.
-  slots_.clear();
-  return true;
+  std::uint64_t old_version = 0;
+  std::size_t evicted = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (version <= tensor_version_) {
+      BCSF_DEBUG << "ConcurrentPlanCache: rejected stale invalidate to v"
+                 << version << " (at v" << tensor_version_ << ")";
+      return 0;
+    }
+    old_version = tensor_version_;
+    evicted = slots_.size();
+    tensor_ = std::move(tensor);
+    tensor_version_ = version;
+    // Dropping pending futures is safe: in-flight winners hold their own
+    // promise/tensor and waiters their own shared_future copies.
+    slots_.clear();
+  }
+  BCSF_INFO << "ConcurrentPlanCache: invalidated v" << old_version << " -> v"
+            << version << ", evicted " << evicted << " plan slot"
+            << (evicted == 1 ? "" : "s");
+  return evicted;
 }
 
 TensorPtr ConcurrentPlanCache::tensor() const {

@@ -92,16 +92,21 @@ class ConcurrentPlanCache {
   std::uint64_t tensor_version() const;
 
   /// Plan invalidation by snapshot version: atomically swaps the source
-  /// tensor for a newer snapshot and evicts every cached slot, so later
-  /// get() calls build against the new snapshot.  A no-op (returns false)
-  /// unless `version` is strictly newer than tensor_version().  Plans
-  /// already handed out stay valid for THEIR snapshot -- each pins its
-  /// own source tensor via its deleter -- but a get() concurrent with
-  /// invalidate() may return a plan from either side of the swap, so
-  /// callers needing snapshot-consistent (plan, delta) pairs should hold
-  /// a per-snapshot cache instead (what MttkrpService does, DESIGN.md
-  /// §6); invalidate() is for single-writer refresh patterns.
-  bool invalidate(TensorPtr tensor, std::uint64_t version);
+  /// tensor for a newer snapshot and evicts every cached slot (completed
+  /// AND in-flight), so later get() calls build against the new
+  /// snapshot.  Returns the number of slots evicted and logs it at INFO
+  /// -- the observability hook for per-shard compaction commits
+  /// (DESIGN.md §8).  A stale `version` (not strictly newer than
+  /// tensor_version()) is REJECTED: nothing is swapped or evicted and
+  /// the return value is 0; distinguish "accepted but empty" via
+  /// tensor_version().  Plans already handed out stay valid for THEIR
+  /// snapshot -- each pins its own source tensor via its deleter -- but
+  /// a get() concurrent with invalidate() may return a plan from either
+  /// side of the swap, so callers needing snapshot-consistent (plan,
+  /// delta) pairs should hold a per-snapshot cache instead (what
+  /// TensorOpService does, DESIGN.md §6); invalidate() is for
+  /// single-writer refresh patterns.
+  std::size_t invalidate(TensorPtr tensor, std::uint64_t version);
 
   TensorPtr tensor() const;
   const PlanOptions& options() const { return opts_; }

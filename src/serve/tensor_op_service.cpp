@@ -1,13 +1,17 @@
 #include "serve/tensor_op_service.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <utility>
 
 #include "core/auto_policy.hpp"
+#include "core/sharded_plan.hpp"
 #include "kernels/mttkrp.hpp"
 #include "kernels/ttv_fit.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace bcsf {
 
@@ -28,6 +32,9 @@ TensorOpService::TensorOpService(ServeOptions opts)
              "TensorOpService: initial_format '"
                  << opts_.initial_format
                  << "' is not zero-preprocessing (COO family)");
+  BCSF_CHECK(opts_.upgrade_format != "sharded",
+             "TensorOpService: upgrade_format 'sharded' is redundant -- the "
+             "service shards tensors itself (ServeOptions::shards)");
 }
 
 TensorOpService::~TensorOpService() = default;
@@ -39,7 +46,34 @@ void TensorOpService::register_tensor(const std::string& name,
              "TensorOpService: null tensor '" << name << "'");
   BCSF_CHECK(tensor->nnz() > 0,
              "TensorOpService: tensor '" << name << "' has no nonzeros");
-  auto state = std::make_unique<TensorState>(std::move(tensor), opts_.plan);
+  BCSF_CHECK(opts_.shard_mode < tensor->order(),
+             "TensorOpService: shard_mode " << opts_.shard_mode
+                                            << " out of range for tensor '"
+                                            << name << "'");
+
+  const unsigned want =
+      opts_.shards == 0 ? auto_shard_count(tensor->nnz()) : opts_.shards;
+  auto state = std::make_unique<TensorState>();
+  state->dims = tensor->dims();
+  state->partition_mode = opts_.shard_mode;
+  if (want <= 1) {
+    // Monolithic fast path: one shard covering every slice, no partition
+    // copy -- bit-for-bit the pre-§8 service.
+    state->route_begin.push_back(0);
+    state->shards.push_back(std::make_unique<ShardState>(
+        std::move(tensor), opts_.plan, 0, state->dims[opts_.shard_mode]));
+  } else {
+    const TensorPartition partition =
+        partition_tensor(*tensor, opts_.shard_mode, want);
+    BCSF_INFO << "TensorOpService: tensor '" << name << "' -> "
+              << partition.to_string();
+    for (const TensorShard& shard : partition.shards) {
+      state->route_begin.push_back(shard.slice_begin);
+      state->shards.push_back(std::make_unique<ShardState>(
+          shard.tensor, opts_.plan, shard.slice_begin, shard.slice_end));
+    }
+  }
+
   std::unique_lock<std::shared_mutex> lock(tensors_mutex_);
   const bool inserted = tensors_.emplace(name, std::move(state)).second;
   BCSF_CHECK(inserted, "TensorOpService: tensor '" << name
@@ -60,21 +94,52 @@ TensorOpService::TensorState& TensorOpService::state_for(
   return *it->second;
 }
 
+std::size_t TensorOpService::route_slice(const TensorState& state,
+                                         index_t slice) const {
+  // The partitioner's routing rule, verbatim: routing must never drift
+  // from the slice ownership the partition established.
+  return bcsf::route_slice(state.route_begin, slice);
+}
+
 std::uint64_t TensorOpService::apply_updates(const std::string& tensor,
                                              SparseTensor updates) {
   TensorState& state = state_for(tensor);
-  const std::uint64_t version = state.dynamic.apply(std::move(updates));
-  // The compaction trigger also rides on queries; checking here keeps an
-  // update-heavy, query-light workload from growing the delta unbounded.
-  maybe_launch_compaction(state, state.dynamic.snapshot());
-  return version;
+  BCSF_CHECK(updates.dims() == state.dims,
+             "TensorOpService: update dims mismatch for '" << tensor << "'");
+
+  if (state.shards.size() == 1) {
+    ShardState& shard = *state.shards.front();
+    const std::uint64_t version = shard.dynamic.apply(std::move(updates));
+    // The compaction trigger also rides on queries; checking here keeps an
+    // update-heavy, query-light workload from growing the delta unbounded.
+    maybe_launch_compaction(shard, shard.dynamic.snapshot());
+    return version;
+  }
+
+  // Route each nonzero to its shard by slice range (the partitioner's
+  // split, one shared implementation), then apply the per-shard
+  // sub-batches.  Only touched shards bump their version (and possibly
+  // compact); cold shards stay exactly as they were.
+  std::vector<SparseTensor> routed = split_updates(
+      state.dims, state.partition_mode, state.route_begin, updates);
+
+  std::uint64_t version_sum = 0;
+  for (std::size_t s = 0; s < routed.size(); ++s) {
+    ShardState& shard = *state.shards[s];
+    if (routed[s].nnz() > 0) {
+      shard.dynamic.apply(std::move(routed[s]));
+      maybe_launch_compaction(shard, shard.dynamic.snapshot());
+    }
+    version_sum += shard.dynamic.version();
+  }
+  return version_sum;
 }
 
 std::future<ServeResponse> TensorOpService::submit(ServeRequest request) {
   BCSF_CHECK(request.factors != nullptr,
              "TensorOpService: request has no factors");
   TensorState& state = state_for(request.tensor);
-  BCSF_CHECK(request.mode < state.dynamic.order(),
+  BCSF_CHECK(request.mode < state.order(),
              "TensorOpService: mode " << request.mode
                                       << " out of range for tensor '"
                                       << request.tensor << "'");
@@ -100,53 +165,136 @@ std::uint64_t TensorOpService::call_count(const std::string& tensor) const {
 std::string TensorOpService::current_format(const std::string& tensor,
                                             index_t mode) const {
   TensorState& state = state_for(tensor);
-  GenerationPtr gen;
-  {
-    std::shared_lock<std::shared_mutex> lock(state.gen_mutex);
-    gen = state.gen;
+  BCSF_CHECK(mode < state.order(), "TensorOpService: mode out of range");
+  std::string common;
+  for (const auto& shard : state.shards) {
+    GenerationPtr gen;
+    {
+      std::shared_lock<std::shared_mutex> lock(shard->gen_mutex);
+      gen = shard->gen;
+    }
+    ModeSlot& slot = gen->modes[mode];
+    std::string format;
+    {
+      std::lock_guard<std::mutex> lock(slot.m);
+      format =
+          slot.current ? slot.current->resolved_format() : opts_.initial_format;
+    }
+    if (common.empty()) {
+      common = std::move(format);
+    } else if (common != format) {
+      return "mixed";
+    }
   }
-  BCSF_CHECK(mode < gen->modes.size(), "TensorOpService: mode out of range");
-  ModeSlot& slot = gen->modes[mode];
-  std::lock_guard<std::mutex> lock(slot.m);
-  return slot.current ? slot.current->resolved_format() : opts_.initial_format;
+  return common;
 }
 
 bool TensorOpService::upgraded(const std::string& tensor, index_t mode) const {
   TensorState& state = state_for(tensor);
-  GenerationPtr gen;
-  {
-    std::shared_lock<std::shared_mutex> lock(state.gen_mutex);
-    gen = state.gen;
+  BCSF_CHECK(mode < state.order(), "TensorOpService: mode out of range");
+  for (const auto& shard : state.shards) {
+    GenerationPtr gen;
+    {
+      std::shared_lock<std::shared_mutex> lock(shard->gen_mutex);
+      gen = shard->gen;
+    }
+    ModeSlot& slot = gen->modes[mode];
+    std::lock_guard<std::mutex> lock(slot.m);
+    if (!slot.upgraded_flag) return false;
   }
-  BCSF_CHECK(mode < gen->modes.size(), "TensorOpService: mode out of range");
-  ModeSlot& slot = gen->modes[mode];
-  std::lock_guard<std::mutex> lock(slot.m);
-  return slot.upgraded_flag;
+  return true;
 }
 
 std::uint64_t TensorOpService::snapshot_version(
     const std::string& tensor) const {
-  return state_for(tensor).dynamic.version();
+  std::uint64_t sum = 0;
+  for (const auto& shard : state_for(tensor).shards) {
+    sum += shard->dynamic.version();
+  }
+  return sum;
 }
 
 double TensorOpService::delta_fraction(const std::string& tensor) const {
-  return state_for(tensor).dynamic.snapshot().delta_fraction();
+  offset_t delta = 0;
+  offset_t total = 0;
+  for (const auto& shard : state_for(tensor).shards) {
+    const TensorSnapshot snap = shard->dynamic.snapshot();
+    delta += snap.delta_nnz;
+    total += snap.nnz();
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(delta) / static_cast<double>(total);
 }
 
 std::uint64_t TensorOpService::compaction_count(
     const std::string& tensor) const {
-  return state_for(tensor).compactions.load(std::memory_order_relaxed);
+  std::uint64_t sum = 0;
+  for (const auto& shard : state_for(tensor).shards) {
+    sum += shard->compactions.load(std::memory_order_relaxed);
+  }
+  return sum;
 }
 
 TensorSnapshot TensorOpService::snapshot(const std::string& tensor) const {
-  return state_for(tensor).dynamic.snapshot();
+  TensorState& state = state_for(tensor);
+  BCSF_CHECK(state.shards.size() == 1,
+             "TensorOpService: tensor '"
+                 << tensor << "' is sharded " << state.shards.size()
+                 << " ways; use shard_snapshot(name, shard)");
+  return state.shards.front()->dynamic.snapshot();
 }
 
-ServeResponse TensorOpService::handle(TensorState& state,
-                                      const ServeRequest& request) {
-  const std::uint64_t sequence =
-      state.calls.fetch_add(1, std::memory_order_relaxed) + 1;
+std::size_t TensorOpService::shard_count(const std::string& tensor) const {
+  return state_for(tensor).shards.size();
+}
 
+TensorSnapshot TensorOpService::shard_snapshot(const std::string& tensor,
+                                               std::size_t shard) const {
+  TensorState& state = state_for(tensor);
+  BCSF_CHECK(shard < state.shards.size(),
+             "TensorOpService: shard " << shard << " out of range for '"
+                                       << tensor << "'");
+  return state.shards[shard]->dynamic.snapshot();
+}
+
+std::vector<TensorOpService::ShardStatus> TensorOpService::shard_status(
+    const std::string& tensor, index_t mode) const {
+  TensorState& state = state_for(tensor);
+  BCSF_CHECK(mode < state.order(), "TensorOpService: mode out of range");
+  std::vector<ShardStatus> out;
+  out.reserve(state.shards.size());
+  for (const auto& shard : state.shards) {
+    GenerationPtr gen;
+    {
+      std::shared_lock<std::shared_mutex> lock(shard->gen_mutex);
+      gen = shard->gen;
+    }
+    const TensorSnapshot snap = shard->dynamic.snapshot();
+    ShardStatus status;
+    status.slice_begin = shard->slice_begin;
+    status.slice_end = shard->slice_end;
+    status.base_nnz = snap.base->nnz();
+    status.delta_nnz = snap.delta_nnz;
+    status.snapshot_version = snap.version;
+    status.compactions = shard->compactions.load(std::memory_order_relaxed);
+    status.build_seconds = gen->cache.total_build_seconds();
+    ModeSlot& slot = gen->modes[mode];
+    std::lock_guard<std::mutex> lock(slot.m);
+    status.format =
+        slot.current ? slot.current->resolved_format() : opts_.initial_format;
+    status.upgraded = slot.upgraded_flag;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::size_t TensorOpService::shard_for_slice(const std::string& tensor,
+                                             index_t slice) const {
+  return route_slice(state_for(tensor), slice);
+}
+
+TensorOpService::ShardRun TensorOpService::handle_shard(
+    ShardState& shard, const ServeRequest& request, bool reduce_in_double) {
   // Capture (generation, snapshot) consistently: the shared lock pairs a
   // base's plans with exactly the delta chunks the base does NOT contain.
   // Everything after this block works on immutable state, so the query
@@ -154,9 +302,9 @@ ServeResponse TensorOpService::handle(TensorState& state,
   GenerationPtr gen;
   TensorSnapshot snap;
   {
-    std::shared_lock<std::shared_mutex> lock(state.gen_mutex);
-    gen = state.gen;
-    snap = state.dynamic.snapshot();
+    std::shared_lock<std::shared_mutex> lock(shard.gen_mutex);
+    gen = shard.gen;
+    snap = shard.dynamic.snapshot();
   }
 
   ModeSlot& slot = gen->modes[request.mode];
@@ -195,40 +343,127 @@ ServeResponse TensorOpService::handle(TensorState& state,
   op_request.lambda = request.lambda ? request.lambda.get() : nullptr;
   OpResult run = plan->execute(op_request);
 
+  ShardRun out;
   // Per-op delta sweep: every op is linear in the tensor values, so the
   // frozen COO chunks' contribution on top of the base plan's result
-  // yields the op on the snapshot's merged tensor.  Matrix ops sweep
-  // into the output (one promote/demote across all chunks); FIT adds the
-  // chunks' inner product to the scalar.  Chunks are immutable; no lock
-  // is held.
+  // yields the op on the shard's merged tensor.  Chunks are immutable;
+  // no lock is held.  Single-shard tensors keep the float inout sweep
+  // (bit-for-bit the pre-§8 arithmetic); multi-shard tensors keep the
+  // partial in DOUBLE so the cross-shard reduction casts exactly once.
   switch (request.op) {
     case OpKind::kMttkrp:
-      mttkrp_delta_accumulate(snap.deltas, request.mode, *request.factors,
-                              run.output);
+    case OpKind::kTtv: {
+      if (reduce_in_double) {
+        const auto data = run.output.data();
+        out.acc.assign(data.begin(), data.end());
+        if (request.op == OpKind::kMttkrp) {
+          mttkrp_delta_accumulate(snap.deltas, request.mode, *request.factors,
+                                  std::span<double>(out.acc));
+        } else {
+          ttv_delta_accumulate(snap.deltas, request.mode, *request.factors,
+                               std::span<double>(out.acc));
+        }
+      } else if (request.op == OpKind::kMttkrp) {
+        mttkrp_delta_accumulate(snap.deltas, request.mode, *request.factors,
+                                run.output);
+      } else {
+        ttv_delta_accumulate(snap.deltas, request.mode, *request.factors,
+                             run.output);
+      }
       break;
-    case OpKind::kTtv:
-      ttv_delta_accumulate(snap.deltas, request.mode, *request.factors,
-                           run.output);
-      break;
+    }
     case OpKind::kFit:
       run.scalar += fit_inner_delta(snap.deltas, *request.factors,
                                     op_request.lambda);
+      out.scalar = run.scalar;
       break;
   }
 
-  maybe_launch_compaction(state, snap);
+  maybe_launch_compaction(shard, snap);
+
+  out.format = plan->resolved_format();
+  out.plan = std::move(plan);
+  out.upgraded = was_upgraded;
+  out.snapshot_version = snap.version;
+  out.delta_nnz = snap.delta_nnz;
+  out.report = std::move(run.report);
+  if (!reduce_in_double) out.result = std::move(run);
+  return out;
+}
+
+ServeResponse TensorOpService::handle(TensorState& state,
+                                      const ServeRequest& request) {
+  const std::uint64_t sequence =
+      state.calls.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::size_t k = state.shards.size();
 
   ServeResponse response;
-  response.output = std::move(run.output);
-  response.report = std::move(run.report);
-  response.served_format = plan->resolved_format();
-  response.plan = std::move(plan);
   response.sequence = sequence;
-  response.upgraded = was_upgraded;
-  response.snapshot_version = snap.version;
-  response.delta_nnz = snap.delta_nnz;
+  response.shards = k;
   response.op = request.op;
-  response.scalar = run.scalar;
+
+  if (k == 1) {
+    ShardRun run = handle_shard(*state.shards.front(), request,
+                                /*reduce_in_double=*/false);
+    response.output = std::move(run.result.output);
+    response.scalar = run.result.scalar;
+    response.report = std::move(run.report);
+    response.served_format = std::move(run.format);
+    response.plan = std::move(run.plan);
+    response.upgraded = run.upgraded;
+    response.snapshot_version = run.snapshot_version;
+    response.delta_nnz = run.delta_nnz;
+    return response;
+  }
+
+  // Fan the request across the shards; the caller participates in the
+  // drain, so this nests safely inside the pool the request itself runs
+  // on (a saturated pool degrades to a sequential sweep, never a
+  // deadlock).
+  std::vector<ShardRun> runs(k);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    tasks.push_back([this, s, &state, &request, &runs] {
+      runs[s] = handle_shard(*state.shards[s], request,
+                             /*reduce_in_double=*/true);
+    });
+  }
+  run_tasks(&pool_, std::move(tasks));
+
+  // Reduce the per-shard partials in double -- exact, because the shards
+  // partition the nonzeros and every op is linear -- with a single cast
+  // back to float for matrix-valued ops.
+  response.upgraded = true;
+  bool first = true;
+  for (ShardRun& run : runs) {
+    response.snapshot_version += run.snapshot_version;
+    response.delta_nnz += run.delta_nnz;
+    response.scalar += run.scalar;
+    response.upgraded = response.upgraded && run.upgraded;
+    if (first) {
+      response.report = std::move(run.report);
+      response.served_format = run.format;
+    } else {
+      response.report += run.report;
+      if (response.served_format != run.format) {
+        response.served_format = "mixed";
+      }
+    }
+    first = false;
+  }
+  response.report.kernel = "Serve x" + std::to_string(k);
+  response.plan = std::move(runs.front().plan);
+
+  if (request.op != OpKind::kFit) {
+    const rank_t rank =
+        request.op == OpKind::kTtv ? 1 : request.factors->front().cols();
+    std::vector<std::vector<double>> partials;
+    partials.reserve(runs.size());
+    for (ShardRun& run : runs) partials.push_back(std::move(run.acc));
+    response.output = reduce_shard_partials(state.dims[request.mode], rank,
+                                            partials);
+  }
   return response;
 }
 
@@ -245,6 +480,9 @@ std::pair<std::string, double> TensorOpService::resolve_upgrade_policy(
     // no per-call gain) or coo-dominant slice binning disables upgrade.
     // Mixed-op traffic is priced at the MTTKRP rate: full-rank calls
     // dominate the gain, and the built structure serves every op anyway.
+    // Running on a SHARD's base, the saturation term sees the shard's
+    // own nnz: undersized shards price an infinite break-even and stay
+    // COO -- per-shard format choice, the §8 point.
     policy.expected_mttkrp_calls = std::numeric_limits<double>::infinity();
     const AutoDecision decision =
         auto_select_format(*gen.cache.tensor(), mode, policy);
@@ -277,10 +515,11 @@ void TensorOpService::maybe_launch_upgrade(const GenerationPtr& gen,
     }
   }
   if (!resolved) {
-    // The policy scan is O(nnz), so it runs with NO lock held: requests
-    // for this mode keep serving meanwhile.  Concurrent resolvers compute
-    // the same answer; first publish wins.  After a compaction this runs
-    // afresh on the NEW base -- the merged structure may bin differently.
+    // The policy scan is O(shard nnz), so it runs with NO lock held:
+    // requests for this mode keep serving meanwhile.  Concurrent
+    // resolvers compute the same answer; first publish wins.  After a
+    // compaction this runs afresh on the NEW base -- the merged
+    // structure may bin differently.
     auto [fresh_target, fresh_threshold] = resolve_upgrade_policy(*gen, mode);
     std::lock_guard<std::mutex> lock(slot.m);
     if (!slot.policy_resolved) {
@@ -318,7 +557,9 @@ void TensorOpService::maybe_launch_upgrade(const GenerationPtr& gen,
 
   // The task holds the generation alive; if a compaction retires it
   // mid-build, the finished plan lands in the retired generation's slot
-  // and simply ages out with it.
+  // and simply ages out with it.  Each shard launches its own task, so
+  // K structured builds of nnz/K each overlap on the pool -- the
+  // parallel-build win of §8.
   const bool queued = pool_.try_submit([gen, mode, target] {
     ModeSlot& slot = gen->modes[mode];
     try {
@@ -339,25 +580,27 @@ void TensorOpService::maybe_launch_upgrade(const GenerationPtr& gen,
   if (!queued) slot.upgrade_launched.store(false, std::memory_order_release);
 }
 
-void TensorOpService::maybe_launch_compaction(TensorState& state,
+void TensorOpService::maybe_launch_compaction(ShardState& shard,
                                               const TensorSnapshot& snap) {
   if (!opts_.enable_compaction || opts_.compact_threshold <= 0.0) return;
   if (snap.delta_nnz < opts_.compact_min_nnz) return;
   if (snap.delta_fraction() < opts_.compact_threshold) return;
-  if (state.compacting.exchange(true, std::memory_order_acq_rel)) return;
+  if (shard.compacting.exchange(true, std::memory_order_acq_rel)) return;
   const bool queued =
-      pool_.try_submit([this, &state] { run_compaction(state); });
-  if (!queued) state.compacting.store(false, std::memory_order_release);
+      pool_.try_submit([this, &shard] { run_compaction(shard); });
+  if (!queued) shard.compacting.store(false, std::memory_order_release);
 }
 
-void TensorOpService::run_compaction(TensorState& state) {
+void TensorOpService::run_compaction(ShardState& shard) {
   try {
     // Capture and merge OFF the commit path: queries keep serving from
-    // the current generation while the O(nnz log nnz) coalesce runs.
-    // Re-validate the trigger against a FRESH snapshot: the launcher may
-    // have held a stale one (captured before a just-committed
-    // compaction), and merging a sub-threshold delta is wasted work.
-    const TensorSnapshot snap = state.dynamic.snapshot();
+    // the current generation while the O(shard nnz log nnz) coalesce
+    // runs -- and only THIS shard is merged, never the whole tensor
+    // (the incremental-compaction point of §8).  Re-validate the
+    // trigger against a FRESH snapshot: the launcher may have held a
+    // stale one (captured before a just-committed compaction), and
+    // merging a sub-threshold delta is wasted work.
+    const TensorSnapshot snap = shard.dynamic.snapshot();
     if (snap.delta_nnz >= opts_.compact_min_nnz &&
         snap.delta_fraction() >= opts_.compact_threshold) {
       TensorPtr new_base = share_tensor(snap.merged(/*coalesce=*/true));
@@ -367,12 +610,12 @@ void TensorOpService::run_compaction(TensorState& state) {
         // Commit: swap the base and the plan generation as one atomic
         // step against the queries' shared-lock capture.  Chunks applied
         // since `snap` stay in the delta, now on top of the new base.
-        std::unique_lock<std::shared_mutex> lock(state.gen_mutex);
+        std::unique_lock<std::shared_mutex> lock(shard.gen_mutex);
         const std::uint64_t new_version =
-            state.dynamic.replace_base(new_base, snap.version);
+            shard.dynamic.replace_base(new_base, snap.version);
         new_gen = std::make_shared<Generation>(std::move(new_base),
                                                opts_.plan, new_version);
-        old_gen = std::move(state.gen);
+        old_gen = std::move(shard.gen);
         for (std::size_t m = 0; m < new_gen->modes.size(); ++m) {
           // Carry traffic counters (total and per-op): a hot mode
           // re-launches its structured build (and re-runs the §V policy
@@ -389,14 +632,14 @@ void TensorOpService::run_compaction(TensorState& state) {
                 std::memory_order_relaxed);
           }
         }
-        state.gen = std::move(new_gen);
+        shard.gen = std::move(new_gen);
       }
-      state.compactions.fetch_add(1, std::memory_order_relaxed);
+      shard.compactions.fetch_add(1, std::memory_order_relaxed);
     }
-    state.compacting.store(false, std::memory_order_release);
+    shard.compacting.store(false, std::memory_order_release);
   } catch (...) {
     // Merge failed (e.g. allocation); re-arm so a later trigger retries.
-    state.compacting.store(false, std::memory_order_release);
+    shard.compacting.store(false, std::memory_order_release);
   }
 }
 

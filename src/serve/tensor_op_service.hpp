@@ -1,5 +1,5 @@
 // TensorOpService: the concurrent multi-op serving layer (DESIGN.md
-// §5-§7).  Known as MttkrpService before the op-generic redesign; the
+// §5-§8).  Known as MttkrpService before the op-generic redesign; the
 // alias below keeps that name working.
 //
 // The paper frames format choice as an amortization problem: structured
@@ -13,33 +13,53 @@
 //      threshold (the auto policy's Fig-10 estimate, or an explicit
 //      override), a structured-plan build is kicked off on the worker
 //      pool in the background.
-//   3. When the build completes, the per-(tensor, mode) delegate is
-//      atomically swapped.  In-flight runs hold the old plan by
-//      shared_ptr and finish on it; subsequent requests run structured.
+//   3. When the build completes, the serving delegate is atomically
+//      swapped.  In-flight runs hold the old plan by shared_ptr and
+//      finish on it; subsequent requests run structured.
+//
+// Since the sharded-plan redesign (DESIGN.md §8) every registered tensor
+// is K NNZ-BALANCED SHARDS -- contiguous root-mode slice ranges cut by
+// tensor/partitioner.hpp, heavy slices split -- and EVERY lifecycle unit
+// above is per shard:
+//
+//   * each shard is its own DynamicSparseTensor behind its own plan
+//     generation, so structured builds are O(shard nnz) and run
+//     CONCURRENTLY on the pool (K small builds beat one monolithic
+//     sort-dominated build to the structured format);
+//   * a query fans out across the shards (the caller participates, so
+//     a busy pool degrades to sequential instead of deadlocking) and
+//     reduces the per-shard partials in double -- exact, because every
+//     op in the protocol is linear in the tensor values;
+//   * update batches are SPLIT BY SLICE RANGE and routed to their
+//     shards, so a hot shard accumulates delta, upgrades, and compacts
+//     on its own clock while cold shards stay COO -- the all-or-nothing
+//     upgrade and O(total nnz) compaction of the monolithic design
+//     become incremental;
+//   * the auto policy runs per (shard, mode): dense shard cores go
+//     structured, sparse tails stay COO -- format choice at shard
+//     granularity.
 //
 // Batches may MIX OPS (DESIGN.md §7): each request names an OpKind
 // (MTTKRP, TTV, fit inner product) and every op executes on the same
-// per-(tensor, mode) delegate -- a structured build triggered by any
+// per-(shard, mode) delegate -- a structured build triggered by any
 // op's traffic serves all of them, which is why mode call counts
 // aggregate across ops.
 //
 // Registered tensors are DYNAMIC (DESIGN.md §6): apply_updates() appends
 // additive COO update batches without invalidating the structured plans.
-// Each tensor is a DynamicSparseTensor -- an immutable base snapshot plus
-// frozen delta chunks -- and a query answers as
+// Each shard answers as
 //
 //      base-plan result  +  delta-COO contribution,
 //
-// which equals the op on the merged tensor because every op in the
-// protocol (MTTKRP, TTV, FIT) is linear in the tensor values.  The delta
-// sweep is per-op: an MTTKRP/TTV response accumulates the chunks into the
-// output matrix, a FIT response adds the chunks' inner product to the
-// scalar.  Every response names the snapshot version it was computed at.
-// When the delta fraction crosses ServeOptions' compaction threshold, a
-// background task merges base + delta into a new base, swaps in a fresh
-// plan generation, and the upgrade policy re-runs for the merged
-// structure; in-flight queries finish on the old generation, which they
-// hold by shared_ptr.
+// which equals the op on the shard's merged tensor because every op in
+// the protocol is linear; summing the shards then equals the op on the
+// WHOLE merged tensor because the shards partition the nonzeros.  Every
+// response names the (summed) snapshot version it was computed at.  When
+// a shard's delta fraction crosses ServeOptions' compaction threshold, a
+// background task merges that shard's base + delta into a new base,
+// swaps in a fresh plan generation for that shard only, and the upgrade
+// policy re-runs for the merged structure; in-flight queries finish on
+// the old generation, which they hold by shared_ptr.
 //
 // Thread-safety: every public method may be invoked from any thread.
 #pragma once
@@ -58,41 +78,52 @@
 
 #include "serve/concurrent_plan_cache.hpp"
 #include "tensor/dynamic_tensor.hpp"
+#include "tensor/partitioner.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bcsf {
 
 struct ServeOptions {
-  /// Worker pool size; requests, background upgrades, and compactions
-  /// share it.
+  /// Worker pool size; requests, per-shard fan-out, background upgrades,
+  /// and compactions share it.
   unsigned workers = 4;
   /// Zero-preprocessing format answering from the first request.  Must be
   /// build-free (COO family: "coo", "cpu-coo", "reference").
   std::string initial_format = "coo";
   /// Structured target for the background upgrade.  "auto" asks the §V
-  /// slice-binning policy per mode (the Fig-10 expected-calls gate is NOT
-  /// applied -- the observed-traffic threshold below plays that role); a
-  /// COO-family target disables upgrade.
+  /// slice-binning policy per (shard, mode) (the Fig-10 expected-calls
+  /// gate is NOT applied -- the observed-traffic threshold below plays
+  /// that role); a COO-family target disables upgrade.  "sharded" is
+  /// rejected: the service shards tensors itself.
   std::string upgrade_format = "auto";
-  /// Per-(tensor, mode) call count that triggers the upgrade -- the
+  /// Per-(shard, mode) call count that triggers the upgrade -- the
   /// structured build amortizes against that mode's own traffic, matching
   /// Fig. 10.  Calls of EVERY op count, because the build serves all of
   /// them -- but gain-weighted: MTTKRP/FIT calls count 1.0, TTV calls
   /// count ttv_gain_fraction (~1/R), since a rank-1 sweep recoups
   /// proportionally less of the build.  <= 0 means use the auto
-  /// policy's breakeven_calls for the mode (infinite when structure
-  /// never pays -- the mode then stays COO forever).
+  /// policy's breakeven_calls for the (shard, mode) -- infinite when
+  /// structure never pays, so undersized shards stay COO forever.
   double upgrade_threshold = 0.0;
   bool enable_upgrade = true;
-  /// Delta fraction (delta nnz / total nnz) at which a background
-  /// compaction merges the delta into a new base snapshot and the
-  /// upgrade policy re-runs on the merged tensor.  The default keeps the
-  /// per-query COO sweep at most ~1/4 of the tensor.
+  /// Per-shard delta fraction (shard delta nnz / shard nnz) at which a
+  /// background compaction merges that shard's delta into a new base
+  /// snapshot and the upgrade policy re-runs on the merged shard.  The
+  /// default keeps the per-query COO sweep at most ~1/4 of each shard.
   double compact_threshold = 0.25;
-  /// Compaction also waits for this many delta nonzeros, so tiny tensors
-  /// do not churn through merges worth less than a kernel launch.
+  /// Compaction also waits for this many delta nonzeros IN THE SHARD, so
+  /// tiny shards do not churn through merges worth less than a kernel
+  /// launch.
   offset_t compact_min_nnz = 512;
   bool enable_compaction = true;
+  /// Nnz-balanced shards per registered tensor: 1 = monolithic (the
+  /// pre-§8 behavior, bit for bit), 0 = auto_shard_count prices K from
+  /// the tensor's nnz and device saturation, K = fixed count (clamped so
+  /// every shard is non-empty).
+  unsigned shards = 1;
+  /// Mode whose slice ranges define the shards (and route update
+  /// batches).  One partition serves all modes of a tensor.
+  index_t shard_mode = 0;
   /// Device model, format knobs, expected calls for the policy.
   PlanOptions plan;
 };
@@ -129,26 +160,33 @@ struct ServeResponse {
   /// MTTKRP: dims[mode] x R.  TTV: dims[mode] x 1.  FIT: empty.
   DenseMatrix output;
   SimReport report;
-  /// Format that actually executed the BASE contribution ("auto" never
-  /// leaks: resolved key).  The delta contribution, when present, is
-  /// always a COO sweep.
+  /// Format(s) that executed the BASE contribution ("auto" never leaks:
+  /// resolved key).  With several shards serving different formats this
+  /// is "mixed"; the delta contribution, when present, is always a COO
+  /// sweep.
   std::string served_format;
-  /// The base plan that served this response.  Holding it is safe after
-  /// the service dies (it pins its snapshot); comparing pointers across
-  /// responses observes the async upgrade swap.
+  /// The base plan of shard 0 (the only shard pre-§8).  Holding it is
+  /// safe after the service dies (it pins its snapshot); comparing
+  /// pointers across responses observes the async upgrade swap.
   SharedPlan plan;
   std::uint64_t sequence = 0;  ///< 1-based per-tensor call number
-  bool upgraded = false;  ///< served by the structured (post-swap) delegate
-  /// Tensor snapshot this response is the exact op result of: the version
-  /// held when the query started.  Monotonic across a tensor's responses
-  /// as observed by any single thread submitting and waiting in order.
+  /// True once EVERY shard served this response from its structured
+  /// (post-swap) delegate.
+  bool upgraded = false;
+  /// Tensor snapshot this response is the exact op result of: the sum of
+  /// the per-shard versions held when the query visited each shard.
+  /// Monotonic across a tensor's responses as observed by any single
+  /// thread submitting and waiting in order.
   std::uint64_t snapshot_version = 0;
-  /// Nonzeros the delta sweep contributed on top of the base plan
-  /// (0 == the response came purely from the base snapshot).
+  /// Nonzeros the delta sweeps contributed on top of the base plans,
+  /// summed over shards (0 == the response came purely from base
+  /// snapshots).
   offset_t delta_nnz = 0;
+  /// Shards that fanned out to serve this response.
+  std::size_t shards = 1;
   OpKind op = OpKind::kMttkrp;  ///< echo of the request's op
-  /// FIT: <X, Xhat> at snapshot_version (base plan + delta inner
-  /// product).  0 for matrix-valued ops.
+  /// FIT: <X, Xhat> at snapshot_version (base plans + delta inner
+  /// products, reduced in double).  0 for matrix-valued ops.
   double scalar = 0.0;
 };
 
@@ -166,18 +204,21 @@ class TensorOpService {
   TensorOpService(const TensorOpService&) = delete;
   TensorOpService& operator=(const TensorOpService&) = delete;
 
-  /// Registers a tensor under a unique name.  No plan is built here --
-  /// the first request pays only the (free) COO plan construction.  The
-  /// tensor becomes snapshot version 0 of a DynamicSparseTensor.
+  /// Registers a tensor under a unique name, cutting it into the
+  /// configured number of nnz-balanced shards (ServeOptions::shards)
+  /// along ServeOptions::shard_mode.  No plan is built here -- the first
+  /// request pays only the (free) per-shard COO plan construction.  Each
+  /// shard becomes snapshot version 0 of its own DynamicSparseTensor.
   void register_tensor(const std::string& name, TensorPtr tensor);
   bool has_tensor(const std::string& name) const;
 
   /// Appends a batch of additive updates (a COO tensor with the same
-  /// dims; duplicate coordinates add) to `tensor` and returns the new
-  /// snapshot version.  Returns immediately -- no plan is rebuilt;
-  /// queries already in flight finish on the snapshot they captured,
-  /// queries submitted after return see the update.  May trigger a
-  /// background compaction (see ServeOptions::compact_threshold).
+  /// dims; duplicate coordinates add), SPLIT BY SLICE RANGE across the
+  /// shards, and returns the new (summed) snapshot version.  Returns
+  /// immediately -- no plan is rebuilt; queries already in flight finish
+  /// on the snapshots they captured, queries submitted after return see
+  /// the update.  May trigger background compactions on the shards the
+  /// batch touched (see ServeOptions::compact_threshold).
   std::uint64_t apply_updates(const std::string& tensor,
                               SparseTensor updates);
 
@@ -191,24 +232,55 @@ class TensorOpService {
   /// Op calls served (or admitted) so far for `tensor`, all ops summed.
   std::uint64_t call_count(const std::string& tensor) const;
   /// Resolved format currently serving (tensor, mode)'s base
-  /// contribution; the initial format until the background upgrade swaps
-  /// the delegate (and again right after a compaction installs a fresh
-  /// generation, until the re-upgrade lands).
+  /// contribution: the shards' common format, or "mixed" when they
+  /// disagree (e.g. a hot shard upgraded while cold shards stay COO).
+  /// The initial format until background upgrades swap delegates (and
+  /// again right after a shard compaction installs a fresh generation,
+  /// until the re-upgrade lands).
   std::string current_format(const std::string& tensor, index_t mode) const;
-  /// True once the structured delegate is installed for (tensor, mode)
-  /// in the CURRENT generation; a compaction resets it until the
-  /// re-upgrade completes.
+  /// True once EVERY shard's structured delegate is installed for
+  /// (tensor, mode) in its current generation; a shard compaction resets
+  /// it until that shard's re-upgrade completes.
   bool upgraded(const std::string& tensor, index_t mode) const;
 
-  /// Current snapshot version of `tensor` (0 until the first update).
+  /// Current snapshot version of `tensor`: the sum of the per-shard
+  /// versions (0 until the first update).  Monotone.
   std::uint64_t snapshot_version(const std::string& tensor) const;
-  /// Fraction of `tensor`'s nonzeros currently in the delta buffer.
+  /// Fraction of `tensor`'s nonzeros currently in the shards' delta
+  /// buffers (aggregated).
   double delta_fraction(const std::string& tensor) const;
-  /// Number of compactions committed for `tensor` so far.
+  /// Number of shard compactions committed for `tensor` so far (summed).
   std::uint64_t compaction_count(const std::string& tensor) const;
-  /// Consistent snapshot of `tensor` -- what a query submitted now would
-  /// compute against.  Cheap (shares immutable storage).
+  /// Consistent snapshot of a SINGLE-SHARD tensor -- what a query
+  /// submitted now would compute against.  Cheap (shares immutable
+  /// storage).  Throws for a tensor sharded K > 1 ways: there is no one
+  /// base then; use shard_snapshot per shard.
   TensorSnapshot snapshot(const std::string& tensor) const;
+
+  /// Number of nnz-balanced shards serving `tensor`.
+  std::size_t shard_count(const std::string& tensor) const;
+  /// Consistent snapshot of one shard's dynamic sub-tensor.
+  TensorSnapshot shard_snapshot(const std::string& tensor,
+                                std::size_t shard) const;
+
+  /// Point-in-time view of one shard's lifecycle, for observability
+  /// (bench/serve_throughput's per-shard timings) and tests.
+  struct ShardStatus {
+    index_t slice_begin = 0;  ///< root-mode slice range this shard owns
+    index_t slice_end = 0;
+    offset_t base_nnz = 0;   ///< nonzeros in the shard's base snapshot
+    offset_t delta_nnz = 0;  ///< nonzeros in its frozen delta chunks
+    std::uint64_t snapshot_version = 0;  ///< the shard's own version
+    std::uint64_t compactions = 0;       ///< commits on this shard
+    std::string format;        ///< resolved format serving `mode`
+    bool upgraded = false;     ///< structured delegate installed for `mode`
+    double build_seconds = 0;  ///< build work in the current generation
+  };
+  std::vector<ShardStatus> shard_status(const std::string& tensor,
+                                        index_t mode) const;
+  /// Shard that updates with this root-mode (shard_mode) coordinate are
+  /// routed to.
+  std::size_t shard_for_slice(const std::string& tensor, index_t slice) const;
 
   /// Blocks until all accepted requests AND background work (upgrades,
   /// compactions) finished.
@@ -241,11 +313,11 @@ class TensorOpService {
   };
 
   /// One immutable base snapshot together with every plan built from it:
-  /// the unit a compaction retires wholesale.  Queries pair a Generation
-  /// with a TensorSnapshot of the same base_version, so a plan can never
-  /// be combined with a delta it already incorporates.  Retired
-  /// generations stay alive through the shared_ptr held by in-flight
-  /// queries and upgrade tasks.
+  /// the unit a shard compaction retires wholesale.  Queries pair a
+  /// Generation with a TensorSnapshot of the same base_version, so a
+  /// plan can never be combined with a delta it already absorbed.
+  /// Retired generations stay alive through the shared_ptr held by
+  /// in-flight queries and upgrade tasks.
   struct Generation {
     Generation(TensorPtr base, PlanOptions plan_opts,
                std::uint64_t base_version)
@@ -256,33 +328,74 @@ class TensorOpService {
   };
   using GenerationPtr = std::shared_ptr<Generation>;
 
-  struct TensorState {
-    TensorState(TensorPtr tensor, PlanOptions plan_opts)
-        : dynamic(tensor),
-          gen(std::make_shared<Generation>(std::move(tensor),
+  /// One shard's full serving state: the pre-§8 per-tensor state at
+  /// shard granularity.  Shards never share mutable state, which is what
+  /// makes their upgrades and compactions independent.
+  struct ShardState {
+    ShardState(TensorPtr base, PlanOptions plan_opts, index_t begin,
+               index_t end)
+        : slice_begin(begin),
+          slice_end(end),
+          dynamic(base),
+          gen(std::make_shared<Generation>(std::move(base),
                                            std::move(plan_opts), 0)) {}
+    const index_t slice_begin;  ///< root-mode slice range (see partitioner)
+    const index_t slice_end;
     DynamicSparseTensor dynamic;
     // Guards the `gen` pointer AND its pairing with dynamic's base:
     // queries read both under a shared lock; the compaction commit swaps
     // both under the exclusive lock.
     mutable std::shared_mutex gen_mutex;
     GenerationPtr gen;
-    std::atomic<std::uint64_t> calls{0};
     std::atomic<bool> compacting{false};
     std::atomic<std::uint64_t> compactions{0};
   };
 
+  struct TensorState {
+    std::vector<index_t> dims;
+    index_t partition_mode = 0;
+    /// shards[s]'s slice_begin, ascending -- the routing table
+    /// (partitioner's shard_for_slice rule over frozen ranges).
+    std::vector<index_t> route_begin;
+    // unique_ptr: ShardState holds mutexes/atomics (immovable) and worker
+    // tasks hold ShardState& across generations.
+    std::vector<std::unique_ptr<ShardState>> shards;
+    std::atomic<std::uint64_t> calls{0};
+    index_t order() const { return static_cast<index_t>(dims.size()); }
+  };
+
+  /// One shard's contribution to a response, produced by handle_shard.
+  struct ShardRun {
+    SharedPlan plan;
+    std::string format;
+    bool upgraded = false;
+    std::uint64_t snapshot_version = 0;
+    offset_t delta_nnz = 0;
+    SimReport report;
+    /// Single-shard fast path: the finished float result (identical
+    /// arithmetic to the pre-§8 service).
+    OpResult result;
+    /// Multi-shard path (matrix ops): double partial = plan output
+    /// promoted + delta terms, reduced across shards with ONE cast.
+    std::vector<double> acc;
+    double scalar = 0.0;
+  };
+
   TensorState& state_for(const std::string& name) const;
+  std::size_t route_slice(const TensorState& state, index_t slice) const;
   ServeResponse handle(TensorState& state, const ServeRequest& request);
+  /// Runs one shard's (capture, count, execute, delta-sweep) sequence.
+  /// `reduce_in_double` selects the multi-shard partial representation.
+  ShardRun handle_shard(ShardState& shard, const ServeRequest& request,
+                        bool reduce_in_double);
   /// Computes (target format, threshold) for a mode of one generation's
   /// base; runs the §V policy when the options defer to it.  Pure --
   /// called with NO lock held.
   std::pair<std::string, double> resolve_upgrade_policy(
       const Generation& gen, index_t mode) const;
   void maybe_launch_upgrade(const GenerationPtr& gen, index_t mode);
-  void maybe_launch_compaction(TensorState& state,
-                               const TensorSnapshot& snap);
-  void run_compaction(TensorState& state);
+  void maybe_launch_compaction(ShardState& shard, const TensorSnapshot& snap);
+  void run_compaction(ShardState& shard);
 
   ServeOptions opts_;
   mutable std::shared_mutex tensors_mutex_;

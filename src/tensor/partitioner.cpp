@@ -1,0 +1,180 @@
+#include "tensor/partitioner.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+std::size_t route_slice(std::span<const index_t> shard_slice_begins,
+                        index_t slice) {
+  BCSF_CHECK(!shard_slice_begins.empty(), "route_slice: empty routing table");
+  // Last shard whose slice_begin <= slice: for a split slice that is the
+  // shard holding the slice's TAIL, so freshly routed nonzeros pile onto
+  // the shard already charged for the heavy slice's overflow.
+  std::size_t lo = 0;
+  std::size_t hi = shard_slice_begins.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (shard_slice_begins[mid] <= slice) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<SparseTensor> split_updates(
+    const std::vector<index_t>& dims, index_t mode,
+    std::span<const index_t> shard_slice_begins, const SparseTensor& updates) {
+  BCSF_CHECK(updates.dims() == dims, "split_updates: update dims mismatch");
+  BCSF_CHECK(mode < dims.size(), "split_updates: mode out of range");
+  std::vector<SparseTensor> out;
+  out.reserve(shard_slice_begins.size());
+  for (std::size_t s = 0; s < shard_slice_begins.size(); ++s) {
+    out.emplace_back(dims);
+  }
+
+  const index_t order = updates.order();
+  std::vector<index_t> coords(order);
+  for (offset_t z = 0; z < updates.nnz(); ++z) {
+    for (index_t m = 0; m < order; ++m) coords[m] = updates.coord(m, z);
+    out[route_slice(shard_slice_begins, coords[mode])].push_back(
+        coords, updates.value(z));
+  }
+  return out;
+}
+
+std::size_t TensorPartition::shard_for_slice(index_t slice) const {
+  return route_slice(slice_begins, slice);
+}
+
+std::vector<SparseTensor> TensorPartition::split(
+    const SparseTensor& updates) const {
+  return split_updates(dims, mode, slice_begins, updates);
+}
+
+offset_t TensorPartition::max_shard_nnz() const {
+  offset_t best = 0;
+  for (const TensorShard& s : shards) best = std::max(best, s.nnz());
+  return best;
+}
+
+offset_t TensorPartition::min_shard_nnz() const {
+  offset_t best = total_nnz;
+  for (const TensorShard& s : shards) best = std::min(best, s.nnz());
+  return best;
+}
+
+std::string TensorPartition::to_string() const {
+  std::ostringstream os;
+  os << shards.size() << " shard" << (shards.size() == 1 ? "" : "s")
+     << " along mode " << mode << ", nnz";
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    os << (s == 0 ? " " : "/") << shards[s].nnz();
+  }
+  return os.str();
+}
+
+TensorPartition partition_tensor(const SparseTensor& tensor, index_t mode,
+                                 unsigned shards) {
+  BCSF_CHECK(tensor.nnz() > 0, "partition_tensor: empty tensor");
+  BCSF_CHECK(mode < tensor.order(),
+             "partition_tensor: mode " << mode << " out of range for order "
+                                       << tensor.order());
+  const offset_t nnz = tensor.nnz();
+  const offset_t k = std::clamp<offset_t>(shards == 0 ? 1 : shards, 1, nnz);
+
+  // Root-mode-major order groups each slice's nonzeros contiguously, so a
+  // shard is one contiguous run of the sorted stream.  Copy only when a
+  // sort is actually needed -- generator/FROSTT tensors often arrive
+  // sorted, and an O(nnz) scratch copy on the register path would double
+  // transient memory for nothing.
+  const ModeOrder order = mode_order_for(mode, tensor.order());
+  SparseTensor scratch;
+  const SparseTensor* source = &tensor;
+  if (!tensor.is_sorted(order)) {
+    scratch = tensor;
+    scratch.sort(order);
+    source = &scratch;
+  }
+  const SparseTensor& sorted = *source;
+
+  // Slice boundaries of the sorted stream: starts[i] is the offset where
+  // the i-th non-empty slice begins.
+  offset_vec starts;
+  for (offset_t z = 0; z < nnz; ++z) {
+    if (z == 0 || sorted.coord(mode, z) != sorted.coord(mode, z - 1)) {
+      starts.push_back(z);
+    }
+  }
+  starts.push_back(nnz);
+
+  // Equal-nnz cut points, snapped to the nearest slice boundary when one
+  // is within a quarter of the per-shard budget; a cut left mid-slice
+  // SPLITS that slice across two shards (the paper's slc-split, lifted
+  // to tensor granularity).  Snapping keeps delta routing aligned with
+  // slice ownership wherever balance permits.  Every cut is clamped to
+  // [previous cut + 1, nnz - remaining shards], which guarantees exactly
+  // k strictly non-empty shards for any k <= nnz.
+  const offset_t budget = ceil_div<offset_t>(nnz, k);
+  const offset_t slack = budget / 4;
+  offset_vec cuts;
+  cuts.push_back(0);
+  for (offset_t i = 1; i < k; ++i) {
+    const offset_t lo = cuts.back() + 1;  // previous shard stays non-empty
+    const offset_t hi = nnz - (k - i);    // room for the remaining shards
+    const offset_t raw = std::clamp(i * nnz / k, lo, hi);
+    auto it = std::lower_bound(starts.begin(), starts.end(), raw);
+    offset_t cut = raw;
+    offset_t best = slack + 1;
+    for (const auto candidate : {it, it == starts.begin() ? it : it - 1}) {
+      if (candidate == starts.end()) continue;
+      const offset_t boundary = *candidate;
+      if (boundary < lo || boundary > hi) continue;
+      const offset_t dist = boundary > raw ? boundary - raw : raw - boundary;
+      if (dist <= slack && dist < best) {
+        best = dist;
+        cut = boundary;
+      }
+    }
+    cuts.push_back(cut);
+  }
+  cuts.push_back(nnz);
+
+  TensorPartition partition;
+  partition.mode = mode;
+  partition.dims = tensor.dims();
+  partition.total_nnz = nnz;
+  partition.shards.reserve(cuts.size() - 1);
+
+  std::vector<index_t> coords(tensor.order());
+  for (std::size_t s = 0; s + 1 < cuts.size(); ++s) {
+    const offset_t begin = cuts[s];
+    const offset_t end = cuts[s + 1];
+    SparseTensor piece(tensor.dims());
+    piece.reserve(end - begin);
+    for (offset_t z = begin; z < end; ++z) {
+      for (index_t m = 0; m < tensor.order(); ++m) {
+        coords[m] = sorted.coord(m, z);
+      }
+      piece.push_back(coords, sorted.value(z));
+    }
+    TensorShard shard;
+    shard.slice_begin = sorted.coord(mode, begin);
+    shard.slice_end = sorted.coord(mode, end - 1) + 1;
+    shard.tensor = share_tensor(std::move(piece));
+    partition.slice_begins.push_back(shard.slice_begin);
+    partition.shards.push_back(std::move(shard));
+  }
+  return partition;
+}
+
+PartitionPtr share_partition(TensorPartition&& partition) {
+  return std::make_shared<const TensorPartition>(std::move(partition));
+}
+
+}  // namespace bcsf

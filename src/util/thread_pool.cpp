@@ -1,5 +1,10 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace bcsf {
@@ -69,6 +74,60 @@ void ThreadPool::worker_loop() {
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
   }
+}
+
+void run_tasks(ThreadPool* pool, std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    tasks.front()();
+    return;
+  }
+
+  // Shared by the caller and every helper; shared_ptr keeps it alive for
+  // helpers that wake up after the caller has already returned (they see
+  // an empty list and exit immediately).
+  struct Shared {
+    std::vector<std::function<void()>> tasks;
+    std::atomic<std::size_t> next{0};
+    std::mutex m;
+    std::condition_variable done_cv;
+    std::size_t done = 0;
+    std::exception_ptr first_error;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->tasks = std::move(tasks);
+  const std::size_t n = shared->tasks.size();
+
+  auto drain = [shared, n] {
+    for (;;) {
+      const std::size_t i =
+          shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      std::exception_ptr error;
+      try {
+        shared->tasks[i]();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(shared->m);
+      if (error && !shared->first_error) shared->first_error = error;
+      if (++shared->done == n) shared->done_cv.notify_all();
+    }
+  };
+
+  if (pool != nullptr) {
+    // One helper per remaining task, capped at the pool width; refusals
+    // (pool shutting down) are fine -- the caller drains regardless.
+    const std::size_t helpers = std::min(n - 1, pool->size());
+    for (std::size_t h = 0; h < helpers; ++h) {
+      if (!pool->try_submit(drain)) break;
+    }
+  }
+  drain();
+
+  std::unique_lock<std::mutex> lock(shared->m);
+  shared->done_cv.wait(lock, [&shared, n] { return shared->done == n; });
+  if (shared->first_error) std::rethrow_exception(shared->first_error);
 }
 
 }  // namespace bcsf

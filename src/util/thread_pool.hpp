@@ -71,4 +71,17 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// Runs every task in `tasks` and returns once ALL have finished, the
+/// first captured task exception rethrown afterwards (remaining tasks
+/// still run -- partial results must not be torn down under a sibling).
+///
+/// The CALLING thread always participates: helper tasks are offered to
+/// `pool` (best-effort via try_submit) but the caller drains the shared
+/// task list itself until it is empty, so progress never depends on a
+/// pool worker being free.  That makes this safe to call FROM INSIDE a
+/// pool task -- the nested-fan-out case of the sharded plan layer
+/// (DESIGN.md §8), where a one-worker pool would otherwise deadlock on
+/// its own children.  `pool` may be null (plain sequential execution).
+void run_tasks(ThreadPool* pool, std::vector<std::function<void()>> tasks);
+
 }  // namespace bcsf

@@ -185,17 +185,26 @@ TEST(ConcurrentCache, InvalidateSwapsSnapshotAndEvictsPlans) {
   EXPECT_EQ(cache.tensor_version(), 0u);
 
   SharedPlan old_plan = cache.get("bcsf", 0);
-  EXPECT_EQ(cache.size(), 1u);
+  cache.get("coo", 1);
+  EXPECT_EQ(cache.size(), 2u);
 
   TensorPtr next = share_tensor(std::move(v1));
-  EXPECT_FALSE(cache.invalidate(next, 0)) << "same version must be a no-op";
-  EXPECT_TRUE(cache.invalidate(next, 3));
+  EXPECT_EQ(cache.invalidate(next, 0), 0u) << "same version must be a no-op";
+  EXPECT_EQ(cache.tensor_version(), 0u);
+  // invalidate returns the number of slots it evicted -- the per-shard
+  // compaction observability hook (DESIGN.md §8).
+  EXPECT_EQ(cache.invalidate(next, 3), 2u);
   EXPECT_EQ(cache.tensor_version(), 3u);
   EXPECT_EQ(cache.size(), 0u) << "invalidate must evict every slot";
-  EXPECT_FALSE(cache.invalidate(next, 2)) << "stale version must be rejected";
+  EXPECT_EQ(cache.invalidate(next, 2), 0u) << "stale version must be rejected";
+  EXPECT_EQ(cache.tensor_version(), 3u);
+  // An accepted invalidate with an EMPTY cache evicts nothing but still
+  // advances the snapshot (distinguishable via tensor_version()).
+  EXPECT_EQ(cache.invalidate(next, 4), 0u);
+  EXPECT_EQ(cache.tensor_version(), 4u);
 
   SharedPlan new_plan = cache.get("bcsf", 0);
-  EXPECT_EQ(factory.builds.load(), 2) << "post-invalidate get() must rebuild";
+  EXPECT_EQ(factory.builds.load(), 3) << "post-invalidate get() must rebuild";
   EXPECT_NE(new_plan.get(), old_plan.get());
 
   // The retained pre-swap plan still answers for ITS snapshot.

@@ -93,6 +93,62 @@ TEST(FrosttIo, FileRoundTrip) {
   EXPECT_EQ(t2.dims(), t.dims());
 }
 
+// ---------------------------------------------------------------------------
+// Error paths that matter more now that tensors are partitioned by slice
+// range (DESIGN.md §8): a silently mis-parsed index would route nonzeros
+// to the wrong shard, so the reader must refuse loudly, naming the line.
+// ---------------------------------------------------------------------------
+
+TEST(FrosttIo, RejectsTruncatedLine) {
+  // Second line lost its value field (e.g. a cut-off download): fewer
+  // tokens than the established order+1 arity.
+  std::istringstream in("1 2 3 1.0\n4 5 6\n");
+  try {
+    read_tns(in);
+    FAIL() << "expected bcsf::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FrosttIo, RejectsTruncatedLineWithHint) {
+  // With a dims hint the order is known from line 1, so even the FIRST
+  // line being short must throw rather than reinterpret fields.
+  std::istringstream in("1 2 1.0\n");
+  EXPECT_THROW(read_tns(in, {10, 10, 10}), Error);
+}
+
+TEST(FrosttIo, RejectsNonNumericCoordinate) {
+  // A corrupted index token mid-line ("2x" parses as 2 then trips on x).
+  std::istringstream in("1 2x 3 1.0\n");
+  EXPECT_THROW(read_tns(in), Error);
+  std::istringstream comma("1 2,5 3 1.0\n");
+  EXPECT_THROW(read_tns(comma), Error);
+}
+
+TEST(FrosttIo, RejectsNonNumericValue) {
+  std::istringstream in("1 2 3 oops\n");
+  EXPECT_THROW(read_tns(in), Error);
+}
+
+TEST(FrosttIo, RejectsNegativeCoordinate) {
+  std::istringstream in("-1 2 3 1.0\n");
+  EXPECT_THROW(read_tns(in), Error);
+}
+
+TEST(FrosttIo, RejectsIndexOutOfDeclaredDims) {
+  // In-bounds along earlier modes, out of bounds on the LAST declared
+  // dim -- the off-by-one a slice-range router would silently misplace.
+  std::istringstream last("2 2 11 1.0\n");
+  EXPECT_THROW(read_tns(last, {10, 10, 10}), Error);
+  std::istringstream middle("1 11 1 1.0\n2 2 2 2.0\n");
+  EXPECT_THROW(read_tns(middle, {10, 10, 10}), Error);
+  // Exactly at the bound (1-based == dim) is legal.
+  std::istringstream edge("10 10 10 1.0\n");
+  EXPECT_EQ(read_tns(edge, {10, 10, 10}).nnz(), 1u);
+}
+
 TEST(FrosttIo, Order4) {
   std::istringstream in("1 2 3 4 1.0\n2 2 2 2 2.0\n");
   const SparseTensor t = read_tns(in);

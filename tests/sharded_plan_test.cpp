@@ -1,0 +1,336 @@
+// The sharded plan architecture (DESIGN.md §8): nnz-balanced slice-range
+// partitioning, the ShardedPlan meta format, auto shard pricing, and
+// sharded CPD-ALS.
+//
+// Exactness rides the power-of-two grid of serve_test_util.hpp: every
+// kernel's float/double arithmetic is rounding-free there, so a sharded
+// execution -- per-shard runs reduced in double, one cast -- must match
+// the sequential references BITWISE for every shard count and inner
+// format.  Any lost, duplicated, or misrouted nonzero is a hard
+// mismatch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "bcsf/bcsf.hpp"
+#include "serve_test_util.hpp"
+
+namespace bcsf {
+namespace {
+
+using serve_test::bitwise_equal;
+using serve_test::exact_factors;
+using serve_test::exact_tensor;
+
+constexpr std::uint64_t kSeed = 2024;
+
+// ---------------------------------------------------------------------------
+// Partitioner
+// ---------------------------------------------------------------------------
+
+TEST(Partitioner, BalancesAndCoversEveryNonzero) {
+  const SparseTensor x = exact_tensor({60, 50, 40}, 6000, kSeed);
+  for (unsigned k : {1u, 2u, 4u, 7u}) {
+    SCOPED_TRACE(k);
+    const TensorPartition p = partition_tensor(x, 0, k);
+    ASSERT_EQ(p.size(), k);
+    EXPECT_EQ(p.mode, 0u);
+    EXPECT_EQ(p.dims, x.dims());
+
+    offset_t total = 0;
+    for (std::size_t s = 0; s < p.size(); ++s) {
+      const TensorShard& shard = p.shards[s];
+      ASSERT_NE(shard.tensor, nullptr);
+      EXPECT_GT(shard.nnz(), 0u) << "shard " << s << " empty";
+      EXPECT_LT(shard.slice_begin, shard.slice_end);
+      // Every nonzero lives inside its shard's declared slice range.
+      for (offset_t z = 0; z < shard.tensor->nnz(); ++z) {
+        const index_t slice = shard.tensor->coord(0, z);
+        EXPECT_GE(slice, shard.slice_begin);
+        EXPECT_LT(slice, shard.slice_end);
+      }
+      if (s > 0) {
+        EXPECT_GE(shard.slice_begin, p.shards[s - 1].slice_begin);
+      }
+      total += shard.nnz();
+    }
+    EXPECT_EQ(total, x.nnz()) << "shards must partition the nonzeros";
+
+    // Equal-nnz targeting: no shard exceeds twice the ideal budget.
+    const offset_t budget = ceil_div<offset_t>(x.nnz(), k);
+    EXPECT_LE(p.max_shard_nnz(), 2 * budget) << p.to_string();
+  }
+}
+
+TEST(Partitioner, SplitsHeavySlices) {
+  // One slice owns ~85% of the nonzeros: slice-granular packing cannot
+  // balance this, so the partitioner must split the slice mid-stream
+  // (the paper's slc-split at tensor granularity).
+  SparseTensor x({8, 64, 64});
+  std::mt19937 rng(11);
+  for (int z = 0; z < 1700; ++z) {
+    const index_t i = z < 1450 ? 3 : static_cast<index_t>(rng() % 8);
+    x.push_back(std::vector<index_t>{i, static_cast<index_t>(rng() % 64),
+                                     static_cast<index_t>(rng() % 64)},
+                1.0F);
+  }
+  const TensorPartition p = partition_tensor(x, 0, 4);
+  ASSERT_EQ(p.size(), 4u);
+  const offset_t budget = ceil_div<offset_t>(x.nnz(), 4);
+  EXPECT_LE(p.max_shard_nnz(), 2 * budget) << p.to_string();
+  // The heavy slice appears in more than one shard's range.
+  int covering = 0;
+  for (const TensorShard& shard : p.shards) {
+    if (shard.slice_begin <= 3 && 3 < shard.slice_end) ++covering;
+  }
+  EXPECT_GT(covering, 1) << "heavy slice was not split: " << p.to_string();
+}
+
+TEST(Partitioner, RoutingIsTotalAndConsistent) {
+  const SparseTensor x = exact_tensor({40, 30, 20}, 2500, kSeed + 1);
+  const TensorPartition p = partition_tensor(x, 0, 4);
+  // Total: every slice index (even empty ones) routes somewhere valid.
+  for (index_t slice = 0; slice < x.dim(0); ++slice) {
+    const std::size_t s = p.shard_for_slice(slice);
+    ASSERT_LT(s, p.size());
+    // Routing respects ownership: the routed shard's range contains the
+    // slice, except for slices no shard covers (empty in the source).
+    bool covered = false;
+    for (const TensorShard& shard : p.shards) {
+      if (shard.slice_begin <= slice && slice < shard.slice_end) {
+        covered = true;
+      }
+    }
+    if (covered) {
+      EXPECT_LE(p.shards[s].slice_begin, slice);
+    }
+  }
+
+  // split() preserves every update nonzero, routed consistently.
+  std::mt19937 rng(77);
+  const SparseTensor batch = serve_test::exact_batch(x.dims(), 300, rng);
+  const std::vector<SparseTensor> routed = p.split(batch);
+  ASSERT_EQ(routed.size(), p.size());
+  offset_t total = 0;
+  for (std::size_t s = 0; s < routed.size(); ++s) {
+    for (offset_t z = 0; z < routed[s].nnz(); ++z) {
+      EXPECT_EQ(p.shard_for_slice(routed[s].coord(0, z)), s);
+    }
+    total += routed[s].nnz();
+  }
+  EXPECT_EQ(total, batch.nnz());
+}
+
+TEST(Partitioner, ClampsShardCount) {
+  const SparseTensor x = exact_tensor({10, 10, 10}, 12, kSeed + 2);
+  EXPECT_EQ(partition_tensor(x, 0, 0).size(), 1u);
+  EXPECT_EQ(partition_tensor(x, 0, 1).size(), 1u);
+  // K > nnz clamps so every shard stays non-empty.
+  const TensorPartition p = partition_tensor(x, 0, 1000);
+  EXPECT_LE(p.size(), static_cast<std::size_t>(x.nnz()));
+  EXPECT_GE(p.min_shard_nnz(), 1u);
+
+  SparseTensor empty({5, 5, 5});
+  EXPECT_THROW(partition_tensor(empty, 0, 2), Error);
+  EXPECT_THROW(partition_tensor(x, 3, 2), Error);
+}
+
+TEST(Partitioner, ModeAware) {
+  // Partitioning along mode 2 must produce mode-2 slice ranges.
+  const SparseTensor x = exact_tensor({20, 30, 40}, 3000, kSeed + 3);
+  const TensorPartition p = partition_tensor(x, 2, 3);
+  EXPECT_EQ(p.mode, 2u);
+  for (const TensorShard& shard : p.shards) {
+    for (offset_t z = 0; z < shard.tensor->nnz(); ++z) {
+      EXPECT_GE(shard.tensor->coord(2, z), shard.slice_begin);
+      EXPECT_LT(shard.tensor->coord(2, z), shard.slice_end);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Auto shard pricing
+// ---------------------------------------------------------------------------
+
+TEST(AutoShardCount, PricesFromSaturation) {
+  AutoPolicyOptions opts;  // saturation_nnz = 1 << 16, max_shards = 16
+  EXPECT_EQ(auto_shard_count(0, opts), 1u);
+  EXPECT_EQ(auto_shard_count(1000, opts), 1u) << "undersized stays monolithic";
+  EXPECT_EQ(auto_shard_count(opts.saturation_nnz - 1, opts), 1u);
+  EXPECT_EQ(auto_shard_count(4 * opts.saturation_nnz, opts), 4u);
+  EXPECT_EQ(auto_shard_count(1000 * opts.saturation_nnz, opts),
+            opts.max_shards)
+      << "clamped at max_shards";
+
+  AutoPolicyOptions small;
+  small.saturation_nnz = 100;
+  small.max_shards = 8;
+  EXPECT_EQ(auto_shard_count(350, small), 3u);
+  const AutoDecision d = auto_select_format(exact_tensor({20, 20, 20}, 500,
+                                                         kSeed + 4),
+                                            0);
+  EXPECT_EQ(d.shards, 1u) << "decision carries the pricing";
+}
+
+// ---------------------------------------------------------------------------
+// ShardedPlan: bitwise exactness on the power-of-two grid
+// ---------------------------------------------------------------------------
+
+class ShardedPlanExactness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ShardedPlanExactness, MatchesReferencesAcrossFormats) {
+  const unsigned k = GetParam();
+  for (const std::vector<index_t>& dims :
+       {std::vector<index_t>{36, 28, 44}, std::vector<index_t>{14, 18, 10, 22}}) {
+    const SparseTensor x = exact_tensor(dims, 2200, kSeed + 5);
+    const auto factors = exact_factors(dims, 8, kSeed + 6);
+    const auto vectors = exact_factors(dims, 1, kSeed + 7);
+    const std::vector<value_t> lambda(8, 0.5F);
+
+    for (const char* inner : {"coo", "bcsf", "hbcsf", "cpu-coo", "auto"}) {
+      for (index_t mode = 0; mode < x.order(); ++mode) {
+        SCOPED_TRACE(testing::Message() << inner << " K=" << k << " mode="
+                                        << mode << " order=" << x.order());
+        PlanOptions opts;
+        opts.device = DeviceModel::tiny();
+        opts.sharding.shards = k;
+        opts.sharding.shard_format = inner;
+        const PlanPtr plan =
+            FormatRegistry::instance().create("sharded", x, mode, opts);
+        EXPECT_EQ(plan->format(), "sharded");
+        EXPECT_EQ(plan->resolved_format(), "sharded");
+        auto* sharded = dynamic_cast<const ShardedPlan*>(plan.get());
+        ASSERT_NE(sharded, nullptr);
+        EXPECT_EQ(sharded->shard_count(), std::min<std::size_t>(k, x.nnz()));
+        EXPECT_GT(plan->storage_bytes(), 0u);
+
+        // MTTKRP: bitwise against the double-accumulating reference.
+        const DenseMatrix mttkrp_ref = mttkrp_reference(x, mode, *factors);
+        EXPECT_TRUE(bitwise_equal(mttkrp_ref, plan->run(*factors).output));
+
+        // TTV through execute(): bitwise against ttv_reference.
+        OpRequest ttv;
+        ttv.kind = OpKind::kTtv;
+        ttv.mode = mode;
+        ttv.factors = vectors.get();
+        EXPECT_TRUE(bitwise_equal(ttv_reference(x, mode, *vectors),
+                                  plan->execute(ttv).output));
+
+        // FIT: the partial inner products reduce in double, so the
+        // scalar must be EXACTLY the sequential reference's.
+        OpRequest fit;
+        fit.kind = OpKind::kFit;
+        fit.mode = mode;
+        fit.factors = factors.get();
+        fit.lambda = &lambda;
+        EXPECT_EQ(plan->execute(fit).scalar,
+                  fit_inner_reference(x, *factors, &lambda));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedPlanExactness,
+                         ::testing::Values(1u, 2u, 4u, 7u));
+
+TEST(ShardedPlan, ParallelBuildMatchesSerialBitwise) {
+  const SparseTensor x = exact_tensor({48, 32, 24}, 4000, kSeed + 8);
+  const auto factors = exact_factors(x.dims(), 8, kSeed + 9);
+
+  PlanOptions serial;
+  serial.device = DeviceModel::tiny();
+  serial.sharding.shards = 4;
+  serial.sharding.shard_format = "bcsf";
+  const PlanPtr a = FormatRegistry::instance().create("sharded", x, 0, serial);
+
+  ThreadPool pool(4);
+  PlanOptions parallel = serial;
+  parallel.sharding.pool = &pool;
+  const PlanPtr b =
+      FormatRegistry::instance().create("sharded", x, 0, parallel);
+
+  EXPECT_TRUE(bitwise_equal(a->run(*factors).output, b->run(*factors).output));
+  EXPECT_EQ(a->storage_bytes(), b->storage_bytes());
+}
+
+TEST(ShardedPlan, NestedBuildOnSingleWorkerPoolDoesNotDeadlock) {
+  // The serving layer builds sharded work from INSIDE pool tasks; with a
+  // one-worker pool the caller must drain its own sub-tasks.
+  const SparseTensor x = exact_tensor({30, 30, 30}, 1500, kSeed + 10);
+  const auto factors = exact_factors(x.dims(), 4, kSeed + 11);
+  const DenseMatrix ref = mttkrp_reference(x, 0, *factors);
+
+  ThreadPool pool(1);
+  auto result = pool.async([&] {
+    PlanOptions opts;
+    opts.device = DeviceModel::tiny();
+    opts.sharding.shards = 4;
+    opts.sharding.shard_format = "coo";
+    opts.sharding.pool = &pool;
+    const PlanPtr plan =
+        FormatRegistry::instance().create("sharded", x, 0, opts);
+    return plan->run(*factors).output;
+  });
+  EXPECT_TRUE(bitwise_equal(ref, result.get()));
+}
+
+TEST(ShardedPlan, AutoPricingAndMixedInnerFormats) {
+  const SparseTensor x = exact_tensor({40, 40, 40}, 5000, kSeed + 12);
+  PlanOptions opts;
+  opts.device = DeviceModel::tiny();
+  opts.sharding.shards = 0;  // auto: 5000 nnz < saturation -> 1 shard
+  const PlanPtr plan = FormatRegistry::instance().create("sharded", x, 0, opts);
+  auto* sharded = dynamic_cast<const ShardedPlan*>(plan.get());
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->shard_count(), 1u);
+
+  // Explicit K with "auto" inner plans: each shard resolves its own
+  // format and none may leak the meta name.
+  PlanOptions mixed;
+  mixed.device = DeviceModel::tiny();
+  mixed.sharding.shards = 3;
+  mixed.sharding.shard_format = "auto";
+  const PlanPtr p3 = FormatRegistry::instance().create("sharded", x, 0, mixed);
+  auto* s3 = dynamic_cast<const ShardedPlan*>(p3.get());
+  ASSERT_NE(s3, nullptr);
+  for (const std::string& f : s3->shard_formats()) {
+    EXPECT_NE(f, "auto");
+    EXPECT_NE(f, "sharded");
+    EXPECT_TRUE(FormatRegistry::instance().contains(f)) << f;
+  }
+  EXPECT_FALSE(p3->detail().empty());
+
+  // Recursive sharding is refused.
+  PlanOptions recursive;
+  recursive.sharding.shards = 2;
+  recursive.sharding.shard_format = "sharded";
+  EXPECT_THROW(FormatRegistry::instance().create("sharded", x, 0, recursive),
+               Error);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded plans through CPD-ALS
+// ---------------------------------------------------------------------------
+
+TEST(ShardedCpd, MatchesMonolithicFit) {
+  const SparseTensor x =
+      generate_low_rank({18, 14, 12}, 4, 18 * 14 * 12, 0.0F, 91);
+  CpdOptions mono;
+  mono.rank = 3;
+  mono.max_iterations = 6;
+  mono.fit_tolerance = 0.0;
+  mono.format = "reference";
+  const CpdResult a = cpd_als(x, mono);
+
+  CpdOptions sharded = mono;
+  sharded.shards = 4;
+  const CpdResult b = cpd_als(x, sharded);
+  ASSERT_EQ(b.mode_formats.size(), 3u);
+  for (const std::string& f : b.mode_formats) EXPECT_EQ(f, "sharded");
+  EXPECT_NEAR(a.final_fit, b.final_fit, 0.02);
+}
+
+}  // namespace
+}  // namespace bcsf

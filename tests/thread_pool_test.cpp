@@ -1,0 +1,184 @@
+// Direct unit tests for util/thread_pool.hpp: submit/try_submit under a
+// shutdown race, task-exception propagation, wait_idle semantics, and
+// the caller-participating run_tasks fan-out the sharded plan layer
+// (DESIGN.md §8) builds on.  The pool serves two critical clients now --
+// request serving AND parallel shard builds -- so its contract gets its
+// own suite instead of being exercised only through the service.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bcsf {
+namespace {
+
+TEST(ThreadPool, RunsEveryAcceptedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, ZeroDefaultsToHardwareAndAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  auto result = pool.async([] { return 41 + 1; });
+  EXPECT_EQ(result.get(), 42);
+}
+
+TEST(ThreadPool, AsyncPropagatesTaskException) {
+  ThreadPool pool(2);
+  auto result = pool.async([]() -> int {
+    throw std::runtime_error("task boom");
+  });
+  EXPECT_THROW(result.get(), std::runtime_error);
+  // The worker survives the throwing task and keeps serving.
+  EXPECT_EQ(pool.async([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, TasksMaySubmitTasksAndWaitIdleCoversThem) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&pool, &ran] {
+    ran.fetch_add(1);
+    pool.submit([&pool, &ran] {
+      ran.fetch_add(1);
+      pool.submit([&ran] { ran.fetch_add(1); });
+    });
+  });
+  pool.wait_idle();  // must count queued AND mid-task work
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), Error);
+  EXPECT_THROW(pool.try_submit(std::function<void()>{}), Error);
+}
+
+// The shutdown race of the serving layer's background upgrades: a task
+// still RUNNING while the destructor drains must see try_submit refuse
+// (returning false) and submit throw -- never a crash, never a silently
+// dropped-but-accepted task.
+TEST(ThreadPool, SubmitDuringShutdownThrowsAndTrySubmitRefuses) {
+  std::promise<void> entered;
+  std::atomic<int> accepted{0};
+  std::atomic<int> ran{0};
+  std::atomic<bool> submit_threw{false};
+
+  auto pool = std::make_unique<ThreadPool>(1);
+  pool->submit([&, raw = pool.get()] {
+    entered.set_value();
+    // Keep offering background work until shutdown begins -- the
+    // service's upgrade-task pattern.  Every ACCEPTED task must still
+    // run: the destructor drains the queue before joining.
+    while (raw->try_submit([&ran] { ran.fetch_add(1); })) {
+      accepted.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // try_submit refused, so shutdown has begun: submit must throw.
+    try {
+      raw->submit([&ran] { ran.fetch_add(1); });
+    } catch (const Error&) {
+      submit_threw = true;
+    }
+  });
+
+  entered.get_future().wait();
+  pool.reset();  // sets the stop flag, drains accepted tasks, joins
+  EXPECT_TRUE(submit_threw.load()) << "submit must throw at shutdown";
+  EXPECT_EQ(ran.load(), accepted.load())
+      << "accepted tasks may not be dropped by shutdown";
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+  }  // destructor: accepted tasks may not be dropped
+  EXPECT_EQ(ran.load(), 16);
+}
+
+// ---------------------------------------------------------------------------
+// run_tasks: the caller-participating fan-out primitive.
+// ---------------------------------------------------------------------------
+
+TEST(RunTasks, RunsAllTasksWithAndWithoutPool) {
+  for (const bool with_pool : {false, true}) {
+    SCOPED_TRACE(with_pool);
+    std::optional<ThreadPool> pool;
+    if (with_pool) pool.emplace(3);
+    std::vector<int> hits(17, 0);
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      tasks.push_back([&hits, i] { hits[i] += 1; });
+    }
+    run_tasks(with_pool ? &*pool : nullptr, std::move(tasks));
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i], 1) << "task " << i;
+    }
+  }
+}
+
+TEST(RunTasks, NestsInsideSingleWorkerPoolWithoutDeadlock) {
+  // A pool task fanning out on its own pool: with one worker no helper
+  // can ever run, so the calling task must drain everything itself.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  auto done = pool.async([&pool, &ran] {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+      tasks.push_back([&ran] { ran.fetch_add(1); });
+    }
+    run_tasks(&pool, std::move(tasks));
+    return ran.load();
+  });
+  EXPECT_EQ(done.get(), 8);
+}
+
+TEST(RunTasks, PropagatesFirstExceptionAfterAllTasksRan) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back([&ran, i] {
+      ran.fetch_add(1);
+      if (i == 2) throw std::runtime_error("shard boom");
+    });
+  }
+  EXPECT_THROW(run_tasks(&pool, std::move(tasks)), std::runtime_error);
+  // Siblings are NOT cancelled: partial state must stay safe to read.
+  EXPECT_EQ(ran.load(), 6);
+}
+
+TEST(RunTasks, EmptyAndSingleTaskFastPaths) {
+  run_tasks(nullptr, {});
+  int hits = 0;
+  std::vector<std::function<void()>> one;
+  one.push_back([&hits] { ++hits; });
+  run_tasks(nullptr, std::move(one));
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace
+}  // namespace bcsf
