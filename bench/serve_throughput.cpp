@@ -27,9 +27,19 @@
 // per shard under §8: only the shards a batch touches version-bump or
 // compact).
 //
+// Each row also reports the serving layer's output-combining overhead
+// (DESIGN.md §8): mean per-request fan-out latency (fanout_ms, submit to
+// last shard finishing) and reduce latency (reduce_ms, combining shard
+// results into the response), plus which combine path dominated --
+// "disjoint" when partition-mode requests skipped the K-way reduce,
+// "merge" when only the double-reduce ran, "single" for monolithic
+// tensors.  Compare shards=4 vs shards=1 at equal workers: the disjoint
+// path plus batch-amortized fan-out is what makes sharding pay on
+// req/s and p99, not just on time_to_structured.
+//
 // --json <path> additionally writes the machine-readable result record
 // described by bench/schema/BENCH_serve.schema.json (the perf-trajectory
-// format, BENCH_serve/v3; BENCH_serve.json at the repo root is a
+// format, BENCH_serve/v4; BENCH_serve.json at the repo root is a
 // committed baseline).
 //
 //   ./serve_throughput [--requests=N] [--batch=N] [--nnz=N] [--rank=R]
@@ -83,6 +93,11 @@ struct RunRow {
   double time_to_structured_ms = -1.0;
   int pre_upgrade = 0;
   int post_upgrade = 0;
+  /// Mean per-request fan-out / reduce overhead (ServeResponse timings).
+  double fanout_ms = 0.0;
+  double reduce_ms = 0.0;
+  /// Strongest combine path observed: "disjoint" > "merge" > "single".
+  std::string reduce_path = "single";
   std::string final_format;
   std::uint64_t compactions = 0;
   std::uint64_t final_version = 0;
@@ -188,7 +203,8 @@ int main(int argc, char** argv) {
   std::mt19937 update_rng(4711);
   std::vector<RunRow> rows;
   Table table({"shards", "workers", "req/s", "wall (ms)", "p50 (ms)",
-               "p99 (ms)", "t->struct (ms)", "pre-upgrade", "post-upgrade",
+               "p99 (ms)", "fanout (ms)", "reduce (ms)", "path",
+               "t->struct (ms)", "pre-upgrade", "post-upgrade",
                "final format", "compactions"});
   for (unsigned shards : shard_counts) {
     for (unsigned workers : thread_counts) {
@@ -253,6 +269,14 @@ int main(int argc, char** argv) {
             (response.upgraded ? row.post_upgrade : row.pre_upgrade)++;
             latencies_ms.push_back(latency);
             op_latencies_ms[static_cast<int>(response.op)].push_back(latency);
+            row.fanout_ms += response.fanout_ms;
+            row.reduce_ms += response.reduce_ms;
+            if (response.reduce_path == "disjoint") {
+              row.reduce_path = "disjoint";
+            } else if (response.reduce_path == "merge" &&
+                       row.reduce_path != "disjoint") {
+              row.reduce_path = "merge";
+            }
           }
         }
         // Time-to-structured: first wave boundary where EVERY shard of
@@ -271,6 +295,8 @@ int main(int argc, char** argv) {
 
       row.req_per_s = requests / seconds;
       row.wall_ms = seconds * 1e3;
+      row.fanout_ms /= requests;
+      row.reduce_ms /= requests;
       row.p50_ms = percentile(latencies_ms, 50.0);
       row.p99_ms = percentile(latencies_ms, 99.0);
       row.final_format = service.current_format("bench", 0);
@@ -286,9 +312,10 @@ int main(int argc, char** argv) {
         row.ops[op].p99_ms = percentile(op_latencies_ms[op], 99.0);
       }
       table.row(row.shards, row.workers, static_cast<long>(row.req_per_s),
-                row.wall_ms, row.p50_ms, row.p99_ms,
-                row.time_to_structured_ms, row.pre_upgrade, row.post_upgrade,
-                row.final_format, static_cast<long>(row.compactions));
+                row.wall_ms, row.p50_ms, row.p99_ms, row.fanout_ms,
+                row.reduce_ms, row.reduce_path, row.time_to_structured_ms,
+                row.pre_upgrade, row.post_upgrade, row.final_format,
+                static_cast<long>(row.compactions));
       rows.push_back(row);
     }
   }
@@ -314,7 +341,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << "{\n"
-        << "  \"schema\": \"BENCH_serve/v3\",\n"
+        << "  \"schema\": \"BENCH_serve/v4\",\n"
         << "  \"bench\": \"serve_throughput\",\n"
         << "  \"config\": {\n"
         << "    \"requests\": " << requests << ",\n"
@@ -335,6 +362,9 @@ int main(int argc, char** argv) {
           << ", \"req_per_s\": " << r.req_per_s
           << ", \"wall_ms\": " << r.wall_ms << ", \"p50_ms\": " << r.p50_ms
           << ", \"p99_ms\": " << r.p99_ms
+          << ", \"fanout_ms\": " << r.fanout_ms
+          << ", \"reduce_ms\": " << r.reduce_ms
+          << ", \"reduce_path\": \"" << r.reduce_path << "\""
           << ", \"time_to_structured_ms\": " << r.time_to_structured_ms
           << ", \"pre_upgrade\": " << r.pre_upgrade
           << ", \"post_upgrade\": " << r.post_upgrade

@@ -28,7 +28,14 @@ AutoDecision auto_select_format(const ModeStats& stats,
     d.rationale = "empty tensor: nothing to amortize";
     return d;
   }
-  d.shards = auto_shard_count(stats.nnz, opts);
+  // Non-empty slices stand in for the output rows the merge traffic
+  // scales with (stats carry no dims; empty rows cost the merge too, so
+  // this under-prices the reduce slightly -- conservative toward
+  // sharding).  Callers that know the real extent (the serving layer)
+  // call price_shard_count with it directly.
+  d.sharding = price_shard_count(
+      stats.nnz, static_cast<index_t>(stats.num_slices), opts);
+  d.shards = d.sharding.shards;
 
   // Fig-10 break-even gate.  Costs are in units of one per-nonzero MTTKRP
   // step; only the ratio matters for the break-even count.
@@ -86,12 +93,34 @@ AutoDecision auto_select_format(const ModeStats& stats,
   return d;
 }
 
-unsigned auto_shard_count(offset_t nnz, const AutoPolicyOptions& opts) {
-  if (opts.saturation_nnz == 0 || nnz == 0) return 1;
+ShardPricing price_shard_count(offset_t nnz, index_t mode_dim,
+                               const AutoPolicyOptions& opts) {
+  ShardPricing best;
+  if (opts.saturation_nnz == 0 || nnz == 0) return best;
+  // Capacity gate: every shard must still saturate the device on its own.
   const offset_t per_saturation = nnz / opts.saturation_nnz;
-  const unsigned cap = std::max(1u, opts.max_shards);
-  return static_cast<unsigned>(
-      std::clamp<offset_t>(per_saturation, 1, cap));
+  const unsigned cap = static_cast<unsigned>(std::clamp<offset_t>(
+      per_saturation, 1, std::max(1u, opts.max_shards)));
+  // Break-even gate: take the K with the best positive net win; if no K
+  // nets out against its own fan-out + merge overhead, stay monolithic.
+  const double reduce_per_shard = static_cast<double>(mode_dim) *
+                                  static_cast<double>(opts.expected_rank) *
+                                  opts.shard_reduce_cost;
+  for (unsigned k = 2; k <= cap; ++k) {
+    const double gain = static_cast<double>(nnz) * (1.0 - 1.0 / k);
+    const double fanout = k * opts.shard_submit_cost;
+    const double reduce = k * reduce_per_shard;
+    if (gain - fanout - reduce > best.gain - best.fanout_cost -
+                                     best.reduce_cost) {
+      best = {k, gain, fanout, reduce};
+    }
+  }
+  return best;
+}
+
+unsigned auto_shard_count(offset_t nnz, index_t mode_dim,
+                          const AutoPolicyOptions& opts) {
+  return price_shard_count(nnz, mode_dim, opts).shards;
 }
 
 std::string AutoDecision::to_string() const {
@@ -99,7 +128,9 @@ std::string AutoDecision::to_string() const {
   os << "auto -> " << format << " (coo/csl/csf slices "
      << 100.0 * coo_slice_fraction << "/" << 100.0 * csl_slice_fraction << "/"
      << 100.0 * csf_slice_fraction << "%, fiber cv " << fiber_length_cv
-     << ", breakeven " << breakeven_calls << "): " << rationale;
+     << ", breakeven " << breakeven_calls << ", shards " << shards
+     << " [gain " << sharding.gain << " vs fanout " << sharding.fanout_cost
+     << " + reduce " << sharding.reduce_cost << "]): " << rationale;
   return os.str();
 }
 

@@ -54,6 +54,32 @@ struct AutoPolicyOptions {
   /// parallel on the serving pool, so more shards than the pool can chew
   /// (or than the partitioner can keep balanced) buys nothing.
   unsigned max_shards = 16;
+  /// --- Overhead terms for auto_shard_count (DESIGN.md §8) ---
+  /// Splitting a call K ways saves at most nnz * (1 - 1/K) per-nonzero
+  /// units of kernel time on the critical path, but PAYS K task
+  /// submissions plus a K-way merge of the output.  Both costs are in
+  /// the same per-nonzero MTTKRP units as everything above.
+  ///
+  /// Cost of submitting + scheduling one shard task on the worker pool
+  /// (lock, wake-up, cache-cold entry).
+  double shard_submit_cost = 2000.0;
+  /// Per output entry (row x rank element) cost of reading K partials
+  /// and writing the merged row -- the merge path's memory traffic.  The
+  /// disjoint-output path escapes this term, but the policy prices the
+  /// general case: non-partition modes always merge.
+  double shard_reduce_cost = 1.0;
+  /// Rank assumed when pricing the reduce term before any request
+  /// arrives (the paper's benchmark rank).
+  rank_t expected_rank = 32;
+};
+
+/// auto_shard_count's decision with its cost terms, all in per-nonzero
+/// MTTKRP units per call, priced AT the recommended shard count.
+struct ShardPricing {
+  unsigned shards = 1;
+  double gain = 0.0;         ///< kernel time taken off the critical path
+  double fanout_cost = 0.0;  ///< K task submissions
+  double reduce_cost = 0.0;  ///< K-way merge traffic (0 when shards == 1)
 };
 
 struct AutoDecision {
@@ -71,6 +97,10 @@ struct AutoDecision {
   /// policy's saturation term): 1 below device saturation, growing with
   /// nnz so each shard still saturates on its own.
   unsigned shards = 1;
+  /// The overhead-aware terms behind `shards` (price_shard_count):
+  /// shards > 1 only where sharding.gain exceeds the fan-out + reduce
+  /// overheads.
+  ShardPricing sharding;
   std::string rationale;  ///< one human-readable sentence
 
   std::string to_string() const;
@@ -84,12 +114,23 @@ AutoDecision auto_select_format(const SparseTensor& tensor, index_t mode,
 AutoDecision auto_select_format(const ModeStats& stats,
                                 const AutoPolicyOptions& opts = {});
 
-/// Prices the nnz-balanced shard count for a tensor (DESIGN.md §8): one
-/// shard per `saturation_nnz` nonzeros -- a shard below saturation cannot
-/// convert its balanced structure into speed, the same term that gates
-/// the Fig-10 break-even -- clamped to [1, max_shards].  Small tensors
-/// therefore stay monolithic and a 100M-nnz tensor splits into enough
-/// shards to pipeline builds/compactions without starving any kernel.
-unsigned auto_shard_count(offset_t nnz, const AutoPolicyOptions& opts = {});
+/// Prices the nnz-balanced shard count for a tensor (DESIGN.md §8),
+/// overhead-aware.  Two gates:
+///  1. Capacity: at most one shard per `saturation_nnz` nonzeros -- a
+///     shard below saturation cannot convert its balanced structure into
+///     speed, the same term that gates the Fig-10 break-even.
+///  2. Break-even: K shards take nnz * (1 - 1/K) of kernel time off the
+///     critical path per call, but pay K * shard_submit_cost fan-out plus
+///     K * mode_dim * expected_rank * shard_reduce_cost merge traffic.
+///     K grows only while the net stays positive, so tensors below the
+///     measured break-even stay monolithic (shards == 1) no matter how
+///     many saturations they hold.
+/// `mode_dim` is the output-mode dimension the merge traffic scales with
+/// (the partition mode's extent for the serving layer); 0 = unknown,
+/// pricing the fan-out term only.  Result clamped to [1, max_shards].
+ShardPricing price_shard_count(offset_t nnz, index_t mode_dim,
+                               const AutoPolicyOptions& opts = {});
+unsigned auto_shard_count(offset_t nnz, index_t mode_dim = 0,
+                          const AutoPolicyOptions& opts = {});
 
 }  // namespace bcsf

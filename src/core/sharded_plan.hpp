@@ -12,7 +12,12 @@
 //     op(tensor) = sum over shards of op(shard)
 //
 // is exact; matrix partials and FIT partial inner products are reduced
-// in double with a single cast back to float.  Because each shard runs
+// in double with a single cast back to float.  When the REQUEST mode is
+// the partition mode and no slice was split, the reduce disappears
+// entirely: shard slice ranges are then disjoint output rows, so each
+// shard writes its own [begin, end) row window of one shared output
+// (the disjoint-output path; the merge path serves the other modes from
+// pooled scratch buffers).  Because each shard runs
 // the inner format's own factory, "auto" per shard mixes formats: dense
 // shard cores go to B-CSF/HB-CSF while sparse tails stay COO.
 //
@@ -33,6 +38,7 @@
 
 #include "core/tensor_op_plan.hpp"
 #include "tensor/partitioner.hpp"
+#include "util/scratch_arena.hpp"
 
 namespace bcsf {
 
@@ -40,8 +46,9 @@ namespace bcsf {
 /// float matrix with a SINGLE cast back -- the §8 cross-shard reduction
 /// contract, shared by ShardedPlan and the sharded serving path so the
 /// two can never drift.  Exact wherever the partials are (linearity).
+/// Spans, not vectors: partials may live in pooled arena buffers.
 DenseMatrix reduce_shard_partials(
-    index_t rows, rank_t rank, std::span<const std::vector<double>> partials);
+    index_t rows, rank_t rank, std::span<const std::span<const double>> partials);
 
 class ShardedPlan final : public TensorOpPlan {
  public:
@@ -66,6 +73,13 @@ class ShardedPlan final : public TensorOpPlan {
 
   std::size_t shard_count() const { return plans_.size(); }
   const TensorPartition& partition() const { return *partition_; }
+  /// True when a matrix op on `request_mode` takes the DISJOINT-OUTPUT
+  /// path (§8): the request's output mode is the partition mode and no
+  /// slice was split, so each shard owns a private row range of the
+  /// output and writes it directly -- no partials, no K-way reduce.
+  bool disjoint_output(index_t request_mode) const {
+    return plans_.size() > 1 && disjoint_ && request_mode == partition_->mode;
+  }
   /// Resolved inner format per shard ("auto" never leaks).
   std::vector<std::string> shard_formats() const;
   /// Sum of the inner plans' build_seconds -- the WORK a parallel build
@@ -74,7 +88,9 @@ class ShardedPlan final : public TensorOpPlan {
   double shard_build_seconds() const;
 
  private:
-  /// One shard's double-precision partial for a matrix-valued op.
+  /// One shard's double-precision partial for a matrix-valued op.  The
+  /// acc buffer is LEASED from arena_ per call and returned after the
+  /// reduce -- steady-state execution allocates nothing.
   struct Partial {
     std::vector<double> acc;
     double scalar = 0.0;
@@ -82,12 +98,16 @@ class ShardedPlan final : public TensorOpPlan {
   };
 
   void build_shards(const PlanOptions& opts);
-  OpResult reduce(const OpRequest& request,
-                  std::vector<Partial> partials) const;
+  OpResult execute_disjoint(const OpRequest& request) const;
+  OpResult execute_merge(const OpRequest& request) const;
+  void finish_report(OpResult& result, double wall) const;
 
   PartitionPtr partition_;
   std::vector<std::shared_ptr<const TensorOpPlan>> plans_;  // one per shard
   ThreadPool* pool_ = nullptr;  // non-owning; null = sequential execution
+  bool disjoint_ = false;       // no slice split: row ranges are private
+  index_vec owned_rows_;        // K+1 ownership table (owned_row_begins)
+  mutable ScratchArena arena_;  // thread-safe; execute() is const+concurrent
 };
 
 }  // namespace bcsf

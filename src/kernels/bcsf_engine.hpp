@@ -16,6 +16,7 @@ GpuMttkrpResult run_bcsf_engine(const BcsfTensor& bcsf,
                                 const std::vector<DenseMatrix>& factors,
                                 const DeviceModel& device,
                                 const std::string& kernel_name,
-                                OutputCombine combine = OutputCombine::kPerFiber);
+                                OutputCombine combine = OutputCombine::kPerFiber,
+                                SimMemo* memo = nullptr);
 
 }  // namespace bcsf::detail

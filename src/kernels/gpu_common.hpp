@@ -9,15 +9,67 @@
 // Table II).
 #pragma once
 
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gpusim/cache.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/metrics.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "util/types.hpp"
 
 namespace bcsf {
+
+/// Memoized SimReports for one immutable (sparsity structure, device,
+/// schedule) triple, keyed by factor rank.
+///
+/// The whole cost model is value-independent: the launch geometry, the
+/// per-warp cycle attribution, the L2 access sequence and the SM
+/// scheduler all depend only on the index structure, the rank and the
+/// device -- never on factor or tensor VALUES.  So for a fixed plan,
+/// every execute at the same rank recomputes a bit-identical SimReport.
+/// A GPU plan owns one SimMemo and threads it into its kernel calls: the
+/// first execute per rank runs the costed pass (cache sim + scheduler)
+/// and stores the report; every repeat takes the numeric-only pass and
+/// reuses it.  This is what makes repeat executes on the serving path
+/// pay only for arithmetic -- the cost model is paid once per
+/// (plan, rank), not once per request (DESIGN.md §8).
+///
+/// Owners must keep the underlying structure fixed for the memo's
+/// lifetime (already the plan contract: plans are immutable snapshots of
+/// their tensor).  Thread-safe; racing first executes simulate
+/// redundantly and store identical values, so the race is benign.
+class SimMemo {
+ public:
+  /// Copies the cached report for `rank` into `*out`; false if this rank
+  /// has not been simulated yet (the caller must simulate and store()).
+  bool find(rank_t rank, SimReport* out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : entries_) {
+      if (entry.first == rank) {
+        *out = entry.second;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void store(rank_t rank, const SimReport& report) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : entries_) {
+      if (entry.first == rank) return;  // benign race: identical values
+    }
+    entries_.emplace_back(rank, report);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  // Tiny in practice: one entry per rank the owner has served (rank R
+  // for MTTKRP/FIT traffic, rank 1 for TTV), so linear scan beats a map.
+  std::vector<std::pair<rank_t, SimReport>> entries_;
+};
 
 class GpuKernelContext {
  public:

@@ -67,6 +67,16 @@ void mttkrp_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
                              const std::vector<DenseMatrix>& factors,
                              std::span<double> acc);
 
+/// Row-window variant for the disjoint-output serving path (DESIGN.md
+/// §8): `acc` covers only output rows [row_begin, row_begin +
+/// acc.size()/R) of the mode-`mode` result.  Every delta coordinate must
+/// fall inside the window -- the sharded service routes update batches by
+/// slice range, so an out-of-window row means routing drifted from shard
+/// ownership and the call throws rather than corrupt a neighbor's rows.
+void mttkrp_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
+                             const std::vector<DenseMatrix>& factors,
+                             std::span<double> acc, index_t row_begin);
+
 // ---------------------------------------------------------------------------
 // Simulated GPU kernels
 // ---------------------------------------------------------------------------
@@ -75,6 +85,12 @@ struct GpuMttkrpResult {
   DenseMatrix output;
   SimReport report;
 };
+
+/// Per-plan cache of value-independent SimReports (kernels/gpu_common.hpp).
+/// Kernels taking a `SimMemo*` run the full cache/scheduler simulation
+/// only on the first call per rank; repeats replay the identical numeric
+/// schedule without the cost model and return the stored report.
+class SimMemo;
 
 /// Plain GPU-CSF (§IV's starting point, Table II): one thread block per
 /// slice, fibers round-robin across warps -- no splitting, the kernel
@@ -96,10 +112,13 @@ enum class OutputCombine { kPerFiber, kPerSliceShared };
 
 /// B-CSF kernel (§IV): one thread block per B-CSF block, fiber segments
 /// round-robin across warps, global atomics only for split slices.
+/// `memo`, when non-null, must be dedicated to this (bcsf, device,
+/// combine) triple; repeat calls per rank skip the simulation.
 GpuMttkrpResult mttkrp_bcsf_gpu(const BcsfTensor& bcsf,
                                 const std::vector<DenseMatrix>& factors,
                                 const DeviceModel& device,
-                                OutputCombine combine = OutputCombine::kPerFiber);
+                                OutputCombine combine = OutputCombine::kPerFiber,
+                                SimMemo* memo = nullptr);
 
 /// CSL kernel (Alg. 4): one warp per compressed slice.
 GpuMttkrpResult mttkrp_csl_gpu(const CslTensor& csl,
@@ -107,9 +126,12 @@ GpuMttkrpResult mttkrp_csl_gpu(const CslTensor& csl,
                                const DeviceModel& device);
 
 /// ParTI-style COO kernel [18]: thread per nonzero, global atomics.
+/// `memo`, when non-null, must be dedicated to this (tensor, mode,
+/// device) triple; repeat calls per rank skip the simulation.
 GpuMttkrpResult mttkrp_coo_gpu(const SparseTensor& tensor, index_t mode,
                                const std::vector<DenseMatrix>& factors,
-                               const DeviceModel& device);
+                               const DeviceModel& device,
+                               SimMemo* memo = nullptr);
 
 /// F-COO kernel [17]: per-partition products + segmented scan.
 GpuMttkrpResult mttkrp_fcoo_gpu(const FcooTensor& fcoo,

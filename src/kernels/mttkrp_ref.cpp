@@ -62,15 +62,37 @@ void mttkrp_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
     total += chunk->nnz();
   }
   if (total == 0) return;
+  const rank_t rank = factors.front().cols();
+  BCSF_CHECK(acc.size() ==
+                 static_cast<std::size_t>(deltas.front()->dim(mode)) * rank,
+             "mttkrp_delta_accumulate: accumulator has "
+                 << acc.size() << " entries, expected "
+                 << deltas.front()->dim(mode) << " x " << rank);
+  mttkrp_delta_accumulate(deltas, mode, factors, acc, /*row_begin=*/0);
+}
+
+void mttkrp_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
+                             const std::vector<DenseMatrix>& factors,
+                             std::span<double> acc, index_t row_begin) {
+  offset_t total = 0;
+  for (const TensorPtr& chunk : deltas) {
+    BCSF_CHECK(chunk != nullptr, "mttkrp_delta_accumulate: null chunk");
+    total += chunk->nnz();
+  }
+  if (total == 0) return;
 
   const SparseTensor& first = *deltas.front();
   check_factors(first.dims(), factors);
   BCSF_CHECK(mode < first.order(), "mttkrp_delta_accumulate: bad mode");
   const rank_t rank = factors.front().cols();
-  BCSF_CHECK(acc.size() == static_cast<std::size_t>(first.dim(mode)) * rank,
-             "mttkrp_delta_accumulate: accumulator has "
-                 << acc.size() << " entries, expected " << first.dim(mode)
-                 << " x " << rank);
+  BCSF_CHECK(rank > 0 && acc.size() % rank == 0,
+             "mttkrp_delta_accumulate: accumulator size "
+                 << acc.size() << " is not a multiple of rank " << rank);
+  const index_t rows = static_cast<index_t>(acc.size() / rank);
+  BCSF_CHECK(static_cast<std::size_t>(row_begin) + rows <=
+                 static_cast<std::size_t>(first.dim(mode)),
+             "mttkrp_delta_accumulate: window [" << row_begin << ", "
+                 << row_begin + rows << ") exceeds dim " << first.dim(mode));
 
   std::vector<double> prod(rank);
   for (const TensorPtr& chunk : deltas) {
@@ -86,8 +108,15 @@ void mttkrp_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
         const auto row = factors[m].row(delta.coord(m, z));
         for (rank_t r = 0; r < rank; ++r) prod[r] *= row[r];
       }
+      const index_t out_row = delta.coord(mode, z);
+      // Routing guard for the disjoint-output path: a nonzero outside the
+      // owned window would silently belong to ANOTHER shard's rows.
+      BCSF_CHECK(out_row >= row_begin && out_row - row_begin < rows,
+                 "mttkrp_delta_accumulate: row " << out_row
+                     << " outside owned window [" << row_begin << ", "
+                     << row_begin + rows << ") -- delta routing drifted");
       const std::size_t base =
-          static_cast<std::size_t>(delta.coord(mode, z)) * rank;
+          static_cast<std::size_t>(out_row - row_begin) * rank;
       for (rank_t r = 0; r < rank; ++r) acc[base + r] += prod[r];
     }
   }

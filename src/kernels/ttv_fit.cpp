@@ -98,6 +98,13 @@ void ttv_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
   mttkrp_delta_accumulate(deltas, mode, vectors, acc);
 }
 
+void ttv_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
+                          const std::vector<DenseMatrix>& vectors,
+                          std::span<double> acc, index_t row_begin) {
+  if (!deltas.empty()) check_vectors(deltas.front()->dims(), vectors);
+  mttkrp_delta_accumulate(deltas, mode, vectors, acc, row_begin);
+}
+
 namespace {
 
 /// Shared validation for the fit kernels.

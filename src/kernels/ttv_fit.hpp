@@ -59,6 +59,13 @@ void ttv_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
                           const std::vector<DenseMatrix>& vectors,
                           std::span<double> acc);
 
+/// Row-window variant (`acc` covers rows [row_begin, row_begin +
+/// acc.size()) of the mode-`mode` result), mirroring the windowed
+/// mttkrp_delta_accumulate for the disjoint-output serving path.
+void ttv_delta_accumulate(std::span<const TensorPtr> deltas, index_t mode,
+                          const std::vector<DenseMatrix>& vectors,
+                          std::span<double> acc, index_t row_begin);
+
 /// Sequential ground truth for <X, Xhat>, accumulated in double.
 double fit_inner_reference(const SparseTensor& tensor,
                            const std::vector<DenseMatrix>& factors,

@@ -1,6 +1,7 @@
 #include "serve/tensor_op_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -12,6 +13,7 @@
 #include "kernels/ttv_fit.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace bcsf {
 
@@ -51,8 +53,13 @@ void TensorOpService::register_tensor(const std::string& name,
                                             << " out of range for tensor '"
                                             << name << "'");
 
+  // Auto pricing is overhead-aware (DESIGN.md §8): the partition mode's
+  // extent scales the merge traffic a sharded request pays, so tensors
+  // below the fan-out/reduce break-even stay monolithic.
   const unsigned want =
-      opts_.shards == 0 ? auto_shard_count(tensor->nnz()) : opts_.shards;
+      opts_.shards == 0
+          ? auto_shard_count(tensor->nnz(), tensor->dim(opts_.shard_mode))
+          : opts_.shards;
   auto state = std::make_unique<TensorState>();
   state->dims = tensor->dims();
   state->partition_mode = opts_.shard_mode;
@@ -67,6 +74,11 @@ void TensorOpService::register_tensor(const std::string& name,
         partition_tensor(*tensor, opts_.shard_mode, want);
     BCSF_INFO << "TensorOpService: tensor '" << name << "' -> "
               << partition.to_string();
+    // Unsplit slice ranges make partition-mode output rows private per
+    // shard -- the disjoint-output serving path; a split (overlapping)
+    // partition falls back to the merge path for every mode.
+    state->disjoint = partition.disjoint_slice_ranges();
+    if (state->disjoint) state->owned_begin = partition.owned_row_begins();
     for (const TensorShard& shard : partition.shards) {
       state->route_begin.push_back(shard.slice_begin);
       state->shards.push_back(std::make_unique<ShardState>(
@@ -136,26 +148,183 @@ std::uint64_t TensorOpService::apply_updates(const std::string& tensor,
 }
 
 std::future<ServeResponse> TensorOpService::submit(ServeRequest request) {
-  BCSF_CHECK(request.factors != nullptr,
-             "TensorOpService: request has no factors");
-  TensorState& state = state_for(request.tensor);
-  BCSF_CHECK(request.mode < state.order(),
-             "TensorOpService: mode " << request.mode
-                                      << " out of range for tensor '"
-                                      << request.tensor << "'");
-  return pool_.async([this, &state, req = std::move(request)] {
-    return handle(state, req);
-  });
+  std::vector<ServeRequest> batch;
+  batch.push_back(std::move(request));
+  return std::move(submit_batch(std::move(batch)).front());
 }
 
 std::vector<std::future<ServeResponse>> TensorOpService::submit_batch(
     std::vector<ServeRequest> batch) {
-  std::vector<std::future<ServeResponse>> futures;
-  futures.reserve(batch.size());
-  for (ServeRequest& request : batch) {
-    futures.push_back(submit(std::move(request)));
+  // Validate the WHOLE batch before enqueuing anything: a bad request
+  // throws synchronously and nothing was dispatched.
+  std::vector<TensorState*> states;
+  states.reserve(batch.size());
+  for (const ServeRequest& request : batch) {
+    BCSF_CHECK(request.factors != nullptr,
+               "TensorOpService: request has no factors");
+    TensorState& state = state_for(request.tensor);
+    BCSF_CHECK(request.mode < state.order(),
+               "TensorOpService: mode " << request.mode
+                                        << " out of range for tensor '"
+                                        << request.tensor << "'");
+    states.push_back(&state);
   }
+
+  std::vector<std::future<ServeResponse>> futures(batch.size());
+
+  // Group the batch's multi-shard requests per tensor (submission order
+  // preserved within each group) so every group pays ONE task per shard
+  // -- the batch-amortized fan-out -- instead of K tasks per request.
+  std::vector<std::pair<TensorState*, BatchPtr>> groups;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TensorState& state = *states[i];
+    if (state.shards.size() == 1) {
+      // Monolithic tensors keep the per-request path (bit-for-bit the
+      // pre-§8 service, including its scheduling).
+      futures[i] = pool_.async([this, &state, req = std::move(batch[i])] {
+        return handle(state, req);
+      });
+      continue;
+    }
+    auto item = std::make_unique<BatchItem>();
+    item->request = std::move(batch[i]);
+    futures[i] = item->promise.get_future();
+    auto group = std::find_if(groups.begin(), groups.end(),
+                              [&state](const auto& g) {
+                                return g.first == &state;
+                              });
+    if (group == groups.end()) {
+      groups.emplace_back(
+          &state, std::make_shared<std::vector<std::unique_ptr<BatchItem>>>());
+      group = std::prev(groups.end());
+    }
+    group->second->push_back(std::move(item));
+  }
+  for (auto& [state, items] : groups) dispatch_sharded(*state, items);
   return futures;
+}
+
+void TensorOpService::dispatch_sharded(TensorState& state,
+                                       const BatchPtr& items) {
+  const std::size_t k = state.shards.size();
+  for (auto& item_ptr : *items) {
+    BatchItem& item = *item_ptr;
+    item.sequence = state.calls.fetch_add(1, std::memory_order_relaxed) + 1;
+    item.runs.resize(k);
+    item.remaining.store(k, std::memory_order_relaxed);
+    item.disjoint = state.disjoint && item.request.op != OpKind::kFit &&
+                    item.request.mode == state.partition_mode;
+    if (item.disjoint) {
+      const rank_t rank = item.request.op == OpKind::kTtv
+                              ? 1
+                              : item.request.factors->front().cols();
+      item.output = DenseMatrix(state.dims[item.request.mode], rank);
+    }
+    item.dispatched = std::chrono::steady_clock::now();
+  }
+
+  // One task per (shard, batch), hinted to worker s % W: shard s's plan,
+  // delta chunks, and generation state stay on one worker's cache across
+  // the whole batch, and the submission cost is K total.  The hint is
+  // soft -- a busy worker's queue is stealable (ThreadPool), so a slow
+  // shard never serializes the batch behind it.
+  for (std::size_t s = 0; s < k; ++s) {
+    pool_.submit(
+        [this, &state, items, s] {
+          for (auto& item_ptr : *items) {
+            BatchItem& item = *item_ptr;
+            try {
+              const ShardPath path =
+                  item.disjoint ? ShardPath::kDisjoint : ShardPath::kMerge;
+              item.runs[s] = handle_shard(
+                  *state.shards[s], item.request, path,
+                  item.disjoint ? &item.output : nullptr,
+                  item.disjoint ? state.owned_begin[s] : 0,
+                  item.disjoint ? state.owned_begin[s + 1] : 0);
+            } catch (...) {
+              // First failing shard wins the flag and records the error
+              // BEFORE its decrement below publishes it to the finisher.
+              if (!item.failed.exchange(true, std::memory_order_acq_rel)) {
+                item.error = std::current_exception();
+              }
+            }
+            if (item.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+              finalize_item(state, item);
+            }
+          }
+        },
+        /*affinity=*/s);
+  }
+}
+
+void TensorOpService::finalize_item(TensorState& state, BatchItem& item) {
+  try {
+    if (item.failed.load(std::memory_order_acquire)) {
+      item.promise.set_exception(item.error);
+      return;
+    }
+    item.promise.set_value(reduce_item(state, item));
+  } catch (...) {
+    item.promise.set_exception(std::current_exception());
+  }
+}
+
+ServeResponse TensorOpService::reduce_item(TensorState& state,
+                                           BatchItem& item) {
+  const std::size_t k = state.shards.size();
+  ServeResponse response;
+  response.sequence = item.sequence;
+  response.shards = k;
+  response.op = item.request.op;
+  response.fanout_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - item.dispatched)
+          .count();
+
+  Timer reduce_timer;
+  response.upgraded = true;
+  bool first = true;
+  for (ShardRun& run : item.runs) {
+    response.snapshot_version += run.snapshot_version;
+    response.delta_nnz += run.delta_nnz;
+    response.scalar += run.scalar;
+    response.upgraded = response.upgraded && run.upgraded;
+    if (first) {
+      response.report = std::move(run.report);
+      response.served_format = run.format;
+    } else {
+      response.report += run.report;
+      if (response.served_format != run.format) {
+        response.served_format = "mixed";
+      }
+    }
+    first = false;
+  }
+  response.report.kernel = "Serve x" + std::to_string(k);
+  response.plan = std::move(item.runs.front().plan);
+
+  if (item.request.op == OpKind::kFit) {
+    // Scalar sum above IS the reduce; label it for the bench columns.
+    response.reduce_path = "merge";
+  } else if (item.disjoint) {
+    // Every row already sits in the shared output, written exactly once
+    // by its owning shard -- nothing left to combine.
+    response.output = std::move(item.output);
+    response.reduce_path = "disjoint";
+  } else {
+    const rank_t rank = item.request.op == OpKind::kTtv
+                            ? 1
+                            : item.request.factors->front().cols();
+    std::vector<std::span<const double>> partials;
+    partials.reserve(k);
+    for (const ShardRun& run : item.runs) partials.emplace_back(run.acc);
+    response.output = reduce_shard_partials(state.dims[item.request.mode],
+                                            rank, partials);
+    for (ShardRun& run : item.runs) arena_.release(std::move(run.acc));
+    response.reduce_path = "merge";
+  }
+  response.reduce_ms = reduce_timer.milliseconds();
+  return response;
 }
 
 std::uint64_t TensorOpService::call_count(const std::string& tensor) const {
@@ -294,7 +463,8 @@ std::size_t TensorOpService::shard_for_slice(const std::string& tensor,
 }
 
 TensorOpService::ShardRun TensorOpService::handle_shard(
-    ShardState& shard, const ServeRequest& request, bool reduce_in_double) {
+    ShardState& shard, const ServeRequest& request, ShardPath path,
+    DenseMatrix* shared_out, index_t row_begin, index_t row_end) {
   // Capture (generation, snapshot) consistently: the shared lock pairs a
   // base's plans with exactly the delta chunks the base does NOT contain.
   // Everything after this block works on immutable state, so the query
@@ -347,23 +517,49 @@ TensorOpService::ShardRun TensorOpService::handle_shard(
   // Per-op delta sweep: every op is linear in the tensor values, so the
   // frozen COO chunks' contribution on top of the base plan's result
   // yields the op on the shard's merged tensor.  Chunks are immutable;
-  // no lock is held.  Single-shard tensors keep the float inout sweep
-  // (bit-for-bit the pre-§8 arithmetic); multi-shard tensors keep the
-  // partial in DOUBLE so the cross-shard reduction casts exactly once.
+  // no lock is held.  kSingle keeps the float inout sweep (bit-for-bit
+  // the pre-§8 arithmetic); kMerge keeps the partial in DOUBLE so the
+  // cross-shard reduction casts exactly once; kDisjoint promotes only
+  // the shard's OWNED row window, sweeps its routed delta there, and
+  // casts straight into the shared output -- same single-cast boundary,
+  // no K-way reduce (rows outside the window are zero in both the
+  // shard's plan output and its routed delta, so dropping them loses
+  // exactly nothing).
   switch (request.op) {
     case OpKind::kMttkrp:
     case OpKind::kTtv: {
-      if (reduce_in_double) {
+      const bool is_mttkrp = request.op == OpKind::kMttkrp;
+      if (path == ShardPath::kDisjoint) {
+        const rank_t rank = is_mttkrp ? request.factors->front().cols() : 1;
+        const std::size_t lo = static_cast<std::size_t>(row_begin) * rank;
+        const std::size_t hi = static_cast<std::size_t>(row_end) * rank;
+        ScratchLease lease(arena_, hi - lo);
+        std::span<double> acc(lease.get());
         const auto data = run.output.data();
-        out.acc.assign(data.begin(), data.end());
-        if (request.op == OpKind::kMttkrp) {
+        std::copy(data.begin() + lo, data.begin() + hi, acc.begin());
+        if (is_mttkrp) {
+          mttkrp_delta_accumulate(snap.deltas, request.mode, *request.factors,
+                                  acc, row_begin);
+        } else {
+          ttv_delta_accumulate(snap.deltas, request.mode, *request.factors,
+                               acc, row_begin);
+        }
+        const auto dst = shared_out->data();
+        for (std::size_t i = 0; i < acc.size(); ++i) {
+          dst[lo + i] = static_cast<value_t>(acc[i]);
+        }
+      } else if (path == ShardPath::kMerge) {
+        const auto data = run.output.data();
+        out.acc = arena_.acquire(data.size());
+        std::copy(data.begin(), data.end(), out.acc.begin());
+        if (is_mttkrp) {
           mttkrp_delta_accumulate(snap.deltas, request.mode, *request.factors,
                                   std::span<double>(out.acc));
         } else {
           ttv_delta_accumulate(snap.deltas, request.mode, *request.factors,
                                std::span<double>(out.acc));
         }
-      } else if (request.op == OpKind::kMttkrp) {
+      } else if (is_mttkrp) {
         mttkrp_delta_accumulate(snap.deltas, request.mode, *request.factors,
                                 run.output);
       } else {
@@ -387,83 +583,33 @@ TensorOpService::ShardRun TensorOpService::handle_shard(
   out.snapshot_version = snap.version;
   out.delta_nnz = snap.delta_nnz;
   out.report = std::move(run.report);
-  if (!reduce_in_double) out.result = std::move(run);
+  if (path == ShardPath::kSingle) out.result = std::move(run);
   return out;
 }
 
 ServeResponse TensorOpService::handle(TensorState& state,
                                       const ServeRequest& request) {
+  // Single-shard tensors only: multi-shard requests go through the
+  // batch-amortized (shard, batch) tasks of dispatch_sharded.
   const std::uint64_t sequence =
       state.calls.fetch_add(1, std::memory_order_relaxed) + 1;
-  const std::size_t k = state.shards.size();
 
   ServeResponse response;
   response.sequence = sequence;
-  response.shards = k;
+  response.shards = 1;
   response.op = request.op;
+  response.reduce_path = "single";
 
-  if (k == 1) {
-    ShardRun run = handle_shard(*state.shards.front(), request,
-                                /*reduce_in_double=*/false);
-    response.output = std::move(run.result.output);
-    response.scalar = run.result.scalar;
-    response.report = std::move(run.report);
-    response.served_format = std::move(run.format);
-    response.plan = std::move(run.plan);
-    response.upgraded = run.upgraded;
-    response.snapshot_version = run.snapshot_version;
-    response.delta_nnz = run.delta_nnz;
-    return response;
-  }
-
-  // Fan the request across the shards; the caller participates in the
-  // drain, so this nests safely inside the pool the request itself runs
-  // on (a saturated pool degrades to a sequential sweep, never a
-  // deadlock).
-  std::vector<ShardRun> runs(k);
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(k);
-  for (std::size_t s = 0; s < k; ++s) {
-    tasks.push_back([this, s, &state, &request, &runs] {
-      runs[s] = handle_shard(*state.shards[s], request,
-                             /*reduce_in_double=*/true);
-    });
-  }
-  run_tasks(&pool_, std::move(tasks));
-
-  // Reduce the per-shard partials in double -- exact, because the shards
-  // partition the nonzeros and every op is linear -- with a single cast
-  // back to float for matrix-valued ops.
-  response.upgraded = true;
-  bool first = true;
-  for (ShardRun& run : runs) {
-    response.snapshot_version += run.snapshot_version;
-    response.delta_nnz += run.delta_nnz;
-    response.scalar += run.scalar;
-    response.upgraded = response.upgraded && run.upgraded;
-    if (first) {
-      response.report = std::move(run.report);
-      response.served_format = run.format;
-    } else {
-      response.report += run.report;
-      if (response.served_format != run.format) {
-        response.served_format = "mixed";
-      }
-    }
-    first = false;
-  }
-  response.report.kernel = "Serve x" + std::to_string(k);
-  response.plan = std::move(runs.front().plan);
-
-  if (request.op != OpKind::kFit) {
-    const rank_t rank =
-        request.op == OpKind::kTtv ? 1 : request.factors->front().cols();
-    std::vector<std::vector<double>> partials;
-    partials.reserve(runs.size());
-    for (ShardRun& run : runs) partials.push_back(std::move(run.acc));
-    response.output = reduce_shard_partials(state.dims[request.mode], rank,
-                                            partials);
-  }
+  ShardRun run = handle_shard(*state.shards.front(), request,
+                              ShardPath::kSingle, nullptr, 0, 0);
+  response.output = std::move(run.result.output);
+  response.scalar = run.result.scalar;
+  response.report = std::move(run.report);
+  response.served_format = std::move(run.format);
+  response.plan = std::move(run.plan);
+  response.upgraded = run.upgraded;
+  response.snapshot_version = run.snapshot_version;
+  response.delta_nnz = run.delta_nnz;
   return response;
 }
 

@@ -26,10 +26,16 @@
 //     generation, so structured builds are O(shard nnz) and run
 //     CONCURRENTLY on the pool (K small builds beat one monolithic
 //     sort-dominated build to the structured format);
-//   * a query fans out across the shards (the caller participates, so
-//     a busy pool degrades to sequential instead of deadlocking) and
-//     reduces the per-shard partials in double -- exact, because every
-//     op in the protocol is linear in the tensor values;
+//   * queries fan out BATCH-AMORTIZED and SHARD-AFFINE: a submitted
+//     batch becomes ONE task per (shard, batch) -- not K per request --
+//     pinned to worker s % W by affinity hint so a shard's plan/delta
+//     state stays cache-hot; the last shard to finish a request reduces
+//     and fulfills it.  Partition-mode matrix ops on an unsplit
+//     partition take the DISJOINT-OUTPUT path (each shard writes its
+//     owned row window of one shared output; no partials, no K-way
+//     reduce); other modes reduce per-shard double partials from pooled
+//     arena buffers -- exact either way, because every op in the
+//     protocol is linear in the tensor values;
 //   * update batches are SPLIT BY SLICE RANGE and routed to their
 //     shards, so a hot shard accumulates delta, upgrades, and compacts
 //     on its own clock while cold shards stay COO -- the all-or-nothing
@@ -66,6 +72,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -79,6 +86,7 @@
 #include "serve/concurrent_plan_cache.hpp"
 #include "tensor/dynamic_tensor.hpp"
 #include "tensor/partitioner.hpp"
+#include "util/scratch_arena.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bcsf {
@@ -188,6 +196,20 @@ struct ServeResponse {
   /// FIT: <X, Xhat> at snapshot_version (base plans + delta inner
   /// products, reduced in double).  0 for matrix-valued ops.
   double scalar = 0.0;
+  /// How the per-shard contributions were combined into `output`:
+  /// "single" (one shard, nothing to combine), "disjoint" (each shard
+  /// wrote its owned row window of the shared output directly --
+  /// partition-mode matrix ops on an unsplit partition), or "merge"
+  /// (per-shard double partials K-way reduced with one cast).
+  std::string reduce_path = "single";
+  /// Wall ms from shard fan-out dispatch until the LAST shard finished
+  /// its contribution (queueing + kernel + delta sweep).  0 for
+  /// single-shard tensors.
+  double fanout_ms = 0.0;
+  /// Wall ms spent combining the per-shard contributions into the
+  /// response (the K-way reduce on the merge path; metadata-only on the
+  /// disjoint path).  0 for single-shard tensors.
+  double reduce_ms = 0.0;
 };
 
 /// Back-compat aliases from the MTTKRP-only era.
@@ -357,11 +379,27 @@ class TensorOpService {
     /// shards[s]'s slice_begin, ascending -- the routing table
     /// (partitioner's shard_for_slice rule over frozen ranges).
     std::vector<index_t> route_begin;
+    /// True when the partition's slice ranges are pairwise disjoint (no
+    /// heavy slice split): partition-mode matrix ops take the
+    /// disjoint-output path.  Always false for single-shard tensors
+    /// (they have nothing to combine at all).
+    bool disjoint = false;
+    /// K+1 output-row ownership table (partitioner's owned_row_begins):
+    /// shard s owns partition-mode output rows [owned_begin[s],
+    /// owned_begin[s+1]).  Populated only when `disjoint`.
+    std::vector<index_t> owned_begin;
     // unique_ptr: ShardState holds mutexes/atomics (immovable) and worker
     // tasks hold ShardState& across generations.
     std::vector<std::unique_ptr<ShardState>> shards;
     std::atomic<std::uint64_t> calls{0};
     index_t order() const { return static_cast<index_t>(dims.size()); }
+  };
+
+  /// How handle_shard materializes a shard's contribution.
+  enum class ShardPath {
+    kSingle,    ///< one-shard tensor: finished float result (pre-§8 bits)
+    kMerge,     ///< double partial in an arena buffer, K-way reduced
+    kDisjoint,  ///< float rows written straight into the shared output
   };
 
   /// One shard's contribution to a response, produced by handle_shard.
@@ -372,22 +410,52 @@ class TensorOpService {
     std::uint64_t snapshot_version = 0;
     offset_t delta_nnz = 0;
     SimReport report;
-    /// Single-shard fast path: the finished float result (identical
-    /// arithmetic to the pre-§8 service).
+    /// kSingle: the finished float result (identical arithmetic to the
+    /// pre-§8 service).
     OpResult result;
-    /// Multi-shard path (matrix ops): double partial = plan output
-    /// promoted + delta terms, reduced across shards with ONE cast.
+    /// kMerge (matrix ops): double partial = plan output promoted +
+    /// delta terms, reduced across shards with ONE cast.  Leased from
+    /// the arena; the reducer releases it.
     std::vector<double> acc;
     double scalar = 0.0;
   };
+
+  /// One request of a shard-affine batch: the per-request slots the K
+  /// (shard, batch) tasks fill concurrently.  The LAST shard to finish a
+  /// request reduces and fulfills the promise (remaining hits 0), so a
+  /// batch pays K task submissions TOTAL instead of K per request.
+  struct BatchItem {
+    ServeRequest request;
+    std::uint64_t sequence = 0;
+    std::promise<ServeResponse> promise;
+    bool disjoint = false;  ///< takes the disjoint-output path
+    /// Preallocated shared output for the disjoint path; shard s writes
+    /// rows [owned_begin[s], owned_begin[s+1]) and nobody else touches
+    /// them (TSan-checked in the race suites).
+    DenseMatrix output;
+    std::chrono::steady_clock::time_point dispatched;
+    std::vector<ShardRun> runs;  ///< one slot per shard
+    std::atomic<std::size_t> remaining{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  ///< written by the failed-flag winner only
+  };
+  using BatchPtr = std::shared_ptr<std::vector<std::unique_ptr<BatchItem>>>;
 
   TensorState& state_for(const std::string& name) const;
   std::size_t route_slice(const TensorState& state, index_t slice) const;
   ServeResponse handle(TensorState& state, const ServeRequest& request);
   /// Runs one shard's (capture, count, execute, delta-sweep) sequence.
-  /// `reduce_in_double` selects the multi-shard partial representation.
+  /// kDisjoint additionally needs the shared output and the shard's
+  /// owned row window; the other paths ignore those arguments.
   ShardRun handle_shard(ShardState& shard, const ServeRequest& request,
-                        bool reduce_in_double);
+                        ShardPath path, DenseMatrix* shared_out,
+                        index_t row_begin, index_t row_end);
+  /// Submits K (shard, batch) tasks -- one per shard with affinity hint
+  /// s, each sweeping the WHOLE batch for its shard.
+  void dispatch_sharded(TensorState& state, const BatchPtr& items);
+  /// Called by the last shard task to finish `item`: reduce + fulfill.
+  void finalize_item(TensorState& state, BatchItem& item);
+  ServeResponse reduce_item(TensorState& state, BatchItem& item);
   /// Computes (target format, threshold) for a mode of one generation's
   /// base; runs the §V policy when the options defer to it.  Pure --
   /// called with NO lock held.
@@ -398,6 +466,9 @@ class TensorOpService {
   void run_compaction(ShardState& shard);
 
   ServeOptions opts_;
+  /// Pooled double buffers for merge-path partials and disjoint-path row
+  /// windows: steady-state sharded traffic allocates no partials.
+  mutable ScratchArena arena_;
   mutable std::shared_mutex tensors_mutex_;
   // unique_ptr: TensorState addresses stay stable across map rehash, so
   // worker tasks can hold TensorState& while new tensors register.

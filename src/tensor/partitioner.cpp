@@ -57,6 +57,26 @@ std::vector<SparseTensor> TensorPartition::split(
   return split_updates(dims, mode, slice_begins, updates);
 }
 
+bool TensorPartition::disjoint_slice_ranges() const {
+  for (std::size_t s = 0; s + 1 < shards.size(); ++s) {
+    // A split slice shows up as shard s's end overlapping shard s+1's
+    // begin (the partitioner keeps ranges sorted and contiguous).
+    if (shards[s].slice_end > shards[s + 1].slice_begin) return false;
+  }
+  return true;
+}
+
+index_vec TensorPartition::owned_row_begins() const {
+  index_vec owned;
+  owned.reserve(shards.size() + 1);
+  owned.push_back(0);
+  for (std::size_t s = 1; s < shards.size(); ++s) {
+    owned.push_back(shards[s].slice_begin);
+  }
+  owned.push_back(dims[mode]);
+  return owned;
+}
+
 offset_t TensorPartition::max_shard_nnz() const {
   offset_t best = 0;
   for (const TensorShard& s : shards) best = std::max(best, s.nnz());

@@ -82,6 +82,24 @@ struct TensorPartition {
   /// equivalent to applying `updates` to the whole tensor.
   std::vector<SparseTensor> split(const SparseTensor& updates) const;
 
+  /// True when no root-mode slice is covered by two shards -- i.e. the
+  /// partitioner never had to split a heavy slice, so every shard's
+  /// [slice_begin, slice_end) range is pairwise disjoint.  This is the
+  /// precondition of the disjoint-output execution path (DESIGN.md §8):
+  /// for an op whose output mode IS the partition mode, each output row
+  /// is then produced by exactly one shard and partials need no merge.
+  bool disjoint_slice_ranges() const;
+
+  /// Output-row ownership table for the disjoint-output path: K+1
+  /// ascending entries with owned[0] == 0 and owned[K] == dims[mode];
+  /// shard s owns output rows [owned[s], owned[s+1]).  Ownership extends
+  /// each shard's slice range over rows that are empty in the source --
+  /// exactly shard_for_slice's routing rule -- so the ranges tile
+  /// [0, dims[mode]) and every delta nonzero routed to a shard lands
+  /// inside that shard's owned rows.  Meaningful only when
+  /// disjoint_slice_ranges() holds.
+  index_vec owned_row_begins() const;
+
   /// Largest / smallest shard nonzero count (balance diagnostics).
   offset_t max_shard_nnz() const;
   offset_t min_shard_nnz() const;

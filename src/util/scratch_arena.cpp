@@ -1,0 +1,31 @@
+#include "util/scratch_arena.hpp"
+
+namespace bcsf {
+
+std::vector<double> ScratchArena::acquire(std::size_t size) {
+  std::vector<double> buffer;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      buffer = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  // resize, not assign: recycled capacity is kept, contents stay stale
+  // by contract (callers overwrite), so a warm acquire costs nothing.
+  buffer.resize(size);
+  return buffer;
+}
+
+void ScratchArena::release(std::vector<double>&& buffer) {
+  if (buffer.capacity() == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_.size() < kMaxPooled) free_.push_back(std::move(buffer));
+}
+
+std::size_t ScratchArena::pooled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_.size();
+}
+
+}  // namespace bcsf

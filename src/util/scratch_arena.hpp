@@ -1,0 +1,82 @@
+// ScratchArena: a tiny pool of reusable double buffers for the sharded
+// execution paths (DESIGN.md §8).
+//
+// Every multi-shard matrix op used to allocate K rows*rank double
+// partials per call (plan layer) or per request (serving layer); at
+// serving rates that allocation churn is visible on shards=4 p50.  The
+// arena keeps released buffers on a freelist and hands them back to the
+// next acquire of any size, so steady-state sharded traffic allocates
+// nothing after warm-up.
+//
+// Thread-safe: acquire/release take a mutex, which is noise next to the
+// kernel sweeps the buffers feed.  Buffer CONTENTS are unspecified on
+// acquire -- callers overwrite (the partial paths seed by copy-promoting
+// a plan output), so the arena never pays a zero-fill.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace bcsf {
+
+class ScratchArena {
+ public:
+  /// Returns a buffer with exactly `size` elements and UNSPECIFIED
+  /// contents (a recycled buffer keeps its stale values).
+  std::vector<double> acquire(std::size_t size);
+
+  /// Returns a buffer to the freelist for reuse.  Buffers beyond the
+  /// retention cap are simply freed, bounding arena memory.
+  void release(std::vector<double>&& buffer);
+
+  /// Buffers currently parked on the freelist (observability/tests).
+  std::size_t pooled() const;
+
+ private:
+  // Enough for the widest fan-out the stack produces (max_shards) plus
+  // slack for overlapping requests; beyond this, recycling stops paying.
+  static constexpr std::size_t kMaxPooled = 64;
+
+  mutable std::mutex mutex_;
+  std::vector<std::vector<double>> free_;
+};
+
+/// RAII lease on an arena buffer: releases back on destruction.  Movable
+/// so shard tasks can hand partials to the reducer without copies.
+class ScratchLease {
+ public:
+  ScratchLease() = default;
+  ScratchLease(ScratchArena& arena, std::size_t size)
+      : arena_(&arena), buffer_(arena.acquire(size)) {}
+  ~ScratchLease() {
+    if (arena_ != nullptr) arena_->release(std::move(buffer_));
+  }
+
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+  ScratchLease(ScratchLease&& other) noexcept
+      : arena_(other.arena_), buffer_(std::move(other.buffer_)) {
+    other.arena_ = nullptr;
+  }
+  ScratchLease& operator=(ScratchLease&& other) noexcept {
+    if (this != &other) {
+      if (arena_ != nullptr) arena_->release(std::move(buffer_));
+      arena_ = other.arena_;
+      buffer_ = std::move(other.buffer_);
+      other.arena_ = nullptr;
+    }
+    return *this;
+  }
+
+  std::vector<double>& get() { return buffer_; }
+  const std::vector<double>& get() const { return buffer_; }
+  bool valid() const { return arena_ != nullptr; }
+
+ private:
+  ScratchArena* arena_ = nullptr;
+  std::vector<double> buffer_;
+};
+
+}  // namespace bcsf

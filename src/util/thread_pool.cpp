@@ -9,25 +9,53 @@
 
 namespace bcsf {
 
+namespace {
+
+constexpr std::size_t kGlobalQueue = static_cast<std::size_t>(-1);
+
+// Which pool (if any) the current thread is a worker of; lets nested code
+// and tests ask "where am I running?" without threading ids around.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local int tl_worker = -1;
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
+  local_.resize(threads);
+  busy_.assign(threads, 0);
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    // Accepted tasks still run: workers only exit once the queue is empty.
+    // Accepted tasks still run: workers only exit once every queue is
+    // empty, and under stop_ any worker may drain any local queue.
     stop_ = true;
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::total_queued() const {
+  std::size_t total = global_.size();
+  for (const auto& queue : local_) total += queue.size();
+  return total;
+}
+
+void ThreadPool::enqueue(std::function<void()> task, std::size_t queue) {
+  if (queue == kGlobalQueue) {
+    global_.push_back(std::move(task));
+  } else {
+    local_[queue % local_.size()].push_back(std::move(task));
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -35,9 +63,21 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     BCSF_CHECK(!stop_, "ThreadPool: submit after shutdown");
-    queue_.push_back(std::move(task));
+    enqueue(std::move(task), kGlobalQueue);
   }
-  work_cv_.notify_one();
+  // notify_all, not notify_one: a hinted task must reach ITS worker even
+  // when another (non-eligible) worker wakes first and goes back to sleep.
+  work_cv_.notify_all();
+}
+
+void ThreadPool::submit(std::function<void()> task, std::size_t affinity) {
+  BCSF_CHECK(static_cast<bool>(task), "ThreadPool: empty task");
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    BCSF_CHECK(!stop_, "ThreadPool: submit after shutdown");
+    enqueue(std::move(task), affinity);
+  }
+  work_cv_.notify_all();
 }
 
 bool ThreadPool::try_submit(std::function<void()> task) {
@@ -45,34 +85,100 @@ bool ThreadPool::try_submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (stop_) return false;
-    queue_.push_back(std::move(task));
+    enqueue(std::move(task), kGlobalQueue);
   }
-  work_cv_.notify_one();
+  work_cv_.notify_all();
+  return true;
+}
+
+bool ThreadPool::try_submit(std::function<void()> task, std::size_t affinity) {
+  BCSF_CHECK(static_cast<bool>(task), "ThreadPool: empty task");
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stop_) return false;
+    enqueue(std::move(task), affinity);
+  }
+  work_cv_.notify_all();
   return true;
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  idle_cv_.wait(lock, [this] { return total_queued() == 0 && active_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+std::size_t ThreadPool::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return total_queued();
+}
+
+std::uint64_t ThreadPool::steal_count() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return steals_;
+}
+
+int ThreadPool::current_worker() const {
+  return tl_pool == this ? tl_worker : -1;
+}
+
+bool ThreadPool::runnable(std::size_t index) const {
+  if (!local_[index].empty() || !global_.empty()) return true;
+  for (std::size_t j = 0; j < local_.size(); ++j) {
+    // A peer's hinted tasks are stealable only while the peer is BUSY
+    // mid-task (the affinity contract: an idle hinted worker gets first
+    // claim on its own queue) -- except at shutdown, when everything
+    // accepted must drain no matter whose queue it sits in.
+    if (j != index && !local_[j].empty() && (busy_[j] || stop_)) return true;
+  }
+  return false;
+}
+
+std::function<void()> ThreadPool::take(std::size_t index) {
+  std::function<void()> task;
+  if (!local_[index].empty()) {
+    task = std::move(local_[index].front());
+    local_[index].pop_front();
+    return task;
+  }
+  if (!global_.empty()) {
+    task = std::move(global_.front());
+    global_.pop_front();
+    return task;
+  }
+  for (std::size_t j = 0; j < local_.size(); ++j) {
+    if (j != index && !local_[j].empty() && (busy_[j] || stop_)) {
+      task = std::move(local_[j].front());
+      local_[j].pop_front();
+      ++steals_;
+      return task;
+    }
+  }
+  return task;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_pool = this;
+  tl_worker = static_cast<int>(index);
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+    work_cv_.wait(lock, [this, index] { return stop_ || runnable(index); });
+    std::function<void()> task = take(index);
+    if (!task) {
+      if (stop_ && total_queued() == 0) return;
+      continue;  // woken by stop_ with work parked elsewhere; re-check
     }
+    busy_[index] = 1;
+    ++active_;
+    // Tasks still queued (possibly in OUR local queue, which just became
+    // stealable) need a waiting peer to re-evaluate its predicate.
+    if (total_queued() > 0) work_cv_.notify_all();
+    lock.unlock();
     task();  // task exceptions are the submitter's problem via async()
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
-    }
+    task = nullptr;
+    lock.lock();
+    busy_[index] = 0;
+    --active_;
+    if (total_queued() == 0 && active_ == 0) idle_cv_.notify_all();
   }
 }
 

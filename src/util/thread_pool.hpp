@@ -1,14 +1,25 @@
 // Fixed-size worker pool backing the serving layer (serve/).  Deliberately
-// small: a locked deque, N workers, and an idle barrier -- the MTTKRP
-// kernels themselves are the expensive part, so queue overhead is noise.
+// small: one mutex, a global deque plus one local deque per worker, and an
+// idle barrier -- the MTTKRP kernels themselves are the expensive part, so
+// queue overhead is noise.
+//
+// Affinity (DESIGN.md §8): submit(task, affinity) parks the task on worker
+// (affinity % size())'s LOCAL queue.  The serving layer pins shard s's
+// work to worker s % W so a shard's plan/delta state stays cache-hot
+// across a batch.  Affinity is a HINT, not an assignment: an idle hinted
+// worker always runs its own local tasks first, but once it is busy
+// mid-task any other worker may steal from its queue (steal fallback), so
+// a slow shard never serializes the whole pool.  steal_count() counts
+// exactly those fallbacks.
 //
 // Tasks may submit further tasks (the service's async format upgrade is
 // enqueued from inside a request handler); wait_idle() accounts for that
-// by waiting until the queue is empty AND no worker is mid-task.
+// by waiting until every queue is empty AND no worker is mid-task.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -25,9 +36,9 @@ class ThreadPool {
   /// Spawns `threads` workers (0 -> hardware_concurrency, at least 1).
   explicit ThreadPool(unsigned threads = 0);
 
-  /// Drains nothing: pending tasks still in the queue are executed before
-  /// the workers join (a service being destroyed must not drop accepted
-  /// requests on the floor).
+  /// Drains nothing: pending tasks still in the queues are executed
+  /// before the workers join (a service being destroyed must not drop
+  /// accepted requests on the floor).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -38,11 +49,16 @@ class ThreadPool {
   /// Enqueues a fire-and-forget task.  Throws if called after shutdown
   /// began (i.e. from a task racing the destructor -- a caller bug).
   void submit(std::function<void()> task);
+  /// Same, with an affinity hint: the task goes to worker
+  /// (affinity % size())'s local queue and runs there whenever that
+  /// worker is free; busy hinted workers expose it to stealing.
+  void submit(std::function<void()> task, std::size_t affinity);
 
   /// Like submit(), but returns false instead of throwing once shutdown
   /// began -- for best-effort background work (e.g. a format upgrade)
   /// enqueued from inside a task that may be draining at destruction.
   bool try_submit(std::function<void()> task);
+  bool try_submit(std::function<void()> task, std::size_t affinity);
 
   /// Enqueues a task and returns a future for its result; exceptions
   /// thrown by the task surface through the future.
@@ -55,17 +71,35 @@ class ThreadPool {
     return result;
   }
 
-  /// Blocks until the queue is empty and every worker is idle.  Tasks
+  /// Blocks until every queue is empty and every worker is idle.  Tasks
   /// submitted by other threads while waiting extend the wait.
   void wait_idle();
 
+  /// Tasks accepted but not yet started, over all queues (observability).
+  std::size_t queue_depth() const;
+  /// Affinity-hinted tasks that were drained by a DIFFERENT worker than
+  /// the hinted one (the steal fallback firing).  Monotone.
+  std::uint64_t steal_count() const;
+  /// Index of the calling thread within THIS pool's workers, -1 when the
+  /// caller is not one of them.  Lets tests pin down where an
+  /// affinity-hinted task actually ran.
+  int current_worker() const;
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
+  // All of these require mutex_ held.
+  std::size_t total_queued() const;
+  bool runnable(std::size_t index) const;
+  std::function<void()> take(std::size_t index);
+  void enqueue(std::function<void()> task, std::size_t queue);
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  // signals workers: task ready / stop
   std::condition_variable idle_cv_;  // signals wait_idle: maybe drained
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> global_;  // un-hinted submissions
+  std::vector<std::deque<std::function<void()>>> local_;  // one per worker
+  std::vector<char> busy_;  // worker i is mid-task (its local is stealable)
+  std::uint64_t steals_ = 0;
   std::size_t active_ = 0;  // tasks currently executing
   bool stop_ = false;
   std::vector<std::thread> workers_;

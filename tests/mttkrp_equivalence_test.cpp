@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "bcsf/bcsf.hpp"
+#include "kernels/gpu_common.hpp"
 
 namespace bcsf {
 namespace {
@@ -208,6 +209,80 @@ INSTANTIATE_TEST_SUITE_P(Sweep, RegistryEquivalence, ::testing::Range(0, 5),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return scenarios()[info.param].name;
                          });
+
+// The simulated cost model is value-independent, so the serving-path GPU
+// kernels memoize it per rank (SimMemo, kernels/gpu_common.hpp): the
+// first call runs the cache/scheduler simulation, repeats replay the
+// identical numeric schedule and reuse the stored report.  These tests
+// pin both halves of that contract at the kernel level, where the memo is
+// threaded explicitly: bitwise-equal outputs AND bit-identical reports,
+// across ranks sharing one memo (the serving mix interleaves rank-R
+// MTTKRP/FIT with rank-1 TTV on the same plan) and both combine modes.
+void expect_same_report(const SimReport& a, const SimReport& b) {
+  EXPECT_EQ(a.kernel, b.kernel);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.total_flops, b.total_flops);
+  EXPECT_DOUBLE_EQ(a.l2_hit_rate_pct, b.l2_hit_rate_pct);
+  EXPECT_EQ(a.num_blocks, b.num_blocks);
+  EXPECT_EQ(a.num_warps, b.num_warps);
+  EXPECT_EQ(a.atomic_ops, b.atomic_ops);
+}
+
+TEST(SimMemoEquivalence, BcsfRepeatCallsAreBitwiseWithCachedReports) {
+  const Scenario scenario = scenarios()[1];  // heavy_slices3d: split blocks
+  const SparseTensor x = generate_power_law(scenario.config);
+  const DeviceModel device = DeviceModel::tiny(4, 16);
+  for (OutputCombine combine :
+       {OutputCombine::kPerFiber, OutputCombine::kPerSliceShared}) {
+    const BcsfTensor bcsf = build_bcsf(x, 1, BcsfOptions{});
+    SimMemo memo;
+    for (rank_t rank : {rank_t{8}, rank_t{1}, rank_t{8}}) {
+      SCOPED_TRACE("combine " + std::to_string(static_cast<int>(combine)) +
+                   " rank " + std::to_string(rank));
+      const auto factors = make_random_factors(x.dims(), rank, 77);
+      const GpuMttkrpResult costed =
+          mttkrp_bcsf_gpu(bcsf, factors, device, combine, nullptr);
+      const GpuMttkrpResult first =
+          mttkrp_bcsf_gpu(bcsf, factors, device, combine, &memo);
+      const GpuMttkrpResult repeat =
+          mttkrp_bcsf_gpu(bcsf, factors, device, combine, &memo);
+      // The numeric replay must match the costed pass bitwise, and the
+      // cached report must be indistinguishable from a fresh simulation.
+      EXPECT_DOUBLE_EQ(costed.output.max_abs_diff(first.output), 0.0);
+      EXPECT_DOUBLE_EQ(costed.output.max_abs_diff(repeat.output), 0.0);
+      expect_same_report(costed.report, first.report);
+      expect_same_report(costed.report, repeat.report);
+      EXPECT_GT(repeat.report.seconds, 0.0);
+      EXPECT_GT(repeat.report.num_blocks, 0u);
+    }
+  }
+}
+
+TEST(SimMemoEquivalence, CooRepeatCallsAreBitwiseWithCachedReports) {
+  const Scenario scenario = scenarios()[0];
+  const SparseTensor x = generate_power_law(scenario.config);
+  const DeviceModel device = DeviceModel::tiny(4, 16);
+  for (index_t mode = 0; mode < x.order(); ++mode) {
+    SimMemo memo;
+    for (rank_t rank : {rank_t{8}, rank_t{1}}) {
+      SCOPED_TRACE("mode " + std::to_string(mode) + " rank " +
+                   std::to_string(rank));
+      const auto factors = make_random_factors(x.dims(), rank, 78);
+      const GpuMttkrpResult costed =
+          mttkrp_coo_gpu(x, mode, factors, device, nullptr);
+      const GpuMttkrpResult first =
+          mttkrp_coo_gpu(x, mode, factors, device, &memo);
+      const GpuMttkrpResult repeat =
+          mttkrp_coo_gpu(x, mode, factors, device, &memo);
+      EXPECT_DOUBLE_EQ(costed.output.max_abs_diff(first.output), 0.0);
+      EXPECT_DOUBLE_EQ(costed.output.max_abs_diff(repeat.output), 0.0);
+      expect_same_report(costed.report, first.report);
+      expect_same_report(costed.report, repeat.report);
+      EXPECT_GT(repeat.report.atomic_ops, 0u);
+    }
+  }
+}
 
 TEST(MttkrpRegistry, GpuCatalogueBuildsAndRunsByName) {
   const SparseTensor x = generate_uniform({20, 20, 20}, 500, 9);

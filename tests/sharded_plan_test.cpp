@@ -154,24 +154,45 @@ TEST(Partitioner, ModeAware) {
 // Auto shard pricing
 // ---------------------------------------------------------------------------
 
-TEST(AutoShardCount, PricesFromSaturation) {
+TEST(AutoShardCount, PricesOverheadAgainstSaturation) {
   AutoPolicyOptions opts;  // saturation_nnz = 1 << 16, max_shards = 16
-  EXPECT_EQ(auto_shard_count(0, opts), 1u);
-  EXPECT_EQ(auto_shard_count(1000, opts), 1u) << "undersized stays monolithic";
-  EXPECT_EQ(auto_shard_count(opts.saturation_nnz - 1, opts), 1u);
-  EXPECT_EQ(auto_shard_count(4 * opts.saturation_nnz, opts), 4u);
-  EXPECT_EQ(auto_shard_count(1000 * opts.saturation_nnz, opts),
+  EXPECT_EQ(auto_shard_count(0, 0, opts), 1u);
+  EXPECT_EQ(auto_shard_count(1000, 0, opts), 1u)
+      << "undersized stays monolithic";
+  EXPECT_EQ(auto_shard_count(opts.saturation_nnz - 1, 0, opts), 1u);
+  EXPECT_EQ(auto_shard_count(4 * opts.saturation_nnz, 0, opts), 4u);
+  EXPECT_EQ(auto_shard_count(1000 * opts.saturation_nnz, 0, opts),
             opts.max_shards)
       << "clamped at max_shards";
 
+  // The break-even gate (§8): capacity alone no longer decides.  A tensor
+  // big enough to feed K shards still stays monolithic when the K-way
+  // fan-out or reduce would cost more kernel-equivalents than it removes.
   AutoPolicyOptions small;
   small.saturation_nnz = 100;
   small.max_shards = 8;
-  EXPECT_EQ(auto_shard_count(350, small), 3u);
+  EXPECT_EQ(auto_shard_count(350, 0, small), 1u)
+      << "350 nnz of work cannot pay for 3 task submissions";
+  small.shard_submit_cost = 0.0;
+  EXPECT_EQ(auto_shard_count(350, 0, small), 3u)
+      << "same capacity prices 3 once submission is free";
+
+  // A wide output mode makes the K-way merge the binding constraint:
+  // k * mode_dim * expected_rank reduce traffic swamps the kernel win.
+  EXPECT_EQ(auto_shard_count(4 * opts.saturation_nnz, 4096, opts), 1u);
+
+  const ShardPricing pricing =
+      price_shard_count(4 * opts.saturation_nnz, 64, opts);
+  EXPECT_EQ(pricing.shards, 4u);
+  EXPECT_GT(pricing.gain, pricing.fanout_cost + pricing.reduce_cost)
+      << "a sharded verdict must clear its own overhead terms";
+
   const AutoDecision d = auto_select_format(exact_tensor({20, 20, 20}, 500,
                                                          kSeed + 4),
                                             0);
   EXPECT_EQ(d.shards, 1u) << "decision carries the pricing";
+  EXPECT_EQ(d.sharding.shards, d.shards)
+      << "the priced verdict and the decision field must agree";
 }
 
 // ---------------------------------------------------------------------------
@@ -308,6 +329,114 @@ TEST(ShardedPlan, AutoPricingAndMixedInnerFormats) {
   recursive.sharding.shard_format = "sharded";
   EXPECT_THROW(FormatRegistry::instance().create("sharded", x, 0, recursive),
                Error);
+}
+
+// ---------------------------------------------------------------------------
+// Disjoint-output vs merge execution paths (§8)
+// ---------------------------------------------------------------------------
+
+TEST(ShardedPlan, DisjointOutputPathServesPartitionModeRequests) {
+  // Evenly spread nonzeros: the cuts snap to slice boundaries, no slice
+  // is split, so partition-mode matrix ops take the disjoint-output path
+  // -- each shard writes its private row window, no K-way reduce.
+  const SparseTensor x = exact_tensor({64, 24, 20}, 6400, kSeed + 20);
+  const auto factors = exact_factors(x.dims(), 8, kSeed + 21);
+  PlanOptions opts;
+  opts.device = DeviceModel::tiny();
+  opts.sharding.shards = 4;
+  opts.sharding.shard_format = "coo";
+  const PlanPtr plan = FormatRegistry::instance().create("sharded", x, 0, opts);
+  auto* sharded = dynamic_cast<const ShardedPlan*>(plan.get());
+  ASSERT_NE(sharded, nullptr);
+  ASSERT_TRUE(sharded->partition().disjoint_slice_ranges());
+  EXPECT_TRUE(sharded->disjoint_output(0));
+
+  // The ownership table is the routing table: it tiles [0, dims[mode])
+  // with one window per shard, no gaps, no overlap.
+  const index_vec owned = sharded->partition().owned_row_begins();
+  ASSERT_EQ(owned.size(), 5u);
+  EXPECT_EQ(owned.front(), 0u);
+  EXPECT_EQ(owned.back(), x.dim(0));
+  for (std::size_t s = 0; s + 1 < owned.size(); ++s) {
+    EXPECT_LT(owned[s], owned[s + 1]);
+  }
+
+  const PlanRunResult run = plan->run(*factors);
+  EXPECT_EQ(run.report.kernel, "ShardedDisjoint x4");
+  EXPECT_TRUE(bitwise_equal(mttkrp_reference(x, 0, *factors), run.output));
+
+  // Repeat execution reuses pooled buffers; results must not drift.
+  EXPECT_TRUE(bitwise_equal(run.output, plan->run(*factors).output));
+}
+
+TEST(ShardedPlan, SplitSlicePartitionFallsBackToMerge) {
+  // One massive slice forces a mid-slice split, the shard slice ranges
+  // overlap, and the disjoint-output premise fails: partition-mode
+  // requests must fall back to the exact double-reduce merge.
+  SparseTensor x({8, 16, 16});
+  std::mt19937 rng(kSeed + 25);
+  std::vector<index_t> coords(3);
+  for (int i = 0; i < 1200; ++i) {
+    coords = {0, static_cast<index_t>(rng() % 16),
+              static_cast<index_t>(rng() % 16)};
+    x.push_back(coords, static_cast<value_t>(1 + rng() % 3));
+  }
+  for (index_t s = 1; s < 8; ++s) {
+    for (int i = 0; i < 10; ++i) {
+      coords = {s, static_cast<index_t>(rng() % 16),
+                static_cast<index_t>(rng() % 16)};
+      x.push_back(coords, static_cast<value_t>(1 + rng() % 3));
+    }
+  }
+  const auto factors = exact_factors(x.dims(), 8, kSeed + 26);
+
+  PlanOptions opts;
+  opts.device = DeviceModel::tiny();
+  opts.sharding.shards = 4;
+  opts.sharding.shard_format = "coo";
+  const PlanPtr plan = FormatRegistry::instance().create("sharded", x, 0, opts);
+  auto* sharded = dynamic_cast<const ShardedPlan*>(plan.get());
+  ASSERT_NE(sharded, nullptr);
+  ASSERT_FALSE(sharded->partition().disjoint_slice_ranges());
+  EXPECT_FALSE(sharded->disjoint_output(0));
+
+  const PlanRunResult run = plan->run(*factors);
+  EXPECT_EQ(run.report.kernel, "Sharded x4");
+  EXPECT_TRUE(bitwise_equal(mttkrp_reference(x, 0, *factors), run.output));
+}
+
+TEST(ShardedPlan, NonPartitionModeRequestsMergeExactly) {
+  // The serving layer holds ONE partition and serves every mode from it:
+  // requests whose mode differs from the partition mode never qualify
+  // for disjoint output and must merge, bitwise-exactly.
+  const SparseTensor x = exact_tensor({36, 28, 44}, 2200, kSeed + 22);
+  const auto factors = exact_factors(x.dims(), 8, kSeed + 23);
+  const auto vectors = exact_factors(x.dims(), 1, kSeed + 24);
+  const PartitionPtr partition = share_partition(partition_tensor(x, 0, 4));
+
+  PlanOptions opts;
+  opts.device = DeviceModel::tiny();
+  opts.sharding.shard_format = "coo";
+  for (index_t mode : {1u, 2u}) {
+    SCOPED_TRACE(mode);
+    const ShardedPlan plan(partition, mode, opts);
+    EXPECT_FALSE(plan.disjoint_output(mode));
+
+    OpRequest req;
+    req.kind = OpKind::kMttkrp;
+    req.mode = mode;
+    req.factors = factors.get();
+    const OpResult r = plan.execute(req);
+    EXPECT_EQ(r.report.kernel, "Sharded x4");
+    EXPECT_TRUE(bitwise_equal(mttkrp_reference(x, mode, *factors), r.output));
+
+    OpRequest ttv;
+    ttv.kind = OpKind::kTtv;
+    ttv.mode = mode;
+    ttv.factors = vectors.get();
+    EXPECT_TRUE(bitwise_equal(ttv_reference(x, mode, *vectors),
+                              plan.execute(ttv).output));
+  }
 }
 
 // ---------------------------------------------------------------------------

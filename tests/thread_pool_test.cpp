@@ -120,6 +120,85 @@ TEST(ThreadPool, DestructorDrainsQueuedTasks) {
 }
 
 // ---------------------------------------------------------------------------
+// Affinity hints, steal fallback, and the observability counters (§8).
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, AffinityRunsOnHintedWorkerWhenFree) {
+  // One hinted task at a time against an otherwise idle pool: the hinted
+  // worker is the ONLY one allowed to drain its own local queue while it
+  // is not busy, so the placement is deterministic -- and no steal fires.
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.current_worker(), -1) << "callers outside the pool";
+  for (std::size_t i = 0; i < 8; ++i) {
+    int ran_on = -2;
+    pool.submit([&pool, &ran_on] { ran_on = pool.current_worker(); },
+                /*affinity=*/i);
+    pool.wait_idle();
+    EXPECT_EQ(ran_on, static_cast<int>(i % pool.size()))
+        << "affinity " << i << " must land on worker " << i % pool.size();
+  }
+  EXPECT_EQ(pool.steal_count(), 0u)
+      << "idle hinted workers leave nothing to steal";
+}
+
+TEST(ThreadPool, BusyHintedWorkerExposesTasksToStealing) {
+  // Pin worker 0 inside a long task, then hint more work at it: the
+  // tasks must NOT serialize behind the stuck worker -- its peer steals
+  // them, and every such fallback shows up in steal_count().
+  constexpr int kTasks = 6;
+  ThreadPool pool(2);
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.submit([&entered, gate] {
+    entered.set_value();
+    gate.wait();
+  }, /*affinity=*/0);
+  entered.get_future().wait();  // worker 0 is now mid-task (stealable)
+
+  std::atomic<int> ran{0};
+  std::vector<int> ran_on(kTasks, -2);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&pool, &ran, &ran_on, i] {
+      ran_on[static_cast<std::size_t>(i)] = pool.current_worker();
+      ran.fetch_add(1);
+    }, /*affinity=*/0);
+  }
+  // All hinted tasks complete WHILE worker 0 is still blocked.
+  while (ran.load() < kTasks) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  release.set_value();
+  pool.wait_idle();
+
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(ran_on[static_cast<std::size_t>(i)], 1)
+        << "task " << i << " had to be stolen by worker 1";
+  }
+  EXPECT_GE(pool.steal_count(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(ThreadPool, QueueDepthTracksPendingTasks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.submit([&entered, gate] {
+    entered.set_value();
+    gate.wait();
+  });
+  entered.get_future().wait();
+
+  // The gate task is RUNNING (not queued); these three are pending.
+  for (int i = 0; i < 3; ++i) pool.submit([] {});
+  EXPECT_EQ(pool.queue_depth(), 3u);
+  release.set_value();
+  pool.wait_idle();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // run_tasks: the caller-participating fan-out primitive.
 // ---------------------------------------------------------------------------
 
