@@ -37,16 +37,29 @@
 // path plus batch-amortized fan-out is what makes sharding pay on
 // req/s and p99, not just on time_to_structured.
 //
+// Record/replay (DESIGN.md §9): --record=PATH writes the FIRST
+// (shards, workers) run's traffic -- register, updates, every query --
+// to a tensord trace file (trace/TraceRecorder), so the CI replay gate
+// and tools/trace_replay can re-serve exactly this workload.  --trace=
+// PATH inverts it: instead of the synthetic wave workload, the run
+// replays a recorded trace's events sequentially against each
+// (shards, workers) service and reports the same table -- a recorded
+// production workload becomes a repeatable benchmark input.
+//
 // --json <path> additionally writes the machine-readable result record
 // described by bench/schema/BENCH_serve.schema.json (the perf-trajectory
-// format, BENCH_serve/v4; BENCH_serve.json at the repo root is a
+// format, BENCH_serve/v5; BENCH_serve.json at the repo root is a
 // committed baseline).
 //
 //   ./serve_throughput [--requests=N] [--batch=N] [--nnz=N] [--rank=R]
 //                      [--threads=1,2,4,8] [--shards=1,4] [--threshold=N]
 //                      [--format=bcsf] [--op-mix=4:2:1] [--update-every=N]
-//                      [--update-nnz=N] [--json=path]
+//                      [--update-nnz=N] [--json=path] [--record=path]
+//                      [--trace=path]
 #include "bench_util.hpp"
+#include "net/convert.hpp"
+#include "net/wire.hpp"
+#include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
@@ -55,6 +68,7 @@
 #include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <random>
 #include <sstream>
 #include <vector>
@@ -101,6 +115,12 @@ struct RunRow {
   std::string final_format;
   std::uint64_t compactions = 0;
   std::uint64_t final_version = 0;
+  /// Queries refused by admission control.  Always 0 here: the bench
+  /// drives the service in-process, and admission lives in the tensord
+  /// front-end -- the column exists so v5 rows from socket-driven runs
+  /// stay comparable.
+  std::uint64_t rejected = 0;
+  int completed = 0;  ///< requests actually served (trace runs vary)
   std::vector<ShardTiming> shard_timings;
   OpStats ops[3];  // indexed by OpKind
 };
@@ -169,6 +189,12 @@ int main(int argc, char** argv) {
       static_cast<offset_t>(cli.get_int("update-nnz", 2000));
   const std::string shard_spec = cli.get_string("shards", "1");
   const std::string json_path = cli.get_string("json", "");
+  const std::string record_path = cli.get_string("record", "");
+  const std::string trace_path = cli.get_string("trace", "");
+  if (!record_path.empty() && !trace_path.empty()) {
+    std::cerr << "--record and --trace are mutually exclusive\n";
+    return 1;
+  }
 
   const std::vector<unsigned> thread_counts =
       parse_unsigned_list(cli.get_string("threads", "1,2,4,8"));
@@ -200,6 +226,16 @@ int main(int argc, char** argv) {
   std::cout << "tensor: " << base.shape_string() << ", nnz = " << base.nnz()
             << ", rank = " << rank << ", requests = " << requests << "\n\n";
 
+  // The recorder captures the FIRST (shards, workers) run only -- one
+  // clean replayable workload, not a concatenation of sweeps that would
+  // re-register the same tensor.
+  std::unique_ptr<trace::TraceRecorder> recorder;
+  if (!record_path.empty()) {
+    recorder = std::make_unique<trace::TraceRecorder>(record_path);
+  }
+  bool recording = recorder != nullptr;
+  std::uint64_t trace_id = 0;
+
   std::mt19937 update_rng(4711);
   std::vector<RunRow> rows;
   Table table({"shards", "workers", "req/s", "wall (ms)", "p50 (ms)",
@@ -214,7 +250,22 @@ int main(int argc, char** argv) {
       opts.upgrade_format = upgrade;
       opts.upgrade_threshold = threshold;
       MttkrpService service(opts);
-      service.register_tensor("bench", share_tensor(SparseTensor(base)));
+      /// Tensor the row's lifecycle stats key on: "bench" for synthetic
+      /// runs, the trace's first registered tensor for --trace runs.
+      std::string stat_tensor = "bench";
+      if (trace_path.empty()) {
+        service.register_tensor("bench", share_tensor(SparseTensor(base)));
+        if (recording) {
+          net::RegisterMsg msg;
+          msg.id = ++trace_id;
+          msg.name = "bench";
+          msg.tensor = base;
+          recorder->record(net::MsgType::kRegister,
+                           net::encode_register(msg));
+        }
+      } else {
+        stat_tensor.clear();  // learned from the trace's first register
+      }
 
       using clock = std::chrono::steady_clock;
       Timer timer;
@@ -224,6 +275,61 @@ int main(int argc, char** argv) {
       std::vector<double> latencies_ms;
       latencies_ms.reserve(static_cast<std::size_t>(requests));
       std::vector<double> op_latencies_ms[3];
+
+      // Shared per-response accounting for both workload sources.
+      auto account = [&](const ServeResponse& response, double latency) {
+        (response.upgraded ? row.post_upgrade : row.pre_upgrade)++;
+        latencies_ms.push_back(latency);
+        op_latencies_ms[static_cast<int>(response.op)].push_back(latency);
+        row.fanout_ms += response.fanout_ms;
+        row.reduce_ms += response.reduce_ms;
+        if (response.reduce_path == "disjoint") {
+          row.reduce_path = "disjoint";
+        } else if (response.reduce_path == "merge" &&
+                   row.reduce_path != "disjoint") {
+          row.reduce_path = "merge";
+        }
+      };
+
+      if (!trace_path.empty()) {
+        // Trace-driven run: the recorded workload replayed sequentially
+        // (each query drained before the next, like tools/trace_replay
+        // but timed) against THIS row's service configuration.
+        trace::TraceReader reader(trace_path);
+        net::Frame frame;
+        while (reader.next(frame)) {
+          switch (frame.type) {
+            case net::MsgType::kRegister: {
+              net::RegisterMsg msg = net::decode_register(frame.payload);
+              if (stat_tensor.empty()) stat_tensor = msg.name;
+              service.register_tensor(msg.name,
+                                      share_tensor(std::move(msg.tensor)));
+              break;
+            }
+            case net::MsgType::kUpdate: {
+              net::UpdateMsg msg = net::decode_update(frame.payload);
+              service.apply_updates(msg.name, std::move(msg.updates));
+              break;
+            }
+            case net::MsgType::kQuery: {
+              net::QueryMsg msg = net::decode_query(frame.payload);
+              const clock::time_point submitted = clock::now();
+              const ServeResponse response =
+                  service.submit(net::to_request(std::move(msg))).get();
+              account(response, std::chrono::duration<double, std::milli>(
+                                    clock::now() - submitted)
+                                    .count());
+              if (row.time_to_structured_ms < 0 && !stat_tensor.empty() &&
+                  service.upgraded(stat_tensor, 0)) {
+                row.time_to_structured_ms = timer.seconds() * 1e3;
+              }
+              break;
+            }
+            default:
+              break;  // recorded responses / pings / shutdowns
+          }
+        }
+      } else {
       for (int issued = 0; issued < requests;) {
         std::vector<ServeRequest> batch;
         batch.reserve(batch_size);
@@ -237,6 +343,14 @@ int main(int argc, char** argv) {
               }
               updates.push_back(coords, 1.0F);
             }
+            if (recording) {
+              net::UpdateMsg msg;
+              msg.id = ++trace_id;
+              msg.name = "bench";
+              msg.updates = updates;  // copy: the batch moves away below
+              recorder->record(net::MsgType::kUpdate,
+                               net::encode_update(msg));
+            }
             service.apply_updates("bench", std::move(updates));
           }
           ServeRequest request;
@@ -244,6 +358,15 @@ int main(int argc, char** argv) {
           request.mode = static_cast<index_t>(issued % base.order());
           request.op = op_for_request(issued, op_weights);
           request.factors = request.op == OpKind::kTtv ? vectors : factors;
+          if (recording) {
+            net::QueryMsg msg;
+            msg.id = ++trace_id;
+            msg.tensor = "bench";
+            msg.mode = request.mode;
+            msg.op = request.op;
+            msg.factors = *request.factors;
+            recorder->record(net::MsgType::kQuery, net::encode_query(msg));
+          }
           batch.push_back(std::move(request));
         }
         const clock::time_point submitted = clock::now();
@@ -266,17 +389,7 @@ int main(int argc, char** argv) {
             const ServeResponse response = futures[i].get();
             done[i] = true;
             --remaining;
-            (response.upgraded ? row.post_upgrade : row.pre_upgrade)++;
-            latencies_ms.push_back(latency);
-            op_latencies_ms[static_cast<int>(response.op)].push_back(latency);
-            row.fanout_ms += response.fanout_ms;
-            row.reduce_ms += response.reduce_ms;
-            if (response.reduce_path == "disjoint") {
-              row.reduce_path = "disjoint";
-            } else if (response.reduce_path == "merge" &&
-                       row.reduce_path != "disjoint") {
-              row.reduce_path = "merge";
-            }
+            account(response, latency);
           }
         }
         // Time-to-structured: first wave boundary where EVERY shard of
@@ -287,25 +400,32 @@ int main(int argc, char** argv) {
           row.time_to_structured_ms = timer.seconds() * 1e3;
         }
       }
+      }  // synthetic-vs-trace workload branch
       service.wait_idle();
-      if (row.time_to_structured_ms < 0 && service.upgraded("bench", 0)) {
+      if (row.time_to_structured_ms < 0 && !stat_tensor.empty() &&
+          service.upgraded(stat_tensor, 0)) {
         row.time_to_structured_ms = timer.seconds() * 1e3;
       }
       const double seconds = timer.seconds();
 
-      row.req_per_s = requests / seconds;
+      row.completed = static_cast<int>(latencies_ms.size());
+      const int served = std::max(row.completed, 1);
+      row.req_per_s = row.completed / seconds;
       row.wall_ms = seconds * 1e3;
-      row.fanout_ms /= requests;
-      row.reduce_ms /= requests;
+      row.fanout_ms /= served;
+      row.reduce_ms /= served;
       row.p50_ms = percentile(latencies_ms, 50.0);
       row.p99_ms = percentile(latencies_ms, 99.0);
-      row.final_format = service.current_format("bench", 0);
-      row.compactions = service.compaction_count("bench");
-      row.final_version = service.snapshot_version("bench");
-      for (const auto& status : service.shard_status("bench", 0)) {
-        row.shard_timings.push_back(
-            ShardTiming{status.build_seconds, status.upgraded});
+      if (!stat_tensor.empty()) {
+        row.final_format = service.current_format(stat_tensor, 0);
+        row.compactions = service.compaction_count(stat_tensor);
+        row.final_version = service.snapshot_version(stat_tensor);
+        for (const auto& status : service.shard_status(stat_tensor, 0)) {
+          row.shard_timings.push_back(
+              ShardTiming{status.build_seconds, status.upgraded});
+        }
       }
+      recording = false;  // --record captures the first run only
       for (int op = 0; op < 3; ++op) {
         row.ops[op].count = static_cast<int>(op_latencies_ms[op].size());
         row.ops[op].p50_ms = percentile(op_latencies_ms[op], 50.0);
@@ -341,7 +461,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << "{\n"
-        << "  \"schema\": \"BENCH_serve/v4\",\n"
+        << "  \"schema\": \"BENCH_serve/v5\",\n"
         << "  \"bench\": \"serve_throughput\",\n"
         << "  \"config\": {\n"
         << "    \"requests\": " << requests << ",\n"
@@ -353,7 +473,9 @@ int main(int argc, char** argv) {
         << "    \"op_mix\": \"" << op_mix << "\",\n"
         << "    \"shards\": \"" << shard_spec << "\",\n"
         << "    \"update_every\": " << update_every << ",\n"
-        << "    \"update_nnz\": " << update_nnz << "\n"
+        << "    \"update_nnz\": " << update_nnz << ",\n"
+        << "    \"trace\": \""
+        << (!record_path.empty() ? record_path : trace_path) << "\"\n"
         << "  },\n"
         << "  \"rows\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -368,6 +490,7 @@ int main(int argc, char** argv) {
           << ", \"time_to_structured_ms\": " << r.time_to_structured_ms
           << ", \"pre_upgrade\": " << r.pre_upgrade
           << ", \"post_upgrade\": " << r.post_upgrade
+          << ", \"rejected\": " << r.rejected
           << ", \"final_format\": \"" << r.final_format << "\""
           << ", \"compactions\": " << r.compactions
           << ", \"final_version\": " << r.final_version

@@ -1,0 +1,130 @@
+// tensord walkthrough (DESIGN.md §9): the serving stack behind a socket.
+//
+// Starts an in-process TensorServer on a unix-domain socket (so the
+// example is self-contained -- point --socket at a running tensord to
+// drive that instead), connects a TensorClient, and walks the protocol:
+// register a tensor, query it, stream an update batch, query again (the
+// response names the new snapshot version), ping, then ask the server to
+// shut down gracefully.
+//
+//   ./tensord_client [--socket=/path/to/tensord.sock] [--nnz=20000]
+//                    [--rank=8] [--queries=12] [--record=PATH]
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "bcsf/bcsf.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bcsf;
+  const CliParser cli(argc, argv);
+  const offset_t nnz = static_cast<offset_t>(cli.get_int("nnz", 20000));
+  const rank_t rank = static_cast<rank_t>(cli.get_int("rank", 8));
+  const int queries = static_cast<int>(cli.get_int("queries", 12));
+
+  // Self-contained by default: spin up the daemon in-process.
+  std::optional<net::TensorServer> server;
+  std::string socket_path = cli.get_string("socket", "");
+  if (socket_path.empty()) {
+    net::ServerOptions sopts;
+    sopts.unix_path = "/tmp/tensord_client_example.sock";
+    sopts.serve.workers = 4;
+    sopts.serve.shards = 2;
+    sopts.serve.upgrade_threshold = 4;
+    sopts.record_path = cli.get_string("record", "");
+    server.emplace(std::move(sopts));
+    socket_path = server->unix_path();
+    std::cout << "started in-process tensord on " << socket_path << "\n";
+  }
+
+  PowerLawConfig config;
+  config.dims = {120, 180, 240};
+  config.target_nnz = nnz;
+  config.seed = 7;
+  SparseTensor x = generate_power_law(config);
+  const std::vector<index_t> dims = x.dims();
+  const std::vector<DenseMatrix> factors =
+      make_random_factors(dims, rank, 21);
+
+  net::TensorClient client(socket_path);
+  client.ping();
+  client.register_tensor("demo", x);
+  std::cout << "registered 'demo' " << x.shape_string() << " (" << x.nnz()
+            << " nnz)\n";
+
+  // Queries are pipelined: fire them all, then collect in order.
+  std::vector<std::future<net::Frame>> in_flight;
+  for (int q = 0; q < queries; ++q) {
+    net::QueryMsg msg;
+    msg.tensor = "demo";
+    msg.mode = static_cast<index_t>(q % dims.size());
+    msg.op = OpKind::kMttkrp;
+    msg.factors = factors;
+    in_flight.push_back(client.query_async(std::move(msg)));
+  }
+  int retried = 0;
+  for (int q = 0; q < queries; ++q) {
+    net::ResultMsg res;
+    try {
+      res = net::TensorClient::result_of(in_flight[q].get());
+    } catch (const net::OverloadedError&) {
+      // kOverloaded is a retryable reject by contract: the server
+      // refused to QUEUE the query, it did not fail it.  A synchronous
+      // re-issue paces the client to the server's drain rate.
+      ++retried;
+      net::QueryMsg again;
+      again.tensor = "demo";
+      again.mode = static_cast<index_t>(q % dims.size());
+      again.op = OpKind::kMttkrp;
+      again.factors = factors;
+      res = client.query(std::move(again));
+    }
+    if (q == 0 || q == queries - 1) {
+      std::cout << "query " << res.sequence << ": mode "
+                << (q % dims.size()) << ", " << res.output.rows() << "x"
+                << res.output.cols() << " result, format "
+                << res.served_format << ", " << res.shards << " shard(s)"
+                << (res.upgraded ? ", upgraded" : "") << "\n";
+    }
+  }
+  if (retried > 0) {
+    std::cout << retried << " quer" << (retried == 1 ? "y" : "ies")
+              << " bounced off admission control and succeeded on retry\n";
+  }
+
+  // Stream an additive update batch and observe the version move.
+  SparseTensor updates(dims);
+  std::mt19937 rng(99);
+  std::vector<index_t> coords(dims.size());
+  for (int z = 0; z < 1500; ++z) {
+    for (std::size_t m = 0; m < dims.size(); ++m) {
+      coords[m] = static_cast<index_t>(rng() % dims[m]);
+    }
+    updates.push_back(coords, 0.5F);
+  }
+  const std::uint64_t version = client.apply_updates("demo", updates);
+  std::cout << "applied 1500-nnz update batch -> snapshot version "
+            << version << "\n";
+
+  net::QueryMsg after;
+  after.tensor = "demo";
+  after.mode = 0;
+  after.factors = factors;
+  const net::ResultMsg res = client.query(std::move(after));
+  std::cout << "post-update query: snapshot version " << res.snapshot_version
+            << ", delta nnz " << res.delta_nnz << "\n";
+
+  if (server) {
+    client.shutdown_server();
+    server->wait();
+    server->stop();
+    const auto stats = server->stats();
+    std::cout << "server drained: " << stats.requests << " requests, "
+              << stats.rejected << " rejected\n";
+  }
+  return 0;
+}

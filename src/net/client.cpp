@@ -1,0 +1,223 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace bcsf::net {
+
+namespace {
+
+FdHandle connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  BCSF_CHECK(path.size() < sizeof(addr.sun_path),
+             "client: unix path too long: " << path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+  FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw NetError(std::string("client: socket() failed: ") +
+                   std::strerror(errno));
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw NetError("client: connect('" + path +
+                   "') failed: " + std::strerror(errno));
+  }
+  return fd;
+}
+
+FdHandle connect_tcp(const std::string& host, int port) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw NetError(std::string("client: socket() failed: ") +
+                   std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("client: bad address '" + host + "'");
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw NetError("client: connect(" + host + ":" + std::to_string(port) +
+                   ") failed: " + std::strerror(errno));
+  }
+  return fd;
+}
+
+}  // namespace
+
+TensorClient::TensorClient(FdHandle fd) : fd_(std::move(fd)) {
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+TensorClient::TensorClient(const std::string& unix_path)
+    : TensorClient(connect_unix(unix_path)) {}
+
+TensorClient::TensorClient(const std::string& host, int port)
+    : TensorClient(connect_tcp(host, port)) {}
+
+TensorClient::~TensorClient() {
+  // SHUT_RDWR unblocks the reader's read(); it fails the pending map and
+  // exits.  The fd itself closes after the join, so the reader never
+  // races a reused descriptor.
+  ::shutdown(fd_.get(), SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+}
+
+void TensorClient::fail_pending(const std::string& why) {
+  std::map<std::uint64_t, std::promise<Frame>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    orphaned.swap(pending_);
+  }
+  for (auto& [id, promise] : orphaned) {
+    promise.set_exception(std::make_exception_ptr(NetError(why)));
+  }
+}
+
+void TensorClient::reader_loop() {
+  std::string why = "client: connection closed";
+  try {
+    Frame frame;
+    while (read_frame(fd_.get(), frame)) {
+      const std::uint64_t id = peek_id(frame.payload);
+      std::promise<Frame> promise;
+      bool matched = false;
+      {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        auto it = pending_.find(id);
+        if (it != pending_.end()) {
+          promise = std::move(it->second);
+          pending_.erase(it);
+          matched = true;
+        }
+      }
+      // An unmatched id is a server bug or a stale duplicate; nothing to
+      // complete, nothing to corrupt -- drop it.
+      if (matched) promise.set_value(std::move(frame));
+    }
+  } catch (const NetError& e) {
+    why = e.what();
+  }
+  connected_.store(false, std::memory_order_release);
+  fail_pending(why);
+}
+
+std::future<Frame> TensorClient::send(std::uint64_t id, MsgType type,
+                                      std::span<const std::uint8_t> payload) {
+  std::promise<Frame> promise;
+  std::future<Frame> future = promise.get_future();
+  if (!connected_.load(std::memory_order_acquire)) {
+    promise.set_exception(
+        std::make_exception_ptr(NetError("client: connection is closed")));
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.emplace(id, std::move(promise));
+  }
+  try {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    write_frame(fd_.get(), type, payload);
+  } catch (const NetError&) {
+    // The write failed; pull our own promise back (the reader may have
+    // already failed it -- then it is gone from the map and this no-ops).
+    std::promise<Frame> mine;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        mine = std::move(it->second);
+        pending_.erase(it);
+        found = true;
+      }
+    }
+    if (found) mine.set_exception(std::current_exception());
+  }
+  return future;
+}
+
+std::uint64_t TensorClient::ack_of(std::future<Frame> future) {
+  Frame frame = future.get();  // rethrows NetError from a dead connection
+  switch (frame.type) {
+    case MsgType::kAck:
+      return decode_ack(frame.payload).version;
+    case MsgType::kOverloaded:
+      throw OverloadedError(decode_error(frame.payload).message);
+    case MsgType::kError:
+      throw Error(decode_error(frame.payload).message);
+    default:
+      throw ProtocolError("client: unexpected response type " +
+                          std::to_string(static_cast<unsigned>(frame.type)));
+  }
+}
+
+ResultMsg TensorClient::result_of(Frame frame) {
+  switch (frame.type) {
+    case MsgType::kResult:
+      return decode_result(frame.payload);
+    case MsgType::kOverloaded:
+      throw OverloadedError(decode_error(frame.payload).message);
+    case MsgType::kError:
+      throw Error(decode_error(frame.payload).message);
+    default:
+      throw ProtocolError("client: unexpected response type " +
+                          std::to_string(static_cast<unsigned>(frame.type)));
+  }
+}
+
+void TensorClient::register_tensor(const std::string& name,
+                                   const SparseTensor& tensor) {
+  RegisterMsg msg;
+  msg.id = next_id();
+  msg.name = name;
+  msg.tensor = tensor;
+  const std::vector<std::uint8_t> payload = encode_register(msg);
+  ack_of(send(msg.id, MsgType::kRegister, payload));
+}
+
+std::uint64_t TensorClient::apply_updates(const std::string& name,
+                                          const SparseTensor& updates) {
+  UpdateMsg msg;
+  msg.id = next_id();
+  msg.name = name;
+  msg.updates = updates;
+  const std::vector<std::uint8_t> payload = encode_update(msg);
+  return ack_of(send(msg.id, MsgType::kUpdate, payload));
+}
+
+std::future<Frame> TensorClient::query_async(QueryMsg msg) {
+  msg.id = next_id();
+  const std::vector<std::uint8_t> payload = encode_query(msg);
+  return send(msg.id, MsgType::kQuery, payload);
+}
+
+ResultMsg TensorClient::query(QueryMsg msg) {
+  return result_of(query_async(std::move(msg)).get());
+}
+
+void TensorClient::ping() {
+  const std::uint64_t id = next_id();
+  ack_of(send(id, MsgType::kPing, encode_id(id)));
+}
+
+void TensorClient::shutdown_server() {
+  const std::uint64_t id = next_id();
+  ack_of(send(id, MsgType::kShutdown, encode_id(id)));
+}
+
+}  // namespace bcsf::net

@@ -1,0 +1,97 @@
+// TensorClient: the blocking/async client half of the tensord protocol
+// (DESIGN.md §9).  One socket, three threads touch it:
+//
+//   * callers serialize their frame WRITES through a mutex (frames are
+//     written whole, so interleaving at frame granularity is safe);
+//   * one background reader thread owns all READS, matching response
+//     frames to callers by the echoed request id and completing their
+//     promises.
+//
+// That split is what makes the client pipelined: any number of
+// query_async() calls may be outstanding; responses complete in server
+// order, not call order.  The synchronous helpers (register_tensor,
+// apply_updates, query, ping) are submit + wait.
+//
+// Error mapping: kError completes the caller's future with bcsf::Error,
+// kOverloaded with OverloadedError (retryable by contract), and a dead
+// connection fails every outstanding and future call with NetError.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/wire.hpp"
+
+namespace bcsf::net {
+
+class TensorClient {
+ public:
+  /// Connects to a tensord unix-domain socket; throws NetError.
+  explicit TensorClient(const std::string& unix_path);
+  /// Connects over TCP (tensord binds loopback only).
+  TensorClient(const std::string& host, int port);
+  /// Closes the socket and joins the reader; outstanding futures fail
+  /// with NetError.
+  ~TensorClient();
+
+  TensorClient(const TensorClient&) = delete;
+  TensorClient& operator=(const TensorClient&) = delete;
+
+  /// Registers `tensor` under `name` on the server.  Throws bcsf::Error
+  /// (server-side failure) or NetError.
+  void register_tensor(const std::string& name, const SparseTensor& tensor);
+  /// Applies an additive update batch; returns the new snapshot version.
+  std::uint64_t apply_updates(const std::string& name,
+                              const SparseTensor& updates);
+  /// Executes one query and blocks for the result.  Throws
+  /// OverloadedError on admission reject, bcsf::Error on failure.
+  ResultMsg query(QueryMsg msg);
+  /// Pipelined query: returns immediately; resolve with result_of().
+  /// The returned future carries the raw response frame.
+  std::future<Frame> query_async(QueryMsg msg);
+  /// Liveness probe (kPing -> kAck round trip).
+  void ping();
+  /// Asks the server to shut down gracefully; returns once the server
+  /// acknowledged (it drains and exits after).
+  void shutdown_server();
+
+  /// Interprets a response frame: kResult decodes, kOverloaded throws
+  /// OverloadedError, kError throws bcsf::Error.
+  static ResultMsg result_of(Frame frame);
+
+  /// True until the connection dies (EOF or transport error).
+  bool connected() const { return connected_.load(std::memory_order_acquire); }
+
+ private:
+  explicit TensorClient(FdHandle fd);
+
+  std::uint64_t next_id() {
+    return id_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  /// Registers a pending completion for `id`, writes the frame, returns
+  /// the future.  Thread-safe.
+  std::future<Frame> send(std::uint64_t id, MsgType type,
+                          std::span<const std::uint8_t> payload);
+  /// Blocks on a kAck reply; maps kError/kOverloaded to throws.
+  std::uint64_t ack_of(std::future<Frame> future);
+  void reader_loop();
+  void fail_pending(const std::string& why);
+
+  FdHandle fd_;
+  std::mutex write_mutex_;
+  std::thread reader_;
+  std::atomic<bool> connected_{true};
+  std::atomic<std::uint64_t> id_counter_{0};
+
+  std::mutex pending_mutex_;
+  std::map<std::uint64_t, std::promise<Frame>> pending_;
+};
+
+}  // namespace bcsf::net

@@ -1,0 +1,134 @@
+#include "net/frame.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace bcsf::net {
+
+namespace {
+
+/// read() until `n` bytes or EOF.  Returns bytes read (< n only at EOF);
+/// throws NetError on a hard read failure.
+std::size_t read_upto(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) break;  // EOF
+    if (errno == EINTR) continue;
+    throw NetError(std::string("net: read failed: ") + std::strerror(errno));
+  }
+  return got;
+}
+
+void write_all(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // send(MSG_NOSIGNAL) instead of write(): a peer that already hung up
+    // must surface as NetError here, not kill the process with SIGPIPE.
+    const ssize_t w = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (w >= 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ENOTSOCK) {
+      // Trace files are written through the same codec; fall back to
+      // plain write() for non-socket descriptors.
+      const ssize_t p = ::write(fd, buf + sent, n - sent);
+      if (p >= 0) {
+        sent += static_cast<std::size_t>(p);
+        continue;
+      }
+      if (errno == EINTR) continue;
+    }
+    throw NetError(std::string("net: write failed: ") + std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+bool known_msg_type(std::uint8_t tag) {
+  switch (static_cast<MsgType>(tag)) {
+    case MsgType::kRegister:
+    case MsgType::kUpdate:
+    case MsgType::kQuery:
+    case MsgType::kShutdown:
+    case MsgType::kPing:
+    case MsgType::kAck:
+    case MsgType::kResult:
+    case MsgType::kError:
+    case MsgType::kOverloaded:
+    case MsgType::kTraceHeader:
+      return true;
+  }
+  return false;
+}
+
+bool read_frame(int fd, Frame& out) {
+  std::uint8_t header[5];
+  const std::size_t got = read_upto(fd, header, sizeof(header));
+  if (got == 0) return false;  // clean hang-up between frames
+  if (got < sizeof(header)) {
+    throw ProtocolError("net: truncated frame header (" +
+                        std::to_string(got) + " of 5 bytes)");
+  }
+  std::uint32_t length = 0;
+  std::memcpy(&length, header, sizeof(length));
+  if (length > kMaxFramePayload) {
+    throw ProtocolError("net: frame payload length " + std::to_string(length) +
+                        " exceeds cap " + std::to_string(kMaxFramePayload));
+  }
+  out.type = static_cast<MsgType>(header[4]);
+  out.payload.resize(length);
+  if (length > 0) {
+    const std::size_t body = read_upto(fd, out.payload.data(), length);
+    if (body < length) {
+      throw ProtocolError("net: truncated frame payload (" +
+                          std::to_string(body) + " of " +
+                          std::to_string(length) + " bytes)");
+    }
+  }
+  return true;
+}
+
+void write_frame(int fd, MsgType type,
+                 std::span<const std::uint8_t> payload) {
+  BCSF_CHECK(payload.size() <= kMaxFramePayload,
+             "net: refusing to write oversize frame of " << payload.size()
+                                                         << " bytes");
+  std::uint8_t header[5];
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  std::memcpy(header, &length, sizeof(length));
+  header[4] = static_cast<std::uint8_t>(type);
+  write_all(fd, header, sizeof(header));
+  if (!payload.empty()) write_all(fd, payload.data(), payload.size());
+}
+
+void append_frame(std::vector<std::uint8_t>& buf, MsgType type,
+                  std::span<const std::uint8_t> payload) {
+  BCSF_CHECK(payload.size() <= kMaxFramePayload,
+             "net: refusing to append oversize frame of " << payload.size()
+                                                          << " bytes");
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  const std::size_t at = buf.size();
+  buf.resize(at + 5 + payload.size());
+  std::memcpy(buf.data() + at, &length, sizeof(length));
+  buf[at + 4] = static_cast<std::uint8_t>(type);
+  if (!payload.empty()) {
+    std::memcpy(buf.data() + at + 5, payload.data(), payload.size());
+  }
+}
+
+void FdHandle::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace bcsf::net

@@ -1,0 +1,137 @@
+// Length-prefixed binary framing for the tensord front-end and the trace
+// files (DESIGN.md §9).
+//
+// Every message on a tensord connection -- and every record in a trace
+// file, which deliberately reuses the identical encoding -- is one frame:
+//
+//      u32 length (LE) | u8 type | payload[length]
+//
+// `length` counts the payload bytes only (not the 5 header bytes) and is
+// capped at kMaxFramePayload, so a corrupt or hostile length can neither
+// allocate unbounded memory nor desynchronize the stream silently.  The
+// payload encoding per type lives in net/wire.hpp; this header is only
+// about getting whole frames on and off a file descriptor.
+//
+// Error taxonomy (what the server's per-connection loop keys off):
+//   * clean EOF before any header byte  -> read_frame returns false
+//     (client hung up between requests; normal)
+//   * EOF mid-frame, oversize length    -> ProtocolError (framing is
+//     unrecoverable; the connection must be dropped)
+//   * read()/write() failures           -> NetError (socket died)
+// An UNKNOWN type tag is not a framing error: the frame boundary is still
+// trustworthy, so the server answers kError and keeps the connection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bcsf::net {
+
+/// Transport/socket failure (connect refused, peer reset, write on a
+/// closed socket).  The connection is unusable afterwards.
+class NetError : public Error {
+ public:
+  explicit NetError(const std::string& what) : Error(what) {}
+};
+
+/// The peer violated the framing or payload encoding (truncated frame,
+/// oversize length, malformed message body).  Recovery is per-connection:
+/// the stream position can no longer be trusted, so the reader drops the
+/// connection -- but the server itself stays up.
+class ProtocolError : public NetError {
+ public:
+  explicit ProtocolError(const std::string& what) : NetError(what) {}
+};
+
+/// The server refused a query because its admission control tripped
+/// (bounded in-flight count or worker-queue watermark, DESIGN.md §9).
+/// Retryable by design: back off and resubmit.
+class OverloadedError : public Error {
+ public:
+  explicit OverloadedError(const std::string& what) : Error(what) {}
+};
+
+/// Frame type tags.  Requests carry a client-chosen u64 id as the first
+/// payload field; every response echoes it, which is what lets the client
+/// pipeline requests and match completions out of band.
+enum class MsgType : std::uint8_t {
+  // client -> server
+  kRegister = 1,  ///< id, name, COO tensor       -> kAck(version 0)
+  kUpdate = 2,    ///< id, name, COO batch        -> kAck(new version)
+  kQuery = 3,     ///< id, ServeRequest mirror    -> kResult
+  kShutdown = 4,  ///< id; ask for graceful stop  -> kAck, then drain+exit
+  kPing = 5,      ///< id; liveness probe         -> kAck(version 0)
+  // server -> client
+  kAck = 16,         ///< id, u64 version
+  kResult = 17,      ///< id, ServeResponse mirror
+  kError = 18,       ///< id, message (request failed; connection lives on)
+  kOverloaded = 19,  ///< id, message (admission reject; retry later)
+  // trace files only
+  kTraceHeader = 32,  ///< magic + format version; first frame of a trace
+};
+
+/// True for tags this build knows how to decode (an unknown tag from a
+/// newer/foreign peer is answered with kError, not a dropped connection).
+bool known_msg_type(std::uint8_t tag);
+
+struct Frame {
+  MsgType type = MsgType::kPing;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Hard cap on one frame's payload.  Large enough for a ~100M-nnz COO
+/// register message; small enough that a garbage length fails fast.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+/// Reads exactly one frame.  Returns false on clean EOF before the first
+/// header byte; throws ProtocolError on truncation/oversize and NetError
+/// on read failure.  Retries EINTR internally.
+bool read_frame(int fd, Frame& out);
+
+/// Writes one frame (header + payload) fully; throws NetError on failure.
+/// Uses MSG_NOSIGNAL semantics: a peer that hung up raises NetError
+/// instead of SIGPIPE.  Safe for concurrent callers ONLY with external
+/// serialization (the client's write mutex, the server's single writer).
+void write_frame(int fd, MsgType type, std::span<const std::uint8_t> payload);
+
+/// Appends the exact on-wire bytes of a frame to `buf` -- the trace file
+/// and the replay response logs are plain concatenations of these.
+void append_frame(std::vector<std::uint8_t>& buf, MsgType type,
+                  std::span<const std::uint8_t> payload);
+
+/// RAII owner of a file descriptor (sockets, trace files).
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle() { reset(); }
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+  FdHandle(FdHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FdHandle& operator=(FdHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace bcsf::net

@@ -1,0 +1,388 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/convert.hpp"
+#include "net/wire.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace bcsf::net {
+
+namespace {
+
+int checked_socket(int domain) {
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw NetError(std::string("server: socket() failed: ") +
+                   std::strerror(errno));
+  }
+  return fd;
+}
+
+}  // namespace
+
+TensorServer::TensorServer(ServerOptions opts)
+    : opts_(std::move(opts)), service_(opts_.serve) {
+  BCSF_CHECK(!opts_.unix_path.empty(), "server: unix_path is required");
+  if (opts_.queue_watermark == 0) {
+    opts_.queue_watermark = 4 * service_.workers();
+  }
+  if (!opts_.record_path.empty()) {
+    recorder_ = std::make_unique<trace::TraceRecorder>(opts_.record_path);
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw NetError(std::string("server: pipe() failed: ") +
+                   std::strerror(errno));
+  }
+  wake_read_ = FdHandle(pipe_fds[0]);
+  wake_write_ = FdHandle(pipe_fds[1]);
+
+  bind_unix();
+  if (opts_.tcp_port >= 0) bind_tcp();
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TensorServer::~TensorServer() { stop(); }
+
+void TensorServer::bind_unix() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  BCSF_CHECK(opts_.unix_path.size() < sizeof(addr.sun_path),
+             "server: unix_path too long: " << opts_.unix_path);
+  std::strncpy(addr.sun_path, opts_.unix_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(opts_.unix_path.c_str());  // stale socket from a dead server
+
+  FdHandle fd(checked_socket(AF_UNIX));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw NetError("server: bind('" + opts_.unix_path +
+                   "') failed: " + std::strerror(errno));
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    throw NetError(std::string("server: listen() failed: ") +
+                   std::strerror(errno));
+  }
+  unix_fd_ = std::move(fd);
+}
+
+void TensorServer::bind_tcp() {
+  FdHandle fd(checked_socket(AF_INET));
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.tcp_port));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw NetError("server: bind(tcp " + std::to_string(opts_.tcp_port) +
+                   ") failed: " + std::strerror(errno));
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    throw NetError(std::string("server: listen(tcp) failed: ") +
+                   std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    throw NetError(std::string("server: getsockname() failed: ") +
+                   std::strerror(errno));
+  }
+  tcp_port_ = ntohs(addr.sin_port);
+  tcp_fd_ = std::move(fd);
+}
+
+void TensorServer::accept_loop() {
+  for (;;) {
+    pollfd fds[3];
+    nfds_t n = 0;
+    fds[n++] = {wake_read_.get(), POLLIN, 0};
+    fds[n++] = {unix_fd_.get(), POLLIN, 0};
+    if (tcp_fd_.valid()) fds[n++] = {tcp_fd_.get(), POLLIN, 0};
+
+    if (::poll(fds, n, -1) < 0) {
+      if (errno == EINTR) continue;
+      BCSF_WARN << "server: poll failed: " << std::strerror(errno);
+      return;
+    }
+    if (stopping_.load(std::memory_order_acquire)) return;
+
+    for (nfds_t i = 1; i < n; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int conn_fd = ::accept(fds[i].fd, nullptr, nullptr);
+      if (conn_fd < 0) continue;  // raced a close / transient error
+      stat_connections_.fetch_add(1, std::memory_order_relaxed);
+      auto conn = std::make_unique<Connection>();
+      conn->fd = FdHandle(conn_fd);
+      Connection& ref = *conn;
+      {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        conns_.push_back(std::move(conn));
+      }
+      // Spawn the writer first so a reader that exits instantly (client
+      // connected and hung up) still has a writer to hand closing to.
+      ref.writer = std::thread([this, &ref] { writer_loop(ref); });
+      ref.reader = std::thread([this, &ref] { reader_loop(ref); });
+    }
+  }
+}
+
+void TensorServer::record(MsgType type,
+                          std::span<const std::uint8_t> payload) {
+  if (recorder_) recorder_->record(type, payload);
+}
+
+TensorServer::Outgoing TensorServer::dispatch(Frame& frame) {
+  Outgoing out;
+  const std::uint64_t id = peek_id(frame.payload);
+  out.id = id;
+  stat_requests_.fetch_add(1, std::memory_order_relaxed);
+
+  if (!known_msg_type(static_cast<std::uint8_t>(frame.type))) {
+    // Framing is intact -- answer in-band and keep the connection.
+    out.type = MsgType::kError;
+    out.payload = encode_error(
+        {id, "unknown message type " +
+                 std::to_string(static_cast<unsigned>(frame.type))});
+    return out;
+  }
+
+  switch (frame.type) {
+    case MsgType::kRegister: {
+      try {
+        RegisterMsg msg = decode_register(frame.payload);
+        record(frame.type, frame.payload);
+        service_.register_tensor(msg.name, share_tensor(std::move(msg.tensor)));
+        out.type = MsgType::kAck;
+        out.payload = encode_ack({msg.id, 0});
+      } catch (const ProtocolError&) {
+        throw;  // framing-level: the reader drops the connection
+      } catch (const Error& e) {
+        out.type = MsgType::kError;
+        out.payload = encode_error({id, e.what()});
+      }
+      return out;
+    }
+    case MsgType::kUpdate: {
+      try {
+        UpdateMsg msg = decode_update(frame.payload);
+        record(frame.type, frame.payload);
+        const std::uint64_t version =
+            service_.apply_updates(msg.name, std::move(msg.updates));
+        out.type = MsgType::kAck;
+        out.payload = encode_ack({msg.id, version});
+      } catch (const ProtocolError&) {
+        throw;
+      } catch (const Error& e) {
+        out.type = MsgType::kError;
+        out.payload = encode_error({id, e.what()});
+      }
+      return out;
+    }
+    case MsgType::kQuery: {
+      try {
+        QueryMsg msg = decode_query(frame.payload);
+        // Admission: bounded in-flight work, checked BEFORE the service
+        // accepts the query.  Rejected queries cost a decode and one
+        // small reply -- they never touch the worker pool.
+        const std::size_t in_flight =
+            in_flight_.load(std::memory_order_acquire);
+        if (in_flight >= opts_.max_in_flight ||
+            service_.queue_depth() > opts_.queue_watermark) {
+          stat_rejected_.fetch_add(1, std::memory_order_relaxed);
+          out.type = MsgType::kOverloaded;
+          out.payload = encode_error(
+              {msg.id, "server overloaded (" + std::to_string(in_flight) +
+                           " in flight, queue depth " +
+                           std::to_string(service_.queue_depth()) + ")"});
+          return out;
+        }
+        record(frame.type, frame.payload);
+        out.id = msg.id;
+        // submit() validates synchronously (unknown tensor, bad mode)
+        // and may throw -- count the query in flight only once it is
+        // actually accepted, or the admission counter leaks upward.
+        std::future<ServeResponse> accepted =
+            service_.submit(to_request(std::move(msg)));
+        in_flight_.fetch_add(1, std::memory_order_acq_rel);
+        out.pending = true;
+        out.response = std::move(accepted);
+      } catch (const ProtocolError&) {
+        throw;
+      } catch (const Error& e) {
+        out.pending = false;
+        out.type = MsgType::kError;
+        out.payload = encode_error({id, e.what()});
+      }
+      return out;
+    }
+    case MsgType::kPing: {
+      out.type = MsgType::kAck;
+      out.payload = encode_ack({decode_id(frame.payload), 0});
+      return out;
+    }
+    case MsgType::kShutdown: {
+      record(frame.type, frame.payload);
+      out.type = MsgType::kAck;
+      out.payload = encode_ack({decode_id(frame.payload), 0});
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        shutdown_requested_ = true;
+      }
+      state_cv_.notify_all();
+      return out;
+    }
+    default:
+      // Server-to-client tags arriving at the server: protocol-legal
+      // nonsense; answer kError, keep the connection.
+      out.type = MsgType::kError;
+      out.payload = encode_error(
+          {id, "unexpected message type " +
+                   std::to_string(static_cast<unsigned>(frame.type))});
+      return out;
+  }
+}
+
+void TensorServer::enqueue(Connection& conn, Outgoing out) {
+  {
+    std::lock_guard<std::mutex> lock(conn.m);
+    conn.queue.push_back(std::move(out));
+  }
+  conn.cv.notify_one();
+}
+
+void TensorServer::reader_loop(Connection& conn) {
+  try {
+    Frame frame;
+    while (read_frame(conn.fd.get(), frame)) {
+      enqueue(conn, dispatch(frame));
+    }
+  } catch (const ProtocolError& e) {
+    stat_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    BCSF_WARN << "server: dropping connection: " << e.what();
+  } catch (const NetError& e) {
+    BCSF_WARN << "server: connection read error: " << e.what();
+  }
+  // Reader is done (EOF, framing violation, or SHUT_RD from stop()).
+  // Hand the connection to the writer: it drains everything already
+  // accepted, then the socket closes.
+  {
+    std::lock_guard<std::mutex> lock(conn.m);
+    conn.closing = true;
+  }
+  conn.cv.notify_one();
+}
+
+void TensorServer::writer_loop(Connection& conn) {
+  bool peer_alive = true;
+  for (;;) {
+    Outgoing out;
+    {
+      std::unique_lock<std::mutex> lock(conn.m);
+      conn.cv.wait(lock, [&conn] { return conn.closing || !conn.queue.empty(); });
+      if (conn.queue.empty()) break;  // closing && drained
+      out = std::move(conn.queue.front());
+      conn.queue.pop_front();
+    }
+
+    MsgType type = out.type;
+    std::vector<std::uint8_t> payload = std::move(out.payload);
+    if (out.pending) {
+      // Block on the future even when the peer is gone: the in-flight
+      // count must come back down and the response must be consumed --
+      // this is the "zero stranded futures" drain guarantee.
+      try {
+        const ServeResponse response = out.response.get();
+        type = MsgType::kResult;
+        payload = encode_result(to_result(out.id, response));
+      } catch (const Error& e) {
+        type = MsgType::kError;
+        payload = encode_error({out.id, e.what()});
+      } catch (const std::exception& e) {
+        type = MsgType::kError;
+        payload = encode_error({out.id, e.what()});
+      }
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    if (!peer_alive) continue;  // keep draining, stop writing
+    try {
+      write_frame(conn.fd.get(), type, payload);
+      record(type, payload);
+    } catch (const NetError&) {
+      peer_alive = false;  // mid-request disconnect; finish the drain
+    }
+  }
+  conn.dead.store(true, std::memory_order_release);
+}
+
+void TensorServer::wait() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  state_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void TensorServer::stop() {
+  std::call_once(stop_once_, [this] {
+    stopping_.store(true, std::memory_order_release);
+
+    // 1. Stop accepting: wake the poll via the self-pipe, join, close
+    //    the listeners.
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t w = ::write(wake_write_.get(), &byte, 1);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    unix_fd_.reset();
+    tcp_fd_.reset();
+    ::unlink(opts_.unix_path.c_str());
+
+    // 2./3. Readers see EOF via SHUT_RD (no new requests on any
+    //    connection), writers drain every accepted request, then join.
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      for (auto& conn : conns_) {
+        if (conn->fd.valid()) ::shutdown(conn->fd.get(), SHUT_RD);
+      }
+      for (auto& conn : conns_) {
+        if (conn->reader.joinable()) conn->reader.join();
+        if (conn->writer.joinable()) conn->writer.join();
+        conn->fd.reset();
+      }
+      conns_.clear();
+    }
+
+    // 4. Background work (upgrades/compactions) finishes too.
+    service_.wait_idle();
+
+    // Unblock wait() for owners stopping from another thread.
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      shutdown_requested_ = true;
+    }
+    state_cv_.notify_all();
+  });
+}
+
+TensorServer::Stats TensorServer::stats() const {
+  Stats s;
+  s.connections = stat_connections_.load(std::memory_order_relaxed);
+  s.requests = stat_requests_.load(std::memory_order_relaxed);
+  s.rejected = stat_rejected_.load(std::memory_order_relaxed);
+  s.protocol_errors = stat_protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace bcsf::net

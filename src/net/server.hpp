@@ -1,0 +1,173 @@
+// tensord's core: TensorOpService behind a socket boundary (DESIGN.md
+// §9).  The server owns one service instance and exposes it over a
+// unix-domain socket (always) and optionally TCP, speaking the framed
+// protocol of net/frame.hpp + net/wire.hpp.
+//
+// Threading model -- three kinds of threads, no shared request state:
+//
+//   accept thread   One, polling {listeners, self-pipe}.  The self-pipe
+//                   makes stop() wakeable without timeouts.
+//   reader thread   One per connection.  Decodes frames; register/update
+//                   execute synchronously (they are cheap metadata +
+//                   routing), queries pass ADMISSION CONTROL and are
+//                   submitted async to the service; the resulting future
+//                   goes on the connection's write queue.
+//   writer thread   One per connection; the ONLY thread writing its
+//                   socket.  Pops the write queue in FIFO order --
+//                   responses leave in request order per connection --
+//                   blocking on each query future as it reaches the
+//                   head.  Drains the queue fully before exiting, so
+//                   every accepted request gets its response even during
+//                   shutdown.
+//
+// Admission control: a kQuery is rejected with kOverloaded (never
+// queued) when the server-wide in-flight count reaches max_in_flight or
+// the service's worker queue is deeper than queue_watermark.  Register/
+// update/ping are never rejected -- they are what drains or probes the
+// backlog.
+//
+// Graceful shutdown (stop(), also triggered by a client's kShutdown):
+//   1. close the listeners (no new connections),
+//   2. shutdown(SHUT_RD) every connection socket -- readers see EOF and
+//      stop ACCEPTING requests,
+//   3. writers drain their queues (accepted queries complete and are
+//      answered), then the sockets close,
+//   4. the service drains to idle (background upgrades/compactions
+//      included).
+// Zero stranded futures by construction: every future ever created sits
+// in exactly one write queue, and every queue is drained.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "serve/tensor_op_service.hpp"
+#include "trace/trace.hpp"
+
+namespace bcsf::net {
+
+struct ServerOptions {
+  /// Unix-domain socket path.  Required; an existing socket file at the
+  /// path is unlinked first (stale leftover from a crashed server).
+  std::string unix_path;
+  /// TCP listen port: -1 = no TCP listener, 0 = ephemeral (read the
+  /// chosen port back via tcp_port()).  Binds 127.0.0.1 only.
+  int tcp_port = -1;
+  /// Options for the owned TensorOpService.
+  ServeOptions serve;
+  /// Admission: max queries admitted (submitted, response not yet
+  /// written) across ALL connections.
+  std::size_t max_in_flight = 256;
+  /// Admission: reject queries while the service's worker queue is
+  /// deeper than this.  0 = 4x the worker count.
+  std::size_t queue_watermark = 0;
+  /// When non-empty, record every request/response to this trace file
+  /// (trace/TraceRecorder) for later replay.
+  std::string record_path;
+};
+
+class TensorServer {
+ public:
+  /// Binds the listeners and starts the accept thread; throws NetError
+  /// if a bind fails.  The server is serving when this returns.
+  explicit TensorServer(ServerOptions opts);
+  /// Calls stop().
+  ~TensorServer();
+
+  TensorServer(const TensorServer&) = delete;
+  TensorServer& operator=(const TensorServer&) = delete;
+
+  /// Graceful shutdown per the header comment.  Idempotent; safe to call
+  /// concurrently with wait() and from the destructor.
+  void stop();
+
+  /// Blocks until a client sends kShutdown or another thread calls
+  /// stop().  Does NOT itself stop the server -- the owner does:
+  ///     server.wait(); server.stop();
+  void wait();
+
+  /// Actual TCP port (useful with tcp_port = 0); -1 when TCP is off.
+  int tcp_port() const { return tcp_port_; }
+  const std::string& unix_path() const { return opts_.unix_path; }
+
+  /// The owned service, for in-process inspection in tests and tools.
+  TensorOpService& service() { return service_; }
+
+  struct Stats {
+    std::uint64_t connections = 0;  ///< accepted sockets, lifetime
+    std::uint64_t requests = 0;     ///< frames dispatched (all types)
+    std::uint64_t rejected = 0;     ///< queries refused with kOverloaded
+    std::uint64_t protocol_errors = 0;  ///< connections dropped on framing
+  };
+  Stats stats() const;
+
+ private:
+  /// What the writer sends next: either a response computed synchronously
+  /// by the reader (ready bytes) or a query future to block on.
+  struct Outgoing {
+    MsgType type = MsgType::kAck;
+    std::vector<std::uint8_t> payload;        // valid when !pending
+    std::future<ServeResponse> response;      // valid when pending
+    std::uint64_t id = 0;                     // echoed on pending error
+    bool pending = false;
+  };
+
+  struct Connection {
+    FdHandle fd;
+    std::thread reader;
+    std::thread writer;
+    std::mutex m;                  // guards queue/closing
+    std::condition_variable cv;    // signals the writer
+    std::deque<Outgoing> queue;
+    bool closing = false;  // reader done: writer drains then exits
+    std::atomic<bool> dead{false};  // both threads finished
+  };
+
+  void bind_unix();
+  void bind_tcp();
+  void accept_loop();
+  void reader_loop(Connection& conn);
+  void writer_loop(Connection& conn);
+  /// Decodes and dispatches one frame.  Every known frame type yields
+  /// exactly one reply (ready bytes or a pending query future).
+  Outgoing dispatch(Frame& frame);
+  void enqueue(Connection& conn, Outgoing out);
+  void record(MsgType type, std::span<const std::uint8_t> payload);
+
+  ServerOptions opts_;
+  TensorOpService service_;
+  std::unique_ptr<trace::TraceRecorder> recorder_;
+
+  FdHandle unix_fd_;
+  FdHandle tcp_fd_;
+  int tcp_port_ = -1;
+  FdHandle wake_read_;   // self-pipe: stop() wakes the accept poll
+  FdHandle wake_write_;
+
+  std::thread accept_thread_;
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+  bool shutdown_requested_ = false;  // wait() unblocks
+  std::atomic<bool> stopping_{false};
+  std::once_flag stop_once_;
+
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::uint64_t> stat_connections_{0};
+  std::atomic<std::uint64_t> stat_requests_{0};
+  std::atomic<std::uint64_t> stat_rejected_{0};
+  std::atomic<std::uint64_t> stat_protocol_errors_{0};
+};
+
+}  // namespace bcsf::net

@@ -1,0 +1,384 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+#include <limits>
+
+namespace bcsf::net {
+
+namespace {
+
+/// Array-count guard: a decoded count must be backed by at least
+/// `per_element` payload bytes each, or the count is forged.
+void check_count(std::uint64_t count, std::size_t per_element,
+                 std::size_t remaining, const char* what) {
+  if (per_element == 0) per_element = 1;
+  if (count > remaining / per_element) {
+    throw ProtocolError(std::string("wire: ") + what + " count " +
+                        std::to_string(count) +
+                        " not backed by payload bytes (" +
+                        std::to_string(remaining) + " remaining)");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WireWriter
+// ---------------------------------------------------------------------------
+
+void WireWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void WireWriter::u32(std::uint32_t v) {
+  const std::size_t at = buf_.size();
+  buf_.resize(at + sizeof(v));
+  std::memcpy(buf_.data() + at, &v, sizeof(v));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  const std::size_t at = buf_.size();
+  buf_.resize(at + sizeof(v));
+  std::memcpy(buf_.data() + at, &v, sizeof(v));
+}
+
+void WireWriter::f32(float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u32(bits);
+}
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void WireWriter::tensor(const SparseTensor& t) {
+  u32(static_cast<std::uint32_t>(t.order()));
+  for (index_t m = 0; m < t.order(); ++m) u32(t.dim(m));
+  u64(t.nnz());
+  for (index_t m = 0; m < t.order(); ++m) {
+    const auto inds = t.mode_indices(m);
+    const std::size_t at = buf_.size();
+    buf_.resize(at + inds.size() * sizeof(index_t));
+    std::memcpy(buf_.data() + at, inds.data(), inds.size() * sizeof(index_t));
+  }
+  const auto vals = t.values();
+  const std::size_t at = buf_.size();
+  buf_.resize(at + vals.size() * sizeof(value_t));
+  std::memcpy(buf_.data() + at, vals.data(), vals.size() * sizeof(value_t));
+}
+
+void WireWriter::matrix(const DenseMatrix& m) {
+  u32(static_cast<std::uint32_t>(m.rows()));
+  u32(static_cast<std::uint32_t>(m.cols()));
+  const auto data = m.data();
+  const std::size_t at = buf_.size();
+  buf_.resize(at + data.size() * sizeof(value_t));
+  std::memcpy(buf_.data() + at, data.data(), data.size() * sizeof(value_t));
+}
+
+// ---------------------------------------------------------------------------
+// WireReader
+// ---------------------------------------------------------------------------
+
+void WireReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw ProtocolError("wire: payload underrun (need " + std::to_string(n) +
+                        " bytes, have " + std::to_string(remaining()) + ")");
+  }
+}
+
+void WireReader::expect_done(const char* what) const {
+  if (!done()) {
+    throw ProtocolError(std::string("wire: ") + what + " has " +
+                        std::to_string(remaining()) +
+                        " trailing payload bytes");
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint32_t WireReader::u32() {
+  require(sizeof(std::uint32_t));
+  std::uint32_t v = 0;
+  std::memcpy(&v, data_.data() + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  require(sizeof(std::uint64_t));
+  std::uint64_t v = 0;
+  std::memcpy(&v, data_.data() + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+float WireReader::f32() {
+  const std::uint32_t bits = u32();
+  float v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double WireReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t n = u32();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+SparseTensor WireReader::tensor() {
+  const std::uint32_t order = u32();
+  if (order == 0 || order > 16) {
+    throw ProtocolError("wire: tensor order " + std::to_string(order) +
+                        " out of range [1, 16]");
+  }
+  std::vector<index_t> dims(order);
+  for (std::uint32_t m = 0; m < order; ++m) {
+    dims[m] = u32();
+    if (dims[m] == 0) {
+      throw ProtocolError("wire: tensor dim " + std::to_string(m) +
+                          " is zero");
+    }
+  }
+  const std::uint64_t nnz = u64();
+  // order index arrays + one value array back every nonzero.
+  check_count(nnz, (order + 1) * sizeof(index_t), remaining(), "tensor nnz");
+
+  std::vector<std::span<const index_t>> inds(order);
+  for (std::uint32_t m = 0; m < order; ++m) {
+    require(nnz * sizeof(index_t));
+    inds[m] = {reinterpret_cast<const index_t*>(data_.data() + pos_),
+               static_cast<std::size_t>(nnz)};
+    pos_ += nnz * sizeof(index_t);
+  }
+  require(nnz * sizeof(value_t));
+  std::span<const value_t> vals{
+      reinterpret_cast<const value_t*>(data_.data() + pos_),
+      static_cast<std::size_t>(nnz)};
+  pos_ += nnz * sizeof(value_t);
+
+  SparseTensor t(std::move(dims));
+  t.reserve(nnz);
+  std::vector<index_t> coords(order);
+  for (std::uint64_t z = 0; z < nnz; ++z) {
+    for (std::uint32_t m = 0; m < order; ++m) {
+      coords[m] = inds[m][z];
+      if (coords[m] >= t.dim(m)) {
+        throw ProtocolError("wire: tensor coordinate " +
+                            std::to_string(coords[m]) + " out of dim " +
+                            std::to_string(t.dim(m)) + " along mode " +
+                            std::to_string(m));
+      }
+    }
+    t.push_back(coords, vals[z]);
+  }
+  return t;
+}
+
+DenseMatrix WireReader::matrix() {
+  const std::uint32_t rows = u32();
+  const std::uint32_t cols = u32();
+  check_count(static_cast<std::uint64_t>(rows) * cols, sizeof(value_t),
+              remaining(), "matrix entry");
+  DenseMatrix m(rows, cols);
+  const std::size_t bytes = m.data().size() * sizeof(value_t);
+  require(bytes);
+  std::memcpy(m.data().data(), data_.data() + pos_, bytes);
+  pos_ += bytes;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_register(const RegisterMsg& msg) {
+  WireWriter w;
+  w.u64(msg.id);
+  w.str(msg.name);
+  w.tensor(msg.tensor);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_update(const UpdateMsg& msg) {
+  WireWriter w;
+  w.u64(msg.id);
+  w.str(msg.name);
+  w.tensor(msg.updates);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_query(const QueryMsg& msg) {
+  WireWriter w;
+  w.u64(msg.id);
+  w.str(msg.tensor);
+  w.u32(msg.mode);
+  w.u8(static_cast<std::uint8_t>(msg.op));
+  w.u32(static_cast<std::uint32_t>(msg.factors.size()));
+  for (const DenseMatrix& f : msg.factors) w.matrix(f);
+  w.u8(msg.has_lambda ? 1 : 0);
+  if (msg.has_lambda) {
+    w.u32(static_cast<std::uint32_t>(msg.lambda.size()));
+    for (value_t v : msg.lambda) w.f32(v);
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_ack(const AckMsg& msg) {
+  WireWriter w;
+  w.u64(msg.id);
+  w.u64(msg.version);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_result(const ResultMsg& msg) {
+  WireWriter w;
+  w.u64(msg.id);
+  w.u8(static_cast<std::uint8_t>(msg.op));
+  w.matrix(msg.output);
+  w.f64(msg.scalar);
+  w.u64(msg.sequence);
+  w.u64(msg.snapshot_version);
+  w.u64(msg.delta_nnz);
+  w.u32(msg.shards);
+  w.str(msg.served_format);
+  w.u8(msg.upgraded ? 1 : 0);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorMsg& msg) {
+  WireWriter w;
+  w.u64(msg.id);
+  w.str(msg.message);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_id(std::uint64_t id) {
+  WireWriter w;
+  w.u64(id);
+  return w.take();
+}
+
+namespace {
+
+OpKind decode_op(std::uint8_t tag) {
+  if (tag > static_cast<std::uint8_t>(OpKind::kFit)) {
+    throw ProtocolError("wire: unknown op tag " + std::to_string(tag));
+  }
+  return static_cast<OpKind>(tag);
+}
+
+}  // namespace
+
+RegisterMsg decode_register(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  RegisterMsg msg;
+  msg.id = r.u64();
+  msg.name = r.str();
+  msg.tensor = r.tensor();
+  r.expect_done("register");
+  return msg;
+}
+
+UpdateMsg decode_update(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  UpdateMsg msg;
+  msg.id = r.u64();
+  msg.name = r.str();
+  msg.updates = r.tensor();
+  r.expect_done("update");
+  return msg;
+}
+
+QueryMsg decode_query(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  QueryMsg msg;
+  msg.id = r.u64();
+  msg.tensor = r.str();
+  msg.mode = r.u32();
+  msg.op = decode_op(r.u8());
+  const std::uint32_t nfactors = r.u32();
+  check_count(nfactors, 8, r.remaining(), "query factor");
+  msg.factors.reserve(nfactors);
+  for (std::uint32_t i = 0; i < nfactors; ++i) {
+    msg.factors.push_back(r.matrix());
+  }
+  msg.has_lambda = r.u8() != 0;
+  if (msg.has_lambda) {
+    const std::uint32_t n = r.u32();
+    check_count(n, sizeof(value_t), r.remaining(), "query lambda");
+    msg.lambda.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) msg.lambda.push_back(r.f32());
+  }
+  r.expect_done("query");
+  return msg;
+}
+
+AckMsg decode_ack(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  AckMsg msg;
+  msg.id = r.u64();
+  msg.version = r.u64();
+  r.expect_done("ack");
+  return msg;
+}
+
+ResultMsg decode_result(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  ResultMsg msg;
+  msg.id = r.u64();
+  msg.op = decode_op(r.u8());
+  msg.output = r.matrix();
+  msg.scalar = r.f64();
+  msg.sequence = r.u64();
+  msg.snapshot_version = r.u64();
+  msg.delta_nnz = r.u64();
+  msg.shards = r.u32();
+  msg.served_format = r.str();
+  msg.upgraded = r.u8() != 0;
+  r.expect_done("result");
+  return msg;
+}
+
+ErrorMsg decode_error(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  ErrorMsg msg;
+  msg.id = r.u64();
+  msg.message = r.str();
+  r.expect_done("error");
+  return msg;
+}
+
+std::uint64_t decode_id(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  const std::uint64_t id = r.u64();
+  r.expect_done("id-only message");
+  return id;
+}
+
+std::uint64_t peek_id(std::span<const std::uint8_t> payload) {
+  if (payload.size() < sizeof(std::uint64_t)) return 0;
+  std::uint64_t id = 0;
+  std::memcpy(&id, payload.data(), sizeof(id));
+  return id;
+}
+
+}  // namespace bcsf::net

@@ -180,10 +180,17 @@ std::vector<std::future<ServeResponse>> TensorOpService::submit_batch(
     TensorState& state = *states[i];
     if (state.shards.size() == 1) {
       // Monolithic tensors keep the per-request path (bit-for-bit the
-      // pre-§8 service, including its scheduling).
-      futures[i] = pool_.async([this, &state, req = std::move(batch[i])] {
-        return handle(state, req);
-      });
+      // pre-§8 service, including its scheduling).  packaged_task +
+      // try_submit instead of async(): a submit racing pool shutdown
+      // must not throw out of this loop after earlier requests were
+      // already enqueued -- a refused task runs INLINE instead, so every
+      // future the caller holds resolves to a value or a bcsf::Error.
+      auto task = std::make_shared<std::packaged_task<ServeResponse()>>(
+          [this, &state, req = std::move(batch[i])] {
+            return handle(state, req);
+          });
+      futures[i] = task->get_future();
+      if (!pool_.try_submit([task] { (*task)(); })) (*task)();
       continue;
     }
     auto item = std::make_unique<BatchItem>();
@@ -220,7 +227,6 @@ void TensorOpService::dispatch_sharded(TensorState& state,
                               : item.request.factors->front().cols();
       item.output = DenseMatrix(state.dims[item.request.mode], rank);
     }
-    item.dispatched = std::chrono::steady_clock::now();
   }
 
   // One task per (shard, batch), hinted to worker s % W: shard s's plan,
@@ -228,11 +234,23 @@ void TensorOpService::dispatch_sharded(TensorState& state,
   // the whole batch, and the submission cost is K total.  The hint is
   // soft -- a busy worker's queue is stealable (ThreadPool), so a slow
   // shard never serializes the batch behind it.
+  //
+  // try_submit, NOT submit: a submit racing pool shutdown used to throw
+  // out of this loop, stranding every promise of the items the already-
+  // submitted tasks could not finish alone (`remaining` never reached 0)
+  // -- callers saw broken_promise or lost futures.  A refused task runs
+  // INLINE on the submitting thread instead, so exactly K shard sweeps
+  // execute no matter when the pool stops and every promise is fulfilled.
   for (std::size_t s = 0; s < k; ++s) {
-    pool_.submit(
-        [this, &state, items, s] {
+    auto sweep = [this, &state, items, s] {
           for (auto& item_ptr : *items) {
             BatchItem& item = *item_ptr;
+            // First task to reach the item stamps the fan-out start; the
+            // stamp reaches the finisher via the `remaining` release
+            // chain below.
+            if (!item.started.exchange(true, std::memory_order_acq_rel)) {
+              item.first_start = std::chrono::steady_clock::now();
+            }
             try {
               const ShardPath path =
                   item.disjoint ? ShardPath::kDisjoint : ShardPath::kMerge;
@@ -252,8 +270,8 @@ void TensorOpService::dispatch_sharded(TensorState& state,
               finalize_item(state, item);
             }
           }
-        },
-        /*affinity=*/s);
+        };
+    if (!pool_.try_submit(sweep, /*affinity=*/s)) sweep();
   }
 }
 
@@ -276,9 +294,13 @@ ServeResponse TensorOpService::reduce_item(TensorState& state,
   response.sequence = item.sequence;
   response.shards = k;
   response.op = item.request.op;
+  // Measured from the FIRST shard task starting, not from dispatch:
+  // dispatch-relative fan-out billed pool queue wait (every request
+  // queued behind the batch inflated it), which is admission's number,
+  // not the fan-out's.
   response.fanout_ms =
       std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - item.dispatched)
+          std::chrono::steady_clock::now() - item.first_start)
           .count();
 
   Timer reduce_timer;
@@ -317,10 +339,11 @@ ServeResponse TensorOpService::reduce_item(TensorState& state,
                             : item.request.factors->front().cols();
     std::vector<std::span<const double>> partials;
     partials.reserve(k);
-    for (const ShardRun& run : item.runs) partials.emplace_back(run.acc);
+    for (const ShardRun& run : item.runs) partials.emplace_back(run.acc.get());
     response.output = reduce_shard_partials(state.dims[item.request.mode],
                                             rank, partials);
-    for (ShardRun& run : item.runs) arena_.release(std::move(run.acc));
+    // No explicit release: the leases return to the arena when the runs
+    // die -- on THIS path and on every failure path alike.
     response.reduce_path = "merge";
   }
   response.reduce_ms = reduce_timer.milliseconds();
@@ -550,14 +573,14 @@ TensorOpService::ShardRun TensorOpService::handle_shard(
         }
       } else if (path == ShardPath::kMerge) {
         const auto data = run.output.data();
-        out.acc = arena_.acquire(data.size());
-        std::copy(data.begin(), data.end(), out.acc.begin());
+        out.acc = ScratchLease(arena_, data.size());
+        std::copy(data.begin(), data.end(), out.acc.get().begin());
         if (is_mttkrp) {
           mttkrp_delta_accumulate(snap.deltas, request.mode, *request.factors,
-                                  std::span<double>(out.acc));
+                                  std::span<double>(out.acc.get()));
         } else {
           ttv_delta_accumulate(snap.deltas, request.mode, *request.factors,
-                               std::span<double>(out.acc));
+                               std::span<double>(out.acc.get()));
         }
       } else if (is_mttkrp) {
         mttkrp_delta_accumulate(snap.deltas, request.mode, *request.factors,

@@ -202,8 +202,11 @@ struct ServeResponse {
   /// partition-mode matrix ops on an unsplit partition), or "merge"
   /// (per-shard double partials K-way reduced with one cast).
   std::string reduce_path = "single";
-  /// Wall ms from shard fan-out dispatch until the LAST shard finished
-  /// its contribution (queueing + kernel + delta sweep).  0 for
+  /// Wall ms from the FIRST shard task starting on this request until
+  /// the LAST shard finished its contribution (kernel + delta sweep
+  /// across the fan-out).  Pool queue wait ahead of the batch is
+  /// EXCLUDED: billing it here made fan-out look slower the busier the
+  /// pool was, which poisoned the bench's fan-out column.  0 for
   /// single-shard tensors.
   double fanout_ms = 0.0;
   /// Wall ms spent combining the per-shard contributions into the
@@ -307,6 +310,25 @@ class TensorOpService {
   /// Blocks until all accepted requests AND background work (upgrades,
   /// compactions) finished.
   void wait_idle() { pool_.wait_idle(); }
+
+  /// Graceful drain hook for front-ends (net/TensorServer, DESIGN.md
+  /// §9): refuses new pool submissions, executes every accepted request
+  /// and background task, and joins the workers.  Idempotent.  Queries
+  /// submitted after this still resolve -- their futures carry the
+  /// response computed INLINE on the submitting thread (the refused-
+  /// submission fallback), never a broken promise.
+  void shutdown() { pool_.shutdown(); }
+
+  /// Tasks accepted but not yet started on the worker pool: the
+  /// admission-control signal (net/TensorServer rejects queries with
+  /// kOverloaded once this crosses its watermark).
+  std::size_t queue_depth() const { return pool_.queue_depth(); }
+  /// Worker pool width (admission watermarks default to a multiple).
+  std::size_t workers() const { return pool_.size(); }
+  /// Scratch buffers parked on the arena freelist.  Tests assert every
+  /// merge-path lease returns here even when a shard or the reduce
+  /// throws.
+  std::size_t scratch_pooled() const { return arena_.pooled(); }
 
   const ServeOptions& options() const { return opts_; }
 
@@ -414,9 +436,12 @@ class TensorOpService {
     /// pre-§8 service).
     OpResult result;
     /// kMerge (matrix ops): double partial = plan output promoted +
-    /// delta terms, reduced across shards with ONE cast.  Leased from
-    /// the arena; the reducer releases it.
-    std::vector<double> acc;
+    /// delta terms, reduced across shards with ONE cast.  Held as an
+    /// arena LEASE, not a raw buffer: the partial returns to the pool
+    /// when the ShardRun dies -- including the failure paths (a sibling
+    /// shard threw, the reduce threw) that used to leak the raw vector
+    /// out of the arena.
+    ScratchLease acc;
     double scalar = 0.0;
   };
 
@@ -433,7 +458,12 @@ class TensorOpService {
     /// rows [owned_begin[s], owned_begin[s+1]) and nobody else touches
     /// them (TSan-checked in the race suites).
     DenseMatrix output;
-    std::chrono::steady_clock::time_point dispatched;
+    /// Stamped by the FIRST shard task to reach this item (exchange
+    /// winner); fanout_ms measures from here so pool queue wait ahead
+    /// of the batch is not billed as fan-out.  The stamp publishes to
+    /// the finisher through the `remaining` release chain.
+    std::atomic<bool> started{false};
+    std::chrono::steady_clock::time_point first_start;
     std::vector<ShardRun> runs;  ///< one slot per shard
     std::atomic<std::size_t> remaining{0};
     std::atomic<bool> failed{false};

@@ -1,0 +1,141 @@
+#include "trace/trace.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/convert.hpp"
+#include "net/wire.hpp"
+#include "util/error.hpp"
+
+namespace bcsf::trace {
+
+std::vector<std::uint8_t> encode_trace_header() {
+  net::WireWriter w;
+  for (char c : kTraceMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u32(kTraceVersion);
+  return w.take();
+}
+
+void check_trace_header(const net::Frame& frame) {
+  if (frame.type != net::MsgType::kTraceHeader) {
+    throw net::ProtocolError("trace: file does not start with a trace header");
+  }
+  net::WireReader r(frame.payload);
+  for (char c : kTraceMagic) {
+    if (r.u8() != static_cast<std::uint8_t>(c)) {
+      throw net::ProtocolError("trace: bad magic (not a tensord trace)");
+    }
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kTraceVersion) {
+    throw net::ProtocolError("trace: format version " +
+                             std::to_string(version) + " unsupported (want " +
+                             std::to_string(kTraceVersion) + ")");
+  }
+  r.expect_done("trace header");
+}
+
+TraceRecorder::TraceRecorder(const std::string& path) : path_(path) {
+  fd_ = net::FdHandle(
+      ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644));
+  if (!fd_.valid()) {
+    throw net::NetError("trace: cannot open '" + path +
+                        "' for writing: " + std::strerror(errno));
+  }
+  const std::vector<std::uint8_t> header = encode_trace_header();
+  net::write_frame(fd_.get(), net::MsgType::kTraceHeader, header);
+}
+
+void TraceRecorder::record(net::MsgType type,
+                           std::span<const std::uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  net::write_frame(fd_.get(), type, payload);
+}
+
+TraceReader::TraceReader(const std::string& path) {
+  fd_ = net::FdHandle(::open(path.c_str(), O_RDONLY));
+  if (!fd_.valid()) {
+    throw net::NetError("trace: cannot open '" + path +
+                        "': " + std::strerror(errno));
+  }
+  net::Frame header;
+  if (!net::read_frame(fd_.get(), header)) {
+    throw net::ProtocolError("trace: empty file '" + path + "'");
+  }
+  check_trace_header(header);
+}
+
+bool TraceReader::next(net::Frame& out) {
+  return net::read_frame(fd_.get(), out);
+}
+
+ReplayResult replay_trace(TensorOpService& service, TraceReader& reader) {
+  ReplayResult result;
+  net::Frame frame;
+  while (reader.next(frame)) {
+    std::vector<std::uint8_t> reply;
+    net::MsgType reply_type = net::MsgType::kAck;
+    const std::uint64_t id = net::peek_id(frame.payload);
+    switch (frame.type) {
+      case net::MsgType::kRegister: {
+        ++result.events;
+        try {
+          net::RegisterMsg msg = net::decode_register(frame.payload);
+          service.register_tensor(msg.name,
+                                  share_tensor(std::move(msg.tensor)));
+          reply = net::encode_ack({msg.id, 0});
+        } catch (const Error& e) {
+          reply_type = net::MsgType::kError;
+          reply = net::encode_error({id, e.what()});
+        }
+        break;
+      }
+      case net::MsgType::kUpdate: {
+        ++result.events;
+        try {
+          net::UpdateMsg msg = net::decode_update(frame.payload);
+          const std::uint64_t version =
+              service.apply_updates(msg.name, std::move(msg.updates));
+          reply = net::encode_ack({msg.id, version});
+        } catch (const Error& e) {
+          reply_type = net::MsgType::kError;
+          reply = net::encode_error({id, e.what()});
+        }
+        break;
+      }
+      case net::MsgType::kQuery: {
+        ++result.events;
+        try {
+          net::QueryMsg msg = net::decode_query(frame.payload);
+          const std::uint64_t query_id = msg.id;
+          const ServeResponse response =
+              service.submit(net::to_request(std::move(msg))).get();
+          reply_type = net::MsgType::kResult;
+          reply = net::encode_result(net::to_result(query_id, response));
+        } catch (const Error& e) {
+          reply_type = net::MsgType::kError;
+          reply = net::encode_error({id, e.what()});
+        }
+        break;
+      }
+      default:
+        // Recorded responses, pings, shutdowns: not service events.
+        ++result.skipped;
+        continue;
+    }
+    // The determinism barrier: background upgrades/compactions kicked by
+    // THIS event finish before the next one is applied, so their effects
+    // (served_format, upgraded, delta_nnz after compaction) appear at
+    // the same event index on every replay.
+    service.wait_idle();
+    net::append_frame(result.log, reply_type, reply);
+  }
+  return result;
+}
+
+}  // namespace bcsf::trace

@@ -1,0 +1,93 @@
+// Record/replay for the tensord front-end (DESIGN.md §9), modeled on the
+// sairedis Recorder: every request that mutates or queries the service --
+// register, update, query -- is appended to a trace file as the EXACT
+// frame that crossed the wire, so a production workload can be replayed
+// later against a fresh service, deterministically, for debugging and
+// regression gating.
+//
+// Trace file layout: one kTraceHeader frame (magic + format version),
+// then the recorded frames in arrival order.  Responses are recorded too
+// (kAck/kResult/kError) -- the replayer skips them, but a human or a diff
+// tool reading the trace sees the full dialogue.
+//
+// Determinism contract: replay_trace() drives the service one event at a
+// time and waits for it to go fully IDLE between events, so background
+// format upgrades and shard compactions land at the same event index on
+// every replay.  The response log it returns -- a concatenation of
+// response frames restricted to the DETERMINISTIC ResultMsg fields -- is
+// therefore byte-identical across replays of the same trace (the CI
+// replay gate cmp(1)s two of them).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "serve/tensor_op_service.hpp"
+
+namespace bcsf::trace {
+
+/// Format version stamped into the kTraceHeader frame.  Bump when the
+/// wire encoding of any recorded frame changes.
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// 8-byte magic leading the kTraceHeader payload.
+inline constexpr char kTraceMagic[8] = {'B', 'C', 'S', 'F',
+                                        'T', 'R', 'C', '\n'};
+
+/// Appends frames to a trace file.  Thread-safe: the server's reader and
+/// writer threads record interleaved request/response frames under one
+/// mutex, so every frame lands whole.
+class TraceRecorder {
+ public:
+  /// Creates/truncates `path` and writes the header frame.  Throws
+  /// NetError if the file cannot be opened.
+  explicit TraceRecorder(const std::string& path);
+
+  void record(net::MsgType type, std::span<const std::uint8_t> payload);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::mutex mutex_;
+  net::FdHandle fd_;
+};
+
+/// Sequential reader over a trace file; validates the header frame on
+/// construction (ProtocolError on a bad magic/version).
+class TraceReader {
+ public:
+  explicit TraceReader(const std::string& path);
+
+  /// Reads the next recorded frame.  False at end of trace; throws
+  /// ProtocolError on a truncated file.
+  bool next(net::Frame& out);
+
+ private:
+  net::FdHandle fd_;
+};
+
+struct ReplayResult {
+  /// Concatenated deterministic response frames, one per replayed
+  /// request -- the byte-comparable artifact of the replay gate.
+  std::vector<std::uint8_t> log;
+  std::size_t events = 0;   ///< request frames replayed
+  std::size_t skipped = 0;  ///< recorded responses (and kPing) ignored
+};
+
+/// Strict in-process replay: applies every request frame of `reader` to
+/// `service` in trace order, draining the service to idle after EACH
+/// event (see the determinism contract above).  Request failures become
+/// kError frames in the log -- they replay deterministically too.
+ReplayResult replay_trace(TensorOpService& service, TraceReader& reader);
+
+/// The kTraceHeader payload (magic + version).
+std::vector<std::uint8_t> encode_trace_header();
+/// Validates a kTraceHeader payload; throws ProtocolError on mismatch.
+void check_trace_header(const net::Frame& frame);
+
+}  // namespace bcsf::trace

@@ -33,7 +33,9 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     // Accepted tasks still run: workers only exit once every queue is
@@ -41,7 +43,17 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   work_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  // Concurrent shutdown() callers both reach here; joins are serialized
+  // and re-joining an already-joined worker is skipped.
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool ThreadPool::stopping() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return stop_;
 }
 
 std::size_t ThreadPool::total_queued() const {

@@ -38,8 +38,20 @@ class ThreadPool {
 
   /// Drains nothing: pending tasks still in the queues are executed
   /// before the workers join (a service being destroyed must not drop
-  /// accepted requests on the floor).
+  /// accepted requests on the floor).  Equivalent to shutdown().
   ~ThreadPool();
+
+  /// Explicit graceful stop, callable before destruction (the serving
+  /// layer's drain hook, DESIGN.md §9): refuses new submissions
+  /// (try_submit returns false, submit throws), executes every ACCEPTED
+  /// task, then joins the workers.  Idempotent and safe to race from
+  /// multiple threads; must not be called from a worker of this pool
+  /// (a task cannot join its own thread).
+  void shutdown();
+
+  /// True once shutdown began (destructor or shutdown()): submissions
+  /// are being refused and queued work is draining.
+  bool stopping() const;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -102,6 +114,7 @@ class ThreadPool {
   std::uint64_t steals_ = 0;
   std::size_t active_ = 0;  // tasks currently executing
   bool stop_ = false;
+  std::mutex join_mutex_;  // serializes concurrent shutdown() joiners
   std::vector<std::thread> workers_;
 };
 

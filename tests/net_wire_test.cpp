@@ -1,0 +1,270 @@
+// Codec tests for the tensord wire protocol (net/frame.hpp +
+// net/wire.hpp, DESIGN.md §9): every message round-trips bit-exactly,
+// and every malformed payload -- truncation, forged counts, unknown op
+// tags, trailing bytes, out-of-range tensor metadata -- is rejected
+// with ProtocolError instead of reading out of bounds or allocating
+// unbounded memory.  The server-side consequences of these errors
+// (dropped vs kept connections) are covered in tensord_server_test.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/wire.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace bcsf::net {
+namespace {
+
+SparseTensor small_tensor() {
+  SparseTensor t({4, 3, 2});
+  const index_t a[] = {0, 0, 0};
+  const index_t b[] = {3, 2, 1};
+  const index_t c[] = {1, 1, 0};
+  t.push_back(a, 1.5F);
+  t.push_back(b, -2.0F);
+  t.push_back(c, 0.25F);
+  return t;
+}
+
+DenseMatrix small_matrix(index_t rows, rank_t cols, float scale) {
+  DenseMatrix m(rows, cols);
+  auto data = m.data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = scale * static_cast<float>(i);
+  }
+  return m;
+}
+
+bool same_matrix(const DenseMatrix& a, const DenseMatrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(value_t)) == 0;
+}
+
+bool same_tensor(const SparseTensor& a, const SparseTensor& b) {
+  if (a.dims() != b.dims() || a.nnz() != b.nnz()) return false;
+  for (offset_t z = 0; z < a.nnz(); ++z) {
+    if (a.value(z) != b.value(z)) return false;
+    for (index_t m = 0; m < a.order(); ++m) {
+      if (a.coord(m, z) != b.coord(m, z)) return false;
+    }
+  }
+  return true;
+}
+
+QueryMsg sample_query(bool with_lambda) {
+  QueryMsg msg;
+  msg.id = 77;
+  msg.tensor = "demo";
+  msg.mode = 1;
+  msg.op = OpKind::kMttkrp;
+  msg.factors.push_back(small_matrix(4, 2, 0.5F));
+  msg.factors.push_back(small_matrix(3, 2, -1.0F));
+  msg.factors.push_back(small_matrix(2, 2, 2.0F));
+  if (with_lambda) {
+    msg.has_lambda = true;
+    msg.lambda = {1.0F, 0.5F};
+  }
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+TEST(Wire, RegisterRoundTrip) {
+  RegisterMsg msg;
+  msg.id = 42;
+  msg.name = "bench";
+  msg.tensor = small_tensor();
+  const RegisterMsg got = decode_register(encode_register(msg));
+  EXPECT_EQ(got.id, 42u);
+  EXPECT_EQ(got.name, "bench");
+  EXPECT_TRUE(same_tensor(got.tensor, msg.tensor));
+}
+
+TEST(Wire, UpdateRoundTrip) {
+  UpdateMsg msg;
+  msg.id = 7;
+  msg.name = "bench";
+  msg.updates = small_tensor();
+  const UpdateMsg got = decode_update(encode_update(msg));
+  EXPECT_EQ(got.id, 7u);
+  EXPECT_EQ(got.name, "bench");
+  EXPECT_TRUE(same_tensor(got.updates, msg.updates));
+}
+
+TEST(Wire, QueryRoundTripWithAndWithoutLambda) {
+  for (const bool with_lambda : {false, true}) {
+    SCOPED_TRACE(with_lambda);
+    const QueryMsg msg = sample_query(with_lambda);
+    const QueryMsg got = decode_query(encode_query(msg));
+    EXPECT_EQ(got.id, msg.id);
+    EXPECT_EQ(got.tensor, msg.tensor);
+    EXPECT_EQ(got.mode, msg.mode);
+    EXPECT_EQ(got.op, msg.op);
+    ASSERT_EQ(got.factors.size(), msg.factors.size());
+    for (std::size_t i = 0; i < msg.factors.size(); ++i) {
+      EXPECT_TRUE(same_matrix(got.factors[i], msg.factors[i])) << i;
+    }
+    EXPECT_EQ(got.has_lambda, with_lambda);
+    EXPECT_EQ(got.lambda, msg.lambda);
+  }
+}
+
+TEST(Wire, AckResultErrorRoundTrip) {
+  const AckMsg ack = decode_ack(encode_ack({9, 3}));
+  EXPECT_EQ(ack.id, 9u);
+  EXPECT_EQ(ack.version, 3u);
+
+  ResultMsg res;
+  res.id = 11;
+  res.op = OpKind::kFit;
+  res.output = small_matrix(3, 2, 1.0F);
+  res.scalar = 2.5;
+  res.sequence = 4;
+  res.snapshot_version = 6;
+  res.delta_nnz = 12;
+  res.shards = 2;
+  res.served_format = "bcsf";
+  res.upgraded = true;
+  const ResultMsg got = decode_result(encode_result(res));
+  EXPECT_EQ(got.id, 11u);
+  EXPECT_EQ(got.op, OpKind::kFit);
+  EXPECT_TRUE(same_matrix(got.output, res.output));
+  EXPECT_EQ(got.scalar, 2.5);
+  EXPECT_EQ(got.sequence, 4u);
+  EXPECT_EQ(got.snapshot_version, 6u);
+  EXPECT_EQ(got.delta_nnz, 12u);
+  EXPECT_EQ(got.shards, 2u);
+  EXPECT_EQ(got.served_format, "bcsf");
+  EXPECT_TRUE(got.upgraded);
+
+  const ErrorMsg err = decode_error(encode_error({5, "boom"}));
+  EXPECT_EQ(err.id, 5u);
+  EXPECT_EQ(err.message, "boom");
+}
+
+TEST(Wire, IdHelpers) {
+  const auto bytes = encode_id(0xDEADBEEFull);
+  EXPECT_EQ(decode_id(bytes), 0xDEADBEEFull);
+  EXPECT_EQ(peek_id(bytes), 0xDEADBEEFull);
+  // peek_id never throws: short payloads read as id 0.
+  const std::vector<std::uint8_t> shorty{1, 2, 3};
+  EXPECT_EQ(peek_id(shorty), 0u);
+}
+
+TEST(Wire, KnownMsgTypeCoversTheEnum) {
+  for (const MsgType t :
+       {MsgType::kRegister, MsgType::kUpdate, MsgType::kQuery,
+        MsgType::kShutdown, MsgType::kPing, MsgType::kAck, MsgType::kResult,
+        MsgType::kError, MsgType::kOverloaded, MsgType::kTraceHeader}) {
+    EXPECT_TRUE(known_msg_type(static_cast<std::uint8_t>(t)));
+  }
+  EXPECT_FALSE(known_msg_type(0));
+  EXPECT_FALSE(known_msg_type(99));
+  EXPECT_FALSE(known_msg_type(255));
+}
+
+TEST(Wire, AppendFrameLayout) {
+  std::vector<std::uint8_t> buf;
+  const std::vector<std::uint8_t> payload{0xAA, 0xBB};
+  append_frame(buf, MsgType::kPing, payload);
+  ASSERT_EQ(buf.size(), 4u + 1u + 2u);
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf.data(), sizeof(len));  // little-endian length
+  EXPECT_EQ(len, 2u);
+  EXPECT_EQ(buf[4], static_cast<std::uint8_t>(MsgType::kPing));
+  EXPECT_EQ(buf[5], 0xAA);
+  EXPECT_EQ(buf[6], 0xBB);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed payloads
+// ---------------------------------------------------------------------------
+
+TEST(Wire, TruncationAtEveryPrefixThrowsProtocolError) {
+  // Chopping a valid query payload at ANY earlier length must throw, not
+  // read out of bounds (ASan/UBSan verify the "not" part).
+  const auto full = encode_query(sample_query(true));
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                          full.size() / 4, full.size() / 2, full.size() - 1}) {
+    SCOPED_TRACE(len);
+    const std::vector<std::uint8_t> cut(full.begin(),
+                                        full.begin() + static_cast<long>(len));
+    EXPECT_THROW(decode_query(cut), ProtocolError);
+  }
+}
+
+TEST(Wire, TrailingBytesThrowProtocolError) {
+  auto bytes = encode_ack({1, 2});
+  bytes.push_back(0x00);
+  EXPECT_THROW(decode_ack(bytes), ProtocolError);
+}
+
+TEST(Wire, UnknownOpTagThrowsProtocolError) {
+  auto bytes = encode_query(sample_query(false));
+  // The op tag sits after the u64 id and the 4-byte-length + 4-char name.
+  const std::size_t op_at = 8 + 4 + 4 + 4;
+  ASSERT_LT(op_at, bytes.size());
+  bytes[op_at] = 0x7F;
+  EXPECT_THROW(decode_query(bytes), ProtocolError);
+}
+
+TEST(Wire, ForgedTensorNnzThrowsInsteadOfAllocating) {
+  RegisterMsg msg;
+  msg.id = 1;
+  msg.name = "x";
+  msg.tensor = small_tensor();
+  auto bytes = encode_register(msg);
+  // nnz is the u64 right after id, name, order, and the 3 dims.
+  const std::size_t nnz_at = 8 + 4 + 1 + 4 + 3 * 4;
+  const std::uint64_t forged = 1ull << 40;
+  std::memcpy(bytes.data() + nnz_at, &forged, sizeof(forged));
+  EXPECT_THROW(decode_register(bytes), ProtocolError);
+}
+
+TEST(Wire, ForgedMatrixDimsThrowInsteadOfAllocating) {
+  QueryMsg msg = sample_query(false);
+  auto bytes = encode_query(msg);
+  // First factor's rows field: id, name, mode, op, factor count, then u32.
+  const std::size_t rows_at = 8 + 4 + 4 + 4 + 1 + 4;
+  const std::uint32_t forged = 0x40000000u;
+  std::memcpy(bytes.data() + rows_at, &forged, sizeof(forged));
+  EXPECT_THROW(decode_query(bytes), ProtocolError);
+}
+
+TEST(Wire, TensorMetadataRangeChecks) {
+  WireWriter w;
+  w.u64(1);        // id
+  w.str("x");      // name
+  w.u32(0);        // order 0: out of [1, 16]
+  EXPECT_THROW(decode_register(w.take()), ProtocolError);
+
+  WireWriter w2;
+  w2.u64(1);
+  w2.str("x");
+  w2.u32(2);  // order
+  w2.u32(4);
+  w2.u32(0);  // zero dim
+  EXPECT_THROW(decode_register(w2.take()), ProtocolError);
+
+  // Coordinate out of its dim: 1 nonzero at (5, 0) in a 4x3 tensor.
+  WireWriter w3;
+  w3.u64(1);
+  w3.str("x");
+  w3.u32(2);
+  w3.u32(4);
+  w3.u32(3);
+  w3.u64(1);
+  w3.u32(5);      // mode-0 index array
+  w3.u32(0);      // mode-1 index array
+  w3.f32(1.0F);   // values
+  EXPECT_THROW(decode_register(w3.take()), ProtocolError);
+}
+
+}  // namespace
+}  // namespace bcsf::net

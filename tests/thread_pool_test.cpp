@@ -105,6 +105,46 @@ TEST(ThreadPool, SubmitDuringShutdownThrowsAndTrySubmitRefuses) {
       << "accepted tasks may not be dropped by shutdown";
 }
 
+// The explicit drain hook the serving layer's shutdown path uses
+// (DESIGN.md §9): shutdown() before destruction, observable via
+// stopping(), draining every accepted task exactly like the destructor.
+TEST(ThreadPool, ShutdownIsIdempotentAndObservable) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.stopping());
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ran.fetch_add(1);
+    });
+  }
+  pool.shutdown();
+  EXPECT_TRUE(pool.stopping());
+  EXPECT_EQ(ran.load(), 32) << "shutdown() must drain accepted tasks";
+  EXPECT_FALSE(pool.try_submit([] {}));
+  EXPECT_THROW(pool.submit([] {}), Error);
+  pool.shutdown();  // idempotent; the destructor will be the third call
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ConcurrentShutdownCallsAreSafe) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ran.fetch_add(1);
+    });
+  }
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&pool] { pool.shutdown(); });
+  }
+  for (auto& t : stoppers) t.join();
+  EXPECT_TRUE(pool.stopping());
+  EXPECT_EQ(ran.load(), 32) << "racing shutdowns may not drop tasks";
+}
+
 TEST(ThreadPool, DestructorDrainsQueuedTasks) {
   std::atomic<int> ran{0};
   {

@@ -1,0 +1,91 @@
+// tensord: the B-CSF serving stack as a daemon (DESIGN.md §9).
+//
+// Wraps one TensorOpService behind the framed socket protocol of net/ --
+// a unix-domain socket always, TCP on loopback when asked -- with
+// admission control, graceful drain on shutdown, and optional trace
+// recording for later replay (tools/trace_replay).
+//
+//   tensord --unix=/tmp/tensord.sock [--tcp=0] [--workers=4] [--shards=1]
+//           [--record=serve.trace] [--max-in-flight=256] [--watermark=0]
+//           [--deterministic]
+//
+// --deterministic pins the pool to ONE worker, which makes the service's
+// background work (format upgrades, shard compactions) drain in FIFO
+// order between sequentially-issued requests -- the property the
+// deterministic-replay gate relies on.  The server exits after a client
+// sends kShutdown (or on SIGTERM via normal process teardown).
+#include <cstdlib>
+#include <iostream>
+
+#include "net/server.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+void usage(const char* prog) {
+  std::cout
+      << "usage: " << prog << " --unix=PATH [options]\n"
+      << "  --unix=PATH          unix-domain socket to listen on (required)\n"
+      << "  --tcp=PORT           also listen on 127.0.0.1:PORT (0 = ephemeral)\n"
+      << "  --workers=N          service worker threads (default 4)\n"
+      << "  --shards=K           shards per tensor (0 = auto, default 1)\n"
+      << "  --initial-format=F   zero-preprocessing serving format (coo)\n"
+      << "  --upgrade-format=F   structured upgrade target (auto)\n"
+      << "  --upgrade-threshold=N  calls before upgrading (0 = policy)\n"
+      << "  --max-in-flight=N    admission cap on outstanding queries (256)\n"
+      << "  --watermark=N        reject when worker queue deeper (0 = 4*W)\n"
+      << "  --record=PATH        record all traffic to a replayable trace\n"
+      << "  --deterministic      one worker; FIFO background work (replay)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    bcsf::CliParser cli(argc, argv);
+    if (cli.has("help")) {
+      usage(cli.program().c_str());
+      return EXIT_SUCCESS;
+    }
+
+    bcsf::net::ServerOptions opts;
+    opts.unix_path = cli.get_string("unix", "");
+    if (opts.unix_path.empty()) {
+      usage(cli.program().c_str());
+      return EXIT_FAILURE;
+    }
+    opts.tcp_port = static_cast<int>(cli.get_int("tcp", -1));
+    opts.record_path = cli.get_string("record", "");
+    opts.max_in_flight =
+        static_cast<std::size_t>(cli.get_int("max-in-flight", 256));
+    opts.queue_watermark =
+        static_cast<std::size_t>(cli.get_int("watermark", 0));
+    opts.serve.workers = static_cast<unsigned>(cli.get_int("workers", 4));
+    opts.serve.shards = static_cast<unsigned>(cli.get_int("shards", 1));
+    opts.serve.initial_format = cli.get_string("initial-format", "coo");
+    opts.serve.upgrade_format = cli.get_string("upgrade-format", "auto");
+    opts.serve.upgrade_threshold = cli.get_double("upgrade-threshold", 0.0);
+    if (cli.get_bool("deterministic", false)) opts.serve.workers = 1;
+
+    bcsf::net::TensorServer server(std::move(opts));
+    std::cout << "tensord: listening on " << server.unix_path();
+    if (server.tcp_port() >= 0) {
+      std::cout << " and 127.0.0.1:" << server.tcp_port();
+    }
+    std::cout << std::endl;  // flush: launch scripts wait for this line
+
+    server.wait();  // until a client's kShutdown
+    server.stop();
+
+    const auto stats = server.stats();
+    std::cout << "tensord: served " << stats.requests << " requests on "
+              << stats.connections << " connections (" << stats.rejected
+              << " rejected, " << stats.protocol_errors
+              << " protocol errors)\n";
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    std::cerr << "tensord: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}

@@ -1,0 +1,166 @@
+// trace_replay: replays a tensord trace (DESIGN.md §9) and emits the
+// deterministic response log the replay gate compares byte for byte.
+//
+// Two modes:
+//
+//   in-process (default)   Builds its own TensorOpService and applies
+//                          each recorded request directly, draining the
+//                          service to idle between events (strict
+//                          replay; see trace/trace.hpp).
+//   --socket=PATH          Drives a RUNNING tensord over its unix socket
+//                          instead, one request at a time.  Run that
+//                          server with --deterministic for byte-stable
+//                          logs.
+//
+// Either way the response log normalizes ids to the TRACE's original
+// request ids, so in-process and socket replays of the same trace are
+// directly comparable.
+//
+//   trace_replay --trace=serve.trace --out=replay.bin [--socket=PATH]
+//                [--shutdown] [--workers=N --shards=K ...]
+//
+// --shutdown (socket mode) sends kShutdown after the replay so a tensord
+// launched just for the replay exits -- the CI gate's cleanup.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/convert.hpp"
+#include "net/wire.hpp"
+#include "serve/tensor_op_service.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  BCSF_CHECK(f != nullptr, "trace_replay: cannot open '" << path << "'");
+  const std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  BCSF_CHECK(n == bytes.size(), "trace_replay: short write to '" << path
+                                                                 << "'");
+}
+
+/// Socket-mode replay: each recorded request becomes one synchronous
+/// client call; responses land in the log under the trace's original id.
+bcsf::trace::ReplayResult replay_over_socket(const std::string& socket_path,
+                                             bcsf::trace::TraceReader& reader,
+                                             bool shutdown_after) {
+  using namespace bcsf;
+  trace::ReplayResult result;
+  net::TensorClient client(socket_path);
+  net::Frame frame;
+  while (reader.next(frame)) {
+    const std::uint64_t orig_id = net::peek_id(frame.payload);
+    std::vector<std::uint8_t> reply;
+    net::MsgType reply_type = net::MsgType::kAck;
+    switch (frame.type) {
+      case net::MsgType::kRegister: {
+        ++result.events;
+        try {
+          net::RegisterMsg msg = net::decode_register(frame.payload);
+          client.register_tensor(msg.name, msg.tensor);
+          reply = net::encode_ack({orig_id, 0});
+        } catch (const Error& e) {
+          reply_type = net::MsgType::kError;
+          reply = net::encode_error({orig_id, e.what()});
+        }
+        break;
+      }
+      case net::MsgType::kUpdate: {
+        ++result.events;
+        try {
+          net::UpdateMsg msg = net::decode_update(frame.payload);
+          const std::uint64_t version =
+              client.apply_updates(msg.name, msg.updates);
+          reply = net::encode_ack({orig_id, version});
+        } catch (const Error& e) {
+          reply_type = net::MsgType::kError;
+          reply = net::encode_error({orig_id, e.what()});
+        }
+        break;
+      }
+      case net::MsgType::kQuery: {
+        ++result.events;
+        try {
+          net::QueryMsg msg = net::decode_query(frame.payload);
+          net::ResultMsg res = client.query(std::move(msg));
+          res.id = orig_id;  // normalize: client ids are its own counter
+          reply_type = net::MsgType::kResult;
+          reply = net::encode_result(res);
+        } catch (const Error& e) {
+          reply_type = net::MsgType::kError;
+          reply = net::encode_error({orig_id, e.what()});
+        }
+        break;
+      }
+      default:
+        ++result.skipped;  // recorded responses / pings / shutdowns
+        continue;
+    }
+    net::append_frame(result.log, reply_type, reply);
+  }
+  if (shutdown_after) client.shutdown_server();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    bcsf::CliParser cli(argc, argv);
+    const std::string trace_path = cli.get_string("trace", "");
+    if (trace_path.empty()) {
+      std::cout << "usage: " << cli.program()
+                << " --trace=PATH [--out=PATH] [--socket=PATH]\n"
+                << "       [--workers=N --shards=K --initial-format=F"
+                << " --upgrade-format=F]\n";
+      return EXIT_FAILURE;
+    }
+
+    bcsf::trace::TraceReader reader(trace_path);
+    bcsf::trace::ReplayResult result;
+    const std::string socket_path = cli.get_string("socket", "");
+    if (!socket_path.empty()) {
+      result = replay_over_socket(socket_path, reader,
+                                  cli.get_bool("shutdown", false));
+    } else {
+      bcsf::ServeOptions opts;
+      opts.workers = static_cast<unsigned>(cli.get_int("workers", 4));
+      opts.shards = static_cast<unsigned>(cli.get_int("shards", 1));
+      opts.initial_format = cli.get_string("initial-format", "coo");
+      opts.upgrade_format = cli.get_string("upgrade-format", "auto");
+      opts.upgrade_threshold = cli.get_double("upgrade-threshold", 0.0);
+      bcsf::TensorOpService service(opts);
+      result = bcsf::trace::replay_trace(service, reader);
+    }
+
+    const std::string out_path = cli.get_string("out", "");
+    if (!out_path.empty()) write_file(out_path, result.log);
+
+    std::cout << "trace_replay: " << result.events << " events, "
+              << result.skipped << " recorded responses skipped, log "
+              << result.log.size() << " bytes, fnv1a 0x" << std::hex
+              << fnv1a(result.log) << std::dec << "\n";
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    std::cerr << "trace_replay: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
