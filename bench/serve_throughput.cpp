@@ -46,31 +46,51 @@
 // (shards, workers) service and reports the same table -- a recorded
 // production workload becomes a repeatable benchmark input.
 //
+// Multi-tenant fleet mode (DESIGN.md §10): --tenants=N registers N
+// tensors of harmonically decreasing nnz (tenant 0 largest) and drives a
+// Zipf(--zipf=S) request stream across them -- hot tenants are also the
+// big ones, so structured-plan storage concentrates where the traffic
+// is.  Every (shards, workers) config runs TWICE over the identical
+// request sequence: once unbounded (to measure the resident peak), once
+// with --budget (either absolute bytes or "NN%" of that measured peak).
+// Tenant workloads use EXACT-GRID values (tensor values in {1..3} step
+// 0.5, factors multiples of 0.25 in [-1, 1]), which keeps every kernel
+// sum exactly representable -- so the budgeted pass, with its
+// evictions and COO fallbacks, must produce BITWISE the same responses
+// as the unbounded pass (the budget_match column / CI gate).  Rows add
+// resident-bytes accounting, the structured-plan hit rate, and the
+// eviction count.  Tenant mode is query-only and excludes
+// --record/--trace.
+//
 // --json <path> additionally writes the machine-readable result record
 // described by bench/schema/BENCH_serve.schema.json (the perf-trajectory
-// format, BENCH_serve/v5; BENCH_serve.json at the repo root is a
+// format, BENCH_serve/v6; BENCH_serve.json at the repo root is a
 // committed baseline).
 //
 //   ./serve_throughput [--requests=N] [--batch=N] [--nnz=N] [--rank=R]
 //                      [--threads=1,2,4,8] [--shards=1,4] [--threshold=N]
 //                      [--format=bcsf] [--op-mix=4:2:1] [--update-every=N]
 //                      [--update-nnz=N] [--json=path] [--record=path]
-//                      [--trace=path]
+//                      [--trace=path] [--tenants=N] [--zipf=S]
+//                      [--budget=BYTES|NN%]
 #include "bench_util.hpp"
 #include "net/convert.hpp"
 #include "net/wire.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 #include <array>
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <random>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
 
 namespace {
@@ -121,6 +141,20 @@ struct RunRow {
   /// stay comparable.
   std::uint64_t rejected = 0;
   int completed = 0;  ///< requests actually served (trace runs vary)
+  // --- storage-budget accounting (BENCH_serve/v6, DESIGN.md §10) ---
+  int tenants = 0;                        ///< 0 = single-tenant mode
+  std::uint64_t budget_bytes = 0;         ///< 0 = unbounded pass
+  std::uint64_t resident_peak_bytes = 0;  ///< peak structured-plan bytes
+  std::uint64_t resident_final_bytes = 0; ///< plan + delta bytes at drain
+  /// Fraction of queries served by a structured plan (vs COO fallback).
+  double plan_hit_rate = 0.0;
+  std::uint64_t evictions = 0;
+  /// True iff resident bytes never exceeded the budget at any wave
+  /// boundary (vacuously true for unbounded rows).
+  bool under_budget = true;
+  /// True iff every response of the budgeted pass was BITWISE equal to
+  /// the unbounded pass (vacuously true for unbounded rows).
+  bool budget_match = true;
   std::vector<ShardTiming> shard_timings;
   OpStats ops[3];  // indexed by OpKind
 };
@@ -170,6 +204,65 @@ std::vector<unsigned> parse_unsigned_list(const std::string& spec) {
   return out;
 }
 
+/// --budget spec: "NN%" = fraction of the measured unbounded peak,
+/// otherwise absolute bytes with an optional K/M/G binary suffix.
+struct BudgetSpec {
+  double fraction = -1.0;  ///< >= 0 when the spec was a percentage
+  std::size_t bytes = 0;
+};
+
+BudgetSpec parse_budget(const std::string& spec) {
+  BudgetSpec out;
+  if (spec.empty()) return out;
+  try {
+    std::size_t end = 0;
+    const unsigned long long value = std::stoull(spec, &end);
+    if (end < spec.size() && spec[end] == '%' && end + 1 == spec.size()) {
+      out.fraction = static_cast<double>(value) / 100.0;
+      return out;
+    }
+    std::size_t shift = 0;
+    if (end < spec.size()) {
+      if (end + 1 != spec.size()) throw std::invalid_argument(spec);
+      switch (spec[end]) {
+        case 'k': case 'K': shift = 10; break;
+        case 'm': case 'M': shift = 20; break;
+        case 'g': case 'G': shift = 30; break;
+        default: throw std::invalid_argument(spec);
+      }
+    }
+    out.bytes = static_cast<std::size_t>(value) << shift;
+    return out;
+  } catch (const std::exception&) {
+    std::cerr << "bad --budget '" << spec
+              << "': expected BYTES[K|M|G] or NN%\n";
+    std::exit(1);
+  }
+}
+
+/// FNV-1a over a response's numeric payload -- the bitwise-equality
+/// probe the budgeted pass is compared with.
+std::uint64_t hash_response(const bcsf::ServeResponse& response) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const std::uint8_t*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ull;
+    }
+  };
+  const auto data = response.output.data();
+  mix(data.data(), data.size() * sizeof(bcsf::value_t));
+  mix(&response.scalar, sizeof(response.scalar));
+  return h;
+}
+
+std::string tenant_name(int t) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "t%03d", t);
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -191,8 +284,15 @@ int main(int argc, char** argv) {
   const std::string json_path = cli.get_string("json", "");
   const std::string record_path = cli.get_string("record", "");
   const std::string trace_path = cli.get_string("trace", "");
+  const int tenants = static_cast<int>(cli.get_int("tenants", 0));
+  const double zipf_s = cli.get_double("zipf", 1.1);
+  const std::string budget_spec = cli.get_string("budget", "50%");
   if (!record_path.empty() && !trace_path.empty()) {
     std::cerr << "--record and --trace are mutually exclusive\n";
+    return 1;
+  }
+  if (tenants > 0 && (!record_path.empty() || !trace_path.empty())) {
+    std::cerr << "--tenants excludes --record/--trace\n";
     return 1;
   }
 
@@ -238,6 +338,208 @@ int main(int argc, char** argv) {
 
   std::mt19937 update_rng(4711);
   std::vector<RunRow> rows;
+
+  if (tenants > 0) {
+    // ---- multi-tenant fleet mode (DESIGN.md §10) ----
+    const BudgetSpec budget = parse_budget(budget_spec);
+    // Exact-grid tenant fleet: identical dims (one shared factor set),
+    // harmonically decreasing nnz -- tenant 0 is both the biggest and,
+    // under Zipf, the hottest, so structured storage concentrates where
+    // the traffic is.
+    const std::vector<index_t> tdims = {96, 128, 72};
+    double hsum = 0.0;
+    for (int t = 0; t < tenants; ++t) hsum += 1.0 / (t + 1);
+    std::vector<SparseTensor> fleet;
+    fleet.reserve(static_cast<std::size_t>(tenants));
+    for (int t = 0; t < tenants; ++t) {
+      const auto want = static_cast<offset_t>(std::max(
+          256.0, static_cast<double>(nnz) / ((t + 1) * hsum)));
+      SparseTensor tensor(tdims);
+      std::mt19937 trng(1000 + static_cast<unsigned>(t));
+      std::unordered_set<std::uint64_t> seen;
+      std::vector<index_t> coords(tdims.size());
+      while (tensor.nnz() < want) {
+        std::uint64_t key = 0;
+        for (std::size_t m = 0; m < tdims.size(); ++m) {
+          coords[m] = static_cast<index_t>(trng() % tdims[m]);
+          key = key * tdims[m] + coords[m];
+        }
+        // Exact grid needs unique cells: a structured build may coalesce
+        // duplicate coordinates where the COO sweep would sum them.
+        if (!seen.insert(key).second) continue;
+        tensor.push_back(coords,
+                         1.0F + 0.5F * static_cast<value_t>(trng() % 5));
+      }
+      fleet.push_back(std::move(tensor));
+    }
+    // Shared exact-grid factors: multiples of 0.25 in [-1, 1].  Every
+    // kernel term is then a multiple of 2^-5 with magnitude <= 3, and
+    // every partial sum stays far inside float's exactly-representable
+    // range -- bitwise equality becomes order-independent, which is what
+    // lets the budgeted pass (evictions, COO fallbacks, different
+    // thread interleavings) be compared byte for byte.
+    std::vector<DenseMatrix> tfactor_vec;
+    {
+      std::mt19937 frng(77);
+      for (std::size_t m = 0; m < tdims.size(); ++m) {
+        DenseMatrix f(tdims[m], rank);
+        for (value_t& v : f.data()) {
+          v = 0.25F * (static_cast<value_t>(static_cast<int>(frng() % 9)) -
+                       4.0F);
+        }
+        tfactor_vec.push_back(std::move(f));
+      }
+    }
+    const auto tfactors = std::make_shared<const std::vector<DenseMatrix>>(
+        std::move(tfactor_vec));
+    std::cout << "tenants: " << tenants << ", zipf s = " << zipf_s
+              << ", budget = " << budget_spec << ", per-tenant dims "
+              << fleet[0].shape_string() << ", fleet nnz = " << [&] {
+                   offset_t total = 0;
+                   for (const auto& f : fleet) total += f.nnz();
+                   return total;
+                 }() << "\n\n";
+
+    // One measured pass: the identical Zipf request sequence (fixed
+    // seed) against a fresh service with the given budget.
+    auto run_pass = [&](unsigned shards, unsigned workers,
+                        std::size_t budget_bytes,
+                        std::vector<std::uint64_t>& hashes) {
+      ServeOptions opts;
+      opts.workers = workers;
+      opts.shards = shards;
+      opts.upgrade_format = upgrade;
+      opts.upgrade_threshold = threshold;
+      opts.storage_budget_bytes = budget_bytes;
+      MttkrpService service(opts);
+      for (int t = 0; t < tenants; ++t) {
+        service.register_tensor(tenant_name(t),
+                                share_tensor(SparseTensor(fleet[
+                                    static_cast<std::size_t>(t)])));
+      }
+      RunRow row;
+      row.shards = shards;
+      row.workers = workers;
+      row.tenants = tenants;
+      row.budget_bytes = budget_bytes;
+      Rng zrng(20260807);
+      ZipfSampler zipf(static_cast<index_t>(tenants), zipf_s, zrng);
+      std::vector<double> latencies_ms;
+      latencies_ms.reserve(static_cast<std::size_t>(requests));
+      using clock = std::chrono::steady_clock;
+      Timer timer;
+      for (int issued = 0; issued < requests;) {
+        std::vector<ServeRequest> batch;
+        batch.reserve(static_cast<std::size_t>(batch_size));
+        for (int i = 0; i < batch_size && issued < requests; ++i, ++issued) {
+          ServeRequest request;
+          request.tensor = tenant_name(static_cast<int>(zipf.sample()));
+          request.mode = static_cast<index_t>(issued % tdims.size());
+          request.op = OpKind::kMttkrp;
+          request.factors = tfactors;
+          batch.push_back(std::move(request));
+        }
+        const clock::time_point submitted = clock::now();
+        auto futures = service.submit_batch(std::move(batch));
+        std::vector<std::uint64_t> wave_hashes(futures.size(), 0);
+        std::vector<bool> done(futures.size(), false);
+        std::size_t remaining = futures.size();
+        while (remaining > 0) {
+          for (std::size_t i = 0; i < futures.size(); ++i) {
+            if (done[i] ||
+                futures[i].wait_for(std::chrono::microseconds(50)) !=
+                    std::future_status::ready) {
+              continue;
+            }
+            const double latency = std::chrono::duration<double, std::milli>(
+                                       clock::now() - submitted)
+                                       .count();
+            const ServeResponse response = futures[i].get();
+            done[i] = true;
+            --remaining;
+            (response.upgraded ? row.post_upgrade : row.pre_upgrade)++;
+            latencies_ms.push_back(latency);
+            wave_hashes[i] = hash_response(response);
+          }
+        }
+        // Hashes land in ISSUE order regardless of completion order, so
+        // two passes over the same sequence are directly comparable.
+        hashes.insert(hashes.end(), wave_hashes.begin(), wave_hashes.end());
+        // The budget invariant, sampled at every wave boundary: the
+        // service must never hold more resident bytes than the budget.
+        if (budget_bytes > 0 && service.resident_bytes() > budget_bytes) {
+          row.under_budget = false;
+        }
+      }
+      service.wait_idle();
+      if (budget_bytes > 0 && service.resident_bytes() > budget_bytes) {
+        row.under_budget = false;
+      }
+      const double seconds = timer.seconds();
+      row.completed = static_cast<int>(latencies_ms.size());
+      row.req_per_s = row.completed / seconds;
+      row.wall_ms = seconds * 1e3;
+      row.p50_ms = percentile(latencies_ms, 50.0);
+      row.p99_ms = percentile(latencies_ms, 99.0);
+      row.ops[0].count = row.completed;
+      row.ops[0].p50_ms = row.p50_ms;
+      row.ops[0].p99_ms = row.p99_ms;
+      row.resident_peak_bytes = service.peak_plan_resident_bytes();
+      row.resident_final_bytes = service.resident_bytes();
+      row.evictions = service.eviction_count();
+      std::uint64_t structured = 0;
+      std::uint64_t coo = 0;
+      for (const auto& ts : service.tenant_stats()) {
+        structured += ts.structured_served;
+        coo += ts.coo_served;
+      }
+      row.plan_hit_rate =
+          structured + coo == 0
+              ? 0.0
+              : static_cast<double>(structured) /
+                    static_cast<double>(structured + coo);
+      row.final_format = service.current_format(tenant_name(0), 0);
+      row.final_version = service.snapshot_version(tenant_name(0));
+      return row;
+    };
+
+    Table ttable({"shards", "workers", "budget (KB)", "req/s", "p50 (ms)",
+                  "p99 (ms)", "peak res (KB)", "final res (KB)", "hit rate",
+                  "evictions", "under", "match"});
+    const auto kb = [](std::uint64_t b) {
+      return static_cast<long>(b / 1024);
+    };
+    for (unsigned shards : shard_counts) {
+      for (unsigned workers : thread_counts) {
+        std::vector<std::uint64_t> unbounded_hashes;
+        std::vector<std::uint64_t> budgeted_hashes;
+        RunRow unbounded = run_pass(shards, workers, 0, unbounded_hashes);
+        const std::size_t budget_bytes =
+            budget.fraction >= 0.0
+                ? std::max<std::size_t>(
+                      1, static_cast<std::size_t>(
+                             budget.fraction *
+                             static_cast<double>(
+                                 unbounded.resident_peak_bytes)))
+                : budget.bytes;
+        RunRow budgeted =
+            run_pass(shards, workers, budget_bytes, budgeted_hashes);
+        budgeted.budget_match = budgeted_hashes == unbounded_hashes;
+        for (const RunRow* r : {&unbounded, &budgeted}) {
+          ttable.row(r->shards, r->workers, kb(r->budget_bytes),
+                     static_cast<long>(r->req_per_s), r->p50_ms, r->p99_ms,
+                     kb(r->resident_peak_bytes),
+                     kb(r->resident_final_bytes), r->plan_hit_rate,
+                     static_cast<long>(r->evictions),
+                     r->under_budget ? "yes" : "NO",
+                     r->budget_match ? "yes" : "NO");
+        }
+        rows.push_back(unbounded);
+        rows.push_back(budgeted);
+      }
+    }
+    ttable.print();
+  } else {
   Table table({"shards", "workers", "req/s", "wall (ms)", "p50 (ms)",
                "p99 (ms)", "fanout (ms)", "reduce (ms)", "path",
                "t->struct (ms)", "pre-upgrade", "post-upgrade",
@@ -425,6 +727,24 @@ int main(int argc, char** argv) {
               ShardTiming{status.build_seconds, status.upgraded});
         }
       }
+      // v6 storage accounting -- meaningful even without a budget (the
+      // unbounded columns of the single-tenant rows).
+      row.resident_peak_bytes = service.peak_plan_resident_bytes();
+      row.resident_final_bytes = service.resident_bytes();
+      row.evictions = service.eviction_count();
+      {
+        std::uint64_t structured = 0;
+        std::uint64_t coo = 0;
+        for (const auto& ts : service.tenant_stats()) {
+          structured += ts.structured_served;
+          coo += ts.coo_served;
+        }
+        row.plan_hit_rate =
+            structured + coo == 0
+                ? 0.0
+                : static_cast<double>(structured) /
+                      static_cast<double>(structured + coo);
+      }
       recording = false;  // --record captures the first run only
       for (int op = 0; op < 3; ++op) {
         row.ops[op].count = static_cast<int>(op_latencies_ms[op].size());
@@ -453,6 +773,7 @@ int main(int argc, char** argv) {
       std::cout << "\n";
     }
   }
+  }  // tenant-vs-single-tenant mode branch
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -461,7 +782,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << "{\n"
-        << "  \"schema\": \"BENCH_serve/v5\",\n"
+        << "  \"schema\": \"BENCH_serve/v6\",\n"
         << "  \"bench\": \"serve_throughput\",\n"
         << "  \"config\": {\n"
         << "    \"requests\": " << requests << ",\n"
@@ -474,6 +795,9 @@ int main(int argc, char** argv) {
         << "    \"shards\": \"" << shard_spec << "\",\n"
         << "    \"update_every\": " << update_every << ",\n"
         << "    \"update_nnz\": " << update_nnz << ",\n"
+        << "    \"tenants\": " << tenants << ",\n"
+        << "    \"zipf\": " << zipf_s << ",\n"
+        << "    \"budget\": \"" << (tenants > 0 ? budget_spec : "") << "\",\n"
         << "    \"trace\": \""
         << (!record_path.empty() ? record_path : trace_path) << "\"\n"
         << "  },\n"
@@ -491,6 +815,14 @@ int main(int argc, char** argv) {
           << ", \"pre_upgrade\": " << r.pre_upgrade
           << ", \"post_upgrade\": " << r.post_upgrade
           << ", \"rejected\": " << r.rejected
+          << ", \"tenants\": " << r.tenants
+          << ", \"budget_bytes\": " << r.budget_bytes
+          << ", \"resident_peak_bytes\": " << r.resident_peak_bytes
+          << ", \"resident_final_bytes\": " << r.resident_final_bytes
+          << ", \"plan_hit_rate\": " << r.plan_hit_rate
+          << ", \"evictions\": " << r.evictions
+          << ", \"under_budget\": " << (r.under_budget ? "true" : "false")
+          << ", \"budget_match\": " << (r.budget_match ? "true" : "false")
           << ", \"final_format\": \"" << r.final_format << "\""
           << ", \"compactions\": " << r.compactions
           << ", \"final_version\": " << r.final_version

@@ -215,6 +215,22 @@ void TensorClient::ping() {
   ack_of(send(id, MsgType::kPing, encode_id(id)));
 }
 
+AckMsg TensorClient::ping_stats() {
+  const std::uint64_t id = next_id();
+  Frame frame = send(id, MsgType::kPing, encode_id(id)).get();
+  switch (frame.type) {
+    case MsgType::kAck:
+      return decode_ack(frame.payload);
+    case MsgType::kOverloaded:
+      throw OverloadedError(decode_error(frame.payload).message);
+    case MsgType::kError:
+      throw Error(decode_error(frame.payload).message);
+    default:
+      throw ProtocolError("client: unexpected response type " +
+                          std::to_string(static_cast<unsigned>(frame.type)));
+  }
+}
+
 void TensorClient::shutdown_server() {
   const std::uint64_t id = next_id();
   ack_of(send(id, MsgType::kShutdown, encode_id(id)));

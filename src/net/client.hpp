@@ -58,6 +58,9 @@ class TensorClient {
   std::future<Frame> query_async(QueryMsg msg);
   /// Liveness probe (kPing -> kAck round trip).
   void ping();
+  /// Ping returning the full decoded ack: the server's storage-budget
+  /// fleet stats and per-tenant accounting table (DESIGN.md §10).
+  AckMsg ping_stats();
   /// Asks the server to shut down gracefully; returns once the server
   /// acknowledged (it drains and exits after).
   void shutdown_server();

@@ -169,7 +169,7 @@ TensorServer::Outgoing TensorServer::dispatch(Frame& frame) {
         record(frame.type, frame.payload);
         service_.register_tensor(msg.name, share_tensor(std::move(msg.tensor)));
         out.type = MsgType::kAck;
-        out.payload = encode_ack({msg.id, 0});
+        out.payload = encode_ack(make_ack(msg.id, 0));
       } catch (const ProtocolError&) {
         throw;  // framing-level: the reader drops the connection
       } catch (const Error& e) {
@@ -185,7 +185,7 @@ TensorServer::Outgoing TensorServer::dispatch(Frame& frame) {
         const std::uint64_t version =
             service_.apply_updates(msg.name, std::move(msg.updates));
         out.type = MsgType::kAck;
-        out.payload = encode_ack({msg.id, version});
+        out.payload = encode_ack(make_ack(msg.id, version));
       } catch (const ProtocolError&) {
         throw;
       } catch (const Error& e) {
@@ -232,14 +232,26 @@ TensorServer::Outgoing TensorServer::dispatch(Frame& frame) {
       return out;
     }
     case MsgType::kPing: {
+      // Pings double as the fleet-stats probe (DESIGN.md §10): the ack
+      // carries the storage budget, current residency, eviction count,
+      // and a per-tenant accounting table.
+      AckMsg ack;
+      ack.id = decode_id(frame.payload);
+      ack.budget_bytes = service_.storage_budget_bytes();
+      ack.resident_bytes = service_.resident_bytes();
+      ack.evictions = service_.eviction_count();
+      for (const TensorOpService::TenantStats& t : service_.tenant_stats()) {
+        ack.tenants.push_back({t.name, t.plan_bytes, t.delta_bytes, t.calls,
+                               t.structured_served, t.evictions});
+      }
       out.type = MsgType::kAck;
-      out.payload = encode_ack({decode_id(frame.payload), 0});
+      out.payload = encode_ack(ack);
       return out;
     }
     case MsgType::kShutdown: {
       record(frame.type, frame.payload);
       out.type = MsgType::kAck;
-      out.payload = encode_ack({decode_id(frame.payload), 0});
+      out.payload = encode_ack(make_ack(decode_id(frame.payload), 0));
       {
         std::lock_guard<std::mutex> lock(state_mutex_);
         shutdown_requested_ = true;

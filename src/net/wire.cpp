@@ -63,20 +63,24 @@ void WireWriter::tensor(const SparseTensor& t) {
   u64(t.nnz());
   for (index_t m = 0; m < t.order(); ++m) {
     const auto inds = t.mode_indices(m);
+    if (inds.empty()) continue;  // empty span has a null data pointer
     const std::size_t at = buf_.size();
     buf_.resize(at + inds.size() * sizeof(index_t));
     std::memcpy(buf_.data() + at, inds.data(), inds.size() * sizeof(index_t));
   }
   const auto vals = t.values();
-  const std::size_t at = buf_.size();
-  buf_.resize(at + vals.size() * sizeof(value_t));
-  std::memcpy(buf_.data() + at, vals.data(), vals.size() * sizeof(value_t));
+  if (!vals.empty()) {
+    const std::size_t at = buf_.size();
+    buf_.resize(at + vals.size() * sizeof(value_t));
+    std::memcpy(buf_.data() + at, vals.data(), vals.size() * sizeof(value_t));
+  }
 }
 
 void WireWriter::matrix(const DenseMatrix& m) {
   u32(static_cast<std::uint32_t>(m.rows()));
   u32(static_cast<std::uint32_t>(m.cols()));
   const auto data = m.data();
+  if (data.empty()) return;  // a 0xN/Nx0 matrix has a null data pointer
   const std::size_t at = buf_.size();
   buf_.resize(at + data.size() * sizeof(value_t));
   std::memcpy(buf_.data() + at, data.data(), data.size() * sizeof(value_t));
@@ -139,8 +143,11 @@ double WireReader::f64() {
 std::string WireReader::str() {
   const std::uint32_t n = u32();
   require(n);
-  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
-  pos_ += n;
+  std::string s;
+  if (n != 0) {
+    s.assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+  }
   return s;
 }
 
@@ -162,17 +169,19 @@ SparseTensor WireReader::tensor() {
   // order index arrays + one value array back every nonzero.
   check_count(nnz, (order + 1) * sizeof(index_t), remaining(), "tensor nnz");
 
-  std::vector<std::span<const index_t>> inds(order);
+  // Payload byte offsets of each mode's index array and the value array.
+  // The arrays start at arbitrary offsets inside the frame, so every
+  // element is read with memcpy -- casting the payload to index_t*/value_t*
+  // would bind misaligned references (undefined behavior, and a real crash
+  // on alignment-strict targets).
+  std::vector<std::size_t> mode_at(order);
   for (std::uint32_t m = 0; m < order; ++m) {
     require(nnz * sizeof(index_t));
-    inds[m] = {reinterpret_cast<const index_t*>(data_.data() + pos_),
-               static_cast<std::size_t>(nnz)};
+    mode_at[m] = pos_;
     pos_ += nnz * sizeof(index_t);
   }
   require(nnz * sizeof(value_t));
-  std::span<const value_t> vals{
-      reinterpret_cast<const value_t*>(data_.data() + pos_),
-      static_cast<std::size_t>(nnz)};
+  const std::size_t vals_at = pos_;
   pos_ += nnz * sizeof(value_t);
 
   SparseTensor t(std::move(dims));
@@ -180,7 +189,8 @@ SparseTensor WireReader::tensor() {
   std::vector<index_t> coords(order);
   for (std::uint64_t z = 0; z < nnz; ++z) {
     for (std::uint32_t m = 0; m < order; ++m) {
-      coords[m] = inds[m][z];
+      std::memcpy(&coords[m], data_.data() + mode_at[m] + z * sizeof(index_t),
+                  sizeof(index_t));
       if (coords[m] >= t.dim(m)) {
         throw ProtocolError("wire: tensor coordinate " +
                             std::to_string(coords[m]) + " out of dim " +
@@ -188,7 +198,10 @@ SparseTensor WireReader::tensor() {
                             std::to_string(m));
       }
     }
-    t.push_back(coords, vals[z]);
+    value_t v;
+    std::memcpy(&v, data_.data() + vals_at + z * sizeof(value_t),
+                sizeof(value_t));
+    t.push_back(coords, v);
   }
   return t;
 }
@@ -201,8 +214,10 @@ DenseMatrix WireReader::matrix() {
   DenseMatrix m(rows, cols);
   const std::size_t bytes = m.data().size() * sizeof(value_t);
   require(bytes);
-  std::memcpy(m.data().data(), data_.data() + pos_, bytes);
-  pos_ += bytes;
+  if (bytes != 0) {  // a 0xN/Nx0 matrix has a null data pointer
+    std::memcpy(m.data().data(), data_.data() + pos_, bytes);
+    pos_ += bytes;
+  }
   return m;
 }
 
@@ -246,6 +261,18 @@ std::vector<std::uint8_t> encode_ack(const AckMsg& msg) {
   WireWriter w;
   w.u64(msg.id);
   w.u64(msg.version);
+  w.u64(msg.budget_bytes);
+  w.u64(msg.resident_bytes);
+  w.u64(msg.evictions);
+  w.u32(static_cast<std::uint32_t>(msg.tenants.size()));
+  for (const TenantStatMsg& t : msg.tenants) {
+    w.str(t.name);
+    w.u64(t.plan_bytes);
+    w.u64(t.delta_bytes);
+    w.u64(t.calls);
+    w.u64(t.structured_served);
+    w.u64(t.evictions);
+  }
   return w.take();
 }
 
@@ -337,6 +364,23 @@ AckMsg decode_ack(std::span<const std::uint8_t> payload) {
   AckMsg msg;
   msg.id = r.u64();
   msg.version = r.u64();
+  msg.budget_bytes = r.u64();
+  msg.resident_bytes = r.u64();
+  msg.evictions = r.u64();
+  const std::uint32_t ntenants = r.u32();
+  // Minimum bytes per entry: u32 name length + five u64 counters.
+  check_count(ntenants, 4 + 5 * 8, r.remaining(), "ack tenant");
+  msg.tenants.reserve(ntenants);
+  for (std::uint32_t i = 0; i < ntenants; ++i) {
+    TenantStatMsg t;
+    t.name = r.str();
+    t.plan_bytes = r.u64();
+    t.delta_bytes = r.u64();
+    t.calls = r.u64();
+    t.structured_served = r.u64();
+    t.evictions = r.u64();
+    msg.tenants.push_back(std::move(t));
+  }
   r.expect_done("ack");
   return msg;
 }

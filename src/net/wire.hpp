@@ -106,10 +106,38 @@ struct QueryMsg {
   std::vector<value_t> lambda;
 };
 
+/// Per-tenant accounting entry carried in stats-bearing acks (kPing
+/// replies): the wire mirror of TensorOpService::TenantStats.
+struct TenantStatMsg {
+  std::string name;
+  std::uint64_t plan_bytes = 0;
+  std::uint64_t delta_bytes = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t structured_served = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Ack body (kAck).  Register/update acks carry only id + version and
+/// leave the fleet fields zero / tenants empty; kPing replies fill the
+/// storage-budget fleet stats (DESIGN.md §10) so clients can watch
+/// residency and evictions without a side channel.
 struct AckMsg {
   std::uint64_t id = 0;
   std::uint64_t version = 0;
+  std::uint64_t budget_bytes = 0;
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t evictions = 0;
+  std::vector<TenantStatMsg> tenants;
 };
+
+/// The common register/update/shutdown reply: id + version only, fleet
+/// stats left at their defaults (kPing fills them via service accessors).
+inline AckMsg make_ack(std::uint64_t id, std::uint64_t version) {
+  AckMsg msg;
+  msg.id = id;
+  msg.version = version;
+  return msg;
+}
 
 /// Mirror of serve/ServeResponse, restricted to the DETERMINISTIC fields:
 /// wall-clock timings (fanout_ms/reduce_ms) and the SimReport stay out so

@@ -1,6 +1,8 @@
 #include "serve/concurrent_plan_cache.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <future>
 
 #include "util/error.hpp"
@@ -10,10 +12,15 @@ namespace bcsf {
 
 ConcurrentPlanCache::ConcurrentPlanCache(TensorPtr tensor, PlanOptions opts,
                                          BuildFn build,
-                                         std::uint64_t tensor_version)
+                                         std::uint64_t tensor_version,
+                                         double heat_decay)
     : tensor_(std::move(tensor)), opts_(std::move(opts)),
-      build_(std::move(build)), tensor_version_(tensor_version) {
+      build_(std::move(build)), tensor_version_(tensor_version),
+      heat_decay_(heat_decay), heat_(tensor_ ? tensor_->order() : 0) {
   BCSF_CHECK(tensor_ != nullptr, "ConcurrentPlanCache: null tensor");
+  BCSF_CHECK(heat_decay_ > 0.0 && heat_decay_ <= 1.0,
+             "ConcurrentPlanCache: heat_decay must be in (0, 1], got "
+                 << heat_decay_);
   if (!build_) {
     build_ = [](const std::string& format, const SparseTensor& t, index_t mode,
                 const PlanOptions& o) {
@@ -159,6 +166,74 @@ std::size_t ConcurrentPlanCache::size() const {
     }
   }
   return ready;
+}
+
+bool ConcurrentPlanCache::coo_family(const std::string& format) {
+  return format == "coo" || format == "cpu-coo" || format == "reference";
+}
+
+double ConcurrentPlanCache::decayed(double heat, std::uint64_t last,
+                                    std::uint64_t now) const {
+  if (now <= last || heat == 0.0) return heat;
+  return heat * std::pow(heat_decay_, static_cast<double>(now - last));
+}
+
+void ConcurrentPlanCache::note_call(index_t mode, std::uint64_t tick) {
+  BCSF_CHECK(static_cast<std::size_t>(mode) < heat_.size(),
+             "ConcurrentPlanCache::note_call: mode " << mode
+                                                     << " out of range");
+  HeatSlot& slot = heat_[mode];
+  std::lock_guard<std::mutex> lock(slot.m);
+  slot.heat = decayed(slot.heat, slot.last_tick, tick) + 1.0;
+  slot.last_tick = std::max(slot.last_tick, tick);
+}
+
+double ConcurrentPlanCache::heat(index_t mode, std::uint64_t tick) const {
+  BCSF_CHECK(static_cast<std::size_t>(mode) < heat_.size(),
+             "ConcurrentPlanCache::heat: mode " << mode << " out of range");
+  const HeatSlot& slot = heat_[mode];
+  std::lock_guard<std::mutex> lock(slot.m);
+  return decayed(slot.heat, slot.last_tick, tick);
+}
+
+void ConcurrentPlanCache::set_heat(index_t mode, double value,
+                                   std::uint64_t tick) {
+  BCSF_CHECK(static_cast<std::size_t>(mode) < heat_.size(),
+             "ConcurrentPlanCache::set_heat: mode " << mode
+                                                    << " out of range");
+  HeatSlot& slot = heat_[mode];
+  std::lock_guard<std::mutex> lock(slot.m);
+  slot.heat = value;
+  slot.last_tick = tick;
+}
+
+std::size_t ConcurrentPlanCache::resident_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, future] : slots_) {
+    if (coo_family(std::get<0>(key))) continue;
+    if (future.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      total += future.get()->storage_bytes();
+    }
+  }
+  return total;
+}
+
+bool ConcurrentPlanCache::evict(const std::string& format, index_t mode,
+                                OpKind op) {
+  const Key key{format, mode, canonical_op(format, op)};
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) return false;
+  // Never drop an in-flight build: its waiters hold the future, and the
+  // winner would publish into a slot that no longer exists.
+  if (it->second.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return false;
+  }
+  slots_.erase(it);
+  return true;
 }
 
 double ConcurrentPlanCache::total_build_seconds() const {

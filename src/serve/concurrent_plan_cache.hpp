@@ -29,9 +29,11 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include <tuple>
 
@@ -61,10 +63,13 @@ class ConcurrentPlanCache {
   /// `tensor_version` identifies the snapshot the cache builds plans
   /// from (DynamicSparseTensor's TensorSnapshot::base_version; 0 for a
   /// static tensor).  Plans in this cache are valid exactly for that
-  /// snapshot version.
+  /// snapshot version.  `heat_decay` in (0, 1] is the per-tick decay
+  /// factor of the per-mode heat counters (see note_call); 1 disables
+  /// decay.
   explicit ConcurrentPlanCache(TensorPtr tensor, PlanOptions opts = {},
                                BuildFn build = {},
-                               std::uint64_t tensor_version = 0);
+                               std::uint64_t tensor_version = 0,
+                               double heat_decay = 0.5);
 
   /// Returns the plan for (format, mode, op), building it on first use.
   /// Concurrent callers for the same key get the same plan from exactly
@@ -111,6 +116,42 @@ class ConcurrentPlanCache {
   TensorPtr tensor() const;
   const PlanOptions& options() const { return opts_; }
 
+  // -- Heat accounting (DESIGN.md §10) -------------------------------
+  //
+  // One exponentially-decayed call counter per mode, keyed to a
+  // caller-supplied logical tick (the service's global request counter)
+  // rather than wall-clock time, so eviction order is deterministic and
+  // replayable.  At tick `t`, a counter last touched at tick `t0` with
+  // value `h` reads as `h * heat_decay^(t - t0)`.
+
+  /// Record one call against `mode` at logical time `tick`.
+  void note_call(index_t mode, std::uint64_t tick);
+
+  /// The decayed heat of `mode` as observed at logical time `tick`.
+  double heat(index_t mode, std::uint64_t tick) const;
+
+  /// Overwrite `mode`'s heat (compaction carries heat from the retiring
+  /// generation's cache into its replacement).
+  void set_heat(index_t mode, double value, std::uint64_t tick);
+
+  double heat_decay() const { return heat_decay_; }
+
+  /// Sum of storage_bytes() over completed STRUCTURED plans.  COO-family
+  /// plans are excluded: they reference the source tensor rather than
+  /// owning index structure, so their bytes are the tensor's own.
+  std::size_t resident_bytes() const;
+
+  /// Drop the completed plan for (format, mode, op), if any.  In-flight
+  /// builds are left alone (their waiters hold the future).  Returns
+  /// true when a ready slot was erased.
+  bool evict(const std::string& format, index_t mode,
+             OpKind op = OpKind::kMttkrp);
+
+  /// True for the zero-preprocessing COO family ("coo", "cpu-coo",
+  /// "reference") -- the formats the serving layer treats as the free
+  /// fallback tier (shared with TensorOpService's upgrade policy).
+  static bool coo_family(const std::string& format);
+
  private:
   using Key = std::tuple<std::string, index_t, OpKind>;
 
@@ -119,14 +160,27 @@ class ConcurrentPlanCache {
   /// build serves all ops.
   static OpKind canonical_op(const std::string& format, OpKind op);
 
+  struct HeatSlot {
+    mutable std::mutex m;
+    double heat = 0.0;
+    std::uint64_t last_tick = 0;
+  };
+
+  double decayed(double heat, std::uint64_t last, std::uint64_t now) const;
+
   TensorPtr tensor_;
   PlanOptions opts_;
   BuildFn build_;
   std::uint64_t tensor_version_ = 0;
+  double heat_decay_ = 0.5;
   mutable std::shared_mutex mutex_;
   // One shared_future per key: pending while the winning thread builds,
   // ready once the plan exists.  Failed builds are erased.
   std::map<Key, std::shared_future<SharedPlan>> slots_;
+  // One heat counter per mode; sized at construction, never resized
+  // (HeatSlot is immovable).  Independent of slots_: heat tracks
+  // traffic, not residency, so an evicted mode keeps its heat.
+  std::vector<HeatSlot> heat_;
 };
 
 }  // namespace bcsf

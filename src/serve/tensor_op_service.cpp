@@ -5,6 +5,7 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <tuple>
 #include <utility>
 
 #include "core/auto_policy.hpp"
@@ -23,13 +24,18 @@ namespace {
 /// source tensor (DESIGN.md §2).  Only these may serve the initial path,
 /// and upgrading to one of them would buy nothing.
 bool is_coo_family(const std::string& format) {
-  return format == "coo" || format == "cpu-coo" || format == "reference";
+  return ConcurrentPlanCache::coo_family(format);
 }
 
 }  // namespace
 
 TensorOpService::TensorOpService(ServeOptions opts)
-    : opts_(std::move(opts)), pool_(opts_.workers) {
+    : opts_(std::move(opts)),
+      budget_(opts_.storage_budget_bytes),
+      scheduler_(pool_, opts_.max_concurrent_upgrades == 0
+                            ? opts_.workers
+                            : opts_.max_concurrent_upgrades),
+      pool_(opts_.workers) {
   BCSF_CHECK(is_coo_family(opts_.initial_format),
              "TensorOpService: initial_format '"
                  << opts_.initial_format
@@ -37,6 +43,9 @@ TensorOpService::TensorOpService(ServeOptions opts)
   BCSF_CHECK(opts_.upgrade_format != "sharded",
              "TensorOpService: upgrade_format 'sharded' is redundant -- the "
              "service shards tensors itself (ServeOptions::shards)");
+  BCSF_CHECK(opts_.heat_decay > 0.0 && opts_.heat_decay <= 1.0,
+             "TensorOpService: heat_decay must be in (0, 1], got "
+                 << opts_.heat_decay);
 }
 
 TensorOpService::~TensorOpService() = default;
@@ -61,6 +70,7 @@ void TensorOpService::register_tensor(const std::string& name,
           ? auto_shard_count(tensor->nnz(), tensor->dim(opts_.shard_mode))
           : opts_.shards;
   auto state = std::make_unique<TensorState>();
+  state->name = name;
   state->dims = tensor->dims();
   state->partition_mode = opts_.shard_mode;
   if (want <= 1) {
@@ -68,7 +78,8 @@ void TensorOpService::register_tensor(const std::string& name,
     // copy -- bit-for-bit the pre-§8 service.
     state->route_begin.push_back(0);
     state->shards.push_back(std::make_unique<ShardState>(
-        std::move(tensor), opts_.plan, 0, state->dims[opts_.shard_mode]));
+        std::move(tensor), opts_.plan, 0, state->dims[opts_.shard_mode],
+        opts_.build_fn, opts_.heat_decay));
   } else {
     const TensorPartition partition =
         partition_tensor(*tensor, opts_.shard_mode, want);
@@ -82,8 +93,13 @@ void TensorOpService::register_tensor(const std::string& name,
     for (const TensorShard& shard : partition.shards) {
       state->route_begin.push_back(shard.slice_begin);
       state->shards.push_back(std::make_unique<ShardState>(
-          shard.tensor, opts_.plan, shard.slice_begin, shard.slice_end));
+          shard.tensor, opts_.plan, shard.slice_begin, shard.slice_end,
+          opts_.build_fn, opts_.heat_decay));
     }
+  }
+  for (std::size_t s = 0; s < state->shards.size(); ++s) {
+    state->shards[s]->owner = state.get();  // stable: held by unique_ptr
+    state->shards[s]->index = s;
   }
 
   std::unique_lock<std::shared_mutex> lock(tensors_mutex_);
@@ -119,12 +135,18 @@ std::uint64_t TensorOpService::apply_updates(const std::string& tensor,
   BCSF_CHECK(updates.dims() == state.dims,
              "TensorOpService: update dims mismatch for '" << tensor << "'");
 
+  // Delta chunks count against the storage budget the moment they are
+  // frozen; compaction commits release exactly what they absorb.
+  const std::size_t per_nnz = delta_bytes_per_nnz(state.order());
+
   if (state.shards.size() == 1) {
     ShardState& shard = *state.shards.front();
+    delta_bytes_.charge(static_cast<std::size_t>(updates.nnz()) * per_nnz);
     const std::uint64_t version = shard.dynamic.apply(std::move(updates));
     // The compaction trigger also rides on queries; checking here keeps an
     // update-heavy, query-light workload from growing the delta unbounded.
     maybe_launch_compaction(shard, shard.dynamic.snapshot());
+    maybe_launch_reclaim();
     return version;
   }
 
@@ -139,11 +161,13 @@ std::uint64_t TensorOpService::apply_updates(const std::string& tensor,
   for (std::size_t s = 0; s < routed.size(); ++s) {
     ShardState& shard = *state.shards[s];
     if (routed[s].nnz() > 0) {
+      delta_bytes_.charge(static_cast<std::size_t>(routed[s].nnz()) * per_nnz);
       shard.dynamic.apply(std::move(routed[s]));
       maybe_launch_compaction(shard, shard.dynamic.snapshot());
     }
     version_sum += shard.dynamic.version();
   }
+  maybe_launch_reclaim();
   return version_sum;
 }
 
@@ -427,6 +451,36 @@ std::uint64_t TensorOpService::compaction_count(
   return sum;
 }
 
+std::vector<TensorOpService::TenantStats> TensorOpService::tenant_stats()
+    const {
+  std::vector<TenantStats> out;
+  std::shared_lock<std::shared_mutex> lock(tensors_mutex_);
+  out.reserve(tensors_.size());
+  for (const auto& [name, state] : tensors_) {
+    TenantStats stats;
+    stats.name = name;
+    stats.calls = state->calls.load(std::memory_order_relaxed);
+    stats.structured_served =
+        state->structured_served.load(std::memory_order_relaxed);
+    stats.coo_served = state->coo_served.load(std::memory_order_relaxed);
+    stats.evictions = state->evictions.load(std::memory_order_relaxed);
+    for (const auto& shard : state->shards) {
+      stats.delta_bytes += shard->dynamic.delta_storage_bytes();
+      GenerationPtr gen;
+      {
+        std::shared_lock<std::shared_mutex> gen_lock(shard->gen_mutex);
+        gen = shard->gen;
+      }
+      for (ModeSlot& slot : gen->modes) {
+        std::lock_guard<std::mutex> slot_lock(slot.m);
+        stats.plan_bytes += slot.charged_bytes;
+      }
+    }
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
 TensorSnapshot TensorOpService::snapshot(const std::string& tensor) const {
   TensorState& state = state_for(tensor);
   BCSF_CHECK(state.shards.size() == 1,
@@ -504,6 +558,11 @@ TensorOpService::ShardRun TensorOpService::handle_shard(
   slot.mode_calls.fetch_add(1, std::memory_order_relaxed);
   slot.op_calls[static_cast<std::size_t>(request.op)].fetch_add(
       1, std::memory_order_relaxed);
+  // One tick of the service-wide heat clock per shard-handled request;
+  // the generation's heat counter drives budget-eviction order.
+  const std::uint64_t now =
+      tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  gen->cache.note_call(request.mode, now);
 
   SharedPlan plan;
   bool was_upgraded = false;
@@ -513,18 +572,23 @@ TensorOpService::ShardRun TensorOpService::handle_shard(
     was_upgraded = slot.upgraded_flag;
   }
   if (!plan) {
-    // First touch of this mode in this generation: the COO-family plan is
-    // build-free, so the request still answers immediately (single-flight
-    // dedupes racers).
+    // First touch of this mode in this generation -- or first touch
+    // after a budget eviction uninstalled the structured plan: the
+    // COO-family plan is build-free, so the request still answers
+    // immediately (single-flight dedupes racers).
     SharedPlan initial = gen->cache.get(opts_.initial_format, request.mode);
     std::lock_guard<std::mutex> lock(slot.m);
     if (!slot.current) slot.current = std::move(initial);
     plan = slot.current;
     was_upgraded = slot.upgraded_flag;
   }
+  if (shard.owner != nullptr) {
+    (was_upgraded ? shard.owner->structured_served : shard.owner->coo_served)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
 
   if (opts_.enable_upgrade && !was_upgraded) {
-    maybe_launch_upgrade(gen, request.mode);
+    maybe_launch_upgrade(shard, gen, request.mode);
   }
 
   // Base contribution through the plan; the op protocol dispatches TTV
@@ -667,7 +731,8 @@ std::pair<std::string, double> TensorOpService::resolve_upgrade_policy(
   return {std::move(target), threshold};
 }
 
-void TensorOpService::maybe_launch_upgrade(const GenerationPtr& gen,
+void TensorOpService::maybe_launch_upgrade(ShardState& shard,
+                                           const GenerationPtr& gen,
                                            index_t mode) {
   ModeSlot& slot = gen->modes[mode];
   if (slot.upgrade_launched.load(std::memory_order_acquire)) return;
@@ -724,29 +789,260 @@ void TensorOpService::maybe_launch_upgrade(const GenerationPtr& gen,
   if (effective_calls < threshold) return;
   if (slot.upgrade_launched.exchange(true, std::memory_order_acq_rel)) return;
 
-  // The task holds the generation alive; if a compaction retires it
-  // mid-build, the finished plan lands in the retired generation's slot
-  // and simply ages out with it.  Each shard launches its own task, so
-  // K structured builds of nnz/K each overlap on the pool -- the
-  // parallel-build win of §8.
-  const bool queued = pool_.try_submit([gen, mode, target] {
-    ModeSlot& slot = gen->modes[mode];
-    try {
-      // Break-even crossed: pay the structured build off the request
-      // path.  Single-flight in the cache dedupes against anyone else.
-      SharedPlan structured = gen->cache.get(target, mode);
+  // The job holds the generation alive; if a compaction retires it
+  // mid-build, run_upgrade detects the swap and releases its charge.
+  // Builds are queued per TENANT through the fair scheduler: each shard
+  // still gets its own build (K structured builds of nnz/K each overlap
+  // up to max_concurrent_upgrades), but a whale tensor queueing dozens
+  // of shard builds alternates with other tenants instead of
+  // monopolizing the pool.  An abandoned job (pool shutdown) re-arms so
+  // the state machine stays honest.
+  FairScheduler::Job job;
+  job.run = [this, &shard, gen, mode, target] {
+    run_upgrade(shard, gen, mode, target);
+  };
+  job.abandon = [gen, mode] {
+    gen->modes[mode].upgrade_launched.store(false, std::memory_order_release);
+  };
+  scheduler_.enqueue(shard.owner != nullptr ? shard.owner->name : "",
+                     std::move(job));
+}
+
+void TensorOpService::run_upgrade(ShardState& shard, GenerationPtr gen,
+                                  index_t mode, std::string target) {
+  ModeSlot& slot = gen->modes[mode];
+  try {
+    // Break-even crossed: pay the structured build off the request
+    // path.  Single-flight in the cache dedupes against anyone else.
+    SharedPlan structured = gen->cache.get(target, mode);
+    const std::size_t bytes = structured->storage_bytes();
+    const double incoming =
+        gen->cache.heat(mode, tick_.load(std::memory_order_relaxed));
+    if (!admit_plan_bytes(bytes, incoming)) {
+      // The budget cannot make room among strictly-colder plans: drop
+      // the freshly built plan and make this mode RE-EARN the threshold
+      // (op_calls zeroed before re-arming), so a tenant colder than the
+      // resident set cannot thrash build/evict cycles.
+      gen->cache.evict(target, mode);
+      for (auto& count : slot.op_calls) {
+        count.store(0, std::memory_order_relaxed);
+      }
+      upgrade_rejects_.fetch_add(1, std::memory_order_relaxed);
+      BCSF_INFO << "TensorOpService: budget rejected " << bytes
+                << "-byte '" << target << "' plan for tenant '"
+                << (shard.owner != nullptr ? shard.owner->name : "?")
+                << "' mode " << mode;
+      slot.upgrade_launched.store(false, std::memory_order_release);
+      return;
+    }
+    {
       std::lock_guard<std::mutex> lock(slot.m);
       slot.current = std::move(structured);  // in-flight runs keep the old
                                              // plan alive via SharedPlan
       slot.upgraded_flag = true;
-    } catch (...) {
-      // Build failed; re-arm so a later request retries the upgrade.
-      slot.upgrade_launched.store(false, std::memory_order_release);
+      slot.charged_bytes = bytes;
     }
-  });
-  // try_submit refuses only when the destructor is already draining the
-  // queue; the upgrade is moot then, but keep the state machine honest.
-  if (!queued) slot.upgrade_launched.store(false, std::memory_order_release);
+    // A compaction may have retired this generation between the charge
+    // and the install; its retirement sweep could then have run before
+    // our charged_bytes was visible.  Re-check and release ourselves --
+    // check-and-clear under slot.m keeps this single-shot either way.
+    bool retired;
+    {
+      std::shared_lock<std::shared_mutex> lock(shard.gen_mutex);
+      retired = shard.gen != gen;
+    }
+    if (retired) budget_.release(release_slot_charge(gen, mode));
+    maybe_launch_reclaim();
+  } catch (...) {
+    // Build failed; re-arm so a later request retries the upgrade.
+    slot.upgrade_launched.store(false, std::memory_order_release);
+  }
+}
+
+bool TensorOpService::admit_plan_bytes(std::size_t bytes,
+                                       double incoming_heat) {
+  if (budget_.unlimited()) {
+    budget_.charge(bytes);
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(reclaim_mutex_);
+  if (budget_.resident() + bytes <= budget_.budget()) {
+    budget_.charge(bytes);
+    return true;
+  }
+  if (bytes > budget_.budget()) return false;  // can never fit
+  for (const EvictionCandidate& candidate : collect_candidates()) {
+    if (budget_.resident() + bytes <= budget_.budget()) break;
+    // Evict strictly-colder plans only: displacing a hotter resident
+    // for a colder newcomer would invert the policy.
+    if (candidate.heat >= incoming_heat) break;
+    evict_candidate(candidate);
+  }
+  if (budget_.resident() + bytes <= budget_.budget()) {
+    budget_.charge(bytes);
+    return true;
+  }
+  return false;
+}
+
+std::vector<TensorOpService::EvictionCandidate>
+TensorOpService::collect_candidates() const {
+  std::vector<EvictionCandidate> out;
+  const std::uint64_t now = tick_.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(tensors_mutex_);
+  for (const auto& [name, state] : tensors_) {
+    for (std::size_t s = 0; s < state->shards.size(); ++s) {
+      ShardState& shard = *state->shards[s];
+      GenerationPtr gen;
+      {
+        std::shared_lock<std::shared_mutex> gen_lock(shard.gen_mutex);
+        gen = shard.gen;
+      }
+      for (index_t m = 0; m < static_cast<index_t>(gen->modes.size()); ++m) {
+        ModeSlot& slot = gen->modes[m];
+        bool charged;
+        {
+          std::lock_guard<std::mutex> slot_lock(slot.m);
+          charged = slot.upgraded_flag && slot.charged_bytes > 0;
+        }
+        if (charged) {
+          out.push_back({gen->cache.heat(m, now), name, s, m, gen,
+                         state.get()});
+        }
+      }
+    }
+  }
+  // Coldest first, with a total deterministic tiebreak so the
+  // eviction-oracle test can predict the order exactly.
+  std::sort(out.begin(), out.end(),
+            [](const EvictionCandidate& a, const EvictionCandidate& b) {
+              return std::tie(a.heat, a.tensor, a.shard, a.mode) <
+                     std::tie(b.heat, b.tensor, b.shard, b.mode);
+            });
+  return out;
+}
+
+std::size_t TensorOpService::release_slot_charge(const GenerationPtr& gen,
+                                                 index_t mode) {
+  ModeSlot& slot = gen->modes[mode];
+  std::lock_guard<std::mutex> lock(slot.m);
+  const std::size_t bytes = slot.charged_bytes;
+  slot.charged_bytes = 0;
+  return bytes;
+}
+
+std::size_t TensorOpService::evict_candidate(
+    const EvictionCandidate& candidate) {
+  ModeSlot& slot = candidate.gen->modes[candidate.mode];
+  std::size_t bytes = 0;
+  std::string format;
+  {
+    std::lock_guard<std::mutex> lock(slot.m);
+    if (!slot.upgraded_flag || slot.charged_bytes == 0) return 0;
+    bytes = slot.charged_bytes;
+    slot.charged_bytes = 0;
+    format = slot.target_format;  // always concrete once installed
+    // Uninstall: the next request lazily re-acquires the COO fallback
+    // (handle_shard's !plan path); in-flight runs keep the evicted plan
+    // alive via their SharedPlan until they finish.
+    slot.current.reset();
+    slot.upgraded_flag = false;
+  }
+  candidate.gen->cache.evict(format, candidate.mode);
+  // Re-earn the threshold before rebuilding: zero the traffic counters
+  // FIRST, then re-arm the launch flag, so a racing request cannot
+  // relaunch off the stale counts.
+  for (auto& count : slot.op_calls) count.store(0, std::memory_order_relaxed);
+  slot.upgrade_launched.store(false, std::memory_order_release);
+  budget_.release(bytes);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  if (candidate.state != nullptr) {
+    candidate.state->evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  BCSF_INFO << "TensorOpService: evicted " << bytes << "-byte '" << format
+            << "' plan (tenant '" << candidate.tensor << "' shard "
+            << candidate.shard << " mode " << candidate.mode << ", heat "
+            << candidate.heat << ")";
+  return bytes;
+}
+
+void TensorOpService::maybe_launch_reclaim() {
+  if (budget_.unlimited()) return;
+  if (budget_.resident() + delta_bytes_.resident() <= budget_.budget()) {
+    return;
+  }
+  if (reclaiming_.exchange(true, std::memory_order_acq_rel)) return;
+  if (!pool_.try_submit([this] { run_reclaim(); })) {
+    reclaiming_.store(false, std::memory_order_release);
+  }
+}
+
+void TensorOpService::run_reclaim() {
+  try {
+    const auto total = [this] {
+      return budget_.resident() + delta_bytes_.resident();
+    };
+    // Pass 1: drop the coldest structured plans while the fleet total
+    // (plans + delta) is over budget.
+    {
+      std::lock_guard<std::mutex> lock(reclaim_mutex_);
+      for (const EvictionCandidate& candidate : collect_candidates()) {
+        if (total() <= budget_.budget()) break;
+        evict_candidate(candidate);
+      }
+    }
+    // Pass 2: still over -- the delta chunks themselves are the weight.
+    // Force-compact delta-carrying shards coldest-tensor-first; each
+    // commit absorbs the shard's chunks into a fresh base and releases
+    // their bytes.
+    if (total() > budget_.budget()) {
+      struct Target {
+        double heat = 0.0;
+        std::string tensor;
+        std::size_t index = 0;
+        ShardState* shard = nullptr;
+      };
+      std::vector<Target> targets;
+      const std::uint64_t now = tick_.load(std::memory_order_relaxed);
+      {
+        std::shared_lock<std::shared_mutex> lock(tensors_mutex_);
+        for (const auto& [name, state] : tensors_) {
+          for (std::size_t s = 0; s < state->shards.size(); ++s) {
+            ShardState& shard = *state->shards[s];
+            if (shard.dynamic.delta_nnz() == 0) continue;
+            GenerationPtr gen;
+            {
+              std::shared_lock<std::shared_mutex> gen_lock(shard.gen_mutex);
+              gen = shard.gen;
+            }
+            double heat = 0.0;
+            for (index_t m = 0; m < static_cast<index_t>(gen->modes.size());
+                 ++m) {
+              heat += gen->cache.heat(m, now);
+            }
+            targets.push_back({heat, name, s, &shard});
+          }
+        }
+      }
+      std::sort(targets.begin(), targets.end(),
+                [](const Target& a, const Target& b) {
+                  return std::tie(a.heat, a.tensor, a.index) <
+                         std::tie(b.heat, b.tensor, b.index);
+                });
+      for (const Target& target : targets) {
+        if (total() <= budget_.budget()) break;
+        if (target.shard->compacting.exchange(true,
+                                              std::memory_order_acq_rel)) {
+          continue;  // a normal compaction is already running here
+        }
+        run_compaction(*target.shard, /*force=*/true);
+      }
+    }
+  } catch (...) {
+    // Reclaim is best-effort; a failed sweep re-triggers on later
+    // updates.
+  }
+  reclaiming_.store(false, std::memory_order_release);
 }
 
 void TensorOpService::maybe_launch_compaction(ShardState& shard,
@@ -760,7 +1056,7 @@ void TensorOpService::maybe_launch_compaction(ShardState& shard,
   if (!queued) shard.compacting.store(false, std::memory_order_release);
 }
 
-void TensorOpService::run_compaction(ShardState& shard) {
+void TensorOpService::run_compaction(ShardState& shard, bool force) {
   try {
     // Capture and merge OFF the commit path: queries keep serving from
     // the current generation while the O(shard nnz log nnz) coalesce
@@ -768,10 +1064,15 @@ void TensorOpService::run_compaction(ShardState& shard) {
     // (the incremental-compaction point of §8).  Re-validate the
     // trigger against a FRESH snapshot: the launcher may have held a
     // stale one (captured before a just-committed compaction), and
-    // merging a sub-threshold delta is wasted work.
+    // merging a sub-threshold delta is wasted work.  A FORCED compaction
+    // (budget reclaim) skips the threshold economics -- any delta at all
+    // is weight worth dropping -- but still needs delta to absorb.
     const TensorSnapshot snap = shard.dynamic.snapshot();
-    if (snap.delta_nnz >= opts_.compact_min_nnz &&
-        snap.delta_fraction() >= opts_.compact_threshold) {
+    const bool due = force ? snap.delta_nnz > 0
+                           : snap.delta_nnz >= opts_.compact_min_nnz &&
+                                 snap.delta_fraction() >=
+                                     opts_.compact_threshold;
+    if (due) {
       TensorPtr new_base = share_tensor(snap.merged(/*coalesce=*/true));
       GenerationPtr old_gen;
       GenerationPtr new_gen;
@@ -783,8 +1084,11 @@ void TensorOpService::run_compaction(ShardState& shard) {
         const std::uint64_t new_version =
             shard.dynamic.replace_base(new_base, snap.version);
         new_gen = std::make_shared<Generation>(std::move(new_base),
-                                               opts_.plan, new_version);
+                                               opts_.plan, new_version,
+                                               opts_.build_fn,
+                                               opts_.heat_decay);
         old_gen = std::move(shard.gen);
+        const std::uint64_t now = tick_.load(std::memory_order_relaxed);
         for (std::size_t m = 0; m < new_gen->modes.size(); ++m) {
           // Carry traffic counters (total and per-op): a hot mode
           // re-launches its structured build (and re-runs the §V policy
@@ -800,10 +1104,25 @@ void TensorOpService::run_compaction(ShardState& shard) {
                     std::memory_order_relaxed),
                 std::memory_order_relaxed);
           }
+          // Carry heat too: eviction order must reflect the mode's
+          // traffic history, not reset because the base was merged.
+          const index_t mode = static_cast<index_t>(m);
+          new_gen->cache.set_heat(mode, old_gen->cache.heat(mode, now), now);
         }
         shard.gen = std::move(new_gen);
       }
       shard.compactions.fetch_add(1, std::memory_order_relaxed);
+      // Retire the old generation's budget footprint: release each
+      // installed plan's charge (check-and-clear under slot.m -- a
+      // racing evictor or a late-installing upgrade can only release
+      // once) and the delta bytes this commit absorbed into the base.
+      std::size_t released = 0;
+      for (std::size_t m = 0; m < old_gen->modes.size(); ++m) {
+        released +=
+            release_slot_charge(old_gen, static_cast<index_t>(m));
+      }
+      if (released > 0) budget_.release(released);
+      delta_bytes_.release(snap.delta_storage_bytes());
     }
     shard.compacting.store(false, std::memory_order_release);
   } catch (...) {

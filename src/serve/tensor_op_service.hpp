@@ -86,6 +86,8 @@
 #include "serve/concurrent_plan_cache.hpp"
 #include "tensor/dynamic_tensor.hpp"
 #include "tensor/partitioner.hpp"
+#include "util/fair_scheduler.hpp"
+#include "util/memory_budget.hpp"
 #include "util/scratch_arena.hpp"
 #include "util/thread_pool.hpp"
 
@@ -132,6 +134,27 @@ struct ServeOptions {
   /// Mode whose slice ranges define the shards (and route update
   /// batches).  One partition serves all modes of a tensor.
   index_t shard_mode = 0;
+  /// Service-wide cap on STRUCTURED-PLAN storage_bytes across every
+  /// tenant (DESIGN.md §10); 0 = unlimited.  Enforced by pre-charge
+  /// admission at build completion -- a finished build is installed only
+  /// after evicting colder resident plans makes room, so plan residency
+  /// never exceeds the budget at any instant.  Delta-chunk bytes count
+  /// against the same number via the background reclaimer (eviction,
+  /// then forced compaction) but are not pre-charged.
+  std::size_t storage_budget_bytes = 0;
+  /// Per-tick decay factor in (0, 1] for the per-(shard, mode) heat
+  /// counters driving eviction order; one tick = one shard-handled
+  /// request anywhere in the service.  1 disables decay (pure call
+  /// counting).
+  double heat_decay = 0.5;
+  /// Structured builds admitted to the pool at once, drawn round-robin
+  /// across tenants by the fair upgrade scheduler -- a whale tensor
+  /// queueing many shard builds cannot starve other tenants' upgrades.
+  /// 0 = one per worker.
+  unsigned max_concurrent_upgrades = 2;
+  /// Plan factory used by every generation's cache; tests inject
+  /// counting/failing builders.  Default: FormatRegistry create.
+  ConcurrentPlanCache::BuildFn build_fn;
   /// Device model, format knobs, expected calls for the policy.
   PlanOptions plan;
 };
@@ -307,9 +330,53 @@ class TensorOpService {
   /// routed to.
   std::size_t shard_for_slice(const std::string& tensor, index_t slice) const;
 
+  // -- Budget & tenant observability (DESIGN.md §10) ------------------
+
+  /// Configured structured-plan budget (0 = unlimited).
+  std::size_t storage_budget_bytes() const { return budget_.budget(); }
+  /// Structured-plan bytes currently charged against the budget.
+  std::size_t plan_resident_bytes() const { return budget_.resident(); }
+  /// High-water mark of plan_resident_bytes() -- with a budget set this
+  /// is <= the budget by construction (pre-charge admission).
+  std::size_t peak_plan_resident_bytes() const { return budget_.peak(); }
+  /// Un-compacted delta-chunk bytes across every tenant.
+  std::size_t delta_resident_bytes() const { return delta_bytes_.resident(); }
+  /// Total budget-relevant residency: plans + delta chunks.
+  std::size_t resident_bytes() const {
+    return budget_.resident() + delta_bytes_.resident();
+  }
+  /// Structured plans evicted by the budget (reclaimer or admission).
+  std::uint64_t eviction_count() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Finished builds dropped because eviction could not make room
+  /// without removing hotter plans.
+  std::uint64_t upgrade_reject_count() const {
+    return upgrade_rejects_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-tenant accounting snapshot, one entry per registered tensor in
+  /// name order (what tensord reports in kPing acks).
+  struct TenantStats {
+    std::string name;
+    std::size_t plan_bytes = 0;   ///< charged structured-plan bytes
+    std::size_t delta_bytes = 0;  ///< un-compacted delta-chunk bytes
+    std::uint64_t calls = 0;      ///< requests admitted for this tensor
+    std::uint64_t structured_served = 0;  ///< shard runs on structured plans
+    std::uint64_t coo_served = 0;         ///< shard runs on the COO fallback
+    std::uint64_t evictions = 0;          ///< budget evictions suffered
+  };
+  std::vector<TenantStats> tenant_stats() const;
+
   /// Blocks until all accepted requests AND background work (upgrades,
-  /// compactions) finished.
-  void wait_idle() { pool_.wait_idle(); }
+  /// compactions, queued fair-scheduler builds) finished.
+  void wait_idle() {
+    // A queued upgrade only reaches the pool when an in-flight build
+    // finishes, so alternate until both drain together.
+    do {
+      pool_.wait_idle();
+    } while (!scheduler_.idle());
+  }
 
   /// Graceful drain hook for front-ends (net/TensorServer, DESIGN.md
   /// §9): refuses new pool submissions, executes every accepted request
@@ -354,6 +421,12 @@ class TensorOpService {
     /// §3 policy; MTTKRP/FIT traffic counts at full weight.
     std::array<std::atomic<std::uint64_t>, 3> op_calls{};
     std::atomic<bool> upgrade_launched{false};
+    /// Bytes this slot's installed structured plan has charged against
+    /// the service budget (0 = nothing charged).  Guarded by `m`; the
+    /// SINGLE check-and-clear point shared by reclaimer eviction and
+    /// compaction retirement, so the same plan can never be released
+    /// twice.
+    std::size_t charged_bytes = 0;
   };
 
   /// One immutable base snapshot together with every plan built from it:
@@ -364,8 +437,10 @@ class TensorOpService {
   /// in-flight queries and upgrade tasks.
   struct Generation {
     Generation(TensorPtr base, PlanOptions plan_opts,
-               std::uint64_t base_version)
-        : cache(std::move(base), std::move(plan_opts), {}, base_version),
+               std::uint64_t base_version, ConcurrentPlanCache::BuildFn build,
+               double heat_decay)
+        : cache(std::move(base), std::move(plan_opts), std::move(build),
+                base_version, heat_decay),
           modes(cache.tensor()->order()) {}
     ConcurrentPlanCache cache;
     std::vector<ModeSlot> modes;
@@ -375,14 +450,18 @@ class TensorOpService {
   /// One shard's full serving state: the pre-§8 per-tensor state at
   /// shard granularity.  Shards never share mutable state, which is what
   /// makes their upgrades and compactions independent.
+  struct TensorState;
+
   struct ShardState {
     ShardState(TensorPtr base, PlanOptions plan_opts, index_t begin,
-               index_t end)
+               index_t end, ConcurrentPlanCache::BuildFn build,
+               double heat_decay)
         : slice_begin(begin),
           slice_end(end),
           dynamic(base),
           gen(std::make_shared<Generation>(std::move(base),
-                                           std::move(plan_opts), 0)) {}
+                                           std::move(plan_opts), 0,
+                                           std::move(build), heat_decay)) {}
     const index_t slice_begin;  ///< root-mode slice range (see partitioner)
     const index_t slice_end;
     DynamicSparseTensor dynamic;
@@ -393,9 +472,16 @@ class TensorOpService {
     GenerationPtr gen;
     std::atomic<bool> compacting{false};
     std::atomic<std::uint64_t> compactions{0};
+    /// Owning tensor (stable address: TensorState is held by unique_ptr
+    /// and never erased) -- gives shard-level code the tenant identity
+    /// for fairness keys and per-tenant counters.  Set by
+    /// register_tensor before publication.
+    TensorState* owner = nullptr;
+    std::size_t index = 0;  ///< position in owner->shards
   };
 
   struct TensorState {
+    std::string name;  ///< registration name (the tenant identity)
     std::vector<index_t> dims;
     index_t partition_mode = 0;
     /// shards[s]'s slice_begin, ascending -- the routing table
@@ -414,6 +500,12 @@ class TensorOpService {
     // tasks hold ShardState& across generations.
     std::vector<std::unique_ptr<ShardState>> shards;
     std::atomic<std::uint64_t> calls{0};
+    /// Shard runs answered from a structured (post-upgrade) plan vs the
+    /// COO fallback -- the plan-hit-rate numerator/denominator.
+    std::atomic<std::uint64_t> structured_served{0};
+    std::atomic<std::uint64_t> coo_served{0};
+    /// Budget evictions this tenant has suffered.
+    std::atomic<std::uint64_t> evictions{0};
     index_t order() const { return static_cast<index_t>(dims.size()); }
   };
 
@@ -491,18 +583,74 @@ class TensorOpService {
   /// called with NO lock held.
   std::pair<std::string, double> resolve_upgrade_policy(
       const Generation& gen, index_t mode) const;
-  void maybe_launch_upgrade(const GenerationPtr& gen, index_t mode);
+  void maybe_launch_upgrade(ShardState& shard, const GenerationPtr& gen,
+                            index_t mode);
   void maybe_launch_compaction(ShardState& shard, const TensorSnapshot& snap);
-  void run_compaction(ShardState& shard);
+  void run_compaction(ShardState& shard, bool force = false);
+
+  // -- Budget machinery (DESIGN.md §10) ------------------------------
+
+  /// The fair-scheduler job body: build the structured plan, admit its
+  /// bytes (evicting colder plans as needed), install -- or drop the
+  /// plan and make the tenant re-earn the threshold.
+  void run_upgrade(ShardState& shard, GenerationPtr gen, index_t mode,
+                   std::string target);
+  /// Pre-charge admission: true (and `bytes` charged) once the plan
+  /// fits, evicting strictly-colder installed plans to make room.
+  /// Serialized by reclaim_mutex_, so concurrent admissions cannot
+  /// overshoot the budget between check and charge.
+  bool admit_plan_bytes(std::size_t bytes, double incoming_heat);
+
+  /// One evictable installed plan, ordered coldest-first with a total
+  /// deterministic tiebreak.
+  struct EvictionCandidate {
+    double heat = 0.0;
+    std::string tensor;
+    std::size_t shard = 0;
+    index_t mode = 0;
+    GenerationPtr gen;
+    TensorState* state = nullptr;
+  };
+  /// Every installed-and-charged plan slot, sorted (heat, tensor,
+  /// shard, mode) ascending.
+  std::vector<EvictionCandidate> collect_candidates() const;
+  /// Uninstall + release one candidate; returns bytes freed (0 if a
+  /// racer already evicted or a compaction retired it).
+  std::size_t evict_candidate(const EvictionCandidate& candidate);
+  /// Release a retired/raced slot's charge (check-and-clear under its
+  /// mutex); returns bytes released.
+  std::size_t release_slot_charge(const GenerationPtr& gen, index_t mode);
+  /// Kicks the background reclaimer when plans + delta exceed the
+  /// budget (at most one in flight).
+  void maybe_launch_reclaim();
+  /// Evicts coldest plans, then force-compacts delta-heavy shards,
+  /// until the fleet total fits again.
+  void run_reclaim();
 
   ServeOptions opts_;
   /// Pooled double buffers for merge-path partials and disjoint-path row
   /// windows: steady-state sharded traffic allocates no partials.
   mutable ScratchArena arena_;
+  /// Structured-plan bytes vs the hard budget (pre-charge admission
+  /// keeps resident <= budget); delta-chunk bytes tracked separately
+  /// (reclaimed by forced compaction, not pre-charged).
+  MemoryBudget budget_;
+  MemoryBudget delta_bytes_;
+  /// Logical clock for heat decay: one tick per shard-handled request.
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> upgrade_rejects_{0};
+  std::atomic<bool> reclaiming_{false};
+  /// Serializes admission charges and eviction sweeps so the budget
+  /// check-then-charge is atomic across concurrent builds.
+  std::mutex reclaim_mutex_;
   mutable std::shared_mutex tensors_mutex_;
   // unique_ptr: TensorState addresses stay stable across map rehash, so
   // worker tasks can hold TensorState& while new tensors register.
   std::map<std::string, std::unique_ptr<TensorState>> tensors_;
+  // Declared before pool_ (destroyed after it): pool shutdown runs the
+  // in-flight build wrappers, which call back into the scheduler.
+  FairScheduler scheduler_;
   // Declared last: destroyed first, joining workers before the tensor
   // states their tasks reference go away.
   ThreadPool pool_;

@@ -35,6 +35,14 @@
 
 namespace bcsf {
 
+/// Heap bytes one delta nonzero occupies across the per-mode index
+/// arrays and the value array -- the currency of the serving layer's
+/// storage-budget accounting for un-compacted delta chunks
+/// (DESIGN.md §10).
+inline std::size_t delta_bytes_per_nnz(index_t order) {
+  return static_cast<std::size_t>(order) * sizeof(index_t) + sizeof(value_t);
+}
+
 /// One immutable view of a DynamicSparseTensor: the base plus every delta
 /// chunk appended since the base was installed.  Copies are cheap (vector
 /// of shared_ptr); the referenced tensors are frozen forever.
@@ -53,6 +61,12 @@ struct TensorSnapshot {
   offset_t delta_nnz = 0;
 
   offset_t nnz() const { return base->nnz() + delta_nnz; }
+  /// Heap bytes held by the delta chunks this snapshot references --
+  /// what a compaction reclaims when it absorbs them into the base.
+  std::size_t delta_storage_bytes() const {
+    return static_cast<std::size_t>(delta_nnz) *
+           delta_bytes_per_nnz(base->order());
+  }
   /// Fraction of stored nonzeros living in the delta -- the compaction
   /// trigger signal: structured plans cover only base->nnz() of the
   /// tensor, so per-query COO work grows with this fraction.
@@ -76,6 +90,10 @@ class DynamicSparseTensor {
   std::uint64_t version() const;
   /// Nonzeros currently in the delta (frozen chunks only).
   offset_t delta_nnz() const;
+  /// Heap bytes currently held by delta chunks (see TensorSnapshot).
+  std::size_t delta_storage_bytes() const {
+    return static_cast<std::size_t>(delta_nnz()) * delta_bytes_per_nnz(order());
+  }
 
   /// O(#chunks) consistent view of the current state.
   TensorSnapshot snapshot() const;

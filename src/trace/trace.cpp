@@ -6,8 +6,11 @@
 
 #include <cerrno>
 #include <cstring>
+#include <future>
+#include <memory>
 #include <utility>
 
+#include "net/client.hpp"
 #include "net/convert.hpp"
 #include "net/wire.hpp"
 #include "util/error.hpp"
@@ -88,7 +91,7 @@ ReplayResult replay_trace(TensorOpService& service, TraceReader& reader) {
           net::RegisterMsg msg = net::decode_register(frame.payload);
           service.register_tensor(msg.name,
                                   share_tensor(std::move(msg.tensor)));
-          reply = net::encode_ack({msg.id, 0});
+          reply = net::encode_ack(net::make_ack(msg.id, 0));
         } catch (const Error& e) {
           reply_type = net::MsgType::kError;
           reply = net::encode_error({id, e.what()});
@@ -101,7 +104,7 @@ ReplayResult replay_trace(TensorOpService& service, TraceReader& reader) {
           net::UpdateMsg msg = net::decode_update(frame.payload);
           const std::uint64_t version =
               service.apply_updates(msg.name, std::move(msg.updates));
-          reply = net::encode_ack({msg.id, version});
+          reply = net::encode_ack(net::make_ack(msg.id, version));
         } catch (const Error& e) {
           reply_type = net::MsgType::kError;
           reply = net::encode_error({id, e.what()});
@@ -124,7 +127,11 @@ ReplayResult replay_trace(TensorOpService& service, TraceReader& reader) {
         break;
       }
       default:
-        // Recorded responses, pings, shutdowns: not service events.
+        // Recorded responses, pings, shutdowns: not service events.  A
+        // recorded kOverloaded reply is the only trace of a query the
+        // server rejected at admission (rejected queries are never
+        // recorded as request frames), so count it here.
+        if (frame.type == net::MsgType::kOverloaded) ++result.rejected;
         ++result.skipped;
         continue;
     }
@@ -135,6 +142,143 @@ ReplayResult replay_trace(TensorOpService& service, TraceReader& reader) {
     service.wait_idle();
     net::append_frame(result.log, reply_type, reply);
   }
+  return result;
+}
+
+std::vector<std::uint8_t> normalize_replay_log(
+    std::span<const std::uint8_t> log) {
+  std::vector<std::uint8_t> out;
+  out.reserve(log.size());
+  std::size_t pos = 0;
+  while (pos < log.size()) {
+    if (log.size() - pos < 5) {
+      throw net::ProtocolError("trace: truncated frame header in replay log");
+    }
+    const std::uint32_t len = static_cast<std::uint32_t>(log[pos]) |
+                              (static_cast<std::uint32_t>(log[pos + 1]) << 8) |
+                              (static_cast<std::uint32_t>(log[pos + 2]) << 16) |
+                              (static_cast<std::uint32_t>(log[pos + 3]) << 24);
+    const auto type = static_cast<net::MsgType>(log[pos + 4]);
+    if (len > net::kMaxFramePayload || log.size() - pos - 5 < len) {
+      throw net::ProtocolError("trace: truncated frame in replay log");
+    }
+    const std::span<const std::uint8_t> payload = log.subspan(pos + 5, len);
+    if (type == net::MsgType::kResult) {
+      net::ResultMsg msg = net::decode_result(payload);
+      msg.sequence = 0;
+      msg.upgraded = false;
+      msg.served_format.clear();
+      net::append_frame(out, type, net::encode_result(msg));
+    } else {
+      net::append_frame(out, type, payload);
+    }
+    pos += 5 + len;
+  }
+  return out;
+}
+
+ReplayResult replay_trace_sockets(const std::string& unix_path,
+                                  TraceReader& reader,
+                                  std::size_t connections) {
+  BCSF_CHECK(connections > 0, "trace: need at least one replay connection");
+  ReplayResult result;
+  std::vector<std::unique_ptr<net::TensorClient>> clients;
+  clients.reserve(connections);
+  for (std::size_t i = 0; i < connections; ++i) {
+    clients.push_back(std::make_unique<net::TensorClient>(unix_path));
+  }
+
+  // Outstanding pipelined queries, in trace order: (original trace id,
+  // pending response frame).  The log is appended at drain time walking
+  // this vector front to back, so log order == trace order even though
+  // responses complete in server order.
+  std::vector<std::pair<std::uint64_t, std::future<net::Frame>>> outstanding;
+  std::size_t rr = 0;  // round-robin connection cursor for queries
+
+  // Responses carry the CLIENT-chosen ids, not the recorded ones; restamp
+  // each with the original trace id (and normalize the race-dependent
+  // ResultMsg fields) so the log is comparable against an in-process
+  // replay of the same trace run through normalize_replay_log().
+  auto append_response = [&result](std::uint64_t orig_id, net::Frame frame) {
+    switch (frame.type) {
+      case net::MsgType::kResult: {
+        net::ResultMsg msg = net::decode_result(frame.payload);
+        msg.id = orig_id;
+        msg.sequence = 0;
+        msg.upgraded = false;
+        msg.served_format.clear();
+        net::append_frame(result.log, frame.type, net::encode_result(msg));
+        break;
+      }
+      case net::MsgType::kError:
+      case net::MsgType::kOverloaded: {
+        net::ErrorMsg msg = net::decode_error(frame.payload);
+        msg.id = orig_id;
+        net::append_frame(result.log, frame.type, net::encode_error(msg));
+        break;
+      }
+      default:
+        throw net::ProtocolError(
+            "trace: unexpected response type " +
+            std::to_string(static_cast<unsigned>(frame.type)) +
+            " during socket replay");
+    }
+  };
+
+  auto drain = [&] {
+    for (auto& [orig_id, future] : outstanding) {
+      append_response(orig_id, future.get());
+    }
+    outstanding.clear();
+  };
+
+  net::Frame frame;
+  while (reader.next(frame)) {
+    const std::uint64_t id = net::peek_id(frame.payload);
+    switch (frame.type) {
+      case net::MsgType::kRegister: {
+        ++result.events;
+        drain();  // barrier: mutations never race outstanding queries
+        try {
+          net::RegisterMsg msg = net::decode_register(frame.payload);
+          clients[0]->register_tensor(msg.name, msg.tensor);
+          net::append_frame(result.log, net::MsgType::kAck,
+                            net::encode_ack(net::make_ack(id, 0)));
+        } catch (const Error& e) {
+          net::append_frame(result.log, net::MsgType::kError,
+                            net::encode_error({id, e.what()}));
+        }
+        break;
+      }
+      case net::MsgType::kUpdate: {
+        ++result.events;
+        drain();
+        try {
+          net::UpdateMsg msg = net::decode_update(frame.payload);
+          const std::uint64_t version =
+              clients[0]->apply_updates(msg.name, msg.updates);
+          net::append_frame(result.log, net::MsgType::kAck,
+                            net::encode_ack(net::make_ack(id, version)));
+        } catch (const Error& e) {
+          net::append_frame(result.log, net::MsgType::kError,
+                            net::encode_error({id, e.what()}));
+        }
+        break;
+      }
+      case net::MsgType::kQuery: {
+        ++result.events;
+        net::QueryMsg msg = net::decode_query(frame.payload);
+        outstanding.emplace_back(
+            id, clients[rr++ % connections]->query_async(std::move(msg)));
+        break;
+      }
+      default:
+        if (frame.type == net::MsgType::kOverloaded) ++result.rejected;
+        ++result.skipped;
+        continue;
+    }
+  }
+  drain();
   return result;
 }
 

@@ -31,8 +31,10 @@
 namespace bcsf::trace {
 
 /// Format version stamped into the kTraceHeader frame.  Bump when the
-/// wire encoding of any recorded frame changes.
-inline constexpr std::uint32_t kTraceVersion = 1;
+/// wire encoding of any recorded frame changes.  v2: AckMsg grew the
+/// storage-budget fleet stats (budget/resident/evictions + per-tenant
+/// table).
+inline constexpr std::uint32_t kTraceVersion = 2;
 
 /// 8-byte magic leading the kTraceHeader payload.
 inline constexpr char kTraceMagic[8] = {'B', 'C', 'S', 'F',
@@ -77,6 +79,11 @@ struct ReplayResult {
   std::vector<std::uint8_t> log;
   std::size_t events = 0;   ///< request frames replayed
   std::size_t skipped = 0;  ///< recorded responses (and kPing) ignored
+  /// Recorded kOverloaded replies seen in the trace: queries the server
+  /// REJECTED at admission.  Rejected queries are never recorded as
+  /// request frames (admission runs before the recorder), so this is
+  /// how a trace taken under overload preserves the rejected count.
+  std::size_t rejected = 0;
 };
 
 /// Strict in-process replay: applies every request frame of `reader` to
@@ -84,6 +91,26 @@ struct ReplayResult {
 /// event (see the determinism contract above).  Request failures become
 /// kError frames in the log -- they replay deterministically too.
 ReplayResult replay_trace(TensorOpService& service, TraceReader& reader);
+
+/// Multi-connection socket replay: drives a LIVE tensord at `unix_path`
+/// with `connections` pipelined TensorClients.  Mutating events
+/// (register/update) are serialized on connection 0 behind a drain
+/// barrier; queries round-robin across the connections and stay
+/// outstanding together, so the server sees genuinely concurrent
+/// pipelined traffic.  The returned log keeps trace order but
+/// NORMALIZES the race-dependent ResultMsg fields (sequence, upgraded,
+/// served_format) to fixed values -- with exact-arithmetic workloads
+/// the numeric payload is still byte-comparable against an in-process
+/// replay normalized the same way.
+ReplayResult replay_trace_sockets(const std::string& unix_path,
+                                  TraceReader& reader,
+                                  std::size_t connections);
+
+/// Normalizes a replay response log in place for cross-mode comparison:
+/// every kResult frame's sequence/upgraded/served_format are overwritten
+/// with fixed values (0 / false / "").  Non-result frames pass through.
+std::vector<std::uint8_t> normalize_replay_log(
+    std::span<const std::uint8_t> log);
 
 /// The kTraceHeader payload (magic + version).
 std::vector<std::uint8_t> encode_trace_header();

@@ -1,0 +1,116 @@
+#include "util/fair_scheduler.hpp"
+
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace bcsf {
+
+FairScheduler::FairScheduler(ThreadPool& pool, std::size_t max_inflight)
+    : pool_(pool), max_inflight_(max_inflight == 0 ? 1 : max_inflight) {}
+
+FairScheduler::~FairScheduler() {
+  std::vector<Job> abandoned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    for (auto& [key, queue] : queues_) {
+      for (Job& job : queue) abandoned.push_back(std::move(job));
+      queue.clear();
+    }
+    queued_ = 0;
+  }
+  for (Job& job : abandoned) {
+    if (job.abandon) job.abandon();
+  }
+}
+
+void FairScheduler::enqueue(const std::string& key, Job job) {
+  std::vector<Job> abandoned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      abandoned.push_back(std::move(job));
+    } else {
+      auto [it, inserted] = queues_.try_emplace(key);
+      if (inserted) ring_.push_back(key);
+      it->second.push_back(std::move(job));
+      ++queued_;
+      pump_locked(abandoned);
+    }
+  }
+  for (Job& dropped : abandoned) {
+    if (dropped.abandon) dropped.abandon();
+  }
+}
+
+bool FairScheduler::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_ == 0 && inflight_ == 0;
+}
+
+std::size_t FairScheduler::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+std::uint64_t FairScheduler::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+// Caller holds mutex_.  Fills every free inflight slot from the ring,
+// advancing the cursor one key per dispatched job so concurrently-busy
+// tenants alternate.  If the pool refuses a wrapper (shutdown), the
+// scheduler flips to draining and every queued job is handed back for
+// abandonment -- run outside the lock by the caller.
+void FairScheduler::pump_locked(std::vector<Job>& abandoned) {
+  while (!draining_ && inflight_ < max_inflight_ && queued_ > 0) {
+    Job job;
+    for (std::size_t probe = 0; probe < ring_.size(); ++probe) {
+      auto& queue = queues_[ring_[cursor_ % ring_.size()]];
+      cursor_ = (cursor_ + 1) % ring_.size();
+      if (!queue.empty()) {
+        job = std::move(queue.front());
+        queue.pop_front();
+        --queued_;
+        break;
+      }
+    }
+    ++inflight_;
+    auto body = std::make_shared<Job>(std::move(job));
+    const bool accepted = pool_.try_submit([this, body] {
+      try {
+        if (body->run) body->run();
+      } catch (...) {
+        // Jobs own their error handling; never lose the inflight slot.
+      }
+      finish_one();
+    });
+    if (!accepted) {
+      --inflight_;
+      draining_ = true;
+      abandoned.push_back(std::move(*body));
+      for (auto& [key, queue] : queues_) {
+        for (Job& rest : queue) abandoned.push_back(std::move(rest));
+        queue.clear();
+      }
+      queued_ = 0;
+    }
+  }
+}
+
+void FairScheduler::finish_one() {
+  std::vector<Job> abandoned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --inflight_;
+    ++completed_;
+    pump_locked(abandoned);
+  }
+  for (Job& dropped : abandoned) {
+    if (dropped.abandon) dropped.abandon();
+  }
+}
+
+}  // namespace bcsf

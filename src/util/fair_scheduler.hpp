@@ -1,0 +1,74 @@
+// FairScheduler: per-key round-robin admission in front of a ThreadPool.
+//
+// The serving layer funnels structured-format builds through this so one
+// whale tenant queueing many upgrade jobs cannot monopolize the pool: at
+// most `max_inflight` jobs run at once, and when a slot frees the next
+// job is drawn from the next non-empty tenant queue in round-robin key
+// order, not FIFO arrival order.
+//
+// Jobs carry an `abandon` callback invoked (instead of `run`) when the
+// job can never execute -- the pool refused the wrapper task during
+// shutdown, or the scheduler is destroyed with the job still queued.
+// The serving layer uses it to re-arm the upgrade launch flag so a
+// dropped build can be retried by later traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bcsf {
+
+class ThreadPool;
+
+class FairScheduler {
+ public:
+  struct Job {
+    std::function<void()> run;
+    std::function<void()> abandon;  ///< optional; called if never run
+  };
+
+  /// The pool reference may name a not-yet-constructed member (the
+  /// scheduler is declared before the pool so it outlives pool
+  /// shutdown); it is only dereferenced once jobs are enqueued.
+  FairScheduler(ThreadPool& pool, std::size_t max_inflight);
+  ~FairScheduler();
+
+  FairScheduler(const FairScheduler&) = delete;
+  FairScheduler& operator=(const FairScheduler&) = delete;
+
+  /// Queue `job` under `key` (one queue per tenant) and pump.
+  void enqueue(const std::string& key, Job job);
+
+  /// True when nothing is queued or in flight.  Note a completing job's
+  /// successor is submitted to the pool from within the completing pool
+  /// task, so `pool.wait_idle(); scheduler.idle()` observed together
+  /// imply the scheduler has fully drained.
+  bool idle() const;
+
+  std::size_t queued() const;
+  std::uint64_t completed() const;
+
+ private:
+  void pump_locked(std::vector<Job>& abandoned);
+  void finish_one();
+
+  ThreadPool& pool_;
+  const std::size_t max_inflight_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::deque<Job>> queues_;
+  std::vector<std::string> ring_;  ///< round-robin key order (arrival)
+  std::size_t cursor_ = 0;
+  std::size_t queued_ = 0;
+  std::size_t inflight_ = 0;
+  std::uint64_t completed_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace bcsf

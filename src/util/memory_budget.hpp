@@ -1,0 +1,64 @@
+// MemoryBudget: lock-free byte accounting for the service-wide storage
+// budget (DESIGN.md §10).  One instance tracks one class of bytes --
+// structured-plan storage, delta-chunk storage -- as an atomic resident
+// counter with a CAS-maintained peak, against an optional fixed budget.
+//
+// The budget itself is advisory at this layer: charge() never fails.
+// Enforcement policy (pre-charge admission, eviction, forced compaction)
+// lives in the serving layer, which serializes its charges so the
+// plan-resident invariant `resident <= budget` holds by construction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace bcsf {
+
+class MemoryBudget {
+ public:
+  /// `budget_bytes` == 0 means unlimited (accounting only).
+  explicit MemoryBudget(std::size_t budget_bytes = 0)
+      : budget_(budget_bytes) {}
+
+  std::size_t budget() const { return budget_; }
+  bool unlimited() const { return budget_ == 0; }
+
+  std::size_t resident() const {
+    return resident_.load(std::memory_order_acquire);
+  }
+  /// High-water mark of resident() since construction.
+  std::size_t peak() const { return peak_.load(std::memory_order_acquire); }
+
+  /// True when `extra` more bytes would still fit (always, if unlimited).
+  bool would_fit(std::size_t extra) const {
+    return unlimited() || resident() + extra <= budget_;
+  }
+
+  void charge(std::size_t bytes) {
+    const std::size_t now =
+        resident_.fetch_add(bytes, std::memory_order_acq_rel) + bytes;
+    std::size_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Saturating: releasing more than is resident clamps at zero instead
+  /// of wrapping (a defensive guard; the serving layer's charge/release
+  /// pairs are exact).
+  void release(std::size_t bytes) {
+    std::size_t cur = resident_.load(std::memory_order_relaxed);
+    while (!resident_.compare_exchange_weak(
+        cur, cur >= bytes ? cur - bytes : 0, std::memory_order_acq_rel,
+        std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  const std::size_t budget_;
+  std::atomic<std::size_t> resident_{0};
+  std::atomic<std::size_t> peak_{0};
+};
+
+}  // namespace bcsf

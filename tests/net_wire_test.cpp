@@ -116,7 +116,7 @@ TEST(Wire, QueryRoundTripWithAndWithoutLambda) {
 }
 
 TEST(Wire, AckResultErrorRoundTrip) {
-  const AckMsg ack = decode_ack(encode_ack({9, 3}));
+  const AckMsg ack = decode_ack(encode_ack(make_ack(9, 3)));
   EXPECT_EQ(ack.id, 9u);
   EXPECT_EQ(ack.version, 3u);
 
@@ -146,6 +146,40 @@ TEST(Wire, AckResultErrorRoundTrip) {
   const ErrorMsg err = decode_error(encode_error({5, "boom"}));
   EXPECT_EQ(err.id, 5u);
   EXPECT_EQ(err.message, "boom");
+}
+
+TEST(Wire, AckFleetStatsRoundTrip) {
+  // The v2 ack: kPing replies carry the storage-budget fleet stats and
+  // the per-tenant accounting table (DESIGN.md §10).
+  AckMsg ack;
+  ack.id = 21;
+  ack.version = 5;
+  ack.budget_bytes = std::uint64_t{3} << 30;
+  ack.resident_bytes = 123456789;
+  ack.evictions = 42;
+  ack.tenants.push_back({"alpha", 4096, 512, 1000, 900, 2});
+  ack.tenants.push_back({"beta", 0, 128, 7, 0, 0});
+  const AckMsg got = decode_ack(encode_ack(ack));
+  EXPECT_EQ(got.id, 21u);
+  EXPECT_EQ(got.version, 5u);
+  EXPECT_EQ(got.budget_bytes, ack.budget_bytes);
+  EXPECT_EQ(got.resident_bytes, 123456789u);
+  EXPECT_EQ(got.evictions, 42u);
+  ASSERT_EQ(got.tenants.size(), 2u);
+  EXPECT_EQ(got.tenants[0].name, "alpha");
+  EXPECT_EQ(got.tenants[0].plan_bytes, 4096u);
+  EXPECT_EQ(got.tenants[0].delta_bytes, 512u);
+  EXPECT_EQ(got.tenants[0].calls, 1000u);
+  EXPECT_EQ(got.tenants[0].structured_served, 900u);
+  EXPECT_EQ(got.tenants[0].evictions, 2u);
+  EXPECT_EQ(got.tenants[1].name, "beta");
+  EXPECT_EQ(got.tenants[1].plan_bytes, 0u);
+
+  // The stats-free aggregate form still round-trips as all-zeros: old
+  // two-field call sites keep working.
+  const AckMsg bare = decode_ack(encode_ack(make_ack(9, 3)));
+  EXPECT_EQ(bare.budget_bytes, 0u);
+  EXPECT_TRUE(bare.tenants.empty());
 }
 
 TEST(Wire, IdHelpers) {
@@ -200,7 +234,7 @@ TEST(Wire, TruncationAtEveryPrefixThrowsProtocolError) {
 }
 
 TEST(Wire, TrailingBytesThrowProtocolError) {
-  auto bytes = encode_ack({1, 2});
+  auto bytes = encode_ack(make_ack(1, 2));
   bytes.push_back(0x00);
   EXPECT_THROW(decode_ack(bytes), ProtocolError);
 }

@@ -14,8 +14,10 @@
 // order between sequentially-issued requests -- the property the
 // deterministic-replay gate relies on.  The server exits after a client
 // sends kShutdown (or on SIGTERM via normal process teardown).
+#include <cstddef>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "net/server.hpp"
 #include "util/cli.hpp"
@@ -35,8 +37,30 @@ void usage(const char* prog) {
       << "  --upgrade-threshold=N  calls before upgrading (0 = policy)\n"
       << "  --max-in-flight=N    admission cap on outstanding queries (256)\n"
       << "  --watermark=N        reject when worker queue deeper (0 = 4*W)\n"
+      << "  --budget=BYTES       structured-storage budget, 0 = unlimited\n"
+      << "                       (accepts K/M/G suffixes; DESIGN.md §10)\n"
       << "  --record=PATH        record all traffic to a replayable trace\n"
       << "  --deterministic      one worker; FIFO background work (replay)\n";
+}
+
+// "64M" / "2G" / "123456" -> bytes (binary suffixes).
+std::size_t parse_bytes(const std::string& spec) {
+  BCSF_CHECK(!spec.empty(), "tensord: empty --budget value");
+  std::size_t end = 0;
+  const unsigned long long value = std::stoull(spec, &end);
+  std::size_t shift = 0;
+  if (end < spec.size()) {
+    BCSF_CHECK(end + 1 == spec.size(),
+               "tensord: bad --budget value '" << spec << "'");
+    switch (spec[end]) {
+      case 'k': case 'K': shift = 10; break;
+      case 'm': case 'M': shift = 20; break;
+      case 'g': case 'G': shift = 30; break;
+      default:
+        throw bcsf::Error("tensord: bad --budget suffix in '" + spec + "'");
+    }
+  }
+  return static_cast<std::size_t>(value) << shift;
 }
 
 }  // namespace
@@ -66,6 +90,7 @@ int main(int argc, char** argv) {
     opts.serve.initial_format = cli.get_string("initial-format", "coo");
     opts.serve.upgrade_format = cli.get_string("upgrade-format", "auto");
     opts.serve.upgrade_threshold = cli.get_double("upgrade-threshold", 0.0);
+    opts.serve.storage_budget_bytes = parse_bytes(cli.get_string("budget", "0"));
     if (cli.get_bool("deterministic", false)) opts.serve.workers = 1;
 
     bcsf::net::TensorServer server(std::move(opts));
@@ -83,6 +108,14 @@ int main(int argc, char** argv) {
               << stats.connections << " connections (" << stats.rejected
               << " rejected, " << stats.protocol_errors
               << " protocol errors)\n";
+    const auto& service = server.service();
+    if (service.storage_budget_bytes() > 0) {
+      std::cout << "tensord: budget " << service.storage_budget_bytes()
+                << " bytes, resident " << service.resident_bytes() << " (peak "
+                << service.peak_plan_resident_bytes() << " plan), "
+                << service.eviction_count() << " evictions, "
+                << service.upgrade_reject_count() << " upgrade rejects\n";
+    }
     return EXIT_SUCCESS;
   } catch (const std::exception& e) {
     std::cerr << "tensord: " << e.what() << "\n";

@@ -17,8 +17,14 @@
 // directly comparable.
 //
 //   trace_replay --trace=serve.trace --out=replay.bin [--socket=PATH]
-//                [--shutdown] [--workers=N --shards=K ...]
+//                [--connections=N] [--normalize] [--shutdown]
+//                [--workers=N --shards=K ...]
 //
+// --connections=N (socket mode, N > 1) switches to the interleaved
+// multi-connection replay of trace/trace.hpp: queries are pipelined
+// round-robin across N clients and the log normalizes the
+// timing-dependent ResultMsg fields.  Compare against an in-process
+// replay run with --normalize.
 // --shutdown (socket mode) sends kShutdown after the replay so a tensord
 // launched just for the replay exits -- the CI gate's cleanup.
 #include <cstdint>
@@ -76,7 +82,7 @@ bcsf::trace::ReplayResult replay_over_socket(const std::string& socket_path,
         try {
           net::RegisterMsg msg = net::decode_register(frame.payload);
           client.register_tensor(msg.name, msg.tensor);
-          reply = net::encode_ack({orig_id, 0});
+          reply = net::encode_ack(net::make_ack(orig_id, 0));
         } catch (const Error& e) {
           reply_type = net::MsgType::kError;
           reply = net::encode_error({orig_id, e.what()});
@@ -89,7 +95,7 @@ bcsf::trace::ReplayResult replay_over_socket(const std::string& socket_path,
           net::UpdateMsg msg = net::decode_update(frame.payload);
           const std::uint64_t version =
               client.apply_updates(msg.name, msg.updates);
-          reply = net::encode_ack({orig_id, version});
+          reply = net::encode_ack(net::make_ack(orig_id, version));
         } catch (const Error& e) {
           reply_type = net::MsgType::kError;
           reply = net::encode_error({orig_id, e.what()});
@@ -111,7 +117,10 @@ bcsf::trace::ReplayResult replay_over_socket(const std::string& socket_path,
         break;
       }
       default:
-        ++result.skipped;  // recorded responses / pings / shutdowns
+        // Recorded responses / pings / shutdowns; a recorded kOverloaded
+        // is a query the original server rejected at admission.
+        if (frame.type == net::MsgType::kOverloaded) ++result.rejected;
+        ++result.skipped;
         continue;
     }
     net::append_frame(result.log, reply_type, reply);
@@ -137,7 +146,15 @@ int main(int argc, char** argv) {
     bcsf::trace::TraceReader reader(trace_path);
     bcsf::trace::ReplayResult result;
     const std::string socket_path = cli.get_string("socket", "");
-    if (!socket_path.empty()) {
+    const std::size_t connections =
+        static_cast<std::size_t>(cli.get_int("connections", 1));
+    if (!socket_path.empty() && connections > 1) {
+      result = bcsf::trace::replay_trace_sockets(socket_path, reader,
+                                                 connections);
+      if (cli.get_bool("shutdown", false)) {
+        bcsf::net::TensorClient(socket_path).shutdown_server();
+      }
+    } else if (!socket_path.empty()) {
       result = replay_over_socket(socket_path, reader,
                                   cli.get_bool("shutdown", false));
     } else {
@@ -151,11 +168,16 @@ int main(int argc, char** argv) {
       result = bcsf::trace::replay_trace(service, reader);
     }
 
+    if (cli.get_bool("normalize", false)) {
+      result.log = bcsf::trace::normalize_replay_log(result.log);
+    }
+
     const std::string out_path = cli.get_string("out", "");
     if (!out_path.empty()) write_file(out_path, result.log);
 
     std::cout << "trace_replay: " << result.events << " events, "
-              << result.skipped << " recorded responses skipped, log "
+              << result.skipped << " recorded responses skipped, "
+              << result.rejected << " recorded rejects, log "
               << result.log.size() << " bytes, fnv1a 0x" << std::hex
               << fnv1a(result.log) << std::dec << "\n";
     return EXIT_SUCCESS;
