@@ -80,7 +80,7 @@ TensorClient::~TensorClient() {
 void TensorClient::fail_pending(const std::string& why) {
   std::map<std::uint64_t, std::promise<Frame>> orphaned;
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    MutexLock lock(pending_mutex_);
     orphaned.swap(pending_);
   }
   for (auto& [id, promise] : orphaned) {
@@ -97,7 +97,7 @@ void TensorClient::reader_loop() {
       std::promise<Frame> promise;
       bool matched = false;
       {
-        std::lock_guard<std::mutex> lock(pending_mutex_);
+        MutexLock lock(pending_mutex_);
         auto it = pending_.find(id);
         if (it != pending_.end()) {
           promise = std::move(it->second);
@@ -126,11 +126,11 @@ std::future<Frame> TensorClient::send(std::uint64_t id, MsgType type,
     return future;
   }
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    MutexLock lock(pending_mutex_);
     pending_.emplace(id, std::move(promise));
   }
   try {
-    std::lock_guard<std::mutex> lock(write_mutex_);
+    MutexLock lock(write_mutex_);
     write_frame(fd_.get(), type, payload);
   } catch (const NetError&) {
     // The write failed; pull our own promise back (the reader may have
@@ -138,7 +138,7 @@ std::future<Frame> TensorClient::send(std::uint64_t id, MsgType type,
     std::promise<Frame> mine;
     bool found = false;
     {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
+      MutexLock lock(pending_mutex_);
       auto it = pending_.find(id);
       if (it != pending_.end()) {
         mine = std::move(it->second);

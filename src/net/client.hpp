@@ -21,13 +21,13 @@
 #include <cstdint>
 #include <future>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/frame.hpp"
 #include "net/wire.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bcsf::net {
 
@@ -88,13 +88,16 @@ class TensorClient {
   void fail_pending(const std::string& why);
 
   FdHandle fd_;
-  std::mutex write_mutex_;
+  /// Serializes frame writes; never nests with pending_mutex_ (send()
+  /// registers the pending entry, releases, THEN takes the write lock).
+  Mutex write_mutex_;
   std::thread reader_;
   std::atomic<bool> connected_{true};
   std::atomic<std::uint64_t> id_counter_{0};
 
-  std::mutex pending_mutex_;
-  std::map<std::uint64_t, std::promise<Frame>> pending_;
+  Mutex pending_mutex_;
+  std::map<std::uint64_t, std::promise<Frame>> pending_
+      BCSF_GUARDED_BY(pending_mutex_);
 };
 
 }  // namespace bcsf::net

@@ -131,7 +131,7 @@ void TensorServer::accept_loop() {
       conn->fd = FdHandle(conn_fd);
       Connection& ref = *conn;
       {
-        std::lock_guard<std::mutex> lock(conns_mutex_);
+        MutexLock lock(conns_mutex_);
         conns_.push_back(std::move(conn));
       }
       // Spawn the writer first so a reader that exits instantly (client
@@ -253,7 +253,7 @@ TensorServer::Outgoing TensorServer::dispatch(Frame& frame) {
       out.type = MsgType::kAck;
       out.payload = encode_ack(make_ack(decode_id(frame.payload), 0));
       {
-        std::lock_guard<std::mutex> lock(state_mutex_);
+        MutexLock lock(state_mutex_);
         shutdown_requested_ = true;
       }
       state_cv_.notify_all();
@@ -272,7 +272,7 @@ TensorServer::Outgoing TensorServer::dispatch(Frame& frame) {
 
 void TensorServer::enqueue(Connection& conn, Outgoing out) {
   {
-    std::lock_guard<std::mutex> lock(conn.m);
+    MutexLock lock(conn.m);
     conn.queue.push_back(std::move(out));
   }
   conn.cv.notify_one();
@@ -294,7 +294,7 @@ void TensorServer::reader_loop(Connection& conn) {
   // Hand the connection to the writer: it drains everything already
   // accepted, then the socket closes.
   {
-    std::lock_guard<std::mutex> lock(conn.m);
+    MutexLock lock(conn.m);
     conn.closing = true;
   }
   conn.cv.notify_one();
@@ -305,8 +305,8 @@ void TensorServer::writer_loop(Connection& conn) {
   for (;;) {
     Outgoing out;
     {
-      std::unique_lock<std::mutex> lock(conn.m);
-      conn.cv.wait(lock, [&conn] { return conn.closing || !conn.queue.empty(); });
+      MutexLock lock(conn.m);
+      while (!conn.closing && conn.queue.empty()) conn.cv.wait(lock);
       if (conn.queue.empty()) break;  // closing && drained
       out = std::move(conn.queue.front());
       conn.queue.pop_front();
@@ -344,8 +344,8 @@ void TensorServer::writer_loop(Connection& conn) {
 }
 
 void TensorServer::wait() {
-  std::unique_lock<std::mutex> lock(state_mutex_);
-  state_cv_.wait(lock, [this] { return shutdown_requested_; });
+  MutexLock lock(state_mutex_);
+  while (!shutdown_requested_) state_cv_.wait(lock);
 }
 
 void TensorServer::stop() {
@@ -364,7 +364,7 @@ void TensorServer::stop() {
     // 2./3. Readers see EOF via SHUT_RD (no new requests on any
     //    connection), writers drain every accepted request, then join.
     {
-      std::lock_guard<std::mutex> lock(conns_mutex_);
+      MutexLock lock(conns_mutex_);
       for (auto& conn : conns_) {
         if (conn->fd.valid()) ::shutdown(conn->fd.get(), SHUT_RD);
       }
@@ -381,7 +381,7 @@ void TensorServer::stop() {
 
     // Unblock wait() for owners stopping from another thread.
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       shutdown_requested_ = true;
     }
     state_cv_.notify_all();

@@ -39,12 +39,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag
 #include <string>
 #include <thread>
 #include <vector>
@@ -52,6 +51,7 @@
 #include "net/frame.hpp"
 #include "serve/tensor_op_service.hpp"
 #include "trace/trace.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bcsf::net {
 
@@ -125,10 +125,11 @@ class TensorServer {
     FdHandle fd;
     std::thread reader;
     std::thread writer;
-    std::mutex m;                  // guards queue/closing
-    std::condition_variable cv;    // signals the writer
-    std::deque<Outgoing> queue;
-    bool closing = false;  // reader done: writer drains then exits
+    Mutex m;
+    CondVar cv;  // signals the writer
+    std::deque<Outgoing> queue BCSF_GUARDED_BY(m);
+    /// Reader done: writer drains then exits.
+    bool closing BCSF_GUARDED_BY(m) = false;
     std::atomic<bool> dead{false};  // both threads finished
   };
 
@@ -154,12 +155,13 @@ class TensorServer {
   FdHandle wake_write_;
 
   std::thread accept_thread_;
-  std::mutex conns_mutex_;
-  std::vector<std::unique_ptr<Connection>> conns_;
+  Mutex conns_mutex_;
+  std::vector<std::unique_ptr<Connection>> conns_ BCSF_GUARDED_BY(conns_mutex_);
 
-  std::mutex state_mutex_;
-  std::condition_variable state_cv_;
-  bool shutdown_requested_ = false;  // wait() unblocks
+  Mutex state_mutex_;
+  CondVar state_cv_;
+  /// wait() unblocks once set.
+  bool shutdown_requested_ BCSF_GUARDED_BY(state_mutex_) = false;
   std::atomic<bool> stopping_{false};
   std::once_flag stop_once_;
 

@@ -53,7 +53,7 @@ SharedPlan ConcurrentPlanCache::get(const std::string& format, index_t mode,
   const OpKind slot_op = canonical_op(format, op);
   const Key key{format, mode, slot_op};
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderLock lock(mutex_);
     auto it = slots_.find(key);
     if (it != slots_.end()) {
       std::shared_future<SharedPlan> future = it->second;
@@ -67,7 +67,7 @@ SharedPlan ConcurrentPlanCache::get(const std::string& format, index_t mode,
   TensorPtr tensor;
   std::uint64_t version = 0;
   {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterLock lock(mutex_);
     auto [it, inserted] = slots_.emplace(key, future);
     if (!inserted) {
       // Lost the publish race: wait on the winner's build instead.
@@ -100,7 +100,7 @@ SharedPlan ConcurrentPlanCache::get(const std::string& format, index_t mode,
       // the failed slot -- but only our own slot: an invalidate() racing
       // the build clears the map, and a same-key build may have started
       // against the NEW snapshot since.
-      std::unique_lock<std::shared_mutex> lock(mutex_);
+      WriterLock lock(mutex_);
       if (tensor_version_ == version) slots_.erase(key);
     }
     promise.set_exception(std::current_exception());
@@ -109,7 +109,7 @@ SharedPlan ConcurrentPlanCache::get(const std::string& format, index_t mode,
 }
 
 std::uint64_t ConcurrentPlanCache::tensor_version() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   return tensor_version_;
 }
 
@@ -119,7 +119,7 @@ std::size_t ConcurrentPlanCache::invalidate(TensorPtr tensor,
   std::uint64_t old_version = 0;
   std::size_t evicted = 0;
   {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterLock lock(mutex_);
     if (version <= tensor_version_) {
       BCSF_DEBUG << "ConcurrentPlanCache: rejected stale invalidate to v"
                  << version << " (at v" << tensor_version_ << ")";
@@ -140,13 +140,13 @@ std::size_t ConcurrentPlanCache::invalidate(TensorPtr tensor,
 }
 
 TensorPtr ConcurrentPlanCache::tensor() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   return tensor_;
 }
 
 SharedPlan ConcurrentPlanCache::try_get(const std::string& format,
                                         index_t mode, OpKind op) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   auto it = slots_.find(Key{format, mode, canonical_op(format, op)});
   if (it == slots_.end()) return nullptr;
   const std::shared_future<SharedPlan>& future = it->second;
@@ -157,7 +157,7 @@ SharedPlan ConcurrentPlanCache::try_get(const std::string& format,
 }
 
 std::size_t ConcurrentPlanCache::size() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   std::size_t ready = 0;
   for (const auto& [key, future] : slots_) {
     if (future.wait_for(std::chrono::seconds(0)) ==
@@ -183,7 +183,7 @@ void ConcurrentPlanCache::note_call(index_t mode, std::uint64_t tick) {
              "ConcurrentPlanCache::note_call: mode " << mode
                                                      << " out of range");
   HeatSlot& slot = heat_[mode];
-  std::lock_guard<std::mutex> lock(slot.m);
+  MutexLock lock(slot.m);
   slot.heat = decayed(slot.heat, slot.last_tick, tick) + 1.0;
   slot.last_tick = std::max(slot.last_tick, tick);
 }
@@ -192,7 +192,7 @@ double ConcurrentPlanCache::heat(index_t mode, std::uint64_t tick) const {
   BCSF_CHECK(static_cast<std::size_t>(mode) < heat_.size(),
              "ConcurrentPlanCache::heat: mode " << mode << " out of range");
   const HeatSlot& slot = heat_[mode];
-  std::lock_guard<std::mutex> lock(slot.m);
+  MutexLock lock(slot.m);
   return decayed(slot.heat, slot.last_tick, tick);
 }
 
@@ -202,13 +202,13 @@ void ConcurrentPlanCache::set_heat(index_t mode, double value,
              "ConcurrentPlanCache::set_heat: mode " << mode
                                                     << " out of range");
   HeatSlot& slot = heat_[mode];
-  std::lock_guard<std::mutex> lock(slot.m);
+  MutexLock lock(slot.m);
   slot.heat = value;
   slot.last_tick = tick;
 }
 
 std::size_t ConcurrentPlanCache::resident_bytes() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   std::size_t total = 0;
   for (const auto& [key, future] : slots_) {
     if (coo_family(std::get<0>(key))) continue;
@@ -223,7 +223,7 @@ std::size_t ConcurrentPlanCache::resident_bytes() const {
 bool ConcurrentPlanCache::evict(const std::string& format, index_t mode,
                                 OpKind op) {
   const Key key{format, mode, canonical_op(format, op)};
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   auto it = slots_.find(key);
   if (it == slots_.end()) return false;
   // Never drop an in-flight build: its waiters hold the future, and the
@@ -237,7 +237,7 @@ bool ConcurrentPlanCache::evict(const std::string& format, index_t mode,
 }
 
 double ConcurrentPlanCache::total_build_seconds() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   double total = 0.0;
   for (const auto& [key, future] : slots_) {
     if (future.wait_for(std::chrono::seconds(0)) ==

@@ -29,17 +29,15 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
-
-#include <tuple>
 
 #include "core/format_registry.hpp"
 #include "core/tensor_op_plan.hpp"
 #include "tensor/sparse_tensor.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace bcsf {
@@ -161,22 +159,22 @@ class ConcurrentPlanCache {
   static OpKind canonical_op(const std::string& format, OpKind op);
 
   struct HeatSlot {
-    mutable std::mutex m;
-    double heat = 0.0;
-    std::uint64_t last_tick = 0;
+    mutable Mutex m;
+    double heat BCSF_GUARDED_BY(m) = 0.0;
+    std::uint64_t last_tick BCSF_GUARDED_BY(m) = 0;
   };
 
   double decayed(double heat, std::uint64_t last, std::uint64_t now) const;
 
-  TensorPtr tensor_;
-  PlanOptions opts_;
-  BuildFn build_;
-  std::uint64_t tensor_version_ = 0;
-  double heat_decay_ = 0.5;
-  mutable std::shared_mutex mutex_;
+  mutable SharedMutex mutex_;
+  TensorPtr tensor_ BCSF_GUARDED_BY(mutex_);
+  PlanOptions opts_;   // const after construction
+  BuildFn build_;      // const after construction
+  std::uint64_t tensor_version_ BCSF_GUARDED_BY(mutex_) = 0;
+  double heat_decay_ = 0.5;  // const after construction
   // One shared_future per key: pending while the winning thread builds,
   // ready once the plan exists.  Failed builds are erased.
-  std::map<Key, std::shared_future<SharedPlan>> slots_;
+  std::map<Key, std::shared_future<SharedPlan>> slots_ BCSF_GUARDED_BY(mutex_);
   // One heat counter per mode; sized at construction, never resized
   // (HeatSlot is immovable).  Independent of slots_: heat tracks
   // traffic, not residency, so an evicted mode keeps its heat.

@@ -102,20 +102,20 @@ void TensorOpService::register_tensor(const std::string& name,
     state->shards[s]->index = s;
   }
 
-  std::unique_lock<std::shared_mutex> lock(tensors_mutex_);
+  WriterLock lock(tensors_mutex_);
   const bool inserted = tensors_.emplace(name, std::move(state)).second;
   BCSF_CHECK(inserted, "TensorOpService: tensor '" << name
                                                    << "' already registered");
 }
 
 bool TensorOpService::has_tensor(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(tensors_mutex_);
+  ReaderLock lock(tensors_mutex_);
   return tensors_.count(name) > 0;
 }
 
 TensorOpService::TensorState& TensorOpService::state_for(
     const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(tensors_mutex_);
+  ReaderLock lock(tensors_mutex_);
   auto it = tensors_.find(name);
   BCSF_CHECK(it != tensors_.end(),
              "TensorOpService: unknown tensor '" << name << "'");
@@ -386,13 +386,13 @@ std::string TensorOpService::current_format(const std::string& tensor,
   for (const auto& shard : state.shards) {
     GenerationPtr gen;
     {
-      std::shared_lock<std::shared_mutex> lock(shard->gen_mutex);
+      ReaderLock lock(shard->gen_mutex);
       gen = shard->gen;
     }
     ModeSlot& slot = gen->modes[mode];
     std::string format;
     {
-      std::lock_guard<std::mutex> lock(slot.m);
+      MutexLock lock(slot.m);
       format =
           slot.current ? slot.current->resolved_format() : opts_.initial_format;
     }
@@ -411,11 +411,11 @@ bool TensorOpService::upgraded(const std::string& tensor, index_t mode) const {
   for (const auto& shard : state.shards) {
     GenerationPtr gen;
     {
-      std::shared_lock<std::shared_mutex> lock(shard->gen_mutex);
+      ReaderLock lock(shard->gen_mutex);
       gen = shard->gen;
     }
     ModeSlot& slot = gen->modes[mode];
-    std::lock_guard<std::mutex> lock(slot.m);
+    MutexLock lock(slot.m);
     if (!slot.upgraded_flag) return false;
   }
   return true;
@@ -454,7 +454,7 @@ std::uint64_t TensorOpService::compaction_count(
 std::vector<TensorOpService::TenantStats> TensorOpService::tenant_stats()
     const {
   std::vector<TenantStats> out;
-  std::shared_lock<std::shared_mutex> lock(tensors_mutex_);
+  ReaderLock lock(tensors_mutex_);
   out.reserve(tensors_.size());
   for (const auto& [name, state] : tensors_) {
     TenantStats stats;
@@ -468,11 +468,11 @@ std::vector<TensorOpService::TenantStats> TensorOpService::tenant_stats()
       stats.delta_bytes += shard->dynamic.delta_storage_bytes();
       GenerationPtr gen;
       {
-        std::shared_lock<std::shared_mutex> gen_lock(shard->gen_mutex);
+        ReaderLock gen_lock(shard->gen_mutex);
         gen = shard->gen;
       }
       for (ModeSlot& slot : gen->modes) {
-        std::lock_guard<std::mutex> slot_lock(slot.m);
+        MutexLock slot_lock(slot.m);
         stats.plan_bytes += slot.charged_bytes;
       }
     }
@@ -512,7 +512,7 @@ std::vector<TensorOpService::ShardStatus> TensorOpService::shard_status(
   for (const auto& shard : state.shards) {
     GenerationPtr gen;
     {
-      std::shared_lock<std::shared_mutex> lock(shard->gen_mutex);
+      ReaderLock lock(shard->gen_mutex);
       gen = shard->gen;
     }
     const TensorSnapshot snap = shard->dynamic.snapshot();
@@ -525,7 +525,7 @@ std::vector<TensorOpService::ShardStatus> TensorOpService::shard_status(
     status.compactions = shard->compactions.load(std::memory_order_relaxed);
     status.build_seconds = gen->cache.total_build_seconds();
     ModeSlot& slot = gen->modes[mode];
-    std::lock_guard<std::mutex> lock(slot.m);
+    MutexLock lock(slot.m);
     status.format =
         slot.current ? slot.current->resolved_format() : opts_.initial_format;
     status.upgraded = slot.upgraded_flag;
@@ -549,7 +549,7 @@ TensorOpService::ShardRun TensorOpService::handle_shard(
   GenerationPtr gen;
   TensorSnapshot snap;
   {
-    std::shared_lock<std::shared_mutex> lock(shard.gen_mutex);
+    ReaderLock lock(shard.gen_mutex);
     gen = shard.gen;
     snap = shard.dynamic.snapshot();
   }
@@ -567,7 +567,7 @@ TensorOpService::ShardRun TensorOpService::handle_shard(
   SharedPlan plan;
   bool was_upgraded = false;
   {
-    std::lock_guard<std::mutex> lock(slot.m);
+    MutexLock lock(slot.m);
     plan = slot.current;
     was_upgraded = slot.upgraded_flag;
   }
@@ -577,7 +577,7 @@ TensorOpService::ShardRun TensorOpService::handle_shard(
     // COO-family plan is build-free, so the request still answers
     // immediately (single-flight dedupes racers).
     SharedPlan initial = gen->cache.get(opts_.initial_format, request.mode);
-    std::lock_guard<std::mutex> lock(slot.m);
+    MutexLock lock(slot.m);
     if (!slot.current) slot.current = std::move(initial);
     plan = slot.current;
     was_upgraded = slot.upgraded_flag;
@@ -741,7 +741,7 @@ void TensorOpService::maybe_launch_upgrade(ShardState& shard,
   double threshold = 0.0;
   bool resolved;
   {
-    std::lock_guard<std::mutex> lock(slot.m);
+    MutexLock lock(slot.m);
     resolved = slot.policy_resolved;
     if (resolved) {
       target = slot.target_format;
@@ -755,7 +755,7 @@ void TensorOpService::maybe_launch_upgrade(ShardState& shard,
     // compaction this runs afresh on the NEW base -- the merged
     // structure may bin differently.
     auto [fresh_target, fresh_threshold] = resolve_upgrade_policy(*gen, mode);
-    std::lock_guard<std::mutex> lock(slot.m);
+    MutexLock lock(slot.m);
     if (!slot.policy_resolved) {
       slot.target_format = std::move(fresh_target);
       slot.threshold = fresh_threshold;
@@ -836,7 +836,7 @@ void TensorOpService::run_upgrade(ShardState& shard, GenerationPtr gen,
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(slot.m);
+      MutexLock lock(slot.m);
       slot.current = std::move(structured);  // in-flight runs keep the old
                                              // plan alive via SharedPlan
       slot.upgraded_flag = true;
@@ -848,7 +848,7 @@ void TensorOpService::run_upgrade(ShardState& shard, GenerationPtr gen,
     // check-and-clear under slot.m keeps this single-shot either way.
     bool retired;
     {
-      std::shared_lock<std::shared_mutex> lock(shard.gen_mutex);
+      ReaderLock lock(shard.gen_mutex);
       retired = shard.gen != gen;
     }
     if (retired) budget_.release(release_slot_charge(gen, mode));
@@ -865,7 +865,7 @@ bool TensorOpService::admit_plan_bytes(std::size_t bytes,
     budget_.charge(bytes);
     return true;
   }
-  std::lock_guard<std::mutex> lock(reclaim_mutex_);
+  MutexLock lock(reclaim_mutex_);
   if (budget_.resident() + bytes <= budget_.budget()) {
     budget_.charge(bytes);
     return true;
@@ -889,20 +889,20 @@ std::vector<TensorOpService::EvictionCandidate>
 TensorOpService::collect_candidates() const {
   std::vector<EvictionCandidate> out;
   const std::uint64_t now = tick_.load(std::memory_order_relaxed);
-  std::shared_lock<std::shared_mutex> lock(tensors_mutex_);
+  ReaderLock lock(tensors_mutex_);
   for (const auto& [name, state] : tensors_) {
     for (std::size_t s = 0; s < state->shards.size(); ++s) {
       ShardState& shard = *state->shards[s];
       GenerationPtr gen;
       {
-        std::shared_lock<std::shared_mutex> gen_lock(shard.gen_mutex);
+        ReaderLock gen_lock(shard.gen_mutex);
         gen = shard.gen;
       }
       for (index_t m = 0; m < static_cast<index_t>(gen->modes.size()); ++m) {
         ModeSlot& slot = gen->modes[m];
         bool charged;
         {
-          std::lock_guard<std::mutex> slot_lock(slot.m);
+          MutexLock slot_lock(slot.m);
           charged = slot.upgraded_flag && slot.charged_bytes > 0;
         }
         if (charged) {
@@ -925,7 +925,7 @@ TensorOpService::collect_candidates() const {
 std::size_t TensorOpService::release_slot_charge(const GenerationPtr& gen,
                                                  index_t mode) {
   ModeSlot& slot = gen->modes[mode];
-  std::lock_guard<std::mutex> lock(slot.m);
+  MutexLock lock(slot.m);
   const std::size_t bytes = slot.charged_bytes;
   slot.charged_bytes = 0;
   return bytes;
@@ -937,7 +937,7 @@ std::size_t TensorOpService::evict_candidate(
   std::size_t bytes = 0;
   std::string format;
   {
-    std::lock_guard<std::mutex> lock(slot.m);
+    MutexLock lock(slot.m);
     if (!slot.upgraded_flag || slot.charged_bytes == 0) return 0;
     bytes = slot.charged_bytes;
     slot.charged_bytes = 0;
@@ -985,7 +985,7 @@ void TensorOpService::run_reclaim() {
     // Pass 1: drop the coldest structured plans while the fleet total
     // (plans + delta) is over budget.
     {
-      std::lock_guard<std::mutex> lock(reclaim_mutex_);
+      MutexLock lock(reclaim_mutex_);
       for (const EvictionCandidate& candidate : collect_candidates()) {
         if (total() <= budget_.budget()) break;
         evict_candidate(candidate);
@@ -1005,14 +1005,14 @@ void TensorOpService::run_reclaim() {
       std::vector<Target> targets;
       const std::uint64_t now = tick_.load(std::memory_order_relaxed);
       {
-        std::shared_lock<std::shared_mutex> lock(tensors_mutex_);
+        ReaderLock lock(tensors_mutex_);
         for (const auto& [name, state] : tensors_) {
           for (std::size_t s = 0; s < state->shards.size(); ++s) {
             ShardState& shard = *state->shards[s];
             if (shard.dynamic.delta_nnz() == 0) continue;
             GenerationPtr gen;
             {
-              std::shared_lock<std::shared_mutex> gen_lock(shard.gen_mutex);
+              ReaderLock gen_lock(shard.gen_mutex);
               gen = shard.gen;
             }
             double heat = 0.0;
@@ -1080,7 +1080,7 @@ void TensorOpService::run_compaction(ShardState& shard, bool force) {
         // Commit: swap the base and the plan generation as one atomic
         // step against the queries' shared-lock capture.  Chunks applied
         // since `snap` stay in the delta, now on top of the new base.
-        std::unique_lock<std::shared_mutex> lock(shard.gen_mutex);
+        WriterLock lock(shard.gen_mutex);
         const std::uint64_t new_version =
             shard.dynamic.replace_base(new_base, snap.version);
         new_gen = std::make_shared<Generation>(std::move(new_base),

@@ -77,8 +77,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -89,6 +87,7 @@
 #include "util/fair_scheduler.hpp"
 #include "util/memory_budget.hpp"
 #include "util/scratch_arena.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bcsf {
@@ -401,12 +400,14 @@ class TensorOpService {
 
  private:
   struct ModeSlot {
-    mutable std::mutex m;  // guards current/upgraded_flag/target/threshold
-    SharedPlan current;    // serving delegate; swapped by the upgrade task
-    bool upgraded_flag = false;
-    bool policy_resolved = false;
-    std::string target_format;  // empty = never upgrade this mode
-    double threshold = 0.0;
+    mutable Mutex m;
+    /// Serving delegate; swapped by the upgrade task.
+    SharedPlan current BCSF_GUARDED_BY(m);
+    bool upgraded_flag BCSF_GUARDED_BY(m) = false;
+    bool policy_resolved BCSF_GUARDED_BY(m) = false;
+    /// Empty = never upgrade this mode.
+    std::string target_format BCSF_GUARDED_BY(m);
+    double threshold BCSF_GUARDED_BY(m) = 0.0;
     /// This mode's cumulative call count over ALL ops (request
     /// sequencing).  Carried across compactions so a hot mode
     /// re-launches its structured build on the first post-compaction
@@ -422,11 +423,10 @@ class TensorOpService {
     std::array<std::atomic<std::uint64_t>, 3> op_calls{};
     std::atomic<bool> upgrade_launched{false};
     /// Bytes this slot's installed structured plan has charged against
-    /// the service budget (0 = nothing charged).  Guarded by `m`; the
-    /// SINGLE check-and-clear point shared by reclaimer eviction and
-    /// compaction retirement, so the same plan can never be released
-    /// twice.
-    std::size_t charged_bytes = 0;
+    /// the service budget (0 = nothing charged).  The SINGLE
+    /// check-and-clear point shared by reclaimer eviction and compaction
+    /// retirement, so the same plan can never be released twice.
+    std::size_t charged_bytes BCSF_GUARDED_BY(m) = 0;
   };
 
   /// One immutable base snapshot together with every plan built from it:
@@ -467,9 +467,11 @@ class TensorOpService {
     DynamicSparseTensor dynamic;
     // Guards the `gen` pointer AND its pairing with dynamic's base:
     // queries read both under a shared lock; the compaction commit swaps
-    // both under the exclusive lock.
-    mutable std::shared_mutex gen_mutex;
-    GenerationPtr gen;
+    // both under the exclusive lock.  (The pairing half of the contract
+    // is semantic -- DynamicSparseTensor has its own internal mutex --
+    // so only the pointer itself is annotation-checkable.)
+    mutable SharedMutex gen_mutex;
+    GenerationPtr gen BCSF_GUARDED_BY(gen_mutex);
     std::atomic<bool> compacting{false};
     std::atomic<std::uint64_t> compactions{0};
     /// Owning tensor (stable address: TensorState is held by unique_ptr
@@ -599,7 +601,8 @@ class TensorOpService {
   /// fits, evicting strictly-colder installed plans to make room.
   /// Serialized by reclaim_mutex_, so concurrent admissions cannot
   /// overshoot the budget between check and charge.
-  bool admit_plan_bytes(std::size_t bytes, double incoming_heat);
+  bool admit_plan_bytes(std::size_t bytes, double incoming_heat)
+      BCSF_EXCLUDES(reclaim_mutex_);
 
   /// One evictable installed plan, ordered coldest-first with a total
   /// deterministic tiebreak.
@@ -612,11 +615,16 @@ class TensorOpService {
     TensorState* state = nullptr;
   };
   /// Every installed-and-charged plan slot, sorted (heat, tensor,
-  /// shard, mode) ascending.
-  std::vector<EvictionCandidate> collect_candidates() const;
+  /// shard, mode) ascending.  Requires reclaim_mutex_: candidate
+  /// collection is part of the serialized check-then-evict-then-charge
+  /// sequence (see the lock-order DAG, DESIGN.md §11).
+  std::vector<EvictionCandidate> collect_candidates() const
+      BCSF_REQUIRES(reclaim_mutex_);
   /// Uninstall + release one candidate; returns bytes freed (0 if a
-  /// racer already evicted or a compaction retired it).
-  std::size_t evict_candidate(const EvictionCandidate& candidate);
+  /// racer already evicted or a compaction retired it).  Requires
+  /// reclaim_mutex_ for the same reason as collect_candidates().
+  std::size_t evict_candidate(const EvictionCandidate& candidate)
+      BCSF_REQUIRES(reclaim_mutex_);
   /// Release a retired/raced slot's charge (check-and-clear under its
   /// mutex); returns bytes released.
   std::size_t release_slot_charge(const GenerationPtr& gen, index_t mode);
@@ -625,7 +633,7 @@ class TensorOpService {
   void maybe_launch_reclaim();
   /// Evicts coldest plans, then force-compacts delta-heavy shards,
   /// until the fleet total fits again.
-  void run_reclaim();
+  void run_reclaim() BCSF_EXCLUDES(reclaim_mutex_);
 
   ServeOptions opts_;
   /// Pooled double buffers for merge-path partials and disjoint-path row
@@ -642,12 +650,19 @@ class TensorOpService {
   std::atomic<std::uint64_t> upgrade_rejects_{0};
   std::atomic<bool> reclaiming_{false};
   /// Serializes admission charges and eviction sweeps so the budget
-  /// check-then-charge is atomic across concurrent builds.
-  std::mutex reclaim_mutex_;
-  mutable std::shared_mutex tensors_mutex_;
+  /// check-then-charge is atomic across concurrent builds.  Head of the
+  /// lock-order DAG (DESIGN.md §11): reclaim_mutex_ -> tensors_mutex_
+  /// -> ShardState::gen_mutex -> {ModeSlot::m, the generation cache's
+  /// shared_mutex} -> HeatSlot::m.  The ACQUIRED_BEFORE edge below is
+  /// the compiler-checkable prefix (-Wthread-safety-beta); the per-shard
+  /// and per-slot tails cross class boundaries, which the attribute
+  /// cannot name, so they live in the DAG doc and stay TSan-verified.
+  Mutex reclaim_mutex_ BCSF_ACQUIRED_BEFORE(tensors_mutex_);
+  mutable SharedMutex tensors_mutex_;
   // unique_ptr: TensorState addresses stay stable across map rehash, so
   // worker tasks can hold TensorState& while new tensors register.
-  std::map<std::string, std::unique_ptr<TensorState>> tensors_;
+  std::map<std::string, std::unique_ptr<TensorState>> tensors_
+      BCSF_GUARDED_BY(tensors_mutex_);
   // Declared before pool_ (destroyed after it): pool shutdown runs the
   // in-flight build wrappers, which call back into the scheduler.
   FairScheduler scheduler_;

@@ -39,17 +39,17 @@ DynamicSparseTensor::DynamicSparseTensor(TensorPtr base)
 }
 
 std::uint64_t DynamicSparseTensor::version() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return version_;
 }
 
 offset_t DynamicSparseTensor::delta_nnz() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return delta_nnz_;
 }
 
 TensorSnapshot DynamicSparseTensor::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TensorSnapshot snap;
   snap.version = version_;
   snap.base_version = base_version_;
@@ -64,7 +64,7 @@ std::uint64_t DynamicSparseTensor::apply(SparseTensor updates) {
              "DynamicSparseTensor::apply: update batch dims "
                  << updates.shape_string() << " do not match tensor dims");
   updates.validate();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (updates.nnz() == 0) return version_;
   delta_nnz_ += updates.nnz();
   deltas_.push_back(share_tensor(std::move(updates)));
@@ -77,7 +77,7 @@ std::uint64_t DynamicSparseTensor::replace_base(TensorPtr new_base,
   BCSF_CHECK(new_base != nullptr, "DynamicSparseTensor: null new base");
   BCSF_CHECK(new_base->dims() == dims_,
              "DynamicSparseTensor::replace_base: dims changed");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   BCSF_CHECK(upto_version <= version_,
              "DynamicSparseTensor::replace_base: version "
                  << upto_version << " is in the future (now " << version_

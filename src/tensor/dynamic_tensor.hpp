@@ -27,10 +27,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "tensor/sparse_tensor.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace bcsf {
@@ -115,14 +115,15 @@ class DynamicSparseTensor {
   std::uint64_t replace_base(TensorPtr new_base, std::uint64_t upto_version);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<index_t> dims_;
-  TensorPtr base_;
-  std::vector<TensorPtr> deltas_;
-  std::vector<std::uint64_t> delta_versions_;  // version stamped per chunk
-  offset_t delta_nnz_ = 0;
-  std::uint64_t version_ = 0;
-  std::uint64_t base_version_ = 0;
+  mutable Mutex mutex_;
+  std::vector<index_t> dims_;  // immutable after construction
+  TensorPtr base_ BCSF_GUARDED_BY(mutex_);
+  std::vector<TensorPtr> deltas_ BCSF_GUARDED_BY(mutex_);
+  /// Version stamped per chunk, parallel to deltas_.
+  std::vector<std::uint64_t> delta_versions_ BCSF_GUARDED_BY(mutex_);
+  offset_t delta_nnz_ BCSF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t version_ BCSF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t base_version_ BCSF_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace bcsf

@@ -56,7 +56,7 @@ TraceRecorder::TraceRecorder(const std::string& path) : path_(path) {
 
 void TraceRecorder::record(net::MsgType type,
                            std::span<const std::uint8_t> payload) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   net::write_frame(fd_.get(), type, payload);
 }
 

@@ -20,13 +20,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "net/frame.hpp"
 #include "serve/tensor_op_service.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bcsf::trace {
 
@@ -55,8 +55,10 @@ class TraceRecorder {
 
  private:
   std::string path_;
-  std::mutex mutex_;
-  net::FdHandle fd_;
+  Mutex mutex_;
+  /// The fd itself is write-only after construction; the mutex orders
+  /// the frame appends so each lands whole.
+  net::FdHandle fd_ BCSF_GUARDED_BY(mutex_);
 };
 
 /// Sequential reader over a trace file; validates the header frame on

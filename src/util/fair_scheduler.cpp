@@ -12,7 +12,7 @@ FairScheduler::FairScheduler(ThreadPool& pool, std::size_t max_inflight)
 FairScheduler::~FairScheduler() {
   std::vector<Job> abandoned;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     draining_ = true;
     for (auto& [key, queue] : queues_) {
       for (Job& job : queue) abandoned.push_back(std::move(job));
@@ -28,7 +28,7 @@ FairScheduler::~FairScheduler() {
 void FairScheduler::enqueue(const std::string& key, Job job) {
   std::vector<Job> abandoned;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (draining_) {
       abandoned.push_back(std::move(job));
     } else {
@@ -45,17 +45,17 @@ void FairScheduler::enqueue(const std::string& key, Job job) {
 }
 
 bool FairScheduler::idle() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queued_ == 0 && inflight_ == 0;
 }
 
 std::size_t FairScheduler::queued() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queued_;
 }
 
 std::uint64_t FairScheduler::completed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return completed_;
 }
 
@@ -103,7 +103,7 @@ void FairScheduler::pump_locked(std::vector<Job>& abandoned) {
 void FairScheduler::finish_one() {
   std::vector<Job> abandoned;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     --inflight_;
     ++completed_;
     pump_locked(abandoned);

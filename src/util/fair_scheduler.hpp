@@ -18,9 +18,10 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace bcsf {
 
@@ -55,20 +56,21 @@ class FairScheduler {
   std::uint64_t completed() const;
 
  private:
-  void pump_locked(std::vector<Job>& abandoned);
-  void finish_one();
+  void pump_locked(std::vector<Job>& abandoned) BCSF_REQUIRES(mutex_);
+  void finish_one() BCSF_EXCLUDES(mutex_);
 
   ThreadPool& pool_;
   const std::size_t max_inflight_;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::deque<Job>> queues_;
-  std::vector<std::string> ring_;  ///< round-robin key order (arrival)
-  std::size_t cursor_ = 0;
-  std::size_t queued_ = 0;
-  std::size_t inflight_ = 0;
-  std::uint64_t completed_ = 0;
-  bool draining_ = false;
+  mutable Mutex mutex_;
+  std::map<std::string, std::deque<Job>> queues_ BCSF_GUARDED_BY(mutex_);
+  /// Round-robin key order (arrival).
+  std::vector<std::string> ring_ BCSF_GUARDED_BY(mutex_);
+  std::size_t cursor_ BCSF_GUARDED_BY(mutex_) = 0;
+  std::size_t queued_ BCSF_GUARDED_BY(mutex_) = 0;
+  std::size_t inflight_ BCSF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ BCSF_GUARDED_BY(mutex_) = 0;
+  bool draining_ BCSF_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace bcsf

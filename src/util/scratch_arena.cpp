@@ -5,7 +5,7 @@ namespace bcsf {
 std::vector<double> ScratchArena::acquire(std::size_t size) {
   std::vector<double> buffer;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!free_.empty()) {
       buffer = std::move(free_.back());
       free_.pop_back();
@@ -19,12 +19,12 @@ std::vector<double> ScratchArena::acquire(std::size_t size) {
 
 void ScratchArena::release(std::vector<double>&& buffer) {
   if (buffer.capacity() == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (free_.size() < kMaxPooled) free_.push_back(std::move(buffer));
 }
 
 std::size_t ScratchArena::pooled() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return free_.size();
 }
 

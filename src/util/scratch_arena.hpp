@@ -15,9 +15,10 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace bcsf {
 
@@ -39,8 +40,8 @@ class ScratchArena {
   // slack for overlapping requests; beyond this, recycling stops paying.
   static constexpr std::size_t kMaxPooled = 64;
 
-  mutable std::mutex mutex_;
-  std::vector<std::vector<double>> free_;
+  mutable Mutex mutex_;
+  std::vector<std::vector<double>> free_ BCSF_GUARDED_BY(mutex_);
 };
 
 /// RAII lease on an arena buffer: releases back on destruction.  Movable

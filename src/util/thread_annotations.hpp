@@ -1,0 +1,247 @@
+// Compile-time concurrency contracts (DESIGN.md §11).
+//
+// The serving stack coordinates through ~20 mutex-bearing files, and
+// until this header every locking rule -- which mutex guards which
+// field, which helpers assume the lock is already held, the
+// reclaim-before-cache acquisition order -- lived only in comments,
+// re-verified dynamically by whatever interleavings the TSan suites
+// happened to schedule.  Clang's Thread Safety Analysis turns those
+// comments into compiler-checked facts: a CI job builds the tree with
+// `-Wthread-safety -Wthread-safety-beta -Werror`, so touching a guarded
+// field without its lock, or calling a lock-requiring helper unlocked,
+// fails the build on EVERY future change for free.
+//
+// Two layers live here:
+//
+//   1. BCSF_* attribute macros (GUARDED_BY, REQUIRES, ACQUIRE, ...)
+//      that expand to Clang's capability attributes under clang and to
+//      nothing elsewhere, so gcc builds are byte-identical in behavior.
+//
+//   2. Annotated drop-in wrappers -- Mutex over std::mutex, SharedMutex
+//      over std::shared_mutex, and the scoped guards MutexLock /
+//      ReaderLock / WriterLock -- because the analysis only tracks lock
+//      state through annotated lock/unlock functions, which the
+//      standard library types do not carry.  The wrappers add no state
+//      beyond the std type (MutexLock keeps one bool for its manual
+//      unlock/lock window) and inline to the same calls.
+//
+// Condition variables: std::condition_variable requires
+// std::unique_lock<std::mutex>, which the analysis cannot see through.
+// Code that waits uses CondVar (= std::condition_variable_any, which
+// accepts any BasicLockable) with a MutexLock, and spells the predicate
+// as an explicit `while (!pred) cv.wait(lock);` loop -- a wait lambda
+// would be analyzed as a separate unannotated function and trip
+// GUARDED_BY warnings on the very fields it exists to check.
+//
+// Escape hatch: BCSF_NO_THREAD_SAFETY_ANALYSIS disables the analysis
+// for one function.  Every use in the tree must carry a written
+// justification of why the analysis cannot model that flow.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// clang exposes the capability attributes (stable since clang 3.6);
+// every other compiler sees empty expansions, so a gcc build is
+// byte-identical in behavior and warning-free.
+#if defined(__clang__)
+#define BCSF_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BCSF_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a capability (a lock).  The string names the
+/// capability kind in diagnostics ("mutex").
+#define BCSF_CAPABILITY(x) BCSF_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor
+/// releases a capability (MutexLock & friends).
+#define BCSF_SCOPED_CAPABILITY BCSF_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read/written while holding `x` (shared for reads,
+/// exclusive for writes when `x` is a SharedMutex).
+#define BCSF_GUARDED_BY(x) BCSF_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose POINTEE is guarded by `x` (the pointer itself is
+/// not).
+#define BCSF_PT_GUARDED_BY(x) BCSF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-order declaration: this mutex must be acquired before/after the
+/// listed ones.  Checked under -Wthread-safety-beta; also serves as the
+/// machine-readable spelling of the DESIGN.md §11 lock-order DAG.
+#define BCSF_ACQUIRED_BEFORE(...) \
+  BCSF_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define BCSF_ACQUIRED_AFTER(...) \
+  BCSF_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the listed capabilities held on entry (and does
+/// not release them).  The _SHARED form needs only reader ownership.
+#define BCSF_REQUIRES(...) \
+  BCSF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define BCSF_REQUIRES_SHARED(...) \
+  BCSF_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define BCSF_ACQUIRE(...) \
+  BCSF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define BCSF_ACQUIRE_SHARED(...) \
+  BCSF_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (exclusive / shared / whichever
+/// mode the scoped object holds).
+#define BCSF_RELEASE(...) \
+  BCSF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define BCSF_RELEASE_SHARED(...) \
+  BCSF_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define BCSF_RELEASE_GENERIC(...) \
+  BCSF_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; the first argument is the return
+/// value meaning "acquired".
+#define BCSF_TRY_ACQUIRE(...) \
+  BCSF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define BCSF_TRY_ACQUIRE_SHARED(...) \
+  BCSF_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT the listed capabilities held (it
+/// acquires them itself; calling with them held would deadlock).
+#define BCSF_EXCLUDES(...) \
+  BCSF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Assert-at-runtime forms and capability-returning accessors.
+#define BCSF_ASSERT_CAPABILITY(x) \
+  BCSF_THREAD_ANNOTATION(assert_capability(x))
+#define BCSF_RETURN_CAPABILITY(x) \
+  BCSF_THREAD_ANNOTATION(lock_returned(x))
+
+/// Disables the analysis for one function.  EVERY use must carry a
+/// comment justifying why the analysis cannot model the flow (e.g. a
+/// lock handed across threads, or ownership the type system cannot
+/// express).  bcsf_lint.py's rule table points reviewers here.
+#define BCSF_NO_THREAD_SAFETY_ANALYSIS \
+  BCSF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bcsf {
+
+/// Annotated std::mutex.  Same semantics, same size; lock/unlock inline
+/// to the std calls but carry the capability attributes the analysis
+/// tracks.
+class BCSF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BCSF_ACQUIRE() { m_.lock(); }
+  void unlock() BCSF_RELEASE() { m_.unlock(); }
+  bool try_lock() BCSF_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// Annotated std::shared_mutex: exclusive (writer) and shared (reader)
+/// modes.
+class BCSF_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() BCSF_ACQUIRE() { m_.lock(); }
+  void unlock() BCSF_RELEASE() { m_.unlock(); }
+  bool try_lock() BCSF_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  void lock_shared() BCSF_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() BCSF_RELEASE_SHARED() { m_.unlock_shared(); }
+  bool try_lock_shared() BCSF_TRY_ACQUIRE_SHARED(true) {
+    return m_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// Scoped exclusive lock on a Mutex (std::lock_guard replacement).
+/// Also the lock type for CondVar waits: unlock()/lock() re-open the
+/// capability window exactly like std::unique_lock, and the analysis
+/// tracks both.
+class BCSF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) BCSF_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() BCSF_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  /// Manual window for condition waits / drop-the-lock-around-work
+  /// patterns.  CondVar::wait() calls these through the BasicLockable
+  /// interface.
+  void lock() BCSF_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() BCSF_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Scoped exclusive (writer) lock on a SharedMutex.
+class BCSF_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) BCSF_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+  ~WriterLock() BCSF_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  void unlock() BCSF_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  SharedMutex& mu_;
+  bool held_ = true;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class BCSF_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) BCSF_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+  ~ReaderLock() BCSF_RELEASE() {
+    if (held_) mu_.unlock_shared();
+  }
+
+  void unlock() BCSF_RELEASE() {
+    held_ = false;
+    mu_.unlock_shared();
+  }
+
+ private:
+  SharedMutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable usable with MutexLock (see the header comment for
+/// the no-wait-lambda rule).  condition_variable_any carries one extra
+/// internal mutex versus std::condition_variable; every wait in this
+/// codebase sits on a slow path (worker parked, writer drained, join)
+/// where that cost is noise.
+using CondVar = std::condition_variable_any;
+
+}  // namespace bcsf

@@ -37,7 +37,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Accepted tasks still run: workers only exit once every queue is
     // empty, and under stop_ any worker may drain any local queue.
     stop_ = true;
@@ -45,14 +45,14 @@ void ThreadPool::shutdown() {
   work_cv_.notify_all();
   // Concurrent shutdown() callers both reach here; joins are serialized
   // and re-joining an already-joined worker is skipped.
-  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  MutexLock join_lock(join_mutex_);
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
 }
 
 bool ThreadPool::stopping() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stop_;
 }
 
@@ -73,7 +73,7 @@ void ThreadPool::enqueue(std::function<void()> task, std::size_t queue) {
 void ThreadPool::submit(std::function<void()> task) {
   BCSF_CHECK(static_cast<bool>(task), "ThreadPool: empty task");
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     BCSF_CHECK(!stop_, "ThreadPool: submit after shutdown");
     enqueue(std::move(task), kGlobalQueue);
   }
@@ -85,7 +85,7 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::submit(std::function<void()> task, std::size_t affinity) {
   BCSF_CHECK(static_cast<bool>(task), "ThreadPool: empty task");
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     BCSF_CHECK(!stop_, "ThreadPool: submit after shutdown");
     enqueue(std::move(task), affinity);
   }
@@ -95,7 +95,7 @@ void ThreadPool::submit(std::function<void()> task, std::size_t affinity) {
 bool ThreadPool::try_submit(std::function<void()> task) {
   BCSF_CHECK(static_cast<bool>(task), "ThreadPool: empty task");
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stop_) return false;
     enqueue(std::move(task), kGlobalQueue);
   }
@@ -106,7 +106,7 @@ bool ThreadPool::try_submit(std::function<void()> task) {
 bool ThreadPool::try_submit(std::function<void()> task, std::size_t affinity) {
   BCSF_CHECK(static_cast<bool>(task), "ThreadPool: empty task");
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stop_) return false;
     enqueue(std::move(task), affinity);
   }
@@ -115,17 +115,20 @@ bool ThreadPool::try_submit(std::function<void()> task, std::size_t affinity) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return total_queued() == 0 && active_ == 0; });
+  MutexLock lock(mutex_);
+  // Explicit predicate loop, not a wait lambda: the lambda would be
+  // analyzed as a separate function without the mutex_ capability
+  // (thread_annotations.hpp header comment).
+  while (total_queued() != 0 || active_ != 0) idle_cv_.wait(lock);
 }
 
 std::size_t ThreadPool::queue_depth() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_queued();
 }
 
 std::uint64_t ThreadPool::steal_count() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return steals_;
 }
 
@@ -171,9 +174,9 @@ std::function<void()> ThreadPool::take(std::size_t index) {
 void ThreadPool::worker_loop(std::size_t index) {
   tl_pool = this;
   tl_worker = static_cast<int>(index);
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [this, index] { return stop_ || runnable(index); });
+    while (!stop_ && !runnable(index)) work_cv_.wait(lock);
     std::function<void()> task = take(index);
     if (!task) {
       if (stop_ && total_queued() == 0) return;
@@ -207,10 +210,10 @@ void run_tasks(ThreadPool* pool, std::vector<std::function<void()>> tasks) {
   struct Shared {
     std::vector<std::function<void()>> tasks;
     std::atomic<std::size_t> next{0};
-    std::mutex m;
-    std::condition_variable done_cv;
-    std::size_t done = 0;
-    std::exception_ptr first_error;
+    Mutex m;
+    CondVar done_cv;
+    std::size_t done BCSF_GUARDED_BY(m) = 0;
+    std::exception_ptr first_error BCSF_GUARDED_BY(m);
   };
   auto shared = std::make_shared<Shared>();
   shared->tasks = std::move(tasks);
@@ -227,7 +230,7 @@ void run_tasks(ThreadPool* pool, std::vector<std::function<void()>> tasks) {
       } catch (...) {
         error = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(shared->m);
+      MutexLock lock(shared->m);
       if (error && !shared->first_error) shared->first_error = error;
       if (++shared->done == n) shared->done_cv.notify_all();
     }
@@ -243,8 +246,8 @@ void run_tasks(ThreadPool* pool, std::vector<std::function<void()>> tasks) {
   }
   drain();
 
-  std::unique_lock<std::mutex> lock(shared->m);
-  shared->done_cv.wait(lock, [&shared, n] { return shared->done == n; });
+  MutexLock lock(shared->m);
+  while (shared->done != n) shared->done_cv.wait(lock);
   if (shared->first_error) std::rethrow_exception(shared->first_error);
 }
 

@@ -17,17 +17,17 @@
 // by waiting until every queue is empty AND no worker is mid-task.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace bcsf {
 
@@ -99,22 +99,30 @@ class ThreadPool {
 
  private:
   void worker_loop(std::size_t index);
-  // All of these require mutex_ held.
-  std::size_t total_queued() const;
-  bool runnable(std::size_t index) const;
-  std::function<void()> take(std::size_t index);
-  void enqueue(std::function<void()> task, std::size_t queue);
+  // Queue accounting; all require mutex_ held (compiler-enforced).
+  std::size_t total_queued() const BCSF_REQUIRES(mutex_);
+  bool runnable(std::size_t index) const BCSF_REQUIRES(mutex_);
+  std::function<void()> take(std::size_t index) BCSF_REQUIRES(mutex_);
+  void enqueue(std::function<void()> task, std::size_t queue)
+      BCSF_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  // signals workers: task ready / stop
-  std::condition_variable idle_cv_;  // signals wait_idle: maybe drained
-  std::deque<std::function<void()>> global_;  // un-hinted submissions
-  std::vector<std::deque<std::function<void()>>> local_;  // one per worker
-  std::vector<char> busy_;  // worker i is mid-task (its local is stealable)
-  std::uint64_t steals_ = 0;
-  std::size_t active_ = 0;  // tasks currently executing
-  bool stop_ = false;
-  std::mutex join_mutex_;  // serializes concurrent shutdown() joiners
+  mutable Mutex mutex_;
+  CondVar work_cv_;  // signals workers: task ready / stop
+  CondVar idle_cv_;  // signals wait_idle: maybe drained
+  /// Un-hinted submissions.
+  std::deque<std::function<void()>> global_ BCSF_GUARDED_BY(mutex_);
+  /// One local (affinity-hinted) queue per worker.
+  std::vector<std::deque<std::function<void()>>> local_
+      BCSF_GUARDED_BY(mutex_);
+  /// busy_[i] != 0: worker i is mid-task (its local queue is stealable).
+  std::vector<char> busy_ BCSF_GUARDED_BY(mutex_);
+  std::uint64_t steals_ BCSF_GUARDED_BY(mutex_) = 0;
+  std::size_t active_ BCSF_GUARDED_BY(mutex_) = 0;  // tasks executing now
+  bool stop_ BCSF_GUARDED_BY(mutex_) = false;
+  Mutex join_mutex_;  // serializes concurrent shutdown() joiners
+  /// Written only by the constructor; shutdown() joins the threads under
+  /// join_mutex_ but never mutates the vector itself, so size() reads it
+  /// lock-free.
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,14 @@
+// lint-selftest-path: src/net/bad_cast.cpp
+// lint-selftest-expect: net-reinterpret-cast
+//
+// Deliberate violation: binding a typed span over raw payload bytes
+// with reinterpret_cast -- the PR-8 fuzz-caught bug class.  On an odd
+// payload offset this is a misaligned read (UB); the wire codec's
+// WireReader does the byte-wise, bounds-checked decode instead.
+#include <cstdint>
+#include <vector>
+
+std::uint32_t first_word(const std::vector<std::uint8_t>& payload) {
+  const auto* words = reinterpret_cast<const std::uint32_t*>(payload.data());
+  return words[0];
+}

@@ -1,0 +1,12 @@
+// lint-selftest-path: src/util/bad_order.cpp
+// lint-selftest-aux: src/util/bad_order.hpp
+// lint-selftest-expect: include-hygiene
+//
+// Deliberate violation: this .cpp has a matching own header (the aux
+// fixture file) but includes something else first, hiding any
+// transitive-include dependency the header may have grown.
+#include <vector>
+
+#include "util/bad_order.hpp"
+
+int touch() { return static_cast<int>(std::vector<int>{1}.size()); }

@@ -1,0 +1,9 @@
+// lint-selftest-path: src/util/bad_pragma.hpp
+// lint-selftest-expect: include-hygiene
+//
+// Deliberate violation: a header without #pragma once before its first
+// code line.  Double inclusion of this header is an ODR violation
+// waiting for the right include order to trigger it.
+#include <cstddef>
+
+inline std::size_t answer() { return 42; }

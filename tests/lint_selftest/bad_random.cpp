@@ -1,0 +1,14 @@
+// lint-selftest-path: src/trace/bad_random.cpp
+// lint-selftest-expect: trace-determinism
+//
+// Deliberate violation: ambient nondeterminism in the trace layer.
+// std::random_device seeds differently every run, so a replayed trace
+// would diverge from the recording and the deterministic-replay CI
+// gate (PR-6) would stop meaning anything.
+#include <cstdint>
+#include <random>
+
+std::uint64_t jitter_id() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,16 @@
+// lint-selftest-path: src/serve/bad_submit.cpp
+// lint-selftest-expect: bare-pool-submit
+//
+// Deliberate violation: a bare pool submit() with no try_submit +
+// inline-drain fallback -- the PR-7 shutdown-race bug class.  A task
+// racing the pool's destructor makes this throw and kills the process.
+#include <functional>
+
+struct FakePool {
+  void submit(std::function<void()>) {}
+  bool try_submit(std::function<void()>) { return true; }
+};
+
+void launch_upgrade(FakePool* pool) {
+  pool->submit([] { /* rebuild the structured format */ });
+}

@@ -1,0 +1,27 @@
+// lint-selftest-path: src/serve/clean.cpp
+// lint-selftest-expect: none
+//
+// The clean control: idiomatic spellings of everything the rules watch
+// for.  try_submit with inline-drain fallback, double accumulation,
+// and mentions of float / submit( / reinterpret_cast inside comments
+// and string literals, which the comment-stripping pass must ignore:
+// a float accumulator, pool->submit(task), reinterpret_cast<int*>(p).
+#include <functional>
+#include <vector>
+
+struct FakePool {
+  bool try_submit(std::function<void()>) { return false; }
+};
+
+void launch(FakePool* pool) {
+  auto task = [] {};
+  if (!pool->try_submit(task)) task();  // inline-drain fallback
+}
+
+double sum(const std::vector<double>& xs) {
+  double acc = 0.0;  // accumulate in double, not float
+  const char* note = "reinterpret_cast<const std::uint32_t*> is banned";
+  (void)note;
+  for (double x : xs) acc += x;
+  return acc;
+}

@@ -1,0 +1,435 @@
+#!/usr/bin/env python3
+"""bcsf_lint: project-invariant linter for the bcsf tree (DESIGN.md §11).
+
+Each rule encodes an invariant that a past PR's bug class motivated --
+the rule table in DESIGN.md §11 maps every rule to the incident behind
+it.  Rules are data: one JSON file per rule under tools/lint/, loaded
+and executed by the engines in this script:
+
+  regex            Strip comments + string literals, then flag lines
+                   matching `pattern` unless an `allow` pattern also
+                   matches.  Scoped by `paths` / `exclude` globs.
+  include-hygiene  Every header carries #pragma once near the top, and
+                   a .cpp whose own header (<dir>/<stem>.hpp) exists
+                   must include it FIRST (catches hidden transitive-
+                   include dependencies).
+
+Waivers (tools/lint/waivers.txt) suppress individual findings:
+
+    rule-id|path-glob|line-snippet|justification
+
+The justification is REQUIRED -- a waiver without one is itself an
+error -- and a waiver that matches nothing is STALE and fails the run,
+so dead waivers cannot accumulate after the offending code is fixed.
+
+Exit status: 0 clean, 1 findings or stale waivers, 2 usage/config
+error.  `--selftest` runs the fixture suite under tests/lint_selftest/
+(each fixture declares, in lint-selftest-* directives, the virtual path
+it pretends to live at and the single rule it must trip) plus a waiver
+round-trip; it needs no network and writes only to a temp dir.
+
+Stdlib only, Python >= 3.8.  Run from anywhere:  python3 tools/bcsf_lint.py
+"""
+
+import argparse
+import fnmatch
+import json
+import re
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RULES_DIR = Path(__file__).resolve().parent / "lint"
+DEFAULT_WAIVERS = RULES_DIR / "waivers.txt"
+FIXTURES_DIR = REPO_ROOT / "tests" / "lint_selftest"
+
+
+class ConfigError(Exception):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Source scrubbing: blank out comments and string/char literals while
+# preserving line structure, so patterns only see code.
+
+
+def strip_code(text):
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+            elif c == "\n":  # unterminated (macro trickery); bail to code
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+# --------------------------------------------------------------------------
+# Rule loading and file selection.
+
+REQUIRED_KEYS = {"id", "engine", "description", "message", "paths"}
+
+
+def load_rules(rules_dir):
+    rules = []
+    for path in sorted(rules_dir.glob("*.json")):
+        with open(path) as f:
+            rule = json.load(f)
+        missing = REQUIRED_KEYS - rule.keys()
+        if missing:
+            raise ConfigError(f"{path.name}: missing keys {sorted(missing)}")
+        if rule["engine"] not in ("regex", "include-hygiene"):
+            raise ConfigError(f"{path.name}: unknown engine {rule['engine']}")
+        if rule["engine"] == "regex" and "pattern" not in rule:
+            raise ConfigError(f"{path.name}: regex rule needs 'pattern'")
+        rules.append(rule)
+    if not rules:
+        raise ConfigError(f"no rule files in {rules_dir}")
+    return rules
+
+
+def rule_files(root, rule):
+    excludes = rule.get("exclude", [])
+    seen = set()
+    for pattern in rule["paths"]:
+        for path in sorted(root.glob(pattern)):
+            if not path.is_file():
+                continue
+            rel = path.relative_to(root).as_posix()
+            if rel in seen:
+                continue
+            if any(fnmatch.fnmatch(rel, ex) for ex in excludes):
+                continue
+            seen.add(rel)
+            yield rel, path
+
+
+# --------------------------------------------------------------------------
+# Engines.  A finding is (rule_id, rel_path, line_no, line_text, message).
+
+
+def run_regex(rule, root):
+    pattern = re.compile(rule["pattern"])
+    allows = [re.compile(a) for a in rule.get("allow", [])]
+    findings = []
+    for rel, path in rule_files(root, rule):
+        raw_lines = path.read_text().splitlines()
+        code_lines = strip_code(path.read_text()).splitlines()
+        for no, code in enumerate(code_lines, 1):
+            if not pattern.search(code):
+                continue
+            if any(a.search(code) for a in allows):
+                continue
+            findings.append(
+                (rule["id"], rel, no, raw_lines[no - 1].strip(), rule["message"])
+            )
+    return findings
+
+
+def run_include_hygiene(rule, root):
+    findings = []
+    for rel, path in rule_files(root, rule):
+        text = path.read_text()
+        if path.suffix in (".hpp", ".h"):
+            # #pragma once must appear before any non-comment line.
+            ok = False
+            for line in strip_code(text).splitlines():
+                s = line.strip()
+                if s == "#pragma once":
+                    ok = True
+                    break
+                if s:  # first real code line without the pragma
+                    break
+            if not ok:
+                findings.append(
+                    (rule["id"], rel, 1, "(file header)",
+                     "header lacks #pragma once before any code")
+                )
+        elif path.suffix == ".cpp":
+            own = path.with_suffix(".hpp")
+            if not own.exists():
+                continue
+            own_rel = own.relative_to(root).as_posix()
+            # The include path is rooted at src/ in this tree.
+            own_inc = re.sub(r"^src/", "", own_rel)
+            first = None
+            raw_lines = text.splitlines()
+            # Detect include directives on COMMENT-STRIPPED lines (so a
+            # commented-out #include does not count) but read the path
+            # from the raw line -- stripping blanks string literals,
+            # including the "path" of the directive itself.
+            for no, line in enumerate(strip_code(text).splitlines(), 1):
+                if not re.match(r"\s*#\s*include\b", line):
+                    continue
+                m = re.match(r'\s*#\s*include\s+[<"]([^">]+)[">]',
+                             raw_lines[no - 1])
+                first = (no, m.group(1) if m else "(unparsed)")
+                break
+            if first is None or first[1] not in (own_inc, own_rel):
+                where, inc = first if first else (1, "(no include)")
+                findings.append(
+                    (rule["id"], rel, where, f"#include {inc}",
+                     f"own header {own_inc} must be the first include")
+                )
+    return findings
+
+
+ENGINES = {"regex": run_regex, "include-hygiene": run_include_hygiene}
+
+
+# --------------------------------------------------------------------------
+# Waivers.
+
+
+def load_waivers(path):
+    waivers = []
+    if path is None or not path.exists():
+        return waivers
+    for no, line in enumerate(path.read_text().splitlines(), 1):
+        s = line.strip()
+        if not s or s.startswith("#"):
+            continue
+        parts = [p.strip() for p in s.split("|")]
+        if len(parts) != 4 or not all(parts):
+            raise ConfigError(
+                f"{path}:{no}: waiver needs 'rule|path|snippet|justification'"
+                " with every field non-empty (the justification is mandatory)"
+            )
+        waivers.append(
+            {"rule": parts[0], "path": parts[1], "snippet": parts[2],
+             "justification": parts[3], "line": no, "used": False}
+        )
+    return waivers
+
+
+def apply_waivers(findings, waivers):
+    kept = []
+    for f in findings:
+        rule_id, rel, _no, text, _msg = f
+        waived = False
+        for w in waivers:
+            if (w["rule"] == rule_id and fnmatch.fnmatch(rel, w["path"])
+                    and w["snippet"] in text):
+                w["used"] = True
+                waived = True
+        if not waived:
+            kept.append(f)
+    return kept
+
+
+# --------------------------------------------------------------------------
+# Driver.
+
+
+def run_lint(root, rules, waivers_path, out=sys.stdout):
+    waivers = load_waivers(waivers_path)
+    findings = []
+    for rule in rules:
+        findings.extend(ENGINES[rule["engine"]](rule, root))
+    findings = apply_waivers(findings, waivers)
+    stale = [w for w in waivers if not w["used"]]
+
+    for rule_id, rel, no, text, msg in findings:
+        print(f"{rel}:{no}: [{rule_id}] {msg}", file=out)
+        print(f"    {text}", file=out)
+    for w in stale:
+        print(
+            f"{waivers_path}:{w['line']}: stale waiver for [{w['rule']}] "
+            f"matches nothing -- delete it (was: {w['snippet']})",
+            file=out,
+        )
+    return findings, stale
+
+
+# --------------------------------------------------------------------------
+# Self-test: fixtures declare their virtual location and expected rule via
+#     // lint-selftest-path: src/net/bad_cast.cpp
+#     // lint-selftest-expect: net-reinterpret-cast     (or: none)
+#     // lint-selftest-aux: src/util/bad_order.hpp      (optional, empty file)
+
+
+def fixture_directives(path):
+    d = {"aux": []}
+    for line in path.read_text().splitlines():
+        m = re.match(r"//\s*lint-selftest-(path|expect|aux):\s*(\S+)", line)
+        if m:
+            if m.group(1) == "aux":
+                d["aux"].append(m.group(2))
+            else:
+                d[m.group(1)] = m.group(2)
+    if "path" not in d or "expect" not in d:
+        raise ConfigError(f"{path}: missing lint-selftest-path/-expect directive")
+    return d
+
+
+def selftest(rules):
+    fixtures = sorted(FIXTURES_DIR.glob("*.cpp")) + sorted(FIXTURES_DIR.glob("*.hpp"))
+    if not fixtures:
+        print(f"selftest: no fixtures under {FIXTURES_DIR}", file=sys.stderr)
+        return 1
+    failures = 0
+    for fixture in fixtures:
+        d = fixture_directives(fixture)
+        with tempfile.TemporaryDirectory(prefix="bcsf_lint_") as tmp:
+            root = Path(tmp)
+            target = root / d["path"]
+            target.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy(fixture, target)
+            for aux in d["aux"]:
+                aux_path = root / aux
+                aux_path.parent.mkdir(parents=True, exist_ok=True)
+                aux_path.write_text("#pragma once\n")
+            findings, _ = run_lint(root, rules, None, out=open("/dev/null", "w"))
+            fired = {f[0] for f in findings}
+            expected = set() if d["expect"] == "none" else {d["expect"]}
+            if fired != expected:
+                print(
+                    f"selftest FAIL {fixture.name}: expected "
+                    f"{sorted(expected) or ['none']}, got {sorted(fired) or ['none']}"
+                )
+                failures += 1
+            else:
+                print(f"selftest ok   {fixture.name}: {sorted(fired) or ['clean']}")
+
+    # Waiver round-trip, part 1: a waiver (with justification) silences the
+    # violation it names.
+    bad = FIXTURES_DIR / "bad_submit.cpp"
+    d = fixture_directives(bad)
+    with tempfile.TemporaryDirectory(prefix="bcsf_lint_") as tmp:
+        root = Path(tmp)
+        target = root / d["path"]
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(bad, target)
+        wpath = root / "waivers.txt"
+        wpath.write_text(
+            f"{d['expect']}|{d['path']}|submit|selftest: deliberate fixture\n"
+        )
+        findings, stale = run_lint(root, rules, wpath, out=open("/dev/null", "w"))
+        if findings or stale:
+            print("selftest FAIL waiver-roundtrip: waived violation still fires")
+            failures += 1
+        else:
+            print("selftest ok   waiver-roundtrip: waived violation is silent")
+
+    # Part 2: a waiver matching nothing is stale and fails the run.
+    clean = FIXTURES_DIR / "clean.cpp"
+    d = fixture_directives(clean)
+    with tempfile.TemporaryDirectory(prefix="bcsf_lint_") as tmp:
+        root = Path(tmp)
+        target = root / d["path"]
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(clean, target)
+        wpath = root / "waivers.txt"
+        wpath.write_text(
+            "bare-pool-submit|src/zzz/*.cpp|submit|selftest: nothing matches\n"
+        )
+        findings, stale = run_lint(root, rules, wpath, out=open("/dev/null", "w"))
+        if findings or not stale:
+            print("selftest FAIL stale-waiver: unused waiver did not fail the run")
+            failures += 1
+        else:
+            print("selftest ok   stale-waiver: unused waiver fails the run")
+
+    # Part 3: a waiver without a justification is a config error.
+    with tempfile.TemporaryDirectory(prefix="bcsf_lint_") as tmp:
+        wpath = Path(tmp) / "waivers.txt"
+        wpath.write_text("bare-pool-submit|src/a.cpp|submit|\n")
+        try:
+            load_waivers(wpath)
+            print("selftest FAIL empty-justification: accepted")
+            failures += 1
+        except ConfigError:
+            print("selftest ok   empty-justification: rejected")
+
+    print(f"selftest: {'FAIL' if failures else 'PASS'} ({failures} failures)")
+    return 1 if failures else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=REPO_ROOT,
+                        help="tree to lint (default: the repo)")
+    parser.add_argument("--waivers", type=Path, default=DEFAULT_WAIVERS,
+                        help="waiver file (default: tools/lint/waivers.txt)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the fixture suite instead of linting")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    try:
+        rules = load_rules(RULES_DIR)
+        if args.list_rules:
+            for r in rules:
+                print(f"{r['id']:24} {r['description']}")
+                if r.get("history"):
+                    print(f"{'':24} history: {r['history']}")
+            return 0
+        if args.selftest:
+            return selftest(rules)
+        findings, stale = run_lint(args.root.resolve(), rules, args.waivers)
+        if findings or stale:
+            print(
+                f"bcsf_lint: {len(findings)} finding(s), {len(stale)} stale "
+                "waiver(s)", file=sys.stderr)
+            return 1
+        print(f"bcsf_lint: clean ({len(rules)} rules)")
+        return 0
+    except ConfigError as e:
+        print(f"bcsf_lint: config error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
