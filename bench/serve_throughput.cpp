@@ -155,6 +155,14 @@ struct RunRow {
   /// True iff every response of the budgeted pass was BITWISE equal to
   /// the unbounded pass (vacuously true for unbounded rows).
   bool budget_match = true;
+  // --- planning-latency accounting (BENCH_serve/v7, DESIGN.md §12) ---
+  /// Total wall ms the service spent resolving upgrade policy across the
+  /// run, and the number of decisions that covers.  Sketch-backed
+  /// resolution (ServeOptions::sketch_policy, the default) reads O(S)
+  /// sketch state per decision, so this column stays flat as nnz grows;
+  /// the exact path rescans O(nnz) per decision.
+  double policy_ms = 0.0;
+  std::uint64_t policy_resolutions = 0;
   std::vector<ShardTiming> shard_timings;
   OpStats ops[3];  // indexed by OpKind
 };
@@ -487,6 +495,8 @@ int main(int argc, char** argv) {
       row.resident_peak_bytes = service.peak_plan_resident_bytes();
       row.resident_final_bytes = service.resident_bytes();
       row.evictions = service.eviction_count();
+      row.policy_ms = service.policy_seconds() * 1e3;
+      row.policy_resolutions = service.policy_resolution_count();
       std::uint64_t structured = 0;
       std::uint64_t coo = 0;
       for (const auto& ts : service.tenant_stats()) {
@@ -543,7 +553,7 @@ int main(int argc, char** argv) {
   Table table({"shards", "workers", "req/s", "wall (ms)", "p50 (ms)",
                "p99 (ms)", "fanout (ms)", "reduce (ms)", "path",
                "t->struct (ms)", "pre-upgrade", "post-upgrade",
-               "final format", "compactions"});
+               "final format", "compactions", "policy (ms)"});
   for (unsigned shards : shard_counts) {
     for (unsigned workers : thread_counts) {
       ServeOptions opts;
@@ -732,6 +742,8 @@ int main(int argc, char** argv) {
       row.resident_peak_bytes = service.peak_plan_resident_bytes();
       row.resident_final_bytes = service.resident_bytes();
       row.evictions = service.eviction_count();
+      row.policy_ms = service.policy_seconds() * 1e3;
+      row.policy_resolutions = service.policy_resolution_count();
       {
         std::uint64_t structured = 0;
         std::uint64_t coo = 0;
@@ -755,7 +767,7 @@ int main(int argc, char** argv) {
                 row.wall_ms, row.p50_ms, row.p99_ms, row.fanout_ms,
                 row.reduce_ms, row.reduce_path, row.time_to_structured_ms,
                 row.pre_upgrade, row.post_upgrade, row.final_format,
-                static_cast<long>(row.compactions));
+                static_cast<long>(row.compactions), row.policy_ms);
       rows.push_back(row);
     }
   }
@@ -782,7 +794,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << "{\n"
-        << "  \"schema\": \"BENCH_serve/v6\",\n"
+        << "  \"schema\": \"BENCH_serve/v7\",\n"
         << "  \"bench\": \"serve_throughput\",\n"
         << "  \"config\": {\n"
         << "    \"requests\": " << requests << ",\n"
@@ -821,6 +833,8 @@ int main(int argc, char** argv) {
           << ", \"resident_final_bytes\": " << r.resident_final_bytes
           << ", \"plan_hit_rate\": " << r.plan_hit_rate
           << ", \"evictions\": " << r.evictions
+          << ", \"policy_ms\": " << r.policy_ms
+          << ", \"policy_resolutions\": " << r.policy_resolutions
           << ", \"under_budget\": " << (r.under_budget ? "true" : "false")
           << ", \"budget_match\": " << (r.budget_match ? "true" : "false")
           << ", \"final_format\": \"" << r.final_format << "\""

@@ -12,6 +12,21 @@ AutoDecision auto_select_format(const SparseTensor& tensor, index_t mode,
   return auto_select_format(compute_mode_stats(tensor, mode), opts);
 }
 
+AutoDecision auto_select_format(const TensorSketch& sketch, index_t mode,
+                                const AutoPolicyOptions& opts) {
+  const ModeStats stats = sketch.approx_mode_stats(mode);
+  AutoDecision d = auto_select_format(stats, opts);
+  if (stats.nnz > 0) {
+    // Re-price sharding with the sketched slice skew: the ModeStats path
+    // cannot know the max-slice term, the sketch tracks it exactly.
+    d.sharding =
+        price_shard_count(stats.nnz, static_cast<index_t>(stats.num_slices),
+                          opts, sketch.mode(mode).max_slice_nnz());
+    d.shards = d.sharding.shards;
+  }
+  return d;
+}
+
 AutoDecision auto_select_format(const ModeStats& stats,
                                 const AutoPolicyOptions& opts) {
   AutoDecision d;
@@ -94,7 +109,8 @@ AutoDecision auto_select_format(const ModeStats& stats,
 }
 
 ShardPricing price_shard_count(offset_t nnz, index_t mode_dim,
-                               const AutoPolicyOptions& opts) {
+                               const AutoPolicyOptions& opts,
+                               offset_t max_slice_nnz) {
   ShardPricing best;
   if (opts.saturation_nnz == 0 || nnz == 0) return best;
   // Capacity gate: every shard must still saturate the device on its own.
@@ -109,7 +125,13 @@ ShardPricing price_shard_count(offset_t nnz, index_t mode_dim,
   for (unsigned k = 2; k <= cap; ++k) {
     const double gain = static_cast<double>(nnz) * (1.0 - 1.0 / k);
     const double fanout = k * opts.shard_submit_cost;
-    const double reduce = k * reduce_per_shard;
+    // Sketched skew gate: if even the largest slice fits in a quarter of
+    // the per-shard nnz budget, every cut lies within partition slack of
+    // a slice boundary (the partitioner's slack is budget/4), the
+    // partition comes out disjoint, and the merge traffic never happens.
+    const bool provably_disjoint =
+        max_slice_nnz > 0 && max_slice_nnz <= ceil_div(nnz, offset_t{k}) / 4;
+    const double reduce = provably_disjoint ? 0.0 : k * reduce_per_shard;
     if (gain - fanout - reduce > best.gain - best.fanout_cost -
                                      best.reduce_cost) {
       best = {k, gain, fanout, reduce};
@@ -119,8 +141,9 @@ ShardPricing price_shard_count(offset_t nnz, index_t mode_dim,
 }
 
 unsigned auto_shard_count(offset_t nnz, index_t mode_dim,
-                          const AutoPolicyOptions& opts) {
-  return price_shard_count(nnz, mode_dim, opts).shards;
+                          const AutoPolicyOptions& opts,
+                          offset_t max_slice_nnz) {
+  return price_shard_count(nnz, mode_dim, opts, max_slice_nnz).shards;
 }
 
 std::string AutoDecision::to_string() const {

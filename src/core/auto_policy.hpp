@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/tensor_op.hpp"
+#include "tensor/sketch.hpp"
 #include "tensor/sparse_tensor.hpp"
 #include "tensor/tensor_stats.hpp"
 #include "util/types.hpp"
@@ -114,6 +115,18 @@ AutoDecision auto_select_format(const SparseTensor& tensor, index_t mode,
 AutoDecision auto_select_format(const ModeStats& stats,
                                 const AutoPolicyOptions& opts = {});
 
+/// Sketch-backed decision (DESIGN.md §12): same logic as the ModeStats
+/// overload, fed by the streaming sketch's approximate stats -- O(S)
+/// instead of O(nnz log nnz), no tensor access.  The exact overloads
+/// above are retained as the validation oracle; the sketch decision
+/// matches them whenever the estimated csl/fiber statistics land on the
+/// same side of `dominant_fraction` (the documented tolerance band).
+/// Sharding is priced with the sketched max-slice skew, so tensors whose
+/// largest slice provably snaps inside partition slack drop the reduce
+/// term.
+AutoDecision auto_select_format(const TensorSketch& sketch, index_t mode,
+                                const AutoPolicyOptions& opts = {});
+
 /// Prices the nnz-balanced shard count for a tensor (DESIGN.md §8),
 /// overhead-aware.  Two gates:
 ///  1. Capacity: at most one shard per `saturation_nnz` nonzeros -- a
@@ -128,9 +141,16 @@ AutoDecision auto_select_format(const ModeStats& stats,
 /// `mode_dim` is the output-mode dimension the merge traffic scales with
 /// (the partition mode's extent for the serving layer); 0 = unknown,
 /// pricing the fan-out term only.  Result clamped to [1, max_shards].
+/// `max_slice_nnz` is the sketched slice skew (largest slice's nonzero
+/// count; 0 = unknown): when the largest slice fits inside a quarter of
+/// the per-shard budget, every partition cut provably snaps to a slice
+/// boundary, the shards own disjoint output rows, and the reduce term is
+/// dropped (the disjoint-output execution path never merges).
 ShardPricing price_shard_count(offset_t nnz, index_t mode_dim,
-                               const AutoPolicyOptions& opts = {});
+                               const AutoPolicyOptions& opts = {},
+                               offset_t max_slice_nnz = 0);
 unsigned auto_shard_count(offset_t nnz, index_t mode_dim = 0,
-                          const AutoPolicyOptions& opts = {});
+                          const AutoPolicyOptions& opts = {},
+                          offset_t max_slice_nnz = 0);
 
 }  // namespace bcsf

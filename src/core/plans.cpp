@@ -218,7 +218,8 @@ OpResult coo_family_execute(const TensorOpPlan& plan,
                               req.factors->front().cols());
       break;
     case OpKind::kMttkrp:
-      break;  // callers route MTTKRP through the base path
+    case OpKind::kStats:
+      break;  // MTTKRP rides the base path; kStats never reaches plans
   }
   return res;
 }

@@ -14,6 +14,7 @@ const char* op_name(OpKind op) {
     case OpKind::kMttkrp: return "mttkrp";
     case OpKind::kTtv: return "ttv";
     case OpKind::kFit: return "fit";
+    case OpKind::kStats: return "stats";
   }
   return "?";
 }
@@ -22,7 +23,9 @@ OpKind op_from_name(const std::string& name) {
   for (OpKind op : kAllOps) {
     if (name == op_name(op)) return op;
   }
-  BCSF_CHECK(false, "unknown op '" << name << "' (valid: mttkrp, ttv, fit)");
+  if (name == op_name(OpKind::kStats)) return OpKind::kStats;
+  BCSF_CHECK(false,
+             "unknown op '" << name << "' (valid: mttkrp, ttv, fit, stats)");
   return OpKind::kMttkrp;  // unreachable
 }
 
@@ -92,6 +95,11 @@ OpResult TensorOpPlan::execute(const OpRequest& request) const {
       result.report = std::move(r.report);
       return result;
     }
+    case OpKind::kStats:
+      BCSF_CHECK(false,
+                 "execute(stats): kStats is answered from the serving "
+                 "layer's sketches, never by a plan");
+      return result;
   }
   BCSF_CHECK(false, "execute: unknown op kind");
   return result;  // unreachable

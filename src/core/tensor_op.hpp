@@ -35,12 +35,18 @@
 
 namespace bcsf {
 
-enum class OpKind { kMttkrp = 0, kTtv = 1, kFit = 2 };
+/// kStats is the approximate-query op (DESIGN.md §12): it answers norm
+/// and per-mode slice/fiber statistics from the serving layer's streaming
+/// sketches with stated error bounds.  It never traverses nonzeros and
+/// never reaches a TensorOpPlan, so it is deliberately NOT part of
+/// kAllOps/kAllOpsMask -- those enumerate the plan-served traversal ops a
+/// format must implement.
+enum class OpKind { kMttkrp = 0, kTtv = 1, kFit = 2, kStats = 3 };
 
 inline constexpr std::array<OpKind, 3> kAllOps = {
     OpKind::kMttkrp, OpKind::kTtv, OpKind::kFit};
 
-/// Stable wire/CLI name: "mttkrp", "ttv", "fit".
+/// Stable wire/CLI name: "mttkrp", "ttv", "fit", "stats".
 const char* op_name(OpKind op);
 /// Inverse of op_name; throws bcsf::Error listing the valid names.
 OpKind op_from_name(const std::string& name);

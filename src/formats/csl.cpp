@@ -36,6 +36,32 @@ CslTensor build_csl_from_sorted(const SparseTensor& sorted,
   return t;
 }
 
+CslTensor build_csl_from_sorted(const SparseTensor& sorted,
+                                const ModeOrder& order, index_vec slice_inds,
+                                offset_vec slice_ptr) {
+  BCSF_CHECK(order.size() == sorted.order(), "build_csl: bad mode order");
+  BCSF_CHECK(slice_ptr.size() == slice_inds.size() + 1 &&
+                 (slice_ptr.empty() || slice_ptr.back() == sorted.nnz()),
+             "build_csl: caller-provided slice boundaries malformed");
+
+  CslTensor t;
+  t.mode_order_ = order;
+  t.dims_ = sorted.dims();
+  t.slice_inds_ = std::move(slice_inds);
+  t.slice_ptr_ = std::move(slice_ptr);
+  if (t.slice_ptr_.empty()) t.slice_ptr_.push_back(0);
+
+  const index_t n_other = sorted.order() - 1;
+  t.nz_inds_.resize(n_other);
+  for (index_t p = 0; p < n_other; ++p) {
+    const auto src = sorted.mode_indices(order[p + 1]);
+    t.nz_inds_[p].assign(src.begin(), src.end());
+  }
+  const auto vals = sorted.values();
+  t.vals_.assign(vals.begin(), vals.end());
+  return t;
+}
+
 CslTensor build_csl(const SparseTensor& tensor, index_t mode) {
   SparseTensor copy = tensor;
   const ModeOrder order = mode_order_for(mode, tensor.order());

@@ -54,6 +54,10 @@ class CslTensor {
  private:
   friend CslTensor build_csl_from_sorted(const SparseTensor& sorted,
                                          const ModeOrder& order);
+  friend CslTensor build_csl_from_sorted(const SparseTensor& sorted,
+                                         const ModeOrder& order,
+                                         index_vec slice_inds,
+                                         offset_vec slice_ptr);
 
   ModeOrder mode_order_;
   std::vector<index_t> dims_;
@@ -70,5 +74,13 @@ CslTensor build_csl(const SparseTensor& tensor, index_t mode);
 /// Builds from a tensor already sorted by `order`.
 CslTensor build_csl_from_sorted(const SparseTensor& sorted,
                                 const ModeOrder& order);
+
+/// Builds from a sorted tensor whose slice boundaries the caller already
+/// knows (e.g. HB-CSF, which classifies slices from a SliceFiberCounts
+/// scan and can hand the CSL group's boundaries over instead of having
+/// them re-detected).  `slice_ptr` has one extra trailing entry == nnz.
+CslTensor build_csl_from_sorted(const SparseTensor& sorted,
+                                const ModeOrder& order, index_vec slice_inds,
+                                offset_vec slice_ptr);
 
 }  // namespace bcsf

@@ -10,8 +10,17 @@ namespace bcsf {
 HbcsfTensor build_hbcsf(const SparseTensor& tensor, index_t mode,
                         const BcsfOptions& opts) {
   const ModeOrder order = mode_order_for(mode, tensor.order());
-  SparseTensor sorted = tensor;
-  sorted.sort(order);
+  // Compaction hands over coalesced (identity-sorted) tensors: for the
+  // identity orientation the copy+sort would be pure waste, so reuse the
+  // input in place when it is already ordered.
+  SparseTensor sorted_copy;
+  const SparseTensor* src = &tensor;
+  if (!tensor.is_sorted(order)) {
+    sorted_copy = tensor;
+    sorted_copy.sort(order);
+    src = &sorted_copy;
+  }
+  const SparseTensor& sorted = *src;
 
   HbcsfTensor out;
   out.mode_order_ = order;
@@ -26,6 +35,10 @@ HbcsfTensor build_hbcsf(const SparseTensor& tensor, index_t mode,
   // sorted order, so the CSL/B-CSF builders can run without re-sorting.
   SparseTensor csl_part(tensor.dims());
   SparseTensor csf_part(tensor.dims());
+  // CSL slice boundaries fall out of this classification loop for free;
+  // handing them to the builder saves its boundary re-scan.
+  index_vec csl_slice_inds;
+  offset_vec csl_slice_ptr;
 
   std::vector<index_t> coord(tensor.order());
   offset_t z = 0;        // cursor over sorted nonzeros
@@ -51,6 +64,10 @@ HbcsfTensor build_hbcsf(const SparseTensor& tensor, index_t mode,
       continue;
     }
     SparseTensor& dest = all_singleton ? csl_part : csf_part;
+    if (all_singleton) {
+      csl_slice_inds.push_back(counts.slice_index[slc]);
+      csl_slice_ptr.push_back(csl_part.nnz());
+    }
     for (offset_t i = 0; i < slice_nnz; ++i, ++z) {
       for (index_t p = 0; p < tensor.order(); ++p) {
         coord[order[p]] = sorted.coord(order[p], z);
@@ -60,7 +77,9 @@ HbcsfTensor build_hbcsf(const SparseTensor& tensor, index_t mode,
   }
   BCSF_ASSERT(z == sorted.nnz(), "hbcsf: partition did not cover all nonzeros");
 
-  out.csl_ = build_csl_from_sorted(csl_part, order);
+  csl_slice_ptr.push_back(csl_part.nnz());
+  out.csl_ = build_csl_from_sorted(csl_part, order, std::move(csl_slice_inds),
+                                   std::move(csl_slice_ptr));
   out.bcsf_ = build_bcsf_from_csf(build_csf_from_sorted(csf_part, order), opts);
   return out;
 }

@@ -242,7 +242,8 @@ TensorServer::Outgoing TensorServer::dispatch(Frame& frame) {
       ack.evictions = service_.eviction_count();
       for (const TensorOpService::TenantStats& t : service_.tenant_stats()) {
         ack.tenants.push_back({t.name, t.plan_bytes, t.delta_bytes, t.calls,
-                               t.structured_served, t.evictions});
+                               t.structured_served, t.evictions, t.sketch_nnz,
+                               t.norm_sq});
       }
       out.type = MsgType::kAck;
       out.payload = encode_ack(ack);

@@ -272,6 +272,8 @@ std::vector<std::uint8_t> encode_ack(const AckMsg& msg) {
     w.u64(t.calls);
     w.u64(t.structured_served);
     w.u64(t.evictions);
+    w.u64(t.sketch_nnz);
+    w.f64(t.norm_sq);
   }
   return w.take();
 }
@@ -307,7 +309,7 @@ std::vector<std::uint8_t> encode_id(std::uint64_t id) {
 namespace {
 
 OpKind decode_op(std::uint8_t tag) {
-  if (tag > static_cast<std::uint8_t>(OpKind::kFit)) {
+  if (tag > static_cast<std::uint8_t>(OpKind::kStats)) {
     throw ProtocolError("wire: unknown op tag " + std::to_string(tag));
   }
   return static_cast<OpKind>(tag);
@@ -368,8 +370,8 @@ AckMsg decode_ack(std::span<const std::uint8_t> payload) {
   msg.resident_bytes = r.u64();
   msg.evictions = r.u64();
   const std::uint32_t ntenants = r.u32();
-  // Minimum bytes per entry: u32 name length + five u64 counters.
-  check_count(ntenants, 4 + 5 * 8, r.remaining(), "ack tenant");
+  // Minimum bytes per entry: u32 name length + six u64 counters + f64.
+  check_count(ntenants, 4 + 6 * 8 + 8, r.remaining(), "ack tenant");
   msg.tenants.reserve(ntenants);
   for (std::uint32_t i = 0; i < ntenants; ++i) {
     TenantStatMsg t;
@@ -379,6 +381,8 @@ AckMsg decode_ack(std::span<const std::uint8_t> payload) {
     t.calls = r.u64();
     t.structured_served = r.u64();
     t.evictions = r.u64();
+    t.sketch_nnz = r.u64();
+    t.norm_sq = r.f64();
     msg.tenants.push_back(std::move(t));
   }
   r.expect_done("ack");

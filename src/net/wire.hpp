@@ -115,6 +115,11 @@ struct TenantStatMsg {
   std::uint64_t calls = 0;
   std::uint64_t structured_served = 0;
   std::uint64_t evictions = 0;
+  /// Sketch-derived tenant shape (DESIGN.md §12): stored nonzeros and
+  /// squared norm, read from the serving layer's O(1) sketch scalars so
+  /// a monitoring ping never triggers a rescan.
+  std::uint64_t sketch_nnz = 0;
+  double norm_sq = 0.0;
 };
 
 /// Ack body (kAck).  Register/update acks carry only id + version and

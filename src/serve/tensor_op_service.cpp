@@ -62,12 +62,32 @@ void TensorOpService::register_tensor(const std::string& name,
                                             << " out of range for tensor '"
                                             << name << "'");
 
+  // Sketch the partition mode in ONE streaming pass (DESIGN.md §12):
+  // the same O(nnz) walk feeds shard pricing (nnz + slice skew) and the
+  // slice-mass CDF the sketched partitioner cuts against, replacing the
+  // register path's O(nnz log nnz) sort.
+  ModeSketch reg_sketch(opts_.shard_mode, tensor->order());
+  if (opts_.sketch_policy) {
+    std::vector<index_t> coords(tensor->order());
+    for (offset_t z = 0; z < tensor->nnz(); ++z) {
+      for (index_t m = 0; m < tensor->order(); ++m) {
+        coords[m] = tensor->coord(m, z);
+      }
+      reg_sketch.add(coords);
+    }
+  }
+
   // Auto pricing is overhead-aware (DESIGN.md §8): the partition mode's
   // extent scales the merge traffic a sharded request pays, so tensors
-  // below the fan-out/reduce break-even stay monolithic.
+  // below the fan-out/reduce break-even stay monolithic.  The sketched
+  // slice skew additionally drops the reduce term when every cut
+  // provably lands on a slice boundary (disjoint-output pricing).
   const unsigned want =
       opts_.shards == 0
-          ? auto_shard_count(tensor->nnz(), tensor->dim(opts_.shard_mode))
+          ? auto_shard_count(tensor->nnz(), tensor->dim(opts_.shard_mode),
+                             AutoPolicyOptions{},
+                             opts_.sketch_policy ? reg_sketch.max_slice_nnz()
+                                                 : offset_t{0})
           : opts_.shards;
   auto state = std::make_unique<TensorState>();
   state->name = name;
@@ -82,7 +102,9 @@ void TensorOpService::register_tensor(const std::string& name,
         opts_.build_fn, opts_.heat_decay));
   } else {
     const TensorPartition partition =
-        partition_tensor(*tensor, opts_.shard_mode, want);
+        opts_.sketch_policy
+            ? partition_tensor(*tensor, opts_.shard_mode, want, reg_sketch)
+            : partition_tensor(*tensor, opts_.shard_mode, want);
     BCSF_INFO << "TensorOpService: tensor '" << name << "' -> "
               << partition.to_string();
     // Unsplit slice ranges make partition-mode output rows private per
@@ -184,7 +206,9 @@ std::vector<std::future<ServeResponse>> TensorOpService::submit_batch(
   std::vector<TensorState*> states;
   states.reserve(batch.size());
   for (const ServeRequest& request : batch) {
-    BCSF_CHECK(request.factors != nullptr,
+    // kStats is factor-free: it is answered from sketches, not a
+    // traversal contracted against factor matrices.
+    BCSF_CHECK(request.op == OpKind::kStats || request.factors != nullptr,
                "TensorOpService: request has no factors");
     TensorState& state = state_for(request.tensor);
     BCSF_CHECK(request.mode < state.order(),
@@ -202,6 +226,18 @@ std::vector<std::future<ServeResponse>> TensorOpService::submit_batch(
   std::vector<std::pair<TensorState*, BatchPtr>> groups;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     TensorState& state = *states[i];
+    if (batch[i].op == OpKind::kStats) {
+      // kStats never fans out, whatever the shard count: merging the
+      // shards' sketches is O(S + registers) per shard, so one task
+      // answers it without touching a plan or a nonzero.
+      auto task = std::make_shared<std::packaged_task<ServeResponse()>>(
+          [this, &state, req = std::move(batch[i])] {
+            return handle_stats(state, req);
+          });
+      futures[i] = task->get_future();
+      if (!pool_.try_submit([task] { (*task)(); })) (*task)();
+      continue;
+    }
     if (state.shards.size() == 1) {
       // Monolithic tensors keep the per-request path (bit-for-bit the
       // pre-§8 service, including its scheduling).  packaged_task +
@@ -466,6 +502,9 @@ std::vector<TensorOpService::TenantStats> TensorOpService::tenant_stats()
     stats.evictions = state->evictions.load(std::memory_order_relaxed);
     for (const auto& shard : state->shards) {
       stats.delta_bytes += shard->dynamic.delta_storage_bytes();
+      const SketchScalars scalars = shard->dynamic.sketch_scalars();
+      stats.sketch_nnz += static_cast<std::uint64_t>(scalars.nnz);
+      stats.norm_sq += scalars.norm_sq();
       GenerationPtr gen;
       {
         ReaderLock gen_lock(shard->gen_mutex);
@@ -660,6 +699,11 @@ TensorOpService::ShardRun TensorOpService::handle_shard(
                                     op_request.lambda);
       out.scalar = run.scalar;
       break;
+    case OpKind::kStats:
+      BCSF_CHECK(false,
+                 "handle_shard(stats): kStats is answered by handle_stats "
+                 "from the shards' sketches, never by shard fan-out");
+      break;
   }
 
   maybe_launch_compaction(shard, snap);
@@ -700,8 +744,63 @@ ServeResponse TensorOpService::handle(TensorState& state,
   return response;
 }
 
+ServeResponse TensorOpService::handle_stats(TensorState& state,
+                                            const ServeRequest& request) {
+  const std::uint64_t sequence =
+      state.calls.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Fold the shards' sketches: the shards partition the nonzeros and
+  // sketch merge is exact on every integer structural field, so the
+  // merged sketch matches a whole-tensor sketch bit for bit.  Each
+  // shard's base/delta norm cross-term bound adds, so the summed bound
+  // covers the merged estimate too.
+  TensorSketch merged(state.dims);
+  double norm_err = 0.0;
+  offset_t delta_nnz = 0;
+  std::uint64_t version_sum = 0;
+  for (const auto& shard : state.shards) {
+    merged.merge(shard->dynamic.sketch());
+    norm_err += shard->dynamic.sketch_scalars().norm_sq_error_bound();
+    delta_nnz += shard->dynamic.delta_nnz();
+    version_sum += shard->dynamic.version();
+  }
+
+  const index_t order = state.order();
+  DenseMatrix out(order + 1, 8);
+  for (index_t m = 0; m < order; ++m) {
+    const ModeStats stats = merged.approx_mode_stats(m);
+    const auto row = out.row(m);
+    row[0] = static_cast<value_t>(stats.nnz);
+    row[1] = static_cast<value_t>(stats.num_slices);
+    row[2] = static_cast<value_t>(stats.num_fibers);
+    row[3] = static_cast<value_t>(stats.singleton_slice_fraction);
+    row[4] = static_cast<value_t>(stats.csl_slice_fraction);
+    row[5] = static_cast<value_t>(stats.nnz_per_slice.mean);
+    row[6] = static_cast<value_t>(stats.nnz_per_slice.stddev);
+    row[7] = static_cast<value_t>(merged.mode(m).max_slice_nnz());
+  }
+  const auto tail = out.row(order);
+  tail[0] = static_cast<value_t>(merged.norm_sq());
+  tail[1] = static_cast<value_t>(norm_err);
+  tail[2] = static_cast<value_t>(delta_nnz);
+  tail[3] = static_cast<value_t>(
+      merged.nnz() >= delta_nnz ? merged.nnz() - delta_nnz : offset_t{0});
+
+  ServeResponse response;
+  response.output = std::move(out);
+  response.scalar = merged.norm_sq();
+  response.served_format = "sketch";
+  response.sequence = sequence;
+  response.shards = state.shards.size();
+  response.op = request.op;
+  response.snapshot_version = version_sum;
+  response.delta_nnz = delta_nnz;
+  return response;
+}
+
 std::pair<std::string, double> TensorOpService::resolve_upgrade_policy(
-    const Generation& gen, index_t mode) const {
+    const ShardState& shard, const Generation& gen, index_t mode) const {
+  const auto t0 = std::chrono::steady_clock::now();
   std::string target = opts_.upgrade_format;
   double threshold = opts_.upgrade_threshold;
   if (target == "auto" || threshold <= 0.0) {
@@ -717,8 +816,17 @@ std::pair<std::string, double> TensorOpService::resolve_upgrade_policy(
     // own nnz: undersized shards price an infinite break-even and stay
     // COO -- per-shard format choice, the §8 point.
     policy.expected_mttkrp_calls = std::numeric_limits<double>::infinity();
+    // Sketch path (DESIGN.md §12): the §V bins come from the shard's
+    // streaming base sketch -- O(S) reads, no nonzero touched.  If a
+    // compaction retired `gen` between capture and here, the sketch
+    // describes the NEWER base; the decision lands in the retired
+    // generation's slot, which the fresh generation's own resolution
+    // supersedes anyway.  The exact path scans the generation's base
+    // (the validation oracle the parity tests compare against).
     const AutoDecision decision =
-        auto_select_format(*gen.cache.tensor(), mode, policy);
+        opts_.sketch_policy
+            ? auto_select_format(shard.dynamic.base_sketch(), mode, policy)
+            : auto_select_format(*gen.cache.tensor(), mode, policy);
     if (target == "auto") target = decision.format;
     if (threshold <= 0.0) {
       threshold = std::isfinite(decision.breakeven_calls)
@@ -728,6 +836,13 @@ std::pair<std::string, double> TensorOpService::resolve_upgrade_policy(
   }
   // Upgrading to a zero-preprocessing format is a no-op: stay as served.
   if (is_coo_family(target)) target.clear();
+  policy_ns_.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()),
+      std::memory_order_relaxed);
+  policy_resolutions_.fetch_add(1, std::memory_order_relaxed);
   return {std::move(target), threshold};
 }
 
@@ -754,7 +869,8 @@ void TensorOpService::maybe_launch_upgrade(ShardState& shard,
     // resolvers compute the same answer; first publish wins.  After a
     // compaction this runs afresh on the NEW base -- the merged
     // structure may bin differently.
-    auto [fresh_target, fresh_threshold] = resolve_upgrade_policy(*gen, mode);
+    auto [fresh_target, fresh_threshold] =
+        resolve_upgrade_policy(shard, *gen, mode);
     MutexLock lock(slot.m);
     if (!slot.policy_resolved) {
       slot.target_format = std::move(fresh_target);
@@ -1074,6 +1190,11 @@ void TensorOpService::run_compaction(ShardState& shard, bool force) {
                                      opts_.compact_threshold;
     if (due) {
       TensorPtr new_base = share_tensor(snap.merged(/*coalesce=*/true));
+      // The merged base's sketch is built HERE, off the commit path
+      // (DESIGN.md §12): the writer critical section below then stays
+      // O(retained chunks), and the post-commit format re-decision
+      // reads this same sketch for free.
+      TensorSketch new_base_sketch = TensorSketch::build(*new_base);
       GenerationPtr old_gen;
       GenerationPtr new_gen;
       {
@@ -1081,8 +1202,8 @@ void TensorOpService::run_compaction(ShardState& shard, bool force) {
         // step against the queries' shared-lock capture.  Chunks applied
         // since `snap` stay in the delta, now on top of the new base.
         WriterLock lock(shard.gen_mutex);
-        const std::uint64_t new_version =
-            shard.dynamic.replace_base(new_base, snap.version);
+        const std::uint64_t new_version = shard.dynamic.replace_base(
+            new_base, snap.version, std::move(new_base_sketch));
         new_gen = std::make_shared<Generation>(std::move(new_base),
                                                opts_.plan, new_version,
                                                opts_.build_fn,
@@ -1109,7 +1230,7 @@ void TensorOpService::run_compaction(ShardState& shard, bool force) {
           const index_t mode = static_cast<index_t>(m);
           new_gen->cache.set_heat(mode, old_gen->cache.heat(mode, now), now);
         }
-        shard.gen = std::move(new_gen);
+        shard.gen = new_gen;  // new_gen stays live for the re-decision below
       }
       shard.compactions.fetch_add(1, std::memory_order_relaxed);
       // Retire the old generation's budget footprint: release each
@@ -1123,6 +1244,29 @@ void TensorOpService::run_compaction(ShardState& shard, bool force) {
       }
       if (released > 0) budget_.release(released);
       delta_bytes_.release(snap.delta_storage_bytes());
+      // Re-decision for free on every replace_base (DESIGN.md §12): the
+      // merged base's sketch is already installed, so the §V policy
+      // re-runs per mode at O(S), pre-resolving the fresh generation's
+      // slots -- and a mode whose CARRIED traffic already clears its new
+      // threshold relaunches its structured build now, instead of
+      // waiting for the next request to notice.
+      if (opts_.sketch_policy && opts_.enable_upgrade) {
+        for (std::size_t m = 0; m < new_gen->modes.size(); ++m) {
+          const index_t mode = static_cast<index_t>(m);
+          auto [target, threshold] =
+              resolve_upgrade_policy(shard, *new_gen, mode);
+          {
+            ModeSlot& slot = new_gen->modes[m];
+            MutexLock slot_lock(slot.m);
+            if (!slot.policy_resolved) {
+              slot.target_format = std::move(target);
+              slot.threshold = threshold;
+              slot.policy_resolved = true;
+            }
+          }
+          maybe_launch_upgrade(shard, new_gen, mode);
+        }
+      }
     }
     shard.compacting.store(false, std::memory_order_release);
   } catch (...) {

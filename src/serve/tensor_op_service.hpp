@@ -151,6 +151,14 @@ struct ServeOptions {
   /// queueing many shard builds cannot starve other tenants' upgrades.
   /// 0 = one per worker.
   unsigned max_concurrent_upgrades = 2;
+  /// Sketch-backed planning (DESIGN.md §12): the upgrade policy, shard
+  /// pricing, and partition cut placement read the streaming structural
+  /// sketches DynamicSparseTensor maintains -- O(S) per decision, zero
+  /// O(nnz) rescans after registration -- and every compaction commit
+  /// re-runs the format decision from the merged base's fresh sketch.
+  /// False restores the exact sort+scan paths (the validation oracle the
+  /// parity tests compare against).
+  bool sketch_policy = true;
   /// Plan factory used by every generation's cache; tests inject
   /// counting/failing builders.  Default: FormatRegistry create.
   ConcurrentPlanCache::BuildFn build_fn;
@@ -188,6 +196,11 @@ struct ServeRequest {
 
 struct ServeResponse {
   /// MTTKRP: dims[mode] x R.  TTV: dims[mode] x 1.  FIT: empty.
+  /// STATS: an (order + 1) x 8 summary answered from sketches -- row m
+  /// (m < order) holds [nnz, num_slices, est. num_fibers, singleton slice
+  /// fraction, est. CSL slice fraction (lower bound), mean nnz/slice,
+  /// stddev nnz/slice, max slice nnz] for mode m; the final row holds
+  /// [est. ||X||^2, norm error bound, delta nnz, base nnz, 0, 0, 0, 0].
   DenseMatrix output;
   SimReport report;
   /// Format(s) that executed the BASE contribution ("auto" never leaks:
@@ -216,7 +229,9 @@ struct ServeResponse {
   std::size_t shards = 1;
   OpKind op = OpKind::kMttkrp;  ///< echo of the request's op
   /// FIT: <X, Xhat> at snapshot_version (base plans + delta inner
-  /// products, reduced in double).  0 for matrix-valued ops.
+  /// products, reduced in double).  STATS: estimated ||X||^2 of the
+  /// coalesced tensor (sum of squared stored values; off by at most the
+  /// final output row's error bound).  0 for matrix-valued ops.
   double scalar = 0.0;
   /// How the per-shard contributions were combined into `output`:
   /// "single" (one shard, nothing to combine), "disjoint" (each shard
@@ -354,6 +369,22 @@ class TensorOpService {
     return upgrade_rejects_.load(std::memory_order_relaxed);
   }
 
+  // -- Planning-latency observability (DESIGN.md §12) -----------------
+
+  /// Upgrade-policy resolutions performed so far (one per (shard,
+  /// generation, mode) that needed a format decision).
+  std::uint64_t policy_resolution_count() const {
+    return policy_resolutions_.load(std::memory_order_relaxed);
+  }
+  /// Wall seconds spent inside those resolutions -- the planning-latency
+  /// numerator of bench serve_throughput's policy_ms column.  With
+  /// ServeOptions::sketch_policy this stays flat in nnz (O(S) reads);
+  /// the exact path scales O(nnz log nnz) per decision.
+  double policy_seconds() const {
+    return static_cast<double>(policy_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
   /// Per-tenant accounting snapshot, one entry per registered tensor in
   /// name order (what tensord reports in kPing acks).
   struct TenantStats {
@@ -364,6 +395,12 @@ class TensorOpService {
     std::uint64_t structured_served = 0;  ///< shard runs on structured plans
     std::uint64_t coo_served = 0;         ///< shard runs on the COO fallback
     std::uint64_t evictions = 0;          ///< budget evictions suffered
+    /// Sketched stored-nonzero count across the tenant's shards -- read
+    /// from the O(1) sketch scalars, never a rescan (DESIGN.md §12).
+    std::uint64_t sketch_nnz = 0;
+    /// Sketched squared Frobenius norm (sum of squared stored values,
+    /// shards summed); see ServeResponse's kStats row for error bounds.
+    double norm_sq = 0.0;
   };
   std::vector<TenantStats> tenant_stats() const;
 
@@ -568,6 +605,9 @@ class TensorOpService {
   TensorState& state_for(const std::string& name) const;
   std::size_t route_slice(const TensorState& state, index_t slice) const;
   ServeResponse handle(TensorState& state, const ServeRequest& request);
+  /// Answers a kStats request by merging the shards' sketches -- O(S +
+  /// registers) per shard, never a nonzero touched, no plan, no fan-out.
+  ServeResponse handle_stats(TensorState& state, const ServeRequest& request);
   /// Runs one shard's (capture, count, execute, delta-sweep) sequence.
   /// kDisjoint additionally needs the shared output and the shard's
   /// owned row window; the other paths ignore those arguments.
@@ -581,10 +621,12 @@ class TensorOpService {
   void finalize_item(TensorState& state, BatchItem& item);
   ServeResponse reduce_item(TensorState& state, BatchItem& item);
   /// Computes (target format, threshold) for a mode of one generation's
-  /// base; runs the §V policy when the options defer to it.  Pure --
-  /// called with NO lock held.
+  /// base; runs the §V policy when the options defer to it -- from the
+  /// shard's streaming base sketch (O(S)) under ServeOptions::
+  /// sketch_policy, else from an O(nnz log nnz) scan of the base.
+  /// Called with NO lock held; wall time feeds policy_seconds().
   std::pair<std::string, double> resolve_upgrade_policy(
-      const Generation& gen, index_t mode) const;
+      const ShardState& shard, const Generation& gen, index_t mode) const;
   void maybe_launch_upgrade(ShardState& shard, const GenerationPtr& gen,
                             index_t mode);
   void maybe_launch_compaction(ShardState& shard, const TensorSnapshot& snap);
@@ -648,6 +690,12 @@ class TensorOpService {
   std::atomic<std::uint64_t> tick_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> upgrade_rejects_{0};
+  /// Planning-latency accounting: resolutions and wall nanoseconds spent
+  /// in resolve_upgrade_policy (see policy_seconds()).  Mutable: the
+  /// resolver is logically const (a pure decision function); timing it
+  /// is bookkeeping.
+  mutable std::atomic<std::uint64_t> policy_ns_{0};
+  mutable std::atomic<std::uint64_t> policy_resolutions_{0};
   std::atomic<bool> reclaiming_{false};
   /// Serializes admission charges and eviction sweeps so the budget
   /// check-then-charge is atomic across concurrent builds.  Head of the

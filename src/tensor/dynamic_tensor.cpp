@@ -36,6 +36,20 @@ DynamicSparseTensor::DynamicSparseTensor(TensorPtr base)
   BCSF_CHECK(base_ != nullptr, "DynamicSparseTensor: null base");
   dims_ = base_->dims();
   BCSF_CHECK(!dims_.empty(), "DynamicSparseTensor: base has order 0");
+  base_sketch_ = TensorSketch::build(*base_);
+  delta_sketch_ = TensorSketch(dims_);
+}
+
+DynamicSparseTensor::DynamicSparseTensor(TensorPtr base,
+                                         TensorSketch base_sketch)
+    : base_(std::move(base)) {
+  BCSF_CHECK(base_ != nullptr, "DynamicSparseTensor: null base");
+  dims_ = base_->dims();
+  BCSF_CHECK(!dims_.empty(), "DynamicSparseTensor: base has order 0");
+  BCSF_CHECK(base_sketch.dims() == dims_ && base_sketch.nnz() == base_->nnz(),
+             "DynamicSparseTensor: base sketch does not describe the base");
+  base_sketch_ = std::move(base_sketch);
+  delta_sketch_ = TensorSketch(dims_);
 }
 
 std::uint64_t DynamicSparseTensor::version() const {
@@ -59,6 +73,27 @@ TensorSnapshot DynamicSparseTensor::snapshot() const {
   return snap;
 }
 
+TensorSketch DynamicSparseTensor::sketch() const {
+  MutexLock lock(mutex_);
+  TensorSketch out = base_sketch_;
+  out.merge(delta_sketch_);
+  return out;
+}
+
+TensorSketch DynamicSparseTensor::base_sketch() const {
+  MutexLock lock(mutex_);
+  return base_sketch_;
+}
+
+SketchScalars DynamicSparseTensor::sketch_scalars() const {
+  MutexLock lock(mutex_);
+  SketchScalars s;
+  s.nnz = base_sketch_.nnz() + delta_sketch_.nnz();
+  s.base_norm_sq = base_sketch_.norm_sq();
+  s.delta_norm_sq = delta_sketch_.norm_sq();
+  return s;
+}
+
 std::uint64_t DynamicSparseTensor::apply(SparseTensor updates) {
   BCSF_CHECK(updates.dims() == dims_,
              "DynamicSparseTensor::apply: update batch dims "
@@ -67,6 +102,7 @@ std::uint64_t DynamicSparseTensor::apply(SparseTensor updates) {
   MutexLock lock(mutex_);
   if (updates.nnz() == 0) return version_;
   delta_nnz_ += updates.nnz();
+  delta_sketch_.add_tensor(updates);  // O(batch), keeps planning O(1)
   deltas_.push_back(share_tensor(std::move(updates)));
   delta_versions_.push_back(++version_);
   return version_;
@@ -75,8 +111,21 @@ std::uint64_t DynamicSparseTensor::apply(SparseTensor updates) {
 std::uint64_t DynamicSparseTensor::replace_base(TensorPtr new_base,
                                                 std::uint64_t upto_version) {
   BCSF_CHECK(new_base != nullptr, "DynamicSparseTensor: null new base");
+  TensorSketch base_sketch = TensorSketch::build(*new_base);
+  return replace_base(std::move(new_base), upto_version,
+                      std::move(base_sketch));
+}
+
+std::uint64_t DynamicSparseTensor::replace_base(TensorPtr new_base,
+                                                std::uint64_t upto_version,
+                                                TensorSketch new_base_sketch) {
+  BCSF_CHECK(new_base != nullptr, "DynamicSparseTensor: null new base");
   BCSF_CHECK(new_base->dims() == dims_,
              "DynamicSparseTensor::replace_base: dims changed");
+  BCSF_CHECK(new_base_sketch.dims() == dims_ &&
+                 new_base_sketch.nnz() == new_base->nnz(),
+             "DynamicSparseTensor::replace_base: sketch does not describe "
+             "the new base");
   MutexLock lock(mutex_);
   BCSF_CHECK(upto_version <= version_,
              "DynamicSparseTensor::replace_base: version "
@@ -94,8 +143,13 @@ std::uint64_t DynamicSparseTensor::replace_base(TensorPtr new_base,
       delta_versions_.begin(),
       delta_versions_.begin() + static_cast<std::ptrdiff_t>(keep_from));
   delta_nnz_ = 0;
-  for (const TensorPtr& chunk : deltas_) delta_nnz_ += chunk->nnz();
+  delta_sketch_ = TensorSketch(dims_);
+  for (const TensorPtr& chunk : deltas_) {
+    delta_nnz_ += chunk->nnz();
+    delta_sketch_.add_tensor(*chunk);  // O(retained chunks), not O(nnz)
+  }
   base_ = std::move(new_base);
+  base_sketch_ = std::move(new_base_sketch);
   base_version_ = ++version_;
   return version_;
 }

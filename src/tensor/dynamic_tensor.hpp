@@ -25,15 +25,34 @@
 // or compactions never mutate the chunks it references.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "tensor/sketch.hpp"
 #include "tensor/sparse_tensor.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace bcsf {
+
+/// O(1) scalar view of a DynamicSparseTensor's sketches, split by the
+/// base/delta boundary so the approximate-norm error bound can be stated
+/// (DESIGN.md §12): the stored-entry norm misses the 2<base,delta> cross
+/// term of the coalesced tensor, bounded by Cauchy-Schwarz.
+struct SketchScalars {
+  offset_t nnz = 0;              ///< stored entries (base + delta chunks)
+  double base_norm_sq = 0.0;     ///< sum of squared base values
+  double delta_norm_sq = 0.0;    ///< sum of squared delta values
+
+  double norm_sq() const { return base_norm_sq + delta_norm_sq; }
+  /// |true coalesced norm_sq - norm_sq()| <= this; 0 right after a
+  /// compaction (empty delta).
+  double norm_sq_error_bound() const {
+    return 2.0 * std::sqrt(base_norm_sq * delta_norm_sq);
+  }
+};
 
 /// Heap bytes one delta nonzero occupies across the per-mode index
 /// arrays and the value array -- the currency of the serving layer's
@@ -81,7 +100,12 @@ struct TensorSnapshot {
 class DynamicSparseTensor {
  public:
   /// Wraps `base` as version 0.  The base is immutable from here on.
+  /// Builds the base's structural sketch with one O(nnz) pass; callers
+  /// that already hold a sketch of `base` (e.g. the sharded registration
+  /// path, which sketches the whole tensor before splitting) use the
+  /// second overload to skip it.
   explicit DynamicSparseTensor(TensorPtr base);
+  DynamicSparseTensor(TensorPtr base, TensorSketch base_sketch);
 
   const std::vector<index_t>& dims() const { return dims_; }
   index_t order() const { return static_cast<index_t>(dims_.size()); }
@@ -98,6 +122,19 @@ class DynamicSparseTensor {
   /// O(#chunks) consistent view of the current state.
   TensorSnapshot snapshot() const;
 
+  /// Merged structural sketch of everything currently stored (base +
+  /// delta chunks), maintained incrementally: O(S + registers) to copy
+  /// and fold, never O(nnz).  This is what every planning read consumes.
+  TensorSketch sketch() const;
+
+  /// Sketch of the CURRENT base snapshot only (delta excluded): the
+  /// structure a plan built now would be built from, so it is what the
+  /// upgrade policy reads.  O(S + registers) copy.
+  TensorSketch base_sketch() const;
+
+  /// O(1) scalar sketch view (nnz and the base/delta norm split).
+  SketchScalars sketch_scalars() const;
+
   /// Appends one batch of additive updates: a COO tensor with the same
   /// dims whose values ADD to the coordinates they name (new coordinates
   /// insert, existing ones accumulate; a batch may itself contain
@@ -112,7 +149,14 @@ class DynamicSparseTensor {
   /// after that snapshot are retained on top of the new base.  Returns
   /// the new version.  This is the compaction commit point; the caller
   /// (e.g. MttkrpService) does the merge off-line and swaps here.
+  ///
+  /// The first overload rebuilds the base sketch inline -- an O(nnz) pass
+  /// under the lock, fine for offline callers.  The serving path uses the
+  /// second overload with a sketch of `new_base` computed off the
+  /// critical section, keeping the commit O(retained chunks).
   std::uint64_t replace_base(TensorPtr new_base, std::uint64_t upto_version);
+  std::uint64_t replace_base(TensorPtr new_base, std::uint64_t upto_version,
+                             TensorSketch new_base_sketch);
 
  private:
   mutable Mutex mutex_;
@@ -124,6 +168,11 @@ class DynamicSparseTensor {
   offset_t delta_nnz_ BCSF_GUARDED_BY(mutex_) = 0;
   std::uint64_t version_ BCSF_GUARDED_BY(mutex_) = 0;
   std::uint64_t base_version_ BCSF_GUARDED_BY(mutex_) = 0;
+  /// Structural sketches, split at the base/delta boundary so a
+  /// compaction can swap in a fresh base sketch and rebuild only the
+  /// (small) retained-delta side (DESIGN.md §12).
+  TensorSketch base_sketch_ BCSF_GUARDED_BY(mutex_);
+  TensorSketch delta_sketch_ BCSF_GUARDED_BY(mutex_);
 };
 
 }  // namespace bcsf

@@ -2,11 +2,52 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "util/error.hpp"
 
 namespace bcsf {
+
+namespace {
+
+// Equal-nnz cut points over a sorted nonzero stream whose slice boundary
+// offsets are `starts` (with a trailing nnz sentinel), snapped to the
+// nearest boundary when one is within a quarter of the per-shard budget;
+// a cut left mid-slice SPLITS that slice across two shards (the paper's
+// slc-split, lifted to tensor granularity).  Every cut is clamped to
+// [previous cut + 1, nnz - remaining shards], which guarantees exactly k
+// strictly non-empty shards for any k <= nnz.  Shared by the sorting and
+// the sketch-backed partitioners, so their cuts are always identical.
+offset_vec place_cuts(offset_t nnz, offset_t k, const offset_vec& starts) {
+  const offset_t budget = ceil_div<offset_t>(nnz, k);
+  const offset_t slack = budget / 4;
+  offset_vec cuts;
+  cuts.push_back(0);
+  for (offset_t i = 1; i < k; ++i) {
+    const offset_t lo = cuts.back() + 1;  // previous shard stays non-empty
+    const offset_t hi = nnz - (k - i);    // room for the remaining shards
+    const offset_t raw = std::clamp(i * nnz / k, lo, hi);
+    auto it = std::lower_bound(starts.begin(), starts.end(), raw);
+    offset_t cut = raw;
+    offset_t best = slack + 1;
+    for (const auto candidate : {it, it == starts.begin() ? it : it - 1}) {
+      if (candidate == starts.end()) continue;
+      const offset_t boundary = *candidate;
+      if (boundary < lo || boundary > hi) continue;
+      const offset_t dist = boundary > raw ? boundary - raw : raw - boundary;
+      if (dist <= slack && dist < best) {
+        best = dist;
+        cut = boundary;
+      }
+    }
+    cuts.push_back(cut);
+  }
+  cuts.push_back(nnz);
+  return cuts;
+}
+
+}  // namespace
 
 std::size_t route_slice(std::span<const index_t> shard_slice_begins,
                         index_t slice) {
@@ -133,37 +174,9 @@ TensorPartition partition_tensor(const SparseTensor& tensor, index_t mode,
   }
   starts.push_back(nnz);
 
-  // Equal-nnz cut points, snapped to the nearest slice boundary when one
-  // is within a quarter of the per-shard budget; a cut left mid-slice
-  // SPLITS that slice across two shards (the paper's slc-split, lifted
-  // to tensor granularity).  Snapping keeps delta routing aligned with
-  // slice ownership wherever balance permits.  Every cut is clamped to
-  // [previous cut + 1, nnz - remaining shards], which guarantees exactly
-  // k strictly non-empty shards for any k <= nnz.
-  const offset_t budget = ceil_div<offset_t>(nnz, k);
-  const offset_t slack = budget / 4;
-  offset_vec cuts;
-  cuts.push_back(0);
-  for (offset_t i = 1; i < k; ++i) {
-    const offset_t lo = cuts.back() + 1;  // previous shard stays non-empty
-    const offset_t hi = nnz - (k - i);    // room for the remaining shards
-    const offset_t raw = std::clamp(i * nnz / k, lo, hi);
-    auto it = std::lower_bound(starts.begin(), starts.end(), raw);
-    offset_t cut = raw;
-    offset_t best = slack + 1;
-    for (const auto candidate : {it, it == starts.begin() ? it : it - 1}) {
-      if (candidate == starts.end()) continue;
-      const offset_t boundary = *candidate;
-      if (boundary < lo || boundary > hi) continue;
-      const offset_t dist = boundary > raw ? boundary - raw : raw - boundary;
-      if (dist <= slack && dist < best) {
-        best = dist;
-        cut = boundary;
-      }
-    }
-    cuts.push_back(cut);
-  }
-  cuts.push_back(nnz);
+  // Cut placement lives in place_cuts (shared with the sketch-backed
+  // overload below, which must reproduce these cuts exactly).
+  const offset_vec cuts = place_cuts(nnz, k, starts);
 
   TensorPartition partition;
   partition.mode = mode;
@@ -187,6 +200,88 @@ TensorPartition partition_tensor(const SparseTensor& tensor, index_t mode,
     shard.slice_begin = sorted.coord(mode, begin);
     shard.slice_end = sorted.coord(mode, end - 1) + 1;
     shard.tensor = share_tensor(std::move(piece));
+    partition.slice_begins.push_back(shard.slice_begin);
+    partition.shards.push_back(std::move(shard));
+  }
+  return partition;
+}
+
+TensorPartition partition_tensor(const SparseTensor& tensor, index_t mode,
+                                 unsigned shards, const ModeSketch& sketch) {
+  BCSF_CHECK(tensor.nnz() > 0, "partition_tensor: empty tensor");
+  BCSF_CHECK(mode < tensor.order(),
+             "partition_tensor: mode " << mode << " out of range for order "
+                                       << tensor.order());
+  BCSF_CHECK(sketch.mode() == mode && sketch.nnz() == tensor.nnz(),
+             "partition_tensor: sketch does not describe mode " << mode
+                                                                << " of this tensor");
+  const offset_t nnz = tensor.nnz();
+  const offset_t k = std::clamp<offset_t>(shards == 0 ? 1 : shards, 1, nnz);
+
+  // The sketch's slice-occupancy histogram is exact, so its prefix sums
+  // ARE the slice boundary offsets of the (never materialized) sorted
+  // stream -- the same `starts` array the sorting path scans for.
+  const std::vector<SliceMass> cdf = sketch.slice_cdf();
+  offset_vec starts;
+  starts.reserve(cdf.size() + 1);
+  offset_t acc = 0;
+  for (const SliceMass& s : cdf) {
+    starts.push_back(acc);
+    acc += s.nnz;
+  }
+  BCSF_CHECK(acc == nnz, "partition_tensor: sketch slice masses sum to "
+                             << acc << ", tensor has " << nnz);
+  starts.push_back(nnz);
+
+  const offset_vec cuts = place_cuts(nnz, k, starts);
+
+  // Root-mode slice containing virtual position `pos` of the sorted
+  // stream (for shard slice ranges).
+  auto slice_at = [&](offset_t pos) {
+    const auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+    return cdf[static_cast<std::size_t>(it - starts.begin()) - 1].slice;
+  };
+
+  // One bucketing pass in input order: a nonzero's virtual position is
+  // its slice's start offset plus the count of same-slice nonzeros seen
+  // before it, which is exactly where the sorting path would have placed
+  // it (up to intra-slice order, which no consumer depends on).
+  const std::size_t num_shards = static_cast<std::size_t>(cuts.size()) - 1;
+  std::vector<SparseTensor> pieces;
+  pieces.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    pieces.emplace_back(tensor.dims());
+    pieces[s].reserve(cuts[s + 1] - cuts[s]);
+  }
+  std::unordered_map<index_t, offset_t> next_pos;  // slice -> next virtual pos
+  next_pos.reserve(cdf.size());
+  for (std::size_t i = 0; i < cdf.size(); ++i) {
+    next_pos.emplace(cdf[i].slice, starts[i]);
+  }
+  std::vector<index_t> coords(tensor.order());
+  for (offset_t z = 0; z < nnz; ++z) {
+    for (index_t m = 0; m < tensor.order(); ++m) coords[m] = tensor.coord(m, z);
+    const auto it = next_pos.find(coords[mode]);
+    BCSF_CHECK(it != next_pos.end(),
+               "partition_tensor: slice " << coords[mode] << " missing from sketch");
+    const offset_t vpos = it->second++;
+    const std::size_t s =
+        static_cast<std::size_t>(std::upper_bound(cuts.begin(), cuts.end(), vpos) -
+                                 cuts.begin()) -
+        1;
+    pieces[s].push_back(coords, tensor.value(z));
+  }
+
+  TensorPartition partition;
+  partition.mode = mode;
+  partition.dims = tensor.dims();
+  partition.total_nnz = nnz;
+  partition.shards.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    TensorShard shard;
+    shard.slice_begin = slice_at(cuts[s]);
+    shard.slice_end = slice_at(cuts[s + 1] - 1) + 1;
+    shard.tensor = share_tensor(std::move(pieces[s]));
     partition.slice_begins.push_back(shard.slice_begin);
     partition.shards.push_back(std::move(shard));
   }

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/sketch.hpp"
 #include "tensor/sparse_tensor.hpp"
 #include "util/types.hpp"
 
@@ -117,6 +118,16 @@ using PartitionPtr = std::shared_ptr<const TensorPartition>;
 /// Throws bcsf::Error for an empty tensor or an out-of-range mode.
 TensorPartition partition_tensor(const SparseTensor& tensor, index_t mode,
                                  unsigned shards);
+
+/// Sketch-backed partitioning (DESIGN.md §12): places the same cuts as
+/// the overload above -- the slice-mass CDF of `sketch` (which is exact)
+/// reproduces the slice boundary offsets of the sorted stream, and the
+/// identical snap-or-split rule runs against them -- but never sorts the
+/// nonzeros: shards are materialized by one bucketing pass in input
+/// order.  O(nnz + S log S) instead of O(nnz log nnz), no scratch copy.
+/// `sketch` must describe exactly `tensor`'s mode-`mode` structure.
+TensorPartition partition_tensor(const SparseTensor& tensor, index_t mode,
+                                 unsigned shards, const ModeSketch& sketch);
 
 /// Shared-ownership convenience used by the plan and serving layers.
 PartitionPtr share_partition(TensorPartition&& partition);

@@ -1,0 +1,323 @@
+// Streaming structural sketches (DESIGN.md §12).  All hashing is seeded
+// with fixed compile-time constants -- deterministic across runs, replay
+// and shards -- and every structural counter is integer-valued, so merges
+// are bitwise-exact in any association.
+#include "tensor/sketch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace bcsf {
+
+namespace {
+
+// Fixed hash seeds (arbitrary odd constants; never derived from time or
+// any runtime entropy source).
+constexpr std::uint64_t kFiberSeed = 0x9ae16a3b2f90404fULL;
+constexpr std::uint64_t kAmsSeed = 0x517cc1b727220a95ULL;
+
+double pow2_neg(std::uint8_t r) { return std::ldexp(1.0, -static_cast<int>(r)); }
+
+}  // namespace
+
+ModeSketch::ModeSketch(index_t mode, index_t order) : mode_(mode) {
+  BCSF_CHECK(mode < order, "ModeSketch: mode " << mode << " out of range for order "
+                                               << order);
+  const ModeOrder mode_order = mode_order_for(mode, order);
+  // A fiber is identified by every coordinate except the leaf mode's.
+  fiber_modes_.assign(mode_order.begin(), mode_order.end() - 1);
+  hll_regs_.assign(kHllRegisters, 0);
+  hll_inv_sum_ = static_cast<double>(kHllRegisters);  // all registers at 0
+  hll_zero_regs_ = static_cast<std::uint32_t>(kHllRegisters);
+  ams_.assign(kAmsCounters, 0);
+}
+
+std::uint64_t ModeSketch::fiber_hash(std::span<const index_t> coords) const {
+  std::uint64_t h = kFiberSeed ^ mode_;
+  for (index_t m : fiber_modes_) h = sketch_mix64(h ^ coords[m]);
+  return h;
+}
+
+void ModeSketch::hll_observe(std::uint64_t hash) {
+  const std::size_t idx = static_cast<std::size_t>(hash >> (64 - kHllPrecision));
+  // The |1 caps the leading-zero count; registers stay well inside uint8.
+  const std::uint64_t w = (hash << kHllPrecision) | 1ULL;
+  const std::uint8_t rho = static_cast<std::uint8_t>(std::countl_zero(w) + 1);
+  std::uint8_t& reg = hll_regs_[idx];
+  if (rho > reg) {
+    hll_inv_sum_ += pow2_neg(rho) - pow2_neg(reg);
+    if (reg == 0) --hll_zero_regs_;
+    reg = rho;
+  }
+}
+
+void ModeSketch::add(std::span<const index_t> coords) {
+  BCSF_ASSERT(!hll_regs_.empty(), "ModeSketch::add on default-constructed sketch");
+  // A lone add cannot know whether this fiber was seen before; the exact
+  // count lapses until count_exact_fibers() re-establishes it.
+  fiber_exact_ = false;
+  const index_t slice = coords[mode_];
+  if (nnz_ == 0) {
+    min_slice_ = max_slice_ = slice;
+  } else {
+    min_slice_ = std::min(min_slice_, slice);
+    max_slice_ = std::max(max_slice_, slice);
+  }
+  offset_t& c = hist_[coords[mode_]];
+  sum_sq_slice_nnz_ += 2 * static_cast<std::uint64_t>(c) + 1;
+  if (c == 0) {
+    ++singleton_slices_;
+  } else if (c == 1) {
+    --singleton_slices_;
+  }
+  ++c;
+  if (c > max_slice_nnz_) max_slice_nnz_ = c;
+  ++nnz_;
+
+  const std::uint64_t h = fiber_hash(coords);
+  hll_observe(h);
+  const std::uint64_t bits = sketch_mix64(h ^ kAmsSeed);
+  for (std::size_t i = 0; i < kAmsCounters; ++i) {
+    ams_[i] += ((bits >> i) & 1U) ? 1 : -1;
+  }
+}
+
+void ModeSketch::merge(const ModeSketch& other) {
+  if (other.hll_regs_.empty()) return;  // default-constructed: nothing to fold
+  BCSF_CHECK(!hll_regs_.empty() && mode_ == other.mode_ &&
+                 fiber_modes_ == other.fiber_modes_,
+             "ModeSketch::merge: incompatible sketches (mode "
+                 << mode_ << " vs " << other.mode_ << ")");
+
+  // Exact fiber counts add iff both sides are exact and this sketch's
+  // slice range sits strictly below the other's: disjoint root ranges
+  // imply disjoint fiber keys (every fiber key contains its root index).
+  // Empty sides are transparent.  The strictly-ascending rule -- rather
+  // than mere range disjointness -- is what keeps the lapse decision
+  // independent of merge association (a sequence is exact iff every
+  // adjacent non-empty pair ascends, however the merges are grouped).
+  const bool ascending =
+      nnz_ == 0 || other.nnz_ == 0 || max_slice_ < other.min_slice_;
+  fiber_exact_ = fiber_exact_ && other.fiber_exact_ && ascending;
+  exact_fibers_ += other.exact_fibers_;
+  if (other.nnz_ > 0) {
+    if (nnz_ == 0) {
+      min_slice_ = other.min_slice_;
+      max_slice_ = other.max_slice_;
+    } else {
+      min_slice_ = std::min(min_slice_, other.min_slice_);
+      max_slice_ = std::max(max_slice_, other.max_slice_);
+    }
+  }
+
+  // Slice histogram: exact counter sums with O(overlap) scalar fixups.
+  nnz_ += other.nnz_;
+  sum_sq_slice_nnz_ += other.sum_sq_slice_nnz_;
+  singleton_slices_ += other.singleton_slices_;
+  max_slice_nnz_ = std::max(max_slice_nnz_, other.max_slice_nnz_);
+  for (const auto& [slice, c2] : other.hist_) {
+    auto [it, inserted] = hist_.try_emplace(slice, c2);
+    if (!inserted) {
+      const offset_t c1 = it->second;
+      sum_sq_slice_nnz_ += 2 * static_cast<std::uint64_t>(c1) * c2;
+      // An overlapping slice cannot stay a singleton; remove whatever each
+      // side counted for it.
+      if (c1 == 1) --singleton_slices_;
+      if (c2 == 1) --singleton_slices_;
+      it->second = c1 + c2;
+      if (it->second > max_slice_nnz_) max_slice_nnz_ = it->second;
+    }
+  }
+
+  // HyperLogLog: register-wise max.
+  for (std::size_t j = 0; j < kHllRegisters; ++j) {
+    const std::uint8_t theirs = other.hll_regs_[j];
+    std::uint8_t& reg = hll_regs_[j];
+    if (theirs > reg) {
+      hll_inv_sum_ += pow2_neg(theirs) - pow2_neg(reg);
+      if (reg == 0) --hll_zero_regs_;
+      reg = theirs;
+    }
+  }
+
+  // AMS: counters add (same sign hashes on both sides).
+  for (std::size_t i = 0; i < kAmsCounters; ++i) ams_[i] += other.ams_[i];
+}
+
+void ModeSketch::count_exact_fibers(const SparseTensor& tensor) {
+  // Transient O(F) set -- affordable where whole tensors are already in
+  // hand (registration, compaction); the sketch keeps only the count.
+  // "Exact" is up to 64-bit fiber-hash collisions (~F^2 / 2^65).
+  std::unordered_set<std::uint64_t> fibers;
+  fibers.reserve(static_cast<std::size_t>(tensor.nnz()));
+  const index_t order = tensor.order();
+  std::vector<index_t> coord(order);
+  for (offset_t z = 0; z < tensor.nnz(); ++z) {
+    for (index_t m = 0; m < order; ++m) coord[m] = tensor.coord(m, z);
+    fibers.insert(fiber_hash(coord));
+  }
+  exact_fibers_ = static_cast<offset_t>(fibers.size());
+  fiber_exact_ = true;
+}
+
+offset_t ModeSketch::estimate_fibers() const {
+  if (nnz_ == 0 || hll_regs_.empty()) return 0;
+  if (fiber_exact_) return exact_fibers_;
+  const double m = static_cast<double>(kHllRegisters);
+  const double alpha = 0.7213 / (1.0 + 1.079 / m);
+  double est = alpha * m * m / hll_inv_sum_;
+  if (est <= 2.5 * m && hll_zero_regs_ > 0) {
+    // Linear counting: exact-regime correction for small cardinalities.
+    est = m * std::log(m / static_cast<double>(hll_zero_regs_));
+  }
+  // Structural bounds: every non-empty slice holds >= 1 fiber and every
+  // fiber holds >= 1 nonzero.
+  const double lo = static_cast<double>(num_slices());
+  const double hi = static_cast<double>(nnz_);
+  return static_cast<offset_t>(std::llround(std::clamp(est, lo, hi)));
+}
+
+double ModeSketch::estimate_fiber_sq_sum() const {
+  if (nnz_ == 0 || ams_.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::int64_t w : ams_) {
+    acc += static_cast<double>(w) * static_cast<double>(w);
+  }
+  const double est = acc / static_cast<double>(kAmsCounters);
+  // F2 is at least nnz (all fibers singleton) and at most nnz^2 (one fiber).
+  const double n = static_cast<double>(nnz_);
+  return std::clamp(est, n, n * n);
+}
+
+ModeStats ModeSketch::approx_mode_stats() const {
+  ModeStats s;
+  s.mode = mode_;
+  s.nnz = nnz_;
+  s.num_slices = num_slices();
+  if (s.num_slices == 0) return s;
+
+  const double n = static_cast<double>(nnz_);
+  const double slices = static_cast<double>(s.num_slices);
+
+  s.nnz_per_slice.count = static_cast<std::size_t>(s.num_slices);
+  s.nnz_per_slice.sum = n;
+  s.nnz_per_slice.mean = n / slices;
+  const double slice_var = std::max(
+      0.0, static_cast<double>(sum_sq_slice_nnz_) / slices -
+               s.nnz_per_slice.mean * s.nnz_per_slice.mean);
+  s.nnz_per_slice.stddev = std::sqrt(slice_var);
+  s.nnz_per_slice.max = static_cast<double>(max_slice_nnz_);
+  s.nnz_per_slice.min = 0.0;  // not maintained (no planning consumer)
+
+  s.singleton_slice_fraction = static_cast<double>(singleton_slices_) / slices;
+
+  const offset_t fibers = estimate_fibers();
+  s.num_fibers = fibers;
+  const double f = static_cast<double>(fibers);
+  if (fibers > 0) {
+    s.nnz_per_fiber.count = static_cast<std::size_t>(fibers);
+    s.nnz_per_fiber.sum = n;
+    s.nnz_per_fiber.mean = n / f;
+    const double fiber_var =
+        std::max(0.0, estimate_fiber_sq_sum() / f -
+                          s.nnz_per_fiber.mean * s.nnz_per_fiber.mean);
+    s.nnz_per_fiber.stddev = std::sqrt(fiber_var);
+
+    s.fibers_per_slice.count = static_cast<std::size_t>(s.num_slices);
+    s.fibers_per_slice.sum = f;
+    s.fibers_per_slice.mean = f / slices;
+  }
+
+  // CSL lower bound: each of the (at most nnz - F) excess nonzeros sits in
+  // a multi-nonzero fiber, and every CSF slice owns at least one of them.
+  const offset_t excess = nnz_ > fibers ? nnz_ - fibers : 0;
+  const offset_t multi = s.num_slices - singleton_slices_;
+  const offset_t csl = multi > excess ? multi - excess : 0;
+  s.csl_slice_fraction = static_cast<double>(csl) / slices;
+  return s;
+}
+
+std::vector<SliceMass> ModeSketch::slice_cdf() const {
+  std::vector<SliceMass> cdf;
+  cdf.reserve(hist_.size());
+  for (const auto& [slice, count] : hist_) cdf.push_back({slice, count});
+  std::sort(cdf.begin(), cdf.end(),
+            [](const SliceMass& a, const SliceMass& b) { return a.slice < b.slice; });
+  return cdf;
+}
+
+std::string ModeSketch::to_string() const {
+  std::ostringstream os;
+  os << "mode " << mode_ << ": nnz=" << nnz_ << " S=" << num_slices()
+     << " S1=" << singleton_slices_ << " max_slice=" << max_slice_nnz_
+     << (fiber_exact_ ? " F=" : " F~=") << estimate_fibers();
+  return os.str();
+}
+
+TensorSketch::TensorSketch(std::vector<index_t> dims) : dims_(std::move(dims)) {
+  BCSF_CHECK(!dims_.empty(), "TensorSketch: empty dims");
+  const index_t order = static_cast<index_t>(dims_.size());
+  modes_.reserve(order);
+  for (index_t m = 0; m < order; ++m) modes_.emplace_back(m, order);
+}
+
+TensorSketch TensorSketch::build(const SparseTensor& tensor) {
+  TensorSketch sketch(tensor.dims());
+  sketch.add_tensor(tensor);
+  // One-shot builds also record exact fiber counts, which makes the CSL
+  // lower bound tight on the policy path: when N >> S even HLL's ~1.6%
+  // error on F can swallow (S - S1) entirely and misroute pure-CSL
+  // tensors to hbcsf.
+  for (ModeSketch& m : sketch.modes_) m.count_exact_fibers(tensor);
+  return sketch;
+}
+
+void TensorSketch::add(std::span<const index_t> coords, value_t value) {
+  BCSF_ASSERT(coords.size() == dims_.size(), "TensorSketch::add: bad coords");
+  for (ModeSketch& m : modes_) m.add(coords);
+  ++nnz_;
+  norm_sq_ += static_cast<double>(value) * static_cast<double>(value);
+}
+
+void TensorSketch::add_tensor(const SparseTensor& tensor) {
+  BCSF_CHECK(tensor.dims() == dims_, "TensorSketch::add_tensor: dims mismatch");
+  const index_t order = tensor.order();
+  std::vector<index_t> coord(order);
+  for (offset_t z = 0; z < tensor.nnz(); ++z) {
+    for (index_t m = 0; m < order; ++m) coord[m] = tensor.coord(m, z);
+    add(coord, tensor.value(z));
+  }
+}
+
+void TensorSketch::merge(const TensorSketch& other) {
+  if (!other.initialised()) return;
+  if (!initialised()) {
+    *this = other;
+    return;
+  }
+  BCSF_CHECK(dims_ == other.dims_, "TensorSketch::merge: dims mismatch");
+  for (index_t m = 0; m < order(); ++m) modes_[m].merge(other.modes_[m]);
+  nnz_ += other.nnz_;
+  norm_sq_ += other.norm_sq_;
+}
+
+std::vector<ModeStats> TensorSketch::approx_all_mode_stats() const {
+  std::vector<ModeStats> out;
+  out.reserve(modes_.size());
+  for (const ModeSketch& m : modes_) out.push_back(m.approx_mode_stats());
+  return out;
+}
+
+std::string TensorSketch::to_string() const {
+  std::ostringstream os;
+  os << "TensorSketch: nnz=" << nnz_ << " norm_sq=" << norm_sq_;
+  for (const ModeSketch& m : modes_) os << "\n  " << m.to_string();
+  return os.str();
+}
+
+}  // namespace bcsf

@@ -1,0 +1,223 @@
+// Streaming per-mode structural sketches (DESIGN.md §12).
+//
+// Every planning decision in the stack -- §V format selection, the Fig-10
+// break-even gate, shard pricing, partition cut placement -- is a function
+// of per-mode structure: the nnz-per-slice distribution, the fiber count,
+// and the slice-mass CDF.  `compute_mode_stats` derives those by sorting a
+// copy of the tensor and scanning it, per mode, per call; this file keeps
+// the same quantities *incrementally*, so a policy read after warm-up does
+// no O(nnz) work at all.
+//
+// Three primitives per mode orientation:
+//  1. Slice-occupancy histogram: an exact hash-map counter keyed by root
+//     index (nnz per non-empty slice), plus running scalars (nnz, singleton
+//     slices, sum of squared slice counts, max slice).  Also the source of
+//     the slice-mass CDF the partitioner cuts against.
+//  2. Fiber count-distinct: a HyperLogLog over hashed fiber keys (all
+//     coordinates except the leaf mode).  Running register-sum state makes
+//     the estimate O(1) to read.  One-shot whole-tensor builds additionally
+//     record the EXACT fiber count (the builder can afford a transient hash
+//     set; the sketch itself stays sublinear), and that exact count survives
+//     merges whose slice ranges are strictly ascending -- the shard path --
+//     because every fiber key contains its root index.  Incremental adds
+//     and overlapping merges lapse to the HLL estimate.
+//  3. Fiber second moment: an AMS-style +/-1 projection with integer
+//     counters, giving stddev(nnz/fiber) for the imbalance diagnostic.
+//
+// Determinism contract: all hashing uses fixed compile-time seeds and the
+// splitmix64 finalizer -- never std::random_device, rand() or time().
+// Sketch state is therefore a pure function of the multiset of inserted
+// (coords, value) pairs, which is what makes record/replay byte-identical
+// and shard merges associative.  Every structural field is integer-valued,
+// so merges are bitwise-exact in any association; only the value moments
+// (norm_sq) are floating point, and those are exact on power-of-two-grid
+// inputs (the repo's standard trick for order-independent FP checks).
+//
+// Thread safety: ModeSketch/TensorSketch are plain value types with no
+// internal locking; DynamicSparseTensor guards its sketches with mutex_.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/tensor_stats.hpp"
+#include "util/types.hpp"
+
+namespace bcsf {
+
+/// splitmix64 finalizer: the deterministic 64-bit mixer behind every
+/// sketch hash.  Constants are fixed at compile time (replay safety).
+constexpr std::uint64_t sketch_mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// One (slice index, nonzero count) step of a mode's slice-mass CDF,
+/// sorted by slice index.  Prefix sums over these are exactly the slice
+/// boundary offsets of the sorted nonzero stream the exact partitioner
+/// scans, which is why sketch-placed cuts reproduce its cut offsets.
+struct SliceMass {
+  index_t slice = 0;
+  offset_t nnz = 0;
+};
+
+/// Streaming structural sketch of one mode orientation.
+class ModeSketch {
+ public:
+  /// HyperLogLog precision: 2^12 = 4096 registers, standard error
+  /// 1.04/sqrt(4096) ~ 1.6% on the fiber count.
+  static constexpr unsigned kHllPrecision = 12;
+  static constexpr std::size_t kHllRegisters = std::size_t{1} << kHllPrecision;
+  /// AMS projection width for the fiber second moment; the relative error
+  /// of the F2 estimate is ~sqrt(2/32) ~ 25% (diagnostic-grade only).
+  static constexpr std::size_t kAmsCounters = 32;
+
+  ModeSketch() = default;
+  /// Sketch for mode `mode` of an order-`order` tensor.
+  ModeSketch(index_t mode, index_t order);
+
+  /// Accounts one nonzero; `coords` holds all `order` coordinates.
+  /// Lapses the exact fiber count (a lone add cannot know whether it
+  /// started a new fiber).
+  void add(std::span<const index_t> coords);
+  /// Folds another sketch of the same mode in.  All integer state merges
+  /// exactly (counter sums, register max), in any association.  Exact
+  /// fiber counts add through the merge iff both sides are exact and
+  /// this sketch's slice range sits strictly below the other's (disjoint
+  /// root ranges imply disjoint fibers); any other shape lapses to HLL.
+  /// The ascending-range rule makes exactness association-independent:
+  /// a merge sequence stays exact iff every adjacent non-empty pair is
+  /// ascending, however the merges are grouped.
+  void merge(const ModeSketch& other);
+  /// Rescans `tensor` with a transient fiber-hash set and records the
+  /// exact distinct-fiber count for it.  Only valid when this sketch was
+  /// populated from exactly that tensor (TensorSketch::build does this);
+  /// later add()s or overlapping merges lapse the count.
+  void count_exact_fibers(const SparseTensor& tensor);
+
+  index_t mode() const { return mode_; }
+  offset_t nnz() const { return nnz_; }
+  /// S: non-empty slices (exact).
+  offset_t num_slices() const { return static_cast<offset_t>(hist_.size()); }
+  /// Slices with exactly one nonzero (exact).
+  offset_t singleton_slices() const { return singleton_slices_; }
+  /// Largest slice's nonzero count (exact; monotone under add/merge).
+  offset_t max_slice_nnz() const { return max_slice_nnz_; }
+  /// Sum over slices of (nnz in slice)^2 (exact while nnz * max_slice
+  /// fits in 64 bits).
+  std::uint64_t sum_sq_slice_nnz() const { return sum_sq_slice_nnz_; }
+  /// F: non-empty fibers.  Exact after a one-shot build (and across
+  /// ascending slice-disjoint merges of exact sketches); otherwise a
+  /// HyperLogLog estimate, ~1.6% standard error, clamped to the
+  /// structural bounds [S, nnz].  O(1).
+  offset_t estimate_fibers() const;
+  /// True while estimate_fibers() returns the exact count (vacuously
+  /// true for an empty sketch: zero fibers, exactly).
+  bool fibers_exact() const { return fiber_exact_; }
+  /// Estimated sum over fibers of (nnz in fiber)^2 (AMS, ~25% error).
+  double estimate_fiber_sq_sum() const;
+
+  /// Approximate ModeStats with the same semantics as compute_mode_stats.
+  /// Exact fields: nnz, num_slices, singleton_slice_fraction, and the
+  /// count/sum/mean/stddev/max of nnz_per_slice.  Estimated fields:
+  /// num_fibers, nnz_per_fiber (mean/stddev), fibers_per_slice mean, and
+  /// csl_slice_fraction, which is the conservative lower bound
+  ///   max(0, S - S1 - (nnz - F)) / S
+  /// (every multi-nonzero fiber forces at least one excess nonzero, so
+  /// CSF slices number at most nnz - F; the bound is tight when excess
+  /// nonzeros concentrate in few slices and exact when all fibers are
+  /// singletons AND F itself is exact -- which fibers_exact() guarantees
+  /// on the policy path, where sketches come from one-shot base builds).
+  /// Unmaintained distribution tails (min/p50/p99/gini) are left zero --
+  /// no planning consumer reads them.
+  ModeStats approx_mode_stats() const;
+
+  /// The slice-mass CDF: per non-empty slice, its exact nonzero count,
+  /// sorted by slice index.  O(S log S); feeds partition cut placement.
+  std::vector<SliceMass> slice_cdf() const;
+
+  std::string to_string() const;
+
+ private:
+  void hll_observe(std::uint64_t hash);
+  std::uint64_t fiber_hash(std::span<const index_t> coords) const;
+
+  index_t mode_ = 0;
+  /// Non-leaf modes of mode_order_for(mode, order), in orientation order:
+  /// the coordinates that identify a fiber.
+  std::vector<index_t> fiber_modes_;
+
+  // --- slice occupancy (exact) ---
+  std::unordered_map<index_t, offset_t> hist_;  // root index -> nnz
+  offset_t nnz_ = 0;
+  offset_t singleton_slices_ = 0;
+  offset_t max_slice_nnz_ = 0;
+  std::uint64_t sum_sq_slice_nnz_ = 0;
+
+  // --- fiber count-distinct (HyperLogLog) ---
+  std::vector<std::uint8_t> hll_regs_;  // kHllRegisters once initialised
+  double hll_inv_sum_ = 0.0;            // sum over registers of 2^-reg
+  std::uint32_t hll_zero_regs_ = 0;
+
+  // --- exact fiber count (one-shot builds, ascending merges) ---
+  offset_t exact_fibers_ = 0;  // meaningful only while fiber_exact_
+  bool fiber_exact_ = true;    // an empty sketch has exactly 0 fibers
+  /// Observed root-index range (valid when nnz_ > 0): the ascending-merge
+  /// check that keeps exact_fibers_ additive across slice-disjoint shards.
+  index_t min_slice_ = 0;
+  index_t max_slice_ = 0;
+
+  // --- fiber second moment (AMS, integer counters) ---
+  std::vector<std::int64_t> ams_;  // kAmsCounters once initialised
+};
+
+/// Whole-tensor sketch: one ModeSketch per mode plus value moments.
+/// Maintained by DynamicSparseTensor across apply/replace_base; shard
+/// sketches merge into the whole-tensor sketch, so the serving layer
+/// never rescans nonzeros to plan.
+class TensorSketch {
+ public:
+  TensorSketch() = default;
+  explicit TensorSketch(std::vector<index_t> dims);
+
+  /// Builds a sketch of every stored entry of `tensor` (duplicates from
+  /// uncoalesced deltas each count once, matching the stored-entry
+  /// semantics of DynamicSparseTensor).
+  static TensorSketch build(const SparseTensor& tensor);
+
+  void add(std::span<const index_t> coords, value_t value);
+  void add_tensor(const SparseTensor& tensor);
+  void merge(const TensorSketch& other);
+
+  bool initialised() const { return !dims_.empty(); }
+  index_t order() const { return static_cast<index_t>(dims_.size()); }
+  const std::vector<index_t>& dims() const { return dims_; }
+  offset_t nnz() const { return nnz_; }
+  /// Sum of squared stored values.  For a base + uncoalesced delta split
+  /// B + D this misses the 2<base,delta> cross term of the coalesced
+  /// norm; |cross| <= 2*sqrt(B*D) (Cauchy-Schwarz), the stated kStats
+  /// error bound, which collapses to 0 right after compaction.
+  double norm_sq() const { return norm_sq_; }
+
+  const ModeSketch& mode(index_t m) const { return modes_.at(m); }
+  ModeStats approx_mode_stats(index_t m) const {
+    return modes_.at(m).approx_mode_stats();
+  }
+  std::vector<ModeStats> approx_all_mode_stats() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<index_t> dims_;
+  std::vector<ModeSketch> modes_;
+  offset_t nnz_ = 0;
+  double norm_sq_ = 0.0;
+};
+
+}  // namespace bcsf

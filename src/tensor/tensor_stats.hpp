@@ -40,8 +40,15 @@ struct ModeStats {
 /// a sorted copy is made internally.
 ModeStats compute_mode_stats(const SparseTensor& tensor, index_t mode);
 
-/// Computes ModeStats for every mode.
+/// Computes ModeStats for every mode.  One shared index buffer is sorted
+/// per mode; the nonzero arrays are never copied.
 std::vector<ModeStats> compute_all_mode_stats(const SparseTensor& tensor);
+
+/// Process-wide count of O(nnz) exact-stats scans (every
+/// compute_mode_stats / compute_all_mode_stats sort+scan).  The serving
+/// layer's sketch-backed planning must leave this flat after warm-up;
+/// tests assert on deltas of this counter (DESIGN.md §12).
+std::uint64_t exact_stat_scan_count();
 
 /// Raw per-slice and per-fiber nonzero counts for a *sorted* tensor
 /// (sorted by mode_order_for(mode, order)); used by the format builders so

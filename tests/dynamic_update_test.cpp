@@ -159,10 +159,13 @@ TEST(DynamicUpdates, UpdateCompactReupgradeLifecycle) {
   EXPECT_EQ(merged.deltas.size(), 0u);
   EXPECT_EQ(merged.base_version, 6u);
 
-  // The fresh generation starts un-upgraded; the carried call counts are
-  // already past the threshold, so the first wave re-runs the policy on
-  // the merged base and the structured build re-lands.
-  EXPECT_FALSE(service.upgraded("t", 0));
+  // Re-decision on every compaction (DESIGN.md §12): the merged base's
+  // sketch is installed with the commit, the §V policy re-ran on it
+  // inside the compaction task, and -- the carried call counts already
+  // clear the threshold -- the structured build re-landed before idle,
+  // with no request in between.
+  EXPECT_TRUE(service.upgraded("t", 0));
+  EXPECT_EQ(service.current_format("t", 0), "bcsf");
   run_wave(8, 0);
   service.wait_idle();
   EXPECT_TRUE(service.upgraded("t", 0));

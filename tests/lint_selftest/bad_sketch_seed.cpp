@@ -1,0 +1,13 @@
+// lint-selftest-path: src/tensor/sketch_seed.cpp
+// lint-selftest-expect: sketch-determinism
+//
+// Deliberate violation: ambient nondeterminism in the sketch layer.
+// A wall-clock-derived seed makes two builds over the same entries
+// differ bitwise, breaking the merge-associativity tests and making
+// replayed runs plan differently than the recording.
+#include <cstdint>
+#include <ctime>
+
+std::uint64_t ambient_seed() {
+  return static_cast<std::uint64_t>(time(nullptr));
+}

@@ -1,0 +1,13 @@
+// lint-selftest-path: src/tensor/stats_helper.cpp
+// lint-selftest-expect: none
+//
+// Scope control: the sketch-determinism rule covers only
+// src/tensor/sketch*.{cpp,hpp}.  The same time() call that fires in
+// bad_sketch_seed.cpp must stay silent in a sibling src/tensor/ file,
+// proving the glob does not leak onto the rest of the tensor layer.
+#include <cstdint>
+#include <ctime>
+
+std::uint64_t wall_seconds() {
+  return static_cast<std::uint64_t>(time(nullptr));
+}
